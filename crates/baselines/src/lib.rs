@@ -1,0 +1,15 @@
+//! # daisy-baselines
+//!
+//! The comparison synthesizers of the paper's §6.3: a variational
+//! autoencoder (VAE) sharing the GAN's reversible record
+//! transformation, the state-of-the-art statistical method PrivBayes
+//! with its ε-differential-privacy knob, and an independent-marginals
+//! floor baseline.
+
+pub mod independent;
+pub mod privbayes;
+pub mod vae;
+
+pub use independent::IndependentMarginals;
+pub use privbayes::{PrivBayes, PrivBayesConfig};
+pub use vae::{Vae, VaeConfig};

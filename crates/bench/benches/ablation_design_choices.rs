@@ -1,0 +1,93 @@
+//! Ablation study over the implementation-level design choices that
+//! DESIGN.md §6 calls out (beyond the paper's own design space): the KL
+//! warm-up term, the simplified discriminator, generator batch
+//! normalization (and its interaction with conditional label-aware
+//! sampling), and the number of discriminator steps per generator step.
+//!
+//! Reported per variant: DT10 F1 Diff, duplicate fraction (mode
+//! collapse), correlation fidelity, and FD preservation gap.
+
+use daisy_bench::harness::*;
+use daisy_core::{NetworkKind, Synthesizer, TrainConfig};
+use daisy_data::TransformConfig;
+use daisy_datasets::by_name;
+use daisy_eval::{classification_utility, correlation_fidelity, fd_preservation_gap};
+use daisy_tensor::Rng;
+
+fn main() {
+    banner(
+        "Ablation: implementation design choices (Adult)",
+        "Lower is better in every column.",
+    );
+    let spec = by_name("Adult").unwrap();
+    let (train, _valid, test) = prepare(&spec, 42);
+
+    let base = || {
+        gan_config(
+            NetworkKind::Mlp,
+            TransformConfig::gn_ht(),
+            TrainConfig::vtrain(0),
+            191,
+        )
+    };
+    let mut variants: Vec<(&str, daisy_core::SynthesizerConfig)> = Vec::new();
+    variants.push(("baseline (VTrain, KL=1, BN, D x1)", base()));
+    variants.push(("no KL warm-up", {
+        let mut c = base();
+        c.train.kl_weight = 0.0;
+        c
+    }));
+    variants.push(("simplified D", {
+        let mut c = base();
+        c.simplified_d = true;
+        c
+    }));
+    variants.push(("no generator BN", {
+        let mut c = base();
+        c.g_batchnorm = false;
+        c
+    }));
+    variants.push(("3 D-steps per G-step", {
+        let mut c = base();
+        c.train.d_steps = 3;
+        c
+    }));
+    variants.push(("PacGAN packing (pac=2)", {
+        let mut c = base();
+        c.train.pac = 2;
+        c
+    }));
+    variants.push(("conditional (CTrain, BN auto-off)", {
+        let mut c = base();
+        c.train = TrainConfig::ctrain(0);
+        c.train.iterations = scale().iterations;
+        c.train.batch_size = scale().batch;
+        c
+    }));
+
+    let mut rows = Vec::new();
+    for (name, cfg) in &variants {
+        let fitted = Synthesizer::fit(&train, cfg);
+        let mut rng = Rng::seed_from_u64(7);
+        let synthetic = fitted.generate(train.n_rows(), &mut rng);
+        let mut rng2 = Rng::seed_from_u64(8);
+        let diff = classification_utility(
+            &train,
+            &synthetic,
+            &test,
+            || Box::new(daisy_eval::DecisionTree::new(10)),
+            &mut rng2,
+        )
+        .f1_diff;
+        let dup = daisy_core::duplicate_fraction(&synthetic, 20);
+        let corr = correlation_fidelity(&train, &synthetic);
+        let fd = fd_preservation_gap(&train, &synthetic, 0.8)
+            .map(fmt)
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![name.to_string(), fmt(diff), fmt(dup), fmt(corr), fd]);
+    }
+    print_table(
+        &["variant", "DT10 Diff", "dup-frac", "corr-gap", "FD-gap"],
+        &rows,
+    );
+}

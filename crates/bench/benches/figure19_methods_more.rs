@@ -1,0 +1,44 @@
+//! Figure 19 (Appendix B.3): methods comparison on the remaining
+//! datasets — Anuran, Digits and HTRU2.
+
+use daisy_baselines::{PrivBayes, PrivBayesConfig, Vae, VaeConfig};
+use daisy_bench::harness::*;
+use daisy_datasets::by_name;
+
+fn main() {
+    banner(
+        "Figure 19: methods on Anuran / Digits / HTRU2 (F1 Diff)",
+        "VAE vs PB-eps vs GAN.",
+    );
+    let s = scale();
+    for dataset in ["Anuran", "Digits", "HTRU2"] {
+        let spec = by_name(dataset).unwrap();
+        let (train, _valid, test) = prepare(&spec, 42);
+        println!("-- {dataset} --");
+        let mut methods: Vec<(String, daisy_data::Table)> = Vec::new();
+        let vae = Vae::fit(
+            &train,
+            &VaeConfig {
+                iterations: s.vae_iterations,
+                hidden: vec![s.hidden * 2],
+                ..VaeConfig::default()
+            },
+        );
+        methods.push(("VAE".into(), synthesize_like(&vae, &train, 31)));
+        for eps in [0.2, 0.4, 0.8, 1.6] {
+            let pb = PrivBayes::fit(&train, &PrivBayesConfig::with_epsilon(eps));
+            methods.push((format!("PB-{eps}"), synthesize_like(&pb, &train, 31)));
+        }
+        let cfg = default_gan_for(&train, 181);
+        methods.push(("GAN".into(), fit_and_generate(&train, &cfg, 31)));
+        let mut rows = Vec::new();
+        for (mname, synthetic) in &methods {
+            let diffs = f1_diffs(&train, synthetic, &test);
+            let mut row = vec![mname.clone()];
+            row.extend(diffs.iter().map(|(_, d)| fmt(*d)));
+            rows.push(row);
+        }
+        print_table(&["method", "DT10", "DT30", "RF10", "RF20", "AB", "LR"], &rows);
+        println!();
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks for the hot kernels under the study:
+//! matmul, convolution, LSTM steps, record transformation, and one full
+//! GAN training step per network family. These quantify the ablation
+//! trade-offs called out in DESIGN.md (tape autodiff cost, LSTM's
+//! sequential overhead vs MLP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daisy_core::discriminator::{Discriminator, MlpDiscriminator};
+use daisy_core::generator::{Generator, LstmGenerator, MlpGenerator};
+use daisy_core::sampler::TrainingData;
+use daisy_core::train::train_gan;
+use daisy_core::{output_head::softmax_spans, NetworkKind, TrainConfig};
+use daisy_data::{RecordCodec, TransformConfig};
+use daisy_datasets::by_name;
+use daisy_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(0);
+    let a = Tensor::randn(&[128, 256], &mut rng);
+    let b = Tensor::randn(&[256, 128], &mut rng);
+    c.bench_function("matmul_128x256x128", |bencher| {
+        bencher.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("matmul_tn_128x256x128", |bencher| {
+        bencher.iter(|| black_box(a.matmul_tn(&Tensor::randn(&[128, 64], &mut rng.clone()))))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let x = Tensor::randn(&[32, 8, 8, 8], &mut rng);
+    let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+    c.bench_function("conv2d_32x8x8x8_k3", |bencher| {
+        bencher.iter(|| black_box(daisy_tensor::conv::conv2d(&x, &w, 1, 1)))
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let spec = by_name("Adult").unwrap();
+    let table = spec.generate(2000, 2);
+    let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
+    c.bench_function("encode_adult_2000_gn_ht", |bencher| {
+        bencher.iter(|| black_box(codec.encode_table(&table)))
+    });
+    let encoded = codec.encode_table(&table);
+    c.bench_function("decode_adult_2000_gn_ht", |bencher| {
+        bencher.iter(|| black_box(codec.decode_table(&encoded)))
+    });
+}
+
+fn bench_gan_step(c: &mut Criterion) {
+    let spec = by_name("Adult").unwrap();
+    let table = spec.generate(1000, 3);
+    let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
+    let data = TrainingData::from_table(&table, &codec);
+    let spans = softmax_spans(&codec.output_blocks());
+    for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
+        let name = format!("gan_iteration_{}", network.name().to_lowercase());
+        c.bench_function(&name, |bencher| {
+            bencher.iter_with_setup(
+                || {
+                    let mut rng = Rng::seed_from_u64(4);
+                    let g: Box<dyn Generator> = match network {
+                        NetworkKind::Mlp => Box::new(MlpGenerator::new(
+                            24,
+                            0,
+                            &[64, 64],
+                            codec.output_blocks(),
+                            &mut rng,
+                        )),
+                        _ => Box::new(LstmGenerator::new(
+                            24,
+                            0,
+                            64,
+                            32,
+                            codec.output_blocks(),
+                            &mut rng,
+                        )),
+                    };
+                    let d: Box<dyn Discriminator> =
+                        Box::new(MlpDiscriminator::new(codec.width(), 0, &[64], &mut rng));
+                    (g, d, Rng::seed_from_u64(5))
+                },
+                |(g, d, mut rng)| {
+                    let mut cfg = TrainConfig::vtrain(1);
+                    cfg.batch_size = 64;
+                    cfg.epochs = 1;
+                    black_box(train_gan(g.as_ref(), d.as_ref(), &data, &spans, &cfg, &mut rng));
+                },
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_conv, bench_transform, bench_gan_step
+}
+criterion_main!(kernels);

@@ -1,0 +1,38 @@
+//! Table 11 (Appendix B.4): the LSTM-based discriminator, compared by
+//! F1 Diff against the MLP-based discriminator on Adult, for MLP and
+//! LSTM generators across transformations.
+//!
+//! Expected shape: the LSTM discriminator is significantly worse than
+//! the MLP one — the reason the paper's main experiments fix D = MLP.
+
+use daisy_bench::harness::*;
+use daisy_core::{NetworkKind, TrainConfig};
+use daisy_data::TransformConfig;
+use daisy_datasets::by_name;
+
+fn main() {
+    banner(
+        "Table 11: LSTM-based discriminator on Adult (F1 Diff)",
+        "Rows: generator x transformation; columns: D=MLP vs D=LSTM.",
+    );
+    let spec = by_name("Adult").unwrap();
+    let (train, _valid, test) = prepare(&spec, 42);
+    let mut rows = Vec::new();
+    for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
+        for transform in [TransformConfig::sn_ht(), TransformConfig::gn_ht()] {
+            let base = gan_config(network, transform, TrainConfig::vtrain(0), 141);
+            let syn_mlp_d = fit_and_generate(&train, &base, 19);
+            let lstm_cfg = with_lstm_discriminator(base);
+            let syn_lstm_d = fit_and_generate(&train, &lstm_cfg, 19);
+            let d_mlp = f1_diffs(&train, &syn_mlp_d, &test);
+            let d_lstm = f1_diffs(&train, &syn_lstm_d, &test);
+            let avg = |d: &[(&str, f64)]| d.iter().map(|(_, v)| v).sum::<f64>() / d.len() as f64;
+            rows.push(vec![
+                format!("{} {}", network.name(), transform.short_name()),
+                fmt(avg(&d_mlp)),
+                fmt(avg(&d_lstm)),
+            ]);
+        }
+    }
+    print_table(&["generator", "D=MLP (mean F1 Diff)", "D=LSTM (mean F1 Diff)"], &rows);
+}

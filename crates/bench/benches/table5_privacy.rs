@@ -1,0 +1,55 @@
+//! Table 5: privacy against re-identification — hitting rate and DCR of
+//! GAN vs PrivBayes at ε ∈ {0.1, 0.2, 0.4, 0.8, 1.6} on Adult and
+//! CovType.
+//!
+//! Expected shape (Finding 6): GAN's hitting rate is competitive with
+//! tight-ε PrivBayes on mixed-type data (Adult); on the mostly numeric
+//! CovType, PB's equi-width binning makes its numeric values rarely
+//! "similar", so PB shows lower hitting rates there. DCR is comparable
+//! overall.
+
+use daisy_baselines::{PrivBayes, PrivBayesConfig};
+use daisy_bench::harness::*;
+use daisy_datasets::by_name;
+use daisy_eval::{dcr, hitting_rate};
+use daisy_tensor::Rng;
+
+fn main() {
+    banner(
+        "Table 5: privacy risk (hitting rate %, DCR)",
+        "Hitting rate lower = better privacy; DCR larger = better privacy.",
+    );
+    let s = scale();
+    for dataset in ["Adult", "CovType"] {
+        let spec = by_name(dataset).unwrap();
+        let (train, _valid, test) = prepare(&spec, 42);
+        println!("-- {dataset} --");
+        let mut methods: Vec<(String, daisy_data::Table)> = Vec::new();
+        for eps in [0.1, 0.2, 0.4, 0.8, 1.6] {
+            let pb = PrivBayes::fit(&train, &PrivBayesConfig::with_epsilon(eps));
+            methods.push((format!("PB-{eps}"), synthesize_like(&pb, &train, 3)));
+        }
+        let cfg = default_gan_for(&train, 51);
+        let synthetic = fit_and_generate(&train, &cfg, 3);
+        methods.push(("GAN".into(), synthetic));
+
+        let mut rows = Vec::new();
+        // Reference: what DCR/hit-rate look like for *fresh real data*
+        // from the same population (the holdout). A method below this
+        // DCR is memorizing.
+        {
+            let mut rng = Rng::seed_from_u64(13);
+            let hr = hitting_rate(&train, &test, s.privacy_samples, &mut rng);
+            let d = daisy_eval::dcr_baseline(&train, &test, s.privacy_samples, &mut rng);
+            rows.push(vec!["real holdout (ref)".into(), format!("{hr:.3}"), fmt(d)]);
+        }
+        for (name, synthetic) in &methods {
+            let mut rng = Rng::seed_from_u64(13);
+            let hr = hitting_rate(&train, synthetic, s.privacy_samples, &mut rng);
+            let d = dcr(&train, synthetic, s.privacy_samples, &mut rng);
+            rows.push(vec![name.clone(), format!("{hr:.3}"), fmt(d)]);
+        }
+        print_table(&["method", "hit-rate %", "DCR"], &rows);
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Table 7: clustering utility DiffCST (K-Means NMI difference) across
+//! generator networks and transformations on the seven labeled
+//! datasets.
+//!
+//! Expected shape (Finding 8 / §7.4): LSTM gn/ht tends to preserve the
+//! clustering structure best; CNN is worst where applicable.
+
+use daisy_bench::harness::*;
+use daisy_core::{NetworkKind, TrainConfig};
+use daisy_data::TransformConfig;
+use daisy_datasets::by_name;
+use daisy_eval::clustering_utility;
+use daisy_tensor::Rng;
+
+fn main() {
+    banner(
+        "Table 7: clustering utility DiffCST (lower is better)",
+        "K-Means + NMI difference between real and synthetic tables.",
+    );
+    let mut rows = Vec::new();
+    for dataset in ["HTRU2", "Adult", "CovType", "Digits", "Anuran", "Census", "SAT"] {
+        let spec = by_name(dataset).unwrap();
+        let (train, _valid, _test) = prepare(&spec, 42);
+        let mut row = vec![dataset.to_string()];
+        // CNN only on binary datasets (as in Table 3).
+        if train.n_classes() == 2 {
+            let cfg = gan_config(
+                NetworkKind::Cnn,
+                TransformConfig::sn_od(),
+                TrainConfig::vtrain(0),
+                101,
+            );
+            let synthetic = fit_and_generate(&train, &cfg, 9);
+            let mut rng = Rng::seed_from_u64(10);
+            row.push(fmt(clustering_utility(&train, &synthetic, &mut rng)));
+        } else {
+            row.push("-".into());
+        }
+        for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
+            for transform in [TransformConfig::sn_ht(), TransformConfig::gn_ht()] {
+                let cfg = gan_config(network, transform, TrainConfig::vtrain(0), 101);
+                let synthetic = fit_and_generate(&train, &cfg, 9);
+                let mut rng = Rng::seed_from_u64(10);
+                row.push(fmt(clustering_utility(&train, &synthetic, &mut rng)));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["dataset", "CNN", "MLP sn/ht", "MLP gn/ht", "LSTM sn/ht", "LSTM gn/ht"],
+        &rows,
+    );
+}

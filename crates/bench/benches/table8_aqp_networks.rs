@@ -1,0 +1,59 @@
+//! Table 8: AQP utility DiffAQP across generator networks and
+//! transformations on CovType and Census (the large datasets).
+//!
+//! Expected shape: LSTM gn/ht answers the aggregate workload with the
+//! smallest relative-error difference; CNN (Census) is far worse.
+
+use daisy_bench::harness::*;
+use daisy_core::{NetworkKind, TrainConfig};
+use daisy_data::TransformConfig;
+use daisy_datasets::by_name;
+use daisy_eval::{aqp_utility, generate_workload};
+use daisy_tensor::Rng;
+
+fn main() {
+    banner(
+        "Table 8: AQP utility DiffAQP by network (lower is better)",
+        "Aggregate workload vs 1% uniform samples.",
+    );
+    let s = scale();
+    let mut rows = Vec::new();
+    for dataset in ["CovType", "Census"] {
+        let spec = by_name(dataset).unwrap();
+        let (train, _valid, _test) = prepare(&spec, 42);
+        // The paper draws 1% samples from 100k+ row tables (>=1000
+        // sampled rows). At quick scale 1% of ~1000 rows would be ~10
+        // rows — a degenerate reference — so keep the absolute sample
+        // size at >= 60 rows instead.
+        let sample_frac = (60.0 / train.n_rows() as f64).max(0.01);
+        let mut wl_rng = Rng::seed_from_u64(202);
+        let queries = generate_workload(&train, s.n_queries, &mut wl_rng);
+        let mut row = vec![dataset.to_string()];
+        if train.n_classes() == 2 {
+            let cfg = gan_config(
+                NetworkKind::Cnn,
+                TransformConfig::sn_od(),
+                TrainConfig::vtrain(0),
+                111,
+            );
+            let synthetic = fit_and_generate(&train, &cfg, 11);
+            let mut rng = Rng::seed_from_u64(12);
+            row.push(fmt(aqp_utility(&train, &synthetic, &queries, sample_frac, 3, &mut rng)));
+        } else {
+            row.push("-".into());
+        }
+        for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
+            for transform in [TransformConfig::sn_ht(), TransformConfig::gn_ht()] {
+                let cfg = gan_config(network, transform, TrainConfig::vtrain(0), 111);
+                let synthetic = fit_and_generate(&train, &cfg, 11);
+                let mut rng = Rng::seed_from_u64(12);
+                row.push(fmt(aqp_utility(&train, &synthetic, &queries, sample_frac, 3, &mut rng)));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["dataset", "CNN", "MLP sn/ht", "MLP gn/ht", "LSTM sn/ht", "LSTM gn/ht"],
+        &rows,
+    );
+}

@@ -1,0 +1,57 @@
+//! Table 9: clustering utility DiffCST of VAE, PrivBayes-ε and GAN on
+//! the seven labeled datasets.
+//!
+//! Expected shape (Finding 8): GAN beats the baselines by 1–2 orders of
+//! magnitude on preserving clustering structure.
+
+use daisy_baselines::{PrivBayes, PrivBayesConfig, Vae, VaeConfig};
+use daisy_bench::harness::*;
+use daisy_datasets::by_name;
+use daisy_eval::clustering_utility;
+use daisy_tensor::Rng;
+
+fn main() {
+    banner(
+        "Table 9: clustering utility DiffCST by method (lower is better)",
+        "VAE vs PB-eps vs GAN.",
+    );
+    let s = scale();
+    let mut rows = Vec::new();
+    for dataset in ["HTRU2", "CovType", "Adult", "Digits", "Anuran", "Census", "SAT"] {
+        let spec = by_name(dataset).unwrap();
+        let (train, _valid, _test) = prepare(&spec, 42);
+        let mut row = vec![dataset.to_string()];
+        let vae = Vae::fit(
+            &train,
+            &VaeConfig {
+                iterations: s.vae_iterations,
+                hidden: vec![s.hidden * 2],
+                ..VaeConfig::default()
+            },
+        );
+        let mut eval_rng = Rng::seed_from_u64(14);
+        row.push(fmt(clustering_utility(
+            &train,
+            &synthesize_like(&vae, &train, 13),
+            &mut eval_rng,
+        )));
+        for eps in [0.2, 0.4, 0.8, 1.6] {
+            let pb = PrivBayes::fit(&train, &PrivBayesConfig::with_epsilon(eps));
+            let mut eval_rng = Rng::seed_from_u64(14);
+            row.push(fmt(clustering_utility(
+                &train,
+                &synthesize_like(&pb, &train, 13),
+                &mut eval_rng,
+            )));
+        }
+        let cfg = default_gan_for(&train, 121);
+        let synthetic = fit_and_generate(&train, &cfg, 13);
+        let mut eval_rng = Rng::seed_from_u64(14);
+        row.push(fmt(clustering_utility(&train, &synthetic, &mut eval_rng)));
+        rows.push(row);
+    }
+    print_table(
+        &["dataset", "VAE", "PB-0.2", "PB-0.4", "PB-0.8", "PB-1.6", "GAN"],
+        &rows,
+    );
+}

@@ -1,0 +1,334 @@
+//! Shared experiment plumbing: scaling, dataset preparation, fitted
+//! synthesizer construction, per-classifier utility sweeps, and
+//! plain-text table formatting.
+
+use daisy_core::{
+    DiscriminatorKind, NetworkKind, Synthesizer, SynthesizerConfig, TableSynthesizer, TrainConfig,
+};
+use daisy_data::{Table, TransformConfig};
+use daisy_datasets::TableSpec;
+use daisy_eval::{classification_utility, classifier_zoo};
+use daisy_tensor::Rng;
+
+/// Experiment scale knobs. Quick mode keeps every experiment's *shape*
+/// (datasets, design points, classifiers) while shrinking rows and
+/// iterations so the full suite finishes on a laptop CPU; `DAISY_FULL=1`
+/// multiplies the budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rows drawn from each dataset spec.
+    pub rows: usize,
+    /// GAN generator iterations.
+    pub iterations: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Hidden width for generators/discriminators.
+    pub hidden: usize,
+    /// VAE iterations.
+    pub vae_iterations: usize,
+    /// AQP workload size.
+    pub n_queries: usize,
+    /// Privacy-metric sample counts.
+    pub privacy_samples: usize,
+    /// Iterations for the epoch-robustness sweeps (Figures 4, 16–18),
+    /// which train 6 settings × 10 epochs each and dominate wall-clock.
+    pub sweep_iterations: usize,
+}
+
+/// Reads the scale from the environment. `DAISY_ROWS` and
+/// `DAISY_ITERS` override the row/iteration budgets of either mode.
+pub fn scale() -> Scale {
+    let mut s = base_scale();
+    if let Some(rows) = env_usize("DAISY_ROWS") {
+        s.rows = rows;
+    }
+    if let Some(iters) = env_usize("DAISY_ITERS") {
+        s.iterations = iters;
+        s.sweep_iterations = iters.min(s.sweep_iterations);
+    }
+    s
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn base_scale() -> Scale {
+    if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+        Scale {
+            rows: 12_000,
+            iterations: 2_000,
+            batch: 128,
+            hidden: 128,
+            vae_iterations: 4_000,
+            n_queries: 1_000,
+            privacy_samples: 3_000,
+            sweep_iterations: 1_000,
+        }
+    } else {
+        Scale {
+            rows: 1_600,
+            iterations: 400,
+            batch: 48,
+            hidden: 48,
+            vae_iterations: 800,
+            n_queries: 120,
+            privacy_samples: 300,
+            sweep_iterations: 200,
+        }
+    }
+}
+
+/// Materializes a dataset spec at the current scale and splits 4:1:1.
+///
+/// Skewed datasets are upsampled so the rarest label keeps ≥ 30
+/// expected training rows — otherwise the paper's rare-label F1 metric
+/// degenerates to 0 for every synthesizer and the comparison is
+/// vacuous.
+pub fn prepare(spec: &TableSpec, seed: u64) -> (Table, Table, Table) {
+    let s = scale();
+    let mut rows = s.rows;
+    if let Some(probs) = &spec.label_probs {
+        let p_min = probs.iter().copied().fold(f64::INFINITY, f64::min);
+        if p_min > 0.0 {
+            let needed = (30.0 / p_min * 1.5).ceil() as usize; // 1.5x for the 4:1:1 split
+            rows = rows.max(needed).min(4 * s.rows);
+        }
+    }
+    let table = spec.generate(rows.min(spec.default_rows), seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x517);
+    table.split_train_valid_test(&mut rng)
+}
+
+/// Splits an already materialized table 4:1:1.
+pub fn split(table: &Table, seed: u64) -> (Table, Table, Table) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x517);
+    table.split_train_valid_test(&mut rng)
+}
+
+/// A scaled GAN configuration for the given design point.
+pub fn gan_config(
+    network: NetworkKind,
+    transform: TransformConfig,
+    mut train: TrainConfig,
+    seed: u64,
+) -> SynthesizerConfig {
+    let s = scale();
+    train.iterations = s.iterations;
+    train.batch_size = s.batch;
+    let mut cfg = SynthesizerConfig::new(network, train);
+    cfg.transform = transform;
+    cfg.g_hidden = match network {
+        NetworkKind::Lstm => vec![s.hidden, s.hidden / 2],
+        _ => vec![s.hidden, s.hidden],
+    };
+    cfg.d_hidden = vec![s.hidden, s.hidden / 2];
+    cfg.noise_dim = 24;
+    cfg.cnn_channels = 8;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Fits a GAN at a design point and synthesizes a table the size of the
+/// training split.
+pub fn fit_and_generate(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> Table {
+    let fitted = Synthesizer::fit(train, cfg);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37);
+    fitted.generate(train.n_rows(), &mut rng)
+}
+
+/// Per-classifier F1 Diff of a synthetic table, over the zoo of §6.2.
+pub fn f1_diffs(real_train: &Table, synthetic: &Table, test: &Table) -> Vec<(&'static str, f64)> {
+    classifier_zoo()
+        .into_iter()
+        .map(|(name, make)| {
+            let mut rng = Rng::seed_from_u64(0xC1A551F1E5);
+            let report = classification_utility(real_train, synthetic, test, make, &mut rng);
+            (name, report.f1_diff)
+        })
+        .collect()
+}
+
+/// Synthesizes with any [`TableSynthesizer`] to the training size.
+pub fn synthesize_like(method: &dyn TableSynthesizer, train: &Table, seed: u64) -> Table {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xba5e);
+    method.synthesize(train.n_rows(), &mut rng)
+}
+
+/// Default LSTM design point (the paper's recommended gn/ht setting).
+pub fn default_lstm(seed: u64) -> SynthesizerConfig {
+    gan_config(
+        NetworkKind::Lstm,
+        TransformConfig::gn_ht(),
+        TrainConfig::vtrain(0),
+        seed,
+    )
+}
+
+/// Default MLP design point.
+pub fn default_mlp(seed: u64) -> SynthesizerConfig {
+    gan_config(
+        NetworkKind::Mlp,
+        TransformConfig::gn_ht(),
+        TrainConfig::vtrain(0),
+        seed,
+    )
+}
+
+/// The conditional-GAN default the paper uses in the methods
+/// comparison (§7.2): CTrain on an MLP generator.
+pub fn default_cgan(seed: u64) -> SynthesizerConfig {
+    gan_config(
+        NetworkKind::Mlp,
+        TransformConfig::gn_ht(),
+        TrainConfig::ctrain(0),
+        seed,
+    )
+}
+
+/// The "GAN" entry of the methods comparisons, following the paper's
+/// guidance (Findings 4 and 9 in §8): conditional GAN for tables with
+/// skewed labels (ratio > 9, the paper's skew criterion), plain VTrain
+/// otherwise (conditional GAN does not help on balanced data) and for
+/// unlabeled tables.
+pub fn default_gan_for(train: &Table, seed: u64) -> SynthesizerConfig {
+    let skewed = train.schema().label().is_some() && train.label_skewness() > 9.0;
+    let tc = if skewed {
+        TrainConfig::ctrain(0)
+    } else {
+        TrainConfig::vtrain(0)
+    };
+    gan_config(NetworkKind::Mlp, TransformConfig::gn_ht(), tc, seed)
+}
+
+/// Clamps a (hyper-parameter-searched) configuration to the quick-mode
+/// compute budget: candidate settings legitimately explore capacities
+/// up to 256 hidden units, which a single-core quick run cannot afford
+/// on long LSTM unrolls. Learning-rate diversity — the axis that drives
+/// the robustness findings — is untouched. No-op under `DAISY_FULL=1`.
+pub fn clamp_for_quick(cfg: &mut SynthesizerConfig) {
+    if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+        return;
+    }
+    let s = scale();
+    for h in cfg.g_hidden.iter_mut() {
+        *h = (*h).min(s.hidden);
+    }
+    for h in cfg.d_hidden.iter_mut() {
+        *h = (*h).min(s.hidden);
+    }
+    cfg.noise_dim = cfg.noise_dim.min(24);
+    cfg.train.batch_size = cfg.train.batch_size.min(s.batch);
+}
+
+/// Uses an LSTM discriminator instead of the MLP one (Appendix B.4).
+pub fn with_lstm_discriminator(mut cfg: SynthesizerConfig) -> SynthesizerConfig {
+    cfg.discriminator = DiscriminatorKind::Lstm;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Plain-text table rendering
+// ---------------------------------------------------------------------
+
+/// Prints a header banner for an experiment.
+pub fn banner(title: &str, detail: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    let s = scale();
+    println!(
+        "(scale: {} rows, {} iterations{}; set DAISY_FULL=1 for larger runs)",
+        s.rows,
+        s.iterations,
+        if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+            ", FULL"
+        } else {
+            ", quick"
+        }
+    );
+    println!();
+}
+
+/// Renders an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats an f64 with 3 decimals.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_datasets::by_name;
+
+    #[test]
+    fn quick_scale_is_default() {
+        // The suite must run in quick mode unless DAISY_FULL=1.
+        if std::env::var("DAISY_FULL").is_err() {
+            let s = scale();
+            assert!(s.rows <= 2_000);
+            assert!(s.iterations <= 500);
+        }
+    }
+
+    #[test]
+    fn prepare_upsamples_rare_labels() {
+        // CovType's rarest label (1.5%) needs more rows than the base
+        // scale to keep >= 30 training examples.
+        let (train, _valid, _test) = prepare(&by_name("CovType").unwrap(), 1);
+        let groups = train.rows_by_label();
+        let min = groups.iter().map(Vec::len).filter(|&n| n > 0).min().unwrap();
+        assert!(min >= 15, "rarest label has only {min} training rows");
+    }
+
+    #[test]
+    fn default_gan_for_matches_skew_guidance() {
+        let (balanced, _, _) = prepare(&by_name("Digits").unwrap(), 2);
+        assert!(!default_gan_for(&balanced, 0).train.conditional);
+        let (skewed, _, _) = prepare(&by_name("Census").unwrap(), 2);
+        assert!(default_gan_for(&skewed, 0).train.conditional);
+        let (unlabeled, _, _) = prepare(&by_name("Bing").unwrap(), 2);
+        assert!(!default_gan_for(&unlabeled, 0).train.conditional);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(0.1234567), "0.123");
+        // print_table must not panic on ragged-width content.
+        print_table(
+            &["a", "bb"],
+            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+        );
+    }
+}

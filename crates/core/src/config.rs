@@ -1,0 +1,303 @@
+//! The design space of GAN-based relational data synthesis (paper
+//! Figure 3), expressed as configuration types.
+
+use daisy_data::TransformConfig;
+
+/// Neural-network family for generator and discriminator (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Fully-connected networks (vector-formed samples).
+    Mlp,
+    /// Sequence generation with LSTM cells (vector-formed samples).
+    Lstm,
+    /// DCGAN-style convolutional networks (matrix-formed samples,
+    /// restricted to ordinal encoding + simple normalization).
+    Cnn,
+}
+
+impl NetworkKind {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkKind::Mlp => "MLP",
+            NetworkKind::Lstm => "LSTM",
+            NetworkKind::Cnn => "CNN",
+        }
+    }
+}
+
+/// Which network realizes the discriminator. The paper's main study
+/// pairs MLP/LSTM generators with an MLP discriminator (an LSTM
+/// discriminator is evaluated separately in Appendix B.4 and found
+/// inferior); CNN generators pair with a CNN discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscriminatorKind {
+    /// Fully-connected discriminator (default for MLP/LSTM generators).
+    Mlp,
+    /// Sequence-to-one LSTM discriminator (Appendix B.4).
+    Lstm,
+    /// Convolutional discriminator (for CNN generators).
+    Cnn,
+}
+
+/// Loss family (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Original GAN value function with the non-saturating generator
+    /// loss, Equation (2).
+    Vanilla,
+    /// Wasserstein critic losses, Equation (3).
+    Wasserstein,
+}
+
+/// Differential-privacy options for DPTrain (Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpConfig {
+    /// Gaussian noise scale `σ_n` applied to discriminator gradients.
+    pub noise_scale: f32,
+    /// Gradient-norm bound `c_g` (sensitivity clamp).
+    pub grad_bound: f32,
+}
+
+impl DpConfig {
+    /// Calibrates the per-iteration Gaussian noise for a target `ε`
+    /// under the DPGAN accounting heuristic: with sampling ratio
+    /// `q = batch / n`, `T` discriminator iterations and `δ = 1e-5`,
+    /// `σ_n = q · sqrt(2 T ln(1/δ)) / ε` (moments-accountant-style
+    /// composition). The mapping is a calibration convention, not a
+    /// formal proof — exactly the role it plays in the paper's Figure 8
+    /// sweep.
+    pub fn for_epsilon(epsilon: f64, d_iterations: usize, batch: usize, n_records: usize) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let q = batch as f64 / n_records.max(1) as f64;
+        let delta: f64 = 1e-5;
+        let sigma = q * (2.0 * d_iterations as f64 * (1.0 / delta).ln()).sqrt() / epsilon;
+        DpConfig {
+            noise_scale: sigma.max(1e-3) as f32,
+            grad_bound: 1.0,
+        }
+    }
+}
+
+/// A training-algorithm configuration — one row of the paper's Table 1,
+/// or any other point in the training design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Loss family; also pins the optimizer (Adam for vanilla, RMSProp
+    /// for Wasserstein, as in Table 1).
+    pub loss: LossKind,
+    /// Feed the label as a condition vector to G and D (§5.3).
+    pub conditional: bool,
+    /// Label-aware minibatch sampling (CTrain, Algorithm 3).
+    pub label_aware: bool,
+    /// DP gradient perturbation (DPTrain); forces Wasserstein loss.
+    pub dp: Option<DpConfig>,
+    /// Weight of the KL warm-up term in the vanilla generator loss
+    /// (Equation 2); 0 disables it.
+    pub kl_weight: f32,
+    /// Discriminator steps per generator step (WGAN uses several).
+    pub d_steps: usize,
+    /// WGAN weight-clipping bound `c_p`.
+    pub weight_clip: f32,
+    /// Total generator iterations.
+    pub iterations: usize,
+    /// Minibatch size `m`.
+    pub batch_size: usize,
+    /// Generator learning rate `α_g`.
+    pub lr_g: f32,
+    /// Discriminator learning rate `α_d`.
+    pub lr_d: f32,
+    /// Number of epoch snapshots for validation-based model selection
+    /// (§6.2 uses 10).
+    pub epochs: usize,
+    /// PacGAN packing degree (Lin et al., 2018): the discriminator
+    /// scores `pac` samples jointly, making collapsed generators easy
+    /// to catch because packed fake batches look conspicuously
+    /// self-similar. 1 = off (the paper's setting); an extension point
+    /// beyond the paper's mode-collapse remedies, measured by the
+    /// `ablation_design_choices` bench. Unconditional training only.
+    pub pac: usize,
+}
+
+impl TrainConfig {
+    /// VTrain (Algorithm 1): vanilla loss + KL warm-up, Adam, random
+    /// sampling.
+    pub fn vtrain(iterations: usize) -> Self {
+        TrainConfig {
+            loss: LossKind::Vanilla,
+            conditional: false,
+            label_aware: false,
+            dp: None,
+            kl_weight: 1.0,
+            d_steps: 1,
+            weight_clip: 0.01,
+            iterations,
+            batch_size: 64,
+            lr_g: 2e-3,
+            lr_d: 2e-3,
+            epochs: 10,
+            pac: 1,
+        }
+    }
+
+    /// WTrain (Algorithm 2): Wasserstein loss, RMSProp, weight clipping.
+    pub fn wtrain(iterations: usize) -> Self {
+        TrainConfig {
+            loss: LossKind::Wasserstein,
+            d_steps: 3,
+            lr_g: 5e-3,
+            lr_d: 5e-3,
+            ..Self::vtrain(iterations)
+        }
+    }
+
+    /// CTrain (Algorithm 3): conditional GAN + label-aware sampling on
+    /// the vanilla loss.
+    pub fn ctrain(iterations: usize) -> Self {
+        TrainConfig {
+            conditional: true,
+            label_aware: true,
+            ..Self::vtrain(iterations)
+        }
+    }
+
+    /// CGAN-V (§7.1.3): conditional GAN but with plain random sampling.
+    pub fn cgan_v(iterations: usize) -> Self {
+        TrainConfig {
+            conditional: true,
+            label_aware: false,
+            ..Self::vtrain(iterations)
+        }
+    }
+
+    /// DPTrain (Algorithm 4): Wasserstein training with gradient
+    /// clipping and Gaussian noise on the discriminator.
+    pub fn dptrain(iterations: usize, dp: DpConfig) -> Self {
+        TrainConfig {
+            dp: Some(dp),
+            ..Self::wtrain(iterations)
+        }
+    }
+
+    /// Display name matching Table 1.
+    pub fn name(&self) -> &'static str {
+        if self.dp.is_some() {
+            "DPTrain"
+        } else if self.conditional && self.label_aware {
+            "CTrain"
+        } else if matches!(self.loss, LossKind::Wasserstein) {
+            "WTrain"
+        } else {
+            "VTrain"
+        }
+    }
+}
+
+/// Full synthesizer configuration: a point in the entire design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesizerConfig {
+    /// Generator network family.
+    pub network: NetworkKind,
+    /// Discriminator network family.
+    pub discriminator: DiscriminatorKind,
+    /// Data transformation (ignored for CNN, which is pinned to
+    /// ordinal + simple normalization matrix samples).
+    pub transform: TransformConfig,
+    /// Training algorithm.
+    pub train: TrainConfig,
+    /// Prior noise dimension `|z|`.
+    pub noise_dim: usize,
+    /// Generator hidden widths (MLP body) / hidden size (LSTM).
+    pub g_hidden: Vec<usize>,
+    /// Discriminator hidden widths.
+    pub d_hidden: Vec<usize>,
+    /// Use a deliberately small discriminator (the "Simplified"
+    /// mode-collapse remedy of §5.2).
+    pub simplified_d: bool,
+    /// Dropout probability after each hidden layer of the MLP
+    /// discriminator (0 disables). A regularization knob beyond the
+    /// paper's design space.
+    pub d_dropout: f32,
+    /// Batch normalization in the MLP generator body. Defaults to on
+    /// (the paper's Equation 7); turned off automatically for
+    /// conditional training, where pure-label minibatches (Algorithm 3)
+    /// make training-time batch statistics label-dependent and
+    /// generation-time running statistics a label-blended mismatch.
+    pub g_batchnorm: bool,
+    /// Base channel count for CNN networks.
+    pub cnn_channels: usize,
+    /// RNG seed; fixes initialization and sampling.
+    pub seed: u64,
+}
+
+impl SynthesizerConfig {
+    /// A reasonable default for the given network family.
+    pub fn new(network: NetworkKind, train: TrainConfig) -> Self {
+        SynthesizerConfig {
+            network,
+            discriminator: match network {
+                NetworkKind::Cnn => DiscriminatorKind::Cnn,
+                _ => DiscriminatorKind::Mlp,
+            },
+            transform: TransformConfig::gn_ht(),
+            train,
+            noise_dim: 32,
+            g_hidden: vec![128, 128],
+            d_hidden: vec![128, 64],
+            simplified_d: false,
+            d_dropout: 0.0,
+            g_batchnorm: true,
+            cnn_channels: 16,
+            seed: 7,
+        }
+    }
+
+    /// Effective discriminator widths after the simplified-D remedy.
+    pub fn effective_d_hidden(&self) -> Vec<usize> {
+        if self.simplified_d {
+            // One narrow layer: enough signal to guide G, too little
+            // capacity to saturate and starve G of gradient (§5.2).
+            vec![self.d_hidden.first().copied().unwrap_or(64) / 4]
+        } else {
+            self.d_hidden.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        assert_eq!(TrainConfig::vtrain(10).name(), "VTrain");
+        assert_eq!(TrainConfig::wtrain(10).name(), "WTrain");
+        assert_eq!(TrainConfig::ctrain(10).name(), "CTrain");
+        let dp = TrainConfig::dptrain(10, DpConfig::for_epsilon(1.0, 10, 64, 1000));
+        assert_eq!(dp.name(), "DPTrain");
+        assert_eq!(dp.loss, LossKind::Wasserstein);
+    }
+
+    #[test]
+    fn dp_noise_scales_inversely_with_epsilon() {
+        let tight = DpConfig::for_epsilon(0.1, 100, 64, 1000);
+        let loose = DpConfig::for_epsilon(1.6, 100, 64, 1000);
+        assert!(tight.noise_scale > loose.noise_scale * 10.0);
+    }
+
+    #[test]
+    fn simplified_d_shrinks() {
+        let mut cfg = SynthesizerConfig::new(NetworkKind::Mlp, TrainConfig::vtrain(10));
+        assert_eq!(cfg.effective_d_hidden(), vec![128, 64]);
+        cfg.simplified_d = true;
+        assert_eq!(cfg.effective_d_hidden(), vec![32]);
+    }
+
+    #[test]
+    fn cnn_defaults_to_cnn_discriminator() {
+        let cfg = SynthesizerConfig::new(NetworkKind::Cnn, TrainConfig::vtrain(10));
+        assert_eq!(cfg.discriminator, DiscriminatorKind::Cnn);
+        let cfg = SynthesizerConfig::new(NetworkKind::Lstm, TrainConfig::vtrain(10));
+        assert_eq!(cfg.discriminator, DiscriminatorKind::Mlp);
+    }
+}

@@ -1,0 +1,109 @@
+//! Training diagnostics, chiefly mode-collapse detection (§5.2).
+//!
+//! Mode collapse manifests as "similar, or even nearly duplicated
+//! records in synthetic table T′": the generator emits a limited
+//! diversity of samples regardless of the noise. The duplicate fraction
+//! below is the signal the paper's deep-dive used to identify collapsed
+//! runs (F1 dropping to 0 on a snapshot).
+
+use daisy_data::{Column, Table};
+use std::collections::HashMap;
+
+/// Fraction of records that are duplicates of an earlier record, after
+/// quantizing numerical attributes into `bins` equi-width buckets of
+/// their observed range. 0 = all distinct, →1 = collapsed.
+pub fn duplicate_fraction(table: &Table, bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    if table.n_rows() <= 1 {
+        return 0.0;
+    }
+    // Precompute per-column quantization ranges.
+    let ranges: Vec<Option<(f64, f64)>> = table
+        .columns()
+        .iter()
+        .map(|c| match c {
+            Column::Num(v) => {
+                let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                Some((min, max))
+            }
+            Column::Cat { .. } => None,
+        })
+        .collect();
+
+    let mut seen: HashMap<Vec<u32>, ()> = HashMap::with_capacity(table.n_rows());
+    let mut duplicates = 0usize;
+    for i in 0..table.n_rows() {
+        let key: Vec<u32> = table
+            .columns()
+            .iter()
+            .zip(&ranges)
+            .map(|(c, r)| match c {
+                Column::Num(v) => {
+                    let (min, max) = r.unwrap();
+                    if max > min {
+                        let q = ((v[i] - min) / (max - min) * bins as f64) as i64;
+                        q.clamp(0, bins as i64 - 1) as u32
+                    } else {
+                        0
+                    }
+                }
+                Column::Cat { codes, .. } => codes[i],
+            })
+            .collect();
+        if seen.insert(key, ()).is_some() {
+            duplicates += 1;
+        }
+    }
+    duplicates as f64 / table.n_rows() as f64
+}
+
+/// True when the duplicate fraction exceeds `threshold` — the default
+/// collapse alarm used by the experiments (0.95).
+pub fn is_collapsed(table: &Table, threshold: f64) -> bool {
+    duplicate_fraction(table, 20) > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Schema};
+
+    fn table_of(nums: Vec<f64>, cats: Vec<u32>) -> Table {
+        Table::new(
+            Schema::new(vec![
+                Attribute::numerical("x"),
+                Attribute::categorical("c"),
+            ]),
+            vec![Column::Num(nums), Column::cat_with_domain(cats, 4)],
+        )
+    }
+
+    #[test]
+    fn distinct_rows_have_zero_duplicates() {
+        let t = table_of(vec![1.0, 2.0, 3.0, 4.0], vec![0, 1, 2, 3]);
+        assert_eq!(duplicate_fraction(&t, 10), 0.0);
+        assert!(!is_collapsed(&t, 0.95));
+    }
+
+    #[test]
+    fn collapsed_table_detected() {
+        let t = table_of(vec![5.0; 100], vec![2; 100]);
+        assert!(duplicate_fraction(&t, 10) > 0.98);
+        assert!(is_collapsed(&t, 0.95));
+    }
+
+    #[test]
+    fn near_duplicates_quantize_together() {
+        // Values within the same bin count as duplicates.
+        let nums: Vec<f64> = (0..50).map(|i| 10.0 + (i % 2) as f64 * 0.001).collect();
+        let t = table_of(nums, vec![1; 50]);
+        assert!(duplicate_fraction(&t, 5) > 0.9);
+    }
+
+    #[test]
+    fn empty_and_singleton_safe() {
+        let t = table_of(vec![1.0], vec![0]);
+        assert_eq!(duplicate_fraction(&t, 10), 0.0);
+    }
+}

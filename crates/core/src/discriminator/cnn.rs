@@ -1,0 +1,97 @@
+//! CNN discriminator (Appendix A.1.1, Figure 10b): a convolution
+//! process `h^{l+1} = LeakyReLU(BN(Conv(h^l)))` over matrix-formed
+//! samples, ending in a single logit.
+
+use crate::discriminator::Discriminator;
+use daisy_nn::{BatchNorm2d, Conv2d, Linear, Module};
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// Convolutional discriminator over flattened `side × side` samples.
+pub struct CnnDiscriminator {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    bn: BatchNorm2d,
+    head: Linear,
+    side: usize,
+    channels: usize,
+}
+
+impl CnnDiscriminator {
+    /// Builds a discriminator for `side × side` matrices.
+    pub fn new(side: usize, channels: usize, rng: &mut Rng) -> Self {
+        CnnDiscriminator {
+            conv1: Conv2d::new(1, channels, 3, 1, 1, rng),
+            conv2: Conv2d::new(channels, channels * 2, 3, 1, 1, rng),
+            bn: BatchNorm2d::new(channels * 2),
+            head: Linear::new(channels * 2 * side * side, 1, rng),
+            side,
+            channels,
+        }
+    }
+}
+
+impl Discriminator for CnnDiscriminator {
+    fn logits(&self, x: &Var, cond: Option<&Tensor>) -> Var {
+        assert!(
+            cond.is_none(),
+            "the CNN family does not support conditional GAN"
+        );
+        let batch = x.shape()[0];
+        assert_eq!(
+            x.shape()[1],
+            self.side * self.side,
+            "expected flattened {0}x{0} samples",
+            self.side
+        );
+        let img = x.reshape(&[batch, 1, self.side, self.side]);
+        let h1 = self.conv1.forward(&img).leaky_relu(0.2);
+        let h2 = self.bn.forward(&self.conv2.forward(&h1)).leaky_relu(0.2);
+        let flat = h2.reshape(&[batch, self.channels * 2 * self.side * self.side]);
+        self.head.forward(&flat)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        p.extend(self.bn.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.bn.set_training(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logit_shape() {
+        let mut rng = Rng::seed_from_u64(0);
+        let d = CnnDiscriminator::new(3, 4, &mut rng);
+        let x = Var::constant(Tensor::randn(&[6, 9], &mut rng));
+        assert_eq!(d.logits(&x, None).shape(), &[6, 1]);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = Rng::seed_from_u64(1);
+        let d = CnnDiscriminator::new(4, 4, &mut rng);
+        let x = Var::constant(Tensor::randn(&[4, 16], &mut rng));
+        d.logits(&x, None).sqr().mean().backward();
+        for p in d.params() {
+            assert!(p.grad().norm() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected flattened")]
+    fn wrong_width_rejected() {
+        let mut rng = Rng::seed_from_u64(2);
+        let d = CnnDiscriminator::new(3, 4, &mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 8], &mut rng));
+        let _ = d.logits(&x, None);
+    }
+}

@@ -1,0 +1,148 @@
+//! MLP discriminator (Appendix A.1.2, Figure 11b): fully-connected
+//! layers with LeakyReLU, ending in a single logit.
+
+use crate::discriminator::{attach_condition, Discriminator};
+use daisy_nn::{Activation, Dropout, Linear, Module, Sequential};
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// Fully-connected discriminator. The "Simplified" mode-collapse remedy
+/// (§5.2) is obtained by constructing it with a single narrow hidden
+/// layer — see `SynthesizerConfig::effective_d_hidden`.
+pub struct MlpDiscriminator {
+    net: Sequential,
+    cond_dim: usize,
+}
+
+impl MlpDiscriminator {
+    /// Builds a discriminator over `input_dim`-wide samples.
+    pub fn new(input_dim: usize, cond_dim: usize, hidden: &[usize], rng: &mut Rng) -> Self {
+        Self::with_dropout(input_dim, cond_dim, hidden, 0.0, rng)
+    }
+
+    /// Builds a discriminator with inverted dropout after every hidden
+    /// activation (`p = 0` disables it) — a regularization knob that
+    /// keeps D from memorizing small real tables.
+    pub fn with_dropout(
+        input_dim: usize,
+        cond_dim: usize,
+        hidden: &[usize],
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!hidden.is_empty(), "discriminator needs a hidden layer");
+        let mut net = Sequential::new();
+        let mut prev = input_dim + cond_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            net = net
+                .push(Linear::new(prev, h, rng))
+                .push(Activation::LeakyRelu(0.2));
+            if dropout > 0.0 {
+                net = net.push(Dropout::new(dropout, rng.next_u64() ^ i as u64));
+            }
+            prev = h;
+        }
+        net = net.push(Linear::new(prev, 1, rng));
+        MlpDiscriminator { net, cond_dim }
+    }
+}
+
+impl Discriminator for MlpDiscriminator {
+    fn logits(&self, x: &Var, cond: Option<&Tensor>) -> Var {
+        let input = attach_condition(x, cond, self.cond_dim);
+        self.net.forward(&input)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.net.params()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.net.set_training(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_have_logit_shape() {
+        let mut rng = Rng::seed_from_u64(0);
+        let d = MlpDiscriminator::new(10, 0, &[32, 16], &mut rng);
+        let x = Var::constant(Tensor::randn(&[7, 10], &mut rng));
+        let s = d.logits(&x, None);
+        assert_eq!(s.shape(), &[7, 1]);
+    }
+
+    #[test]
+    fn can_separate_two_blobs() {
+        // D must learn to score N(+2) vs N(-2) batches apart.
+        let mut rng = Rng::seed_from_u64(1);
+        let d = MlpDiscriminator::new(2, 0, &[16], &mut rng);
+        let params = d.params();
+        let mut opt = daisy_nn::Adam::new(params.clone(), 0.01);
+        use daisy_nn::Optimizer;
+        for _ in 0..200 {
+            opt.zero_grad();
+            let real = Tensor::randn(&[16, 2], &mut rng).add_scalar(2.0);
+            let fake = Tensor::randn(&[16, 2], &mut rng).add_scalar(-2.0);
+            let loss_real = d
+                .logits(&Var::constant(real), None)
+                .bce_with_logits(&Tensor::ones(&[16, 1]));
+            let loss_fake = d
+                .logits(&Var::constant(fake), None)
+                .bce_with_logits(&Tensor::zeros(&[16, 1]));
+            loss_real.backward();
+            loss_fake.backward();
+            opt.step();
+        }
+        let real_score = d
+            .logits(&Var::constant(Tensor::full(&[1, 2], 2.0)), None)
+            .value()
+            .data()[0];
+        let fake_score = d
+            .logits(&Var::constant(Tensor::full(&[1, 2], -2.0)), None)
+            .value()
+            .data()[0];
+        assert!(real_score > 1.0 && fake_score < -1.0, "{real_score} vs {fake_score}");
+    }
+
+    #[test]
+    fn conditional_discriminator_uses_condition() {
+        let mut rng = Rng::seed_from_u64(2);
+        let d = MlpDiscriminator::new(3, 2, &[8], &mut rng);
+        let x = Var::constant(Tensor::randn(&[4, 3], &mut rng));
+        let c0 = daisy_data::one_hot_labels(&[0, 0, 0, 0], 2);
+        let c1 = daisy_data::one_hot_labels(&[1, 1, 1, 1], 2);
+        let s0 = d.logits(&x, Some(&c0));
+        let s1 = d.logits(&x, Some(&c1));
+        assert_ne!(s0.value(), s1.value());
+    }
+
+    #[test]
+    fn dropout_variant_trains_and_evals() {
+        let mut rng = Rng::seed_from_u64(4);
+        let d = MlpDiscriminator::with_dropout(4, 0, &[16], 0.3, &mut rng);
+        let x = Var::constant(Tensor::randn(&[8, 4], &mut rng));
+        // Training mode is stochastic; eval mode is deterministic.
+        d.set_training(true);
+        let a = d.logits(&x, None).value().clone();
+        let b = d.logits(&x, None).value().clone();
+        assert_ne!(a, b, "dropout masks should differ across calls");
+        d.set_training(false);
+        let c = d.logits(&x, None).value().clone();
+        let e = d.logits(&x, None).value().clone();
+        assert_eq!(c, e);
+    }
+
+    #[test]
+    fn simplified_has_fewer_params() {
+        let mut rng = Rng::seed_from_u64(3);
+        let normal = MlpDiscriminator::new(20, 0, &[128, 64], &mut rng);
+        let simplified = MlpDiscriminator::new(20, 0, &[32], &mut rng);
+        assert!(
+            daisy_nn::num_params(&simplified.params())
+                < daisy_nn::num_params(&normal.params()) / 4
+        );
+    }
+}

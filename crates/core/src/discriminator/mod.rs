@@ -1,0 +1,42 @@
+//! Discriminator networks `D(t [, c]) → score` (§5.1).
+//!
+//! Discriminators emit *raw logits* `[B, 1]`. Vanilla training applies
+//! the sigmoid inside the numerically stable BCE loss; Wasserstein
+//! training uses the logit directly as the critic score (WGAN "removes
+//! the sigmoid of D", §5.2).
+
+mod cnn;
+mod lstm;
+mod mlp;
+
+pub use cnn::CnnDiscriminator;
+pub use lstm::LstmDiscriminator;
+pub use mlp::MlpDiscriminator;
+
+use daisy_tensor::{Param, Tensor, Var};
+
+/// A discriminator/critic over (flattened) encoded samples.
+pub trait Discriminator {
+    /// Scores a batch `x [B, d]`; `cond` is the one-hot condition for
+    /// conditional GAN. Returns logits `[B, 1]`.
+    fn logits(&self, x: &Var, cond: Option<&Tensor>) -> Var;
+
+    /// Trainable parameters.
+    fn params(&self) -> Vec<Param>;
+
+    /// Train/eval mode switch.
+    fn set_training(&self, training: bool);
+}
+
+pub(crate) fn attach_condition(x: &Var, cond: Option<&Tensor>, cond_dim: usize) -> Var {
+    match cond {
+        Some(c) => {
+            assert_eq!(c.cols(), cond_dim, "condition width mismatch");
+            Var::concat_cols(&[x.clone(), Var::constant(c.clone())])
+        }
+        None => {
+            assert_eq!(cond_dim, 0, "discriminator expects a condition");
+            x.clone()
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! CNN generator (paper §5.1, Appendix A.1.1, Figure 10a): a DCGAN-style
+//! de-convolution process from the prior noise to a square sample
+//! matrix, `h^{l+1} = ReLU(BN(DeConv(h^l)))`, `t = tanh(DeConv(h^L))`.
+//!
+//! Matrix-formed samples pin the transformation to ordinal encoding +
+//! simple normalization, so the whole output is a single tanh map — no
+//! attribute-aware head exists in this family (one reason the paper
+//! finds CNN inferior on relational data).
+
+use crate::generator::Generator;
+use daisy_nn::{BatchNorm2d, Conv2d, ConvTranspose2d, Module};
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// Convolutional generator over matrix-formed samples.
+pub struct CnnGenerator {
+    /// 1×1 → side×side projection.
+    project: ConvTranspose2d,
+    bn1: BatchNorm2d,
+    refine: Conv2d,
+    bn2: BatchNorm2d,
+    out: Conv2d,
+    noise_dim: usize,
+    channels: usize,
+    side: usize,
+}
+
+impl CnnGenerator {
+    /// Builds a generator emitting `side × side` single-channel
+    /// matrices (flattened to `[B, side²]`).
+    pub fn new(noise_dim: usize, channels: usize, side: usize, rng: &mut Rng) -> Self {
+        assert!(side >= 2, "matrix side must be at least 2");
+        CnnGenerator {
+            project: ConvTranspose2d::new(noise_dim, channels, side, 1, 0, rng),
+            bn1: BatchNorm2d::new(channels),
+            refine: Conv2d::new(channels, channels, 3, 1, 1, rng),
+            bn2: BatchNorm2d::new(channels),
+            out: Conv2d::new(channels, 1, 3, 1, 1, rng),
+            noise_dim,
+            channels,
+            side,
+        }
+    }
+
+    /// Side length of the generated square.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+}
+
+impl Generator for CnnGenerator {
+    fn forward(&self, z: &Tensor, cond: Option<&Tensor>, _rng: &mut Rng) -> Var {
+        assert!(
+            cond.is_none(),
+            "the CNN family does not support conditional GAN (matrix-form \
+             samples have no condition channel; the paper evaluates \
+             conditional GAN on vector-form networks only)"
+        );
+        let batch = z.rows();
+        // [B, z] -> [B, z, 1, 1] -> deconv stack -> [B, 1, s, s].
+        let h0 = Var::constant(z.reshape(&[batch, self.noise_dim, 1, 1]));
+        let h1 = self.bn1.forward(&self.project.forward(&h0)).relu();
+        let h2 = self.bn2.forward(&self.refine.forward(&h1)).relu();
+        let img = self.out.forward(&h2).tanh();
+        img.reshape(&[batch, self.side * self.side])
+    }
+
+    fn noise_dim(&self) -> usize {
+        self.noise_dim
+    }
+
+    fn sample_width(&self) -> usize {
+        self.side * self.side
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.project.params();
+        p.extend(self.bn1.params());
+        p.extend(self.refine.params());
+        p.extend(self.bn2.params());
+        p.extend(self.out.params());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        self.bn1.set_training(training);
+        self.bn2.set_training(training);
+    }
+
+    fn sample_noise(&self, batch: usize, rng: &mut Rng) -> Tensor {
+        Tensor::randn(&[batch, self.noise_dim], rng)
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        vec![
+            self.bn1.inner().running_mean(),
+            self.bn1.inner().running_var(),
+            self.bn2.inner().running_mean(),
+            self.bn2.inner().running_var(),
+        ]
+    }
+
+    fn set_state(&self, state: &[Tensor]) {
+        assert_eq!(state.len(), 4, "CNN generator expects 4 state tensors");
+        self.bn1
+            .inner()
+            .set_running_stats(state[0].clone(), state[1].clone());
+        self.bn2
+            .inner()
+            .set_running_stats(state[2].clone(), state[3].clone());
+    }
+}
+
+// Unused field lint guard: channels is retained for introspection.
+impl CnnGenerator {
+    /// Base channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::test_support::tiny_table;
+    use daisy_data::MatrixCodec;
+
+    #[test]
+    fn output_is_flattened_square_in_tanh_range() {
+        let mut rng = Rng::seed_from_u64(0);
+        let g = CnnGenerator::new(16, 8, 3, &mut rng);
+        let z = g.sample_noise(5, &mut rng);
+        let out = g.forward(&z, None, &mut rng);
+        assert_eq!(out.shape(), &[5, 9]);
+        assert!(out.value().min() >= -1.0 && out.value().max() <= 1.0);
+    }
+
+    #[test]
+    fn decodes_through_matrix_codec() {
+        let table = tiny_table(100, 1);
+        let codec = MatrixCodec::fit(&table);
+        let mut rng = Rng::seed_from_u64(2);
+        let g = CnnGenerator::new(16, 8, codec.side(), &mut rng);
+        let z = g.sample_noise(4, &mut rng);
+        let out = g.forward(&z, None, &mut rng);
+        let mat = out.value().reshape(&[4, 1, codec.side(), codec.side()]);
+        let decoded = codec.decode_table(&mat);
+        assert_eq!(decoded.n_rows(), 4);
+        assert_eq!(decoded.n_attrs(), 3);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = Rng::seed_from_u64(3);
+        let g = CnnGenerator::new(8, 4, 4, &mut rng);
+        let z = g.sample_noise(6, &mut rng);
+        g.forward(&z, None, &mut rng).sqr().mean().backward();
+        for p in g.params() {
+            assert!(p.grad().norm() > 0.0, "param without gradient: {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support conditional")]
+    fn conditional_rejected() {
+        let mut rng = Rng::seed_from_u64(4);
+        let g = CnnGenerator::new(8, 4, 3, &mut rng);
+        let z = g.sample_noise(2, &mut rng);
+        let c = daisy_data::one_hot_labels(&[0, 1], 2);
+        let _ = g.forward(&z, Some(&c), &mut rng);
+    }
+}

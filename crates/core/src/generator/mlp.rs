@@ -1,0 +1,245 @@
+//! MLP generator (paper §5.1, Appendix A.1.2, Figure 11a): a stack of
+//! `FC → BatchNorm → ReLU` layers followed by the attribute-aware
+//! output head.
+//!
+//! In conditional mode the one-hot condition is concatenated to the
+//! input of *every* layer, not just the first. This matters because of
+//! an interaction with batch normalization under label-aware sampling
+//! (CTrain): minibatches then carry a constant condition, the condition
+//! contributes only a constant shift to each hidden pre-activation, and
+//! BatchNorm subtracts exactly that batch-constant shift — silently
+//! erasing the label signal. Re-injecting the condition after each
+//! normalized block keeps it visible at every depth.
+
+use crate::generator::Generator;
+use crate::output_head::apply_output_head;
+use daisy_data::OutputBlock;
+use daisy_nn::{BatchNorm1d, Linear, Module};
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// Fully-connected generator over vector-formed samples.
+pub struct MlpGenerator {
+    layers: Vec<(Linear, Option<BatchNorm1d>)>,
+    head: Linear,
+    blocks: Vec<OutputBlock>,
+    noise_dim: usize,
+    cond_dim: usize,
+    width: usize,
+}
+
+impl MlpGenerator {
+    /// Builds the generator.
+    ///
+    /// * `noise_dim` — prior dimension `|z|`.
+    /// * `cond_dim` — condition width (0 for unconditional GAN).
+    /// * `hidden` — body layer widths.
+    /// * `blocks` — the output layout from the fitted record codec.
+    pub fn new(
+        noise_dim: usize,
+        cond_dim: usize,
+        hidden: &[usize],
+        blocks: Vec<OutputBlock>,
+        rng: &mut Rng,
+    ) -> Self {
+        Self::with_options(noise_dim, cond_dim, hidden, blocks, true, rng)
+    }
+
+    /// Builds the generator with batch normalization made optional (see
+    /// `SynthesizerConfig::g_batchnorm` for when to disable it).
+    pub fn with_options(
+        noise_dim: usize,
+        cond_dim: usize,
+        hidden: &[usize],
+        blocks: Vec<OutputBlock>,
+        batchnorm: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(!hidden.is_empty(), "generator needs at least one hidden layer");
+        let width = blocks.last().map(|b| b.hi).unwrap_or(0);
+        assert!(width > 0, "output layout is empty");
+        let mut layers = Vec::with_capacity(hidden.len());
+        let mut prev = noise_dim;
+        for &h in hidden {
+            layers.push((
+                Linear::new(prev + cond_dim, h, rng),
+                batchnorm.then(|| BatchNorm1d::new(h)),
+            ));
+            prev = h;
+        }
+        let head = Linear::new(prev + cond_dim, width, rng);
+        MlpGenerator {
+            layers,
+            head,
+            blocks,
+            noise_dim,
+            cond_dim,
+            width,
+        }
+    }
+
+    /// Condition width this generator expects.
+    pub fn cond_dim(&self) -> usize {
+        self.cond_dim
+    }
+
+    fn with_cond(&self, x: &Var, cond: Option<&Var>) -> Var {
+        match cond {
+            Some(c) => Var::concat_cols(&[x.clone(), c.clone()]),
+            None => x.clone(),
+        }
+    }
+}
+
+impl Generator for MlpGenerator {
+    fn forward(&self, z: &Tensor, cond: Option<&Tensor>, _rng: &mut Rng) -> Var {
+        let cond_var = match cond {
+            Some(c) => {
+                assert_eq!(c.cols(), self.cond_dim, "condition width mismatch");
+                Some(Var::constant(c.clone()))
+            }
+            None => {
+                assert_eq!(self.cond_dim, 0, "generator expects a condition");
+                None
+            }
+        };
+        let mut x = Var::constant(z.clone());
+        for (linear, bn) in &self.layers {
+            let input = self.with_cond(&x, cond_var.as_ref());
+            let pre = linear.forward(&input);
+            x = match bn {
+                Some(bn) => bn.forward(&pre).relu(),
+                None => pre.relu(),
+            };
+        }
+        let raw = self.head.forward(&self.with_cond(&x, cond_var.as_ref()));
+        apply_output_head(&raw, &self.blocks)
+    }
+
+    fn noise_dim(&self) -> usize {
+        self.noise_dim
+    }
+
+    fn sample_width(&self) -> usize {
+        self.width
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        for (linear, bn) in &self.layers {
+            p.extend(linear.params());
+            if let Some(bn) = bn {
+                p.extend(bn.params());
+            }
+        }
+        p.extend(self.head.params());
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        for (_, bn) in &self.layers {
+            if let Some(bn) = bn {
+                bn.set_training(training);
+            }
+        }
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        for (_, bn) in &self.layers {
+            if let Some(bn) = bn {
+                out.push(bn.running_mean());
+                out.push(bn.running_var());
+            }
+        }
+        out
+    }
+
+    fn set_state(&self, state: &[Tensor]) {
+        let mut it = state.iter();
+        for (_, bn) in &self.layers {
+            if let Some(bn) = bn {
+                let mean = it.next().expect("missing running mean").clone();
+                let var = it.next().expect("missing running var").clone();
+                bn.set_running_stats(mean, var);
+            }
+        }
+        assert!(it.next().is_none(), "extra generator state entries");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::test_support::tiny_table;
+    use daisy_data::{RecordCodec, TransformConfig};
+
+    fn build(cond: usize, seed: u64) -> (MlpGenerator, RecordCodec) {
+        let table = tiny_table(200, seed);
+        let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
+        let mut rng = Rng::seed_from_u64(seed);
+        let g = MlpGenerator::new(8, cond, &[32, 32], codec.output_blocks(), &mut rng);
+        (g, codec)
+    }
+
+    #[test]
+    fn generates_decodable_samples() {
+        let (g, codec) = build(0, 0);
+        let mut rng = Rng::seed_from_u64(1);
+        let z = g.sample_noise(16, &mut rng);
+        let out = g.forward(&z, None, &mut rng);
+        assert_eq!(out.shape(), &[16, codec.width()]);
+        let table = codec.decode_table(out.value());
+        assert_eq!(table.n_rows(), 16);
+    }
+
+    #[test]
+    fn conditional_input_changes_output() {
+        let (g, _) = build(2, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        g.set_training(false);
+        let z = g.sample_noise(4, &mut rng);
+        let c0 = daisy_data::one_hot_labels(&[0, 0, 0, 0], 2);
+        let c1 = daisy_data::one_hot_labels(&[1, 1, 1, 1], 2);
+        let out0 = g.forward(&z, Some(&c0), &mut rng);
+        let out1 = g.forward(&z, Some(&c1), &mut rng);
+        assert_ne!(out0.value(), out1.value());
+    }
+
+    #[test]
+    fn condition_survives_batchnorm_with_constant_batches() {
+        // The CTrain failure mode: a whole batch shares one label, so a
+        // first-layer-only condition would be cancelled by BatchNorm in
+        // training mode. With per-layer injection the two pure batches
+        // must produce visibly different outputs even in training mode.
+        let (g, _) = build(2, 7);
+        let mut rng = Rng::seed_from_u64(8);
+        g.set_training(true);
+        let z = g.sample_noise(16, &mut rng);
+        let c0 = daisy_data::one_hot_labels(&[0; 16], 2);
+        let c1 = daisy_data::one_hot_labels(&[1; 16], 2);
+        let out0 = g.forward(&z, Some(&c0), &mut rng);
+        let out1 = g.forward(&z, Some(&c1), &mut rng);
+        let delta = out0.value().sub(out1.value()).norm();
+        assert!(delta > 1e-3, "condition erased: delta = {delta}");
+    }
+
+    #[test]
+    fn all_params_receive_gradients() {
+        let (g, _) = build(0, 4);
+        let mut rng = Rng::seed_from_u64(5);
+        let z = g.sample_noise(8, &mut rng);
+        g.forward(&z, None, &mut rng).sqr().mean().backward();
+        for p in g.params() {
+            assert!(p.grad().norm() > 0.0, "param without gradient: {p:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a condition")]
+    fn missing_condition_panics() {
+        let (g, _) = build(2, 6);
+        let mut rng = Rng::seed_from_u64(7);
+        let z = g.sample_noise(2, &mut rng);
+        let _ = g.forward(&z, None, &mut rng);
+    }
+}

@@ -1,0 +1,92 @@
+//! Generator networks `G(z [, c]) → t'` for the three families of the
+//! design space (§5.1).
+
+mod cnn;
+mod lstm;
+mod mlp;
+
+pub use cnn::CnnGenerator;
+pub use lstm::LstmGenerator;
+pub use mlp::MlpGenerator;
+
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// A generator: maps prior noise (and an optional condition vector) to
+/// a synthetic sample batch `[B, d]` in the encoded sample space.
+///
+/// All generators emit *flattened* samples, including the CNN family
+/// (whose `side × side` matrices are flattened row-major), so the
+/// training loop and discriminators are layout-agnostic.
+pub trait Generator {
+    /// Builds the generation graph for a noise batch `z [B, z_dim]`.
+    /// `cond` is the one-hot condition matrix `[B, k]` for conditional
+    /// GAN. `rng` seeds any internal stochastic state (the LSTM
+    /// generator's random initial hidden state).
+    fn forward(&self, z: &Tensor, cond: Option<&Tensor>, rng: &mut Rng) -> Var;
+
+    /// Prior noise dimension.
+    fn noise_dim(&self) -> usize;
+
+    /// Width of the generated (flattened) sample.
+    fn sample_width(&self) -> usize;
+
+    /// Trainable parameters.
+    fn params(&self) -> Vec<Param>;
+
+    /// Train/eval mode switch (batch-norm layers).
+    fn set_training(&self, training: bool);
+
+    /// Samples a standard-normal noise batch with this generator's
+    /// dimensionality.
+    fn sample_noise(&self, batch: usize, rng: &mut Rng) -> Tensor {
+        Tensor::randn(&[batch, self.noise_dim()], rng)
+    }
+
+    /// Non-parameter state (batch-norm running statistics), in a stable
+    /// order — captured by model persistence alongside the parameters.
+    fn state(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Generator::state`].
+    fn set_state(&self, state: &[Tensor]) {
+        assert!(state.is_empty(), "generator carries no state");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use daisy_data::{Attribute, Column, Schema, Table};
+    use daisy_tensor::Rng;
+
+    /// A small mixed-type labeled table for generator/discriminator
+    /// tests: numeric, 3-way categorical, binary label.
+    pub fn tiny_table(n: usize, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let schema = Schema::with_label(
+            vec![
+                Attribute::numerical("x"),
+                Attribute::categorical("c"),
+                Attribute::categorical("y"),
+            ],
+            2,
+        );
+        let mut xs = Vec::with_capacity(n);
+        let mut cs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.usize(2) as u32;
+            ys.push(y);
+            xs.push(rng.normal_ms(if y == 0 { -2.0 } else { 2.0 }, 1.0));
+            cs.push(if rng.bool(0.7) { y } else { rng.usize(3) as u32 });
+        }
+        Table::new(
+            schema,
+            vec![
+                Column::Num(xs),
+                Column::cat_with_domain(cs, 3),
+                Column::cat_with_domain(ys, 2),
+            ],
+        )
+    }
+}

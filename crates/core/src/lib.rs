@@ -1,0 +1,42 @@
+//! # daisy-core
+//!
+//! The unified GAN-based relational data synthesis framework of
+//! *"Relational Data Synthesis using Generative Adversarial Networks: A
+//! Design Space Exploration"* (Fan et al., PVLDB 2020): generators and
+//! discriminators for the MLP / LSTM / CNN families, the four training
+//! algorithms of Table 1 (VTrain, WTrain, CTrain, DPTrain), conditional
+//! GAN with label-aware sampling, the simplified-discriminator
+//! mode-collapse remedy, and epoch-snapshot model selection.
+//!
+//! ```no_run
+//! use daisy_core::{NetworkKind, Synthesizer, SynthesizerConfig, TrainConfig};
+//! # let table: daisy_data::Table = unimplemented!();
+//!
+//! let config = SynthesizerConfig::new(NetworkKind::Lstm, TrainConfig::vtrain(2000));
+//! let fitted = Synthesizer::fit(&table, &config);
+//! let mut rng = daisy_tensor::Rng::seed_from_u64(0);
+//! let synthetic = fitted.generate(table.n_rows(), &mut rng);
+//! ```
+
+pub mod config;
+pub mod diagnostics;
+pub mod discriminator;
+pub mod generator;
+pub mod model_selection;
+pub mod output_head;
+pub mod persist;
+pub mod sampler;
+pub mod synthesizer;
+pub mod train;
+
+pub use config::{
+    DiscriminatorKind, DpConfig, LossKind, NetworkKind, SynthesizerConfig, TrainConfig,
+};
+pub use diagnostics::{duplicate_fraction, is_collapsed};
+pub use discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
+pub use generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
+pub use model_selection::{default_candidates, random_search, HyperParams, SearchResult};
+pub use persist::PersistError;
+pub use sampler::{Minibatch, TrainingData};
+pub use synthesizer::{FittedSynthesizer, SampleCodec, Synthesizer, TableSynthesizer};
+pub use train::{train_gan, EpochStats, TrainingRun};

@@ -1,0 +1,114 @@
+//! The attribute-aware generator output layer (paper §5.1, Appendix
+//! A.1.2 cases C1–C4): each encoded attribute block receives the
+//! activation its transformation scheme demands.
+
+use daisy_data::{OutputBlock, OutputBlockKind};
+use daisy_tensor::Var;
+
+/// Applies per-block activations to a raw `[B, d]` pre-activation and
+/// reassembles the full sample.
+pub fn apply_output_head(raw: &Var, blocks: &[OutputBlock]) -> Var {
+    assert!(!blocks.is_empty(), "no output blocks");
+    let parts: Vec<Var> = blocks.iter().map(|b| activate_block(raw, b)).collect();
+    Var::concat_cols(&parts)
+}
+
+fn activate_block(raw: &Var, block: &OutputBlock) -> Var {
+    let slice = raw.slice_cols(block.lo, block.hi);
+    match block.kind {
+        OutputBlockKind::Tanh => slice.tanh(),
+        OutputBlockKind::Sigmoid => slice.sigmoid(),
+        OutputBlockKind::Softmax => slice.softmax_rows(),
+        OutputBlockKind::GmmValueAndComponent => {
+            let value = slice.slice_cols(0, 1).tanh();
+            let comp = slice.slice_cols(1, block.width()).softmax_rows();
+            Var::concat_cols(&[value, comp])
+        }
+    }
+}
+
+/// The softmax-probability sub-blocks of an output layout — the blocks
+/// over which VTrain's KL warm-up term is computed (one-hot attribute
+/// indicators and GMM component indicators).
+pub fn softmax_spans(blocks: &[OutputBlock]) -> Vec<(usize, usize)> {
+    blocks
+        .iter()
+        .filter_map(|b| match b.kind {
+            OutputBlockKind::Softmax => Some((b.lo, b.hi)),
+            OutputBlockKind::GmmValueAndComponent => Some((b.lo + 1, b.hi)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_tensor::{Rng, Tensor};
+
+    fn blocks() -> Vec<OutputBlock> {
+        vec![
+            OutputBlock {
+                kind: OutputBlockKind::Tanh,
+                lo: 0,
+                hi: 1,
+            },
+            OutputBlock {
+                kind: OutputBlockKind::Softmax,
+                lo: 1,
+                hi: 4,
+            },
+            OutputBlock {
+                kind: OutputBlockKind::GmmValueAndComponent,
+                lo: 4,
+                hi: 7,
+            },
+            OutputBlock {
+                kind: OutputBlockKind::Sigmoid,
+                lo: 7,
+                hi: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn head_respects_each_activation() {
+        let mut rng = Rng::seed_from_u64(0);
+        let raw = Var::constant(Tensor::randn(&[5, 8], &mut rng).mul_scalar(3.0));
+        let out = apply_output_head(&raw, &blocks());
+        assert_eq!(out.shape(), &[5, 8]);
+        let v = out.value();
+        for r in 0..5 {
+            let row = v.row(r);
+            // Tanh column in [-1, 1].
+            assert!(row[0] >= -1.0 && row[0] <= 1.0);
+            // Softmax block sums to one.
+            let s: f32 = row[1..4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row[1..4].iter().all(|&p| p >= 0.0));
+            // GMM block: tanh value + softmax components.
+            assert!(row[4] >= -1.0 && row[4] <= 1.0);
+            let s: f32 = row[5..7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            // Sigmoid column in [0, 1].
+            assert!(row[7] >= 0.0 && row[7] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn head_is_differentiable() {
+        let p = daisy_tensor::Param::new(Tensor::randn(
+            &[4, 8],
+            &mut Rng::seed_from_u64(1),
+        ));
+        apply_output_head(&p.var(), &blocks()).sqr().mean().backward();
+        assert!(p.grad().norm() > 0.0);
+        assert!(!p.grad().has_non_finite());
+    }
+
+    #[test]
+    fn softmax_spans_extracts_probability_blocks() {
+        let spans = softmax_spans(&blocks());
+        assert_eq!(spans, vec![(1, 4), (5, 7)]);
+    }
+}

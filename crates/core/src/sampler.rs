@@ -1,0 +1,200 @@
+//! The `Sampler` component of the framework (Figure 2): draws real
+//! minibatches, either uniformly at random or label-aware (every label
+//! gets dedicated minibatches — the CTrain remedy for skewed label
+//! distributions, §5.3).
+
+use daisy_data::{one_hot_labels, RecordCodec, Table};
+use daisy_tensor::{Rng, Tensor};
+
+/// Encoded training data plus label metadata, shared by the training
+/// algorithms.
+pub struct TrainingData {
+    /// Encoded (flattened) samples `[n, d]`.
+    samples: Tensor,
+    /// Per-row label codes (present iff the table has a label).
+    labels: Option<Vec<u32>>,
+    /// Label domain size (0 when unlabeled).
+    n_classes: usize,
+    /// Row indices grouped by label.
+    label_groups: Vec<Vec<usize>>,
+}
+
+/// A real minibatch: encoded samples plus (for conditional training)
+/// the one-hot condition matrix of their labels.
+pub struct Minibatch {
+    /// Encoded samples `[m, d]`.
+    pub samples: Tensor,
+    /// One-hot labels `[m, k]`, when labels exist.
+    pub conditions: Option<Tensor>,
+    /// Raw label codes of the batch.
+    pub labels: Option<Vec<u32>>,
+}
+
+impl TrainingData {
+    /// Encodes a table with the given codec. Labels are taken from the
+    /// table's designated label column when present.
+    pub fn from_table(table: &Table, codec: &RecordCodec) -> Self {
+        let samples = codec.encode_table(table);
+        Self::from_encoded(samples, table)
+    }
+
+    /// Wraps pre-encoded samples (used by the matrix-form pipeline,
+    /// where encoding happens through `MatrixCodec`).
+    pub fn from_encoded(samples: Tensor, table: &Table) -> Self {
+        assert_eq!(samples.rows(), table.n_rows(), "row count mismatch");
+        let (labels, n_classes, label_groups) = if table.schema().label().is_some() {
+            (
+                Some(table.labels().to_vec()),
+                table.n_classes(),
+                table.rows_by_label(),
+            )
+        } else {
+            (None, 0, Vec::new())
+        };
+        TrainingData {
+            samples,
+            labels,
+            n_classes,
+            label_groups,
+        }
+    }
+
+    /// Number of records.
+    pub fn n_rows(&self) -> usize {
+        self.samples.rows()
+    }
+
+    /// Encoded sample width.
+    pub fn width(&self) -> usize {
+        self.samples.cols()
+    }
+
+    /// Label domain size (0 when unlabeled).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The full encoded matrix.
+    pub fn samples(&self) -> &Tensor {
+        &self.samples
+    }
+
+    /// Empirical label distribution (probabilities by label code).
+    pub fn label_distribution(&self) -> Vec<f64> {
+        let n = self.n_rows().max(1) as f64;
+        self.label_groups
+            .iter()
+            .map(|g| g.len() as f64 / n)
+            .collect()
+    }
+
+    /// Uniformly random minibatch (the `random` sampling strategy).
+    pub fn sample_random(&self, batch: usize, with_conditions: bool, rng: &mut Rng) -> Minibatch {
+        let idx: Vec<usize> = (0..batch).map(|_| rng.usize(self.n_rows())).collect();
+        self.assemble(&idx, with_conditions)
+    }
+
+    /// Label-aware minibatch: all rows share the target label
+    /// (Algorithm 3). Falls back to random sampling when the label has
+    /// no rows.
+    pub fn sample_with_label(&self, label: u32, batch: usize, rng: &mut Rng) -> Minibatch {
+        assert!(
+            (label as usize) < self.n_classes,
+            "label {label} out of domain {}",
+            self.n_classes
+        );
+        let group = &self.label_groups[label as usize];
+        if group.is_empty() {
+            return self.sample_random(batch, true, rng);
+        }
+        let idx: Vec<usize> = (0..batch).map(|_| group[rng.usize(group.len())]).collect();
+        self.assemble(&idx, true)
+    }
+
+    fn assemble(&self, idx: &[usize], with_conditions: bool) -> Minibatch {
+        let samples = self.samples.gather_rows(idx);
+        let labels = self
+            .labels
+            .as_ref()
+            .map(|l| idx.iter().map(|&i| l[i]).collect::<Vec<u32>>());
+        let conditions = if with_conditions {
+            labels
+                .as_ref()
+                .map(|l| one_hot_labels(l, self.n_classes))
+        } else {
+            None
+        };
+        Minibatch {
+            samples,
+            conditions,
+            labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::test_support::tiny_table;
+    use daisy_data::TransformConfig;
+
+    fn data(seed: u64) -> TrainingData {
+        let table = tiny_table(300, seed);
+        let codec = RecordCodec::fit(&table, &TransformConfig::sn_ht());
+        TrainingData::from_table(&table, &codec)
+    }
+
+    #[test]
+    fn random_batches_have_requested_size() {
+        let d = data(0);
+        let mut rng = Rng::seed_from_u64(1);
+        let b = d.sample_random(32, true, &mut rng);
+        assert_eq!(b.samples.shape(), &[32, d.width()]);
+        assert_eq!(b.conditions.as_ref().unwrap().shape(), &[32, 2]);
+        assert_eq!(b.labels.as_ref().unwrap().len(), 32);
+    }
+
+    #[test]
+    fn label_aware_batches_are_pure() {
+        let d = data(2);
+        let mut rng = Rng::seed_from_u64(3);
+        for y in 0..2u32 {
+            let b = d.sample_with_label(y, 20, &mut rng);
+            assert!(b.labels.unwrap().iter().all(|&l| l == y));
+        }
+    }
+
+    #[test]
+    fn label_distribution_sums_to_one() {
+        let d = data(4);
+        let dist = d.label_distribution();
+        assert_eq!(dist.len(), 2);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditions_match_labels() {
+        let d = data(5);
+        let mut rng = Rng::seed_from_u64(6);
+        let b = d.sample_random(16, true, &mut rng);
+        let cond = b.conditions.unwrap();
+        for (i, &y) in b.labels.unwrap().iter().enumerate() {
+            assert_eq!(cond.at2(i, y as usize), 1.0);
+        }
+    }
+
+    #[test]
+    fn unlabeled_table_yields_no_conditions() {
+        let table = tiny_table(50, 7);
+        let unlabeled = daisy_data::Table::new(
+            table.schema().without_label(),
+            table.columns().to_vec(),
+        );
+        let codec = RecordCodec::fit(&unlabeled, &TransformConfig::sn_ht());
+        let d = TrainingData::from_table(&unlabeled, &codec);
+        assert_eq!(d.n_classes(), 0);
+        let mut rng = Rng::seed_from_u64(8);
+        let b = d.sample_random(8, true, &mut rng);
+        assert!(b.conditions.is_none());
+    }
+}

@@ -1,0 +1,460 @@
+//! Phase II of the framework: GAN model training.
+//!
+//! One driver implements all four training algorithms of the paper's
+//! Table 1 — the strategy differences (loss, optimizer, sampling,
+//! differential privacy) are configuration:
+//!
+//! | Algorithm | Loss     | Optimizer | Sampling     | DP |
+//! |-----------|----------|-----------|--------------|----|
+//! | VTrain    | Eq. (2)  | Adam      | random       | ✗  |
+//! | WTrain    | Eq. (3)  | RMSProp   | random       | ✗  |
+//! | CTrain    | Eq. (4)  | Adam      | label-aware  | ✗  |
+//! | DPTrain   | Eq. (3)  | RMSProp   | random       | ✓  |
+
+use crate::config::{LossKind, TrainConfig};
+use crate::discriminator::Discriminator;
+use crate::generator::Generator;
+use crate::sampler::{Minibatch, TrainingData};
+use daisy_nn::loss::{batch_distribution, empirical_distribution, kl_divergence};
+use daisy_nn::{
+    add_grad_noise, clip_grad_norm, clip_weights, snapshot, zero_grads, Adam, Optimizer, RmsProp,
+};
+use daisy_tensor::{Rng, Tensor, Var};
+
+/// Aggregate losses of one training epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean discriminator loss over the epoch.
+    pub d_loss: f32,
+    /// Mean generator loss (including the KL term when enabled).
+    pub g_loss: f32,
+    /// Mean KL warm-up term alone.
+    pub kl: f32,
+}
+
+/// The result of a training run: per-epoch generator snapshots (for
+/// validation-based model selection, §6.2) and loss history.
+pub struct TrainingRun {
+    /// Generator parameter snapshots, one per epoch.
+    pub snapshots: Vec<Vec<Tensor>>,
+    /// Loss history, one entry per epoch.
+    pub history: Vec<EpochStats>,
+}
+
+/// Trains `g` against `d` on `data` per `cfg`. The KL warm-up term is
+/// computed over `softmax_spans` (one-hot and GMM-component blocks of
+/// the encoded layout; pass empty to disable).
+pub fn train_gan(
+    g: &dyn Generator,
+    d: &dyn Discriminator,
+    data: &TrainingData,
+    softmax_spans: &[(usize, usize)],
+    cfg: &TrainConfig,
+    rng: &mut Rng,
+) -> TrainingRun {
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    assert!(
+        !cfg.conditional || data.n_classes() > 0,
+        "conditional training requires a labeled table"
+    );
+    assert!(cfg.pac >= 1, "pac degree must be at least 1");
+    assert!(
+        cfg.pac == 1 || !cfg.conditional,
+        "PacGAN packing is unconditional-only (conditions cannot be packed)"
+    );
+    let g_params = g.params();
+    let d_params = d.params();
+    g.set_training(true);
+    d.set_training(true);
+
+    let (mut opt_g, mut opt_d): (Box<dyn Optimizer>, Box<dyn Optimizer>) = match cfg.loss {
+        LossKind::Vanilla => (
+            Box::new(Adam::with_betas(g_params.clone(), cfg.lr_g, 0.5, 0.999)),
+            Box::new(Adam::with_betas(d_params.clone(), cfg.lr_d, 0.5, 0.999)),
+        ),
+        LossKind::Wasserstein => (
+            Box::new(RmsProp::new(g_params.clone(), cfg.lr_g)),
+            Box::new(RmsProp::new(d_params.clone(), cfg.lr_d)),
+        ),
+    };
+
+    let epochs = cfg.epochs.max(1);
+    let iters_per_epoch = cfg.iterations.div_ceil(epochs);
+    let mut run = TrainingRun {
+        snapshots: Vec::with_capacity(epochs),
+        history: Vec::with_capacity(epochs),
+    };
+    let mut acc = (0.0f64, 0.0f64, 0.0f64, 0usize); // d, g, kl, count
+
+    for t in 0..cfg.iterations {
+        if cfg.conditional && cfg.label_aware {
+            // Algorithm 3: iterate every label in the domain.
+            for y in 0..data.n_classes() as u32 {
+                let (dl, gl, kl) = step(
+                    g,
+                    d,
+                    data,
+                    softmax_spans,
+                    cfg,
+                    Some(y),
+                    &mut *opt_g,
+                    &mut *opt_d,
+                    rng,
+                );
+                acc = (acc.0 + dl as f64, acc.1 + gl as f64, acc.2 + kl as f64, acc.3 + 1);
+            }
+        } else {
+            let (dl, gl, kl) = step(
+                g,
+                d,
+                data,
+                softmax_spans,
+                cfg,
+                None,
+                &mut *opt_g,
+                &mut *opt_d,
+                rng,
+            );
+            acc = (acc.0 + dl as f64, acc.1 + gl as f64, acc.2 + kl as f64, acc.3 + 1);
+        }
+
+        let end_of_epoch = (t + 1) % iters_per_epoch == 0 || t + 1 == cfg.iterations;
+        if end_of_epoch {
+            let n = acc.3.max(1) as f64;
+            run.history.push(EpochStats {
+                epoch: run.history.len(),
+                d_loss: (acc.0 / n) as f32,
+                g_loss: (acc.1 / n) as f32,
+                kl: (acc.2 / n) as f32,
+            });
+            run.snapshots.push(snapshot(&g_params));
+            acc = (0.0, 0.0, 0.0, 0);
+            if run.snapshots.len() == epochs {
+                break;
+            }
+        }
+    }
+    g.set_training(false);
+    d.set_training(false);
+    run
+}
+
+/// One generator iteration: `d_steps` discriminator updates followed by
+/// one generator update. Returns `(d_loss, g_loss, kl_term)`.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    g: &dyn Generator,
+    d: &dyn Discriminator,
+    data: &TrainingData,
+    softmax_spans: &[(usize, usize)],
+    cfg: &TrainConfig,
+    target_label: Option<u32>,
+    opt_g: &mut dyn Optimizer,
+    opt_d: &mut dyn Optimizer,
+    rng: &mut Rng,
+) -> (f32, f32, f32) {
+    let m = cfg.batch_size;
+    let g_params = g.params();
+    let d_params = d.params();
+
+    // ---- discriminator phase ----
+    // With PacGAN packing, `pac` consecutive samples are concatenated
+    // into one discriminator input; `m` is rounded down accordingly.
+    let pac = cfg.pac.max(1);
+    let m = (m / pac).max(1) * pac;
+    let groups = m / pac;
+    let mut d_loss_last = 0.0;
+    for _ in 0..cfg.d_steps.max(1) {
+        let real = sample(data, cfg, target_label, m, rng);
+        let cond = real.conditions.clone();
+        let z = g.sample_noise(m, rng);
+        // The generator graph is detached: only D updates here.
+        let fake = pack(&g.forward(&z, cond.as_ref(), rng).detach(), pac);
+
+        zero_grads(&d_params);
+        let real_var = pack(&Var::constant(real.samples.clone()), pac);
+        let d_loss = match cfg.loss {
+            LossKind::Vanilla => {
+                let loss_real = d
+                    .logits(&real_var, cond.as_ref())
+                    .bce_with_logits(&Tensor::ones(&[groups, 1]));
+                let loss_fake = d
+                    .logits(&fake, cond.as_ref())
+                    .bce_with_logits(&Tensor::zeros(&[groups, 1]));
+                loss_real.add(&loss_fake)
+            }
+            LossKind::Wasserstein => {
+                // L_D = E[D(fake)] - E[D(real)], Equation (3).
+                let score_real = d.logits(&real_var, cond.as_ref()).mean();
+                let score_fake = d.logits(&fake, cond.as_ref()).mean();
+                score_fake.sub(&score_real)
+            }
+        };
+        d_loss_last = d_loss.value().data()[0];
+        d_loss.backward();
+
+        if let Some(dp) = &cfg.dp {
+            // DPTrain (Algorithm 4): bound sensitivity, then perturb.
+            // The recorded gradient is the batch mean, so the noise a
+            // mean-of-per-example-noised gradient would carry has
+            // standard deviation σ_n · c_g / m.
+            clip_grad_norm(&d_params, dp.grad_bound);
+            add_grad_noise(
+                &d_params,
+                dp.noise_scale * dp.grad_bound / m as f32,
+                rng,
+            );
+        }
+        opt_d.step();
+        if matches!(cfg.loss, LossKind::Wasserstein) {
+            clip_weights(&d_params, cfg.weight_clip);
+        }
+    }
+
+    // ---- generator phase ----
+    let real = sample(data, cfg, target_label, m, rng);
+    let cond = real.conditions.clone();
+    let z = g.sample_noise(m, rng);
+    zero_grads(&g_params);
+    zero_grads(&d_params); // D receives gradients below; discard them.
+    let fake = g.forward(&z, cond.as_ref(), rng);
+
+    let (g_loss, kl_value) = match cfg.loss {
+        LossKind::Vanilla => {
+            // Non-saturating generator loss plus the KL warm-up of
+            // Equation (2).
+            let adv = d
+                .logits(&pack(&fake, pac), cond.as_ref())
+                .bce_with_logits(&Tensor::ones(&[groups, 1]));
+            if cfg.kl_weight > 0.0 && !softmax_spans.is_empty() {
+                let kl = kl_term(&real, &fake, softmax_spans);
+                let kl_value = kl.value().data()[0];
+                (adv.add(&kl.mul_scalar(cfg.kl_weight)), kl_value)
+            } else {
+                (adv, 0.0)
+            }
+        }
+        LossKind::Wasserstein => {
+            // L_G = -E[D(G(z))], Equation (3).
+            (
+                d.logits(&pack(&fake, pac), cond.as_ref()).mean().neg(),
+                0.0,
+            )
+        }
+    };
+    let g_loss_value = g_loss.value().data()[0];
+    g_loss.backward();
+    opt_g.step();
+
+    (d_loss_last, g_loss_value, kl_value)
+}
+
+/// PacGAN packing: `[m, d] -> [m/pac, pac*d]` by concatenating groups
+/// of consecutive rows (a row-major reshape). Identity when `pac == 1`.
+fn pack(x: &Var, pac: usize) -> Var {
+    if pac <= 1 {
+        return x.clone();
+    }
+    let (m, d) = (x.shape()[0], x.shape()[1]);
+    debug_assert_eq!(m % pac, 0, "batch not divisible by pac");
+    x.reshape(&[m / pac, pac * d])
+}
+
+fn sample(
+    data: &TrainingData,
+    cfg: &TrainConfig,
+    target_label: Option<u32>,
+    m: usize,
+    rng: &mut Rng,
+) -> Minibatch {
+    match target_label {
+        Some(y) => data.sample_with_label(y, m, rng),
+        None => data.sample_random(m, cfg.conditional, rng),
+    }
+}
+
+/// `Σ_j KL(T[j] ‖ T'[j])` over the probability blocks of the layout.
+fn kl_term(real: &Minibatch, fake: &Var, spans: &[(usize, usize)]) -> Var {
+    let mut total: Option<Var> = None;
+    for &(lo, hi) in spans {
+        let p_real = empirical_distribution(&real.samples.slice_cols(lo, hi));
+        let q_syn = batch_distribution(&fake.slice_cols(lo, hi));
+        let kl = kl_divergence(&p_real, &q_syn, 1e-6);
+        total = Some(match total {
+            Some(t) => t.add(&kl),
+            None => kl,
+        });
+    }
+    total.expect("kl_term called with no spans")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DpConfig, NetworkKind, SynthesizerConfig};
+    use crate::discriminator::MlpDiscriminator;
+    use crate::generator::test_support::tiny_table;
+    use crate::generator::MlpGenerator;
+    use crate::output_head::softmax_spans;
+    use daisy_data::{RecordCodec, TransformConfig};
+
+    fn setup(
+        cfg: &TrainConfig,
+        seed: u64,
+    ) -> (MlpGenerator, MlpDiscriminator, TrainingData, Vec<(usize, usize)>) {
+        let table = tiny_table(400, seed);
+        let codec = RecordCodec::fit(&table, &TransformConfig::sn_ht());
+        let data = TrainingData::from_table(&table, &codec);
+        let mut rng = Rng::seed_from_u64(seed);
+        let cond = if cfg.conditional { data.n_classes() } else { 0 };
+        let g = MlpGenerator::new(8, cond, &[32], codec.output_blocks(), &mut rng);
+        let d = MlpDiscriminator::new(codec.width(), cond, &[32], &mut rng);
+        let spans = softmax_spans(&codec.output_blocks());
+        (g, d, data, spans)
+    }
+
+    #[test]
+    fn vtrain_produces_snapshots_and_history() {
+        let cfg = TrainConfig {
+            iterations: 20,
+            batch_size: 32,
+            epochs: 5,
+            ..TrainConfig::vtrain(20)
+        };
+        let (g, d, data, spans) = setup(&cfg, 0);
+        let mut rng = Rng::seed_from_u64(1);
+        let run = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        assert_eq!(run.snapshots.len(), 5);
+        assert_eq!(run.history.len(), 5);
+        assert!(run.history.iter().all(|h| h.d_loss.is_finite() && h.g_loss.is_finite()));
+        // KL term is active under VTrain with one-hot blocks.
+        assert!(run.history.iter().any(|h| h.kl > 0.0));
+    }
+
+    #[test]
+    fn wtrain_clips_weights() {
+        let cfg = TrainConfig {
+            iterations: 6,
+            batch_size: 16,
+            epochs: 2,
+            ..TrainConfig::wtrain(6)
+        };
+        let (g, d, data, spans) = setup(&cfg, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let _ = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        use crate::discriminator::Discriminator;
+        for p in d.params() {
+            let v = p.value();
+            assert!(
+                v.max() <= cfg.weight_clip + 1e-6 && v.min() >= -cfg.weight_clip - 1e-6,
+                "weights not clipped"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrain_runs_per_label() {
+        let cfg = TrainConfig {
+            iterations: 4,
+            batch_size: 16,
+            epochs: 2,
+            ..TrainConfig::ctrain(4)
+        };
+        let (g, d, data, spans) = setup(&cfg, 4);
+        let mut rng = Rng::seed_from_u64(5);
+        let run = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        assert_eq!(run.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn dptrain_finishes_with_finite_losses() {
+        let dp = DpConfig::for_epsilon(1.0, 20, 16, 400);
+        let cfg = TrainConfig {
+            iterations: 6,
+            batch_size: 16,
+            epochs: 2,
+            ..TrainConfig::dptrain(6, dp)
+        };
+        let (g, d, data, spans) = setup(&cfg, 6);
+        let mut rng = Rng::seed_from_u64(7);
+        let run = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        assert!(run.history.iter().all(|h| h.d_loss.is_finite()));
+    }
+
+    #[test]
+    fn training_changes_generator_params() {
+        let cfg = TrainConfig {
+            iterations: 10,
+            batch_size: 32,
+            epochs: 2,
+            ..TrainConfig::vtrain(10)
+        };
+        let (g, d, data, spans) = setup(&cfg, 8);
+        let before = daisy_nn::snapshot(&g.params());
+        let mut rng = Rng::seed_from_u64(9);
+        let _ = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        let after = daisy_nn::snapshot(&g.params());
+        let moved = before
+            .iter()
+            .zip(&after)
+            .any(|(a, b)| a.sub(b).norm() > 1e-6);
+        assert!(moved, "generator parameters did not move");
+    }
+
+    #[test]
+    fn pacgan_packing_trains_and_packs_correctly() {
+        let mut cfg = TrainConfig::vtrain(8);
+        cfg.batch_size = 30; // rounds down to 30 (divisible by 3)
+        cfg.pac = 3;
+        cfg.epochs = 2;
+        let table = tiny_table(300, 20);
+        let codec = RecordCodec::fit(&table, &TransformConfig::sn_ht());
+        let data = TrainingData::from_table(&table, &codec);
+        let mut rng = Rng::seed_from_u64(21);
+        let g = MlpGenerator::new(8, 0, &[24], codec.output_blocks(), &mut rng);
+        // The packed discriminator sees pac * width inputs.
+        let d = MlpDiscriminator::new(codec.width() * 3, 0, &[24], &mut rng);
+        let spans = softmax_spans(&codec.output_blocks());
+        let run = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+        assert_eq!(run.snapshots.len(), 2);
+        assert!(run.history.iter().all(|h| h.d_loss.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unconditional-only")]
+    fn pacgan_rejects_conditional() {
+        let mut cfg = TrainConfig::ctrain(4);
+        cfg.pac = 2;
+        let (g, d, data, spans) = setup(&cfg, 22);
+        let mut rng = Rng::seed_from_u64(23);
+        let _ = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TrainConfig {
+            iterations: 5,
+            batch_size: 16,
+            epochs: 1,
+            ..TrainConfig::vtrain(5)
+        };
+        let run_once = || {
+            let (g, d, data, spans) = setup(&cfg, 10);
+            let mut rng = Rng::seed_from_u64(11);
+            let run = train_gan(&g, &d, &data, &spans, &cfg, &mut rng);
+            run.snapshots[0][0].data().to_vec()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn effective_d_hidden_feeds_simplified_discriminator() {
+        // Smoke-test the simplified-D wiring end to end.
+        let mut cfg_s = SynthesizerConfig::new(NetworkKind::Mlp, TrainConfig::vtrain(5));
+        cfg_s.simplified_d = true;
+        assert!(cfg_s.effective_d_hidden().len() == 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Intended for moving synthetic tables in and out of the library (the
+//! datasets themselves are generated in-process). Quoting is not
+//! supported; category names containing commas are rejected on write.
+
+use crate::schema::Schema;
+use crate::table::{Column, Table};
+use crate::value::Attribute;
+use std::io::{self, BufRead, Write};
+
+/// Serializes a table as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, mut out: W) -> io::Result<()> {
+    let names: Vec<&str> = table
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
+    writeln!(out, "{}", names.join(","))?;
+    for i in 0..table.n_rows() {
+        let mut cells = Vec::with_capacity(table.n_attrs());
+        for j in 0..table.n_attrs() {
+            match table.column(j) {
+                Column::Num(v) => cells.push(format!("{}", v[i])),
+                Column::Cat { codes, categories } => {
+                    let name = &categories[codes[i] as usize];
+                    assert!(
+                        !name.contains(','),
+                        "category name {name:?} contains a comma"
+                    );
+                    cells.push(name.clone());
+                }
+            }
+        }
+        writeln!(out, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parses CSV produced by [`write_csv`] (or any unquoted CSV with a
+/// header). Column types are inferred: a column is numerical when every
+/// cell parses as `f64`, categorical otherwise. `label` optionally
+/// names the label column.
+pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> io::Result<Table> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let n = names.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); n];
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Vec<&str> = line.split(',').collect();
+        if row.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row has {} cells, expected {n}", row.len()),
+            ));
+        }
+        for (c, v) in cells.iter_mut().zip(row) {
+            c.push(v.trim().to_string());
+        }
+    }
+
+    let mut attrs = Vec::with_capacity(n);
+    let mut columns = Vec::with_capacity(n);
+    for (name, col) in names.iter().zip(&cells) {
+        let all_numeric = !col.is_empty() && col.iter().all(|v| v.parse::<f64>().is_ok());
+        let force_categorical = label == Some(name.as_str());
+        if all_numeric && !force_categorical {
+            attrs.push(Attribute::numerical(name.clone()));
+            columns.push(Column::Num(
+                col.iter().map(|v| v.parse::<f64>().unwrap()).collect(),
+            ));
+        } else {
+            attrs.push(Attribute::categorical(name.clone()));
+            let mut categories: Vec<String> = Vec::new();
+            let mut codes = Vec::with_capacity(col.len());
+            for v in col {
+                let code = match categories.iter().position(|c| c == v) {
+                    Some(p) => p,
+                    None => {
+                        categories.push(v.clone());
+                        categories.len() - 1
+                    }
+                };
+                codes.push(code as u32);
+            }
+            columns.push(Column::Cat { codes, categories });
+        }
+    }
+    let schema = match label.and_then(|l| names.iter().position(|n| n == l)) {
+        Some(idx) => Schema::with_label(attrs, idx),
+        None => Schema::new(attrs),
+    };
+    Ok(Table::new(schema, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{AttrType, Value};
+
+    fn demo() -> Table {
+        let schema = Schema::with_label(
+            vec![
+                Attribute::numerical("age"),
+                Attribute::categorical("income"),
+            ],
+            1,
+        );
+        Table::new(
+            schema,
+            vec![
+                Column::Num(vec![38.0, 51.5]),
+                Column::Cat {
+                    codes: vec![0, 1],
+                    categories: vec!["<=50K".into(), ">50K".into()],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = demo();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&buf[..], Some("income")).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.schema().label(), Some(1));
+        assert_eq!(back.row(1), vec![Value::Num(51.5), Value::Cat(1)]);
+    }
+
+    #[test]
+    fn header_only_is_empty_table() {
+        let t = read_csv("a,b\n".as_bytes(), None).unwrap();
+        assert_eq!(t.n_rows(), 0);
+    }
+
+    #[test]
+    fn numeric_label_forced_categorical() {
+        let csv = "x,y\n1.0,0\n2.0,1\n3.0,0\n";
+        let t = read_csv(csv.as_bytes(), Some("y")).unwrap();
+        assert_eq!(t.schema().attr(1).ty, AttrType::Categorical);
+        assert_eq!(t.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(read_csv(csv.as_bytes(), None).is_err());
+    }
+}

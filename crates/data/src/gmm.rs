@@ -1,0 +1,271 @@
+//! Univariate Gaussian mixture models fitted by expectation–
+//! maximization, powering the paper's GMM-based (mode-specific)
+//! normalization of numerical attributes (§4).
+
+/// A fitted univariate Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct Gmm1d {
+    weights: Vec<f64>,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+/// Floor on component standard deviations, preventing collapse onto a
+/// single repeated value.
+const STD_FLOOR: f64 = 1e-4;
+
+impl Gmm1d {
+    /// Fits a mixture with `s` components (the paper uses small `s`,
+    /// e.g. 5) by EM. Components are initialized at evenly spaced
+    /// quantiles, which is deterministic and robust for 1-D data.
+    /// Degenerate inputs (constant columns, fewer distinct values than
+    /// components) are handled by dropping empty components.
+    pub fn fit(values: &[f64], s: usize, iterations: usize) -> Gmm1d {
+        assert!(s > 0, "need at least one component");
+        assert!(!values.is_empty(), "cannot fit a GMM on no data");
+        let n = values.len();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // Quantile initialization.
+        let mut means: Vec<f64> = (0..s)
+            .map(|i| sorted[(i * (n - 1)) / s.max(1)])
+            .collect();
+        let global_std = std_dev(values).max(STD_FLOOR);
+        let mut stds = vec![global_std; s];
+        let mut weights = vec![1.0 / s as f64; s];
+
+        let mut resp = vec![0.0f64; s];
+        for _ in 0..iterations {
+            // Accumulators for the M step.
+            let mut wsum = vec![0.0f64; s];
+            let mut msum = vec![0.0f64; s];
+            let mut vsum = vec![0.0f64; s];
+            for &x in values {
+                // E step for one point.
+                let mut total = 0.0;
+                for k in 0..s {
+                    resp[k] = weights[k] * gauss_pdf(x, means[k], stds[k]);
+                    total += resp[k];
+                }
+                if total <= 0.0 {
+                    // All densities underflowed; assign to nearest mean.
+                    let k = nearest(&means, x);
+                    resp.fill(0.0);
+                    resp[k] = 1.0;
+                    total = 1.0;
+                }
+                for k in 0..s {
+                    let r = resp[k] / total;
+                    wsum[k] += r;
+                    msum[k] += r * x;
+                    vsum[k] += r * x * x;
+                }
+            }
+            // M step.
+            for k in 0..s {
+                if wsum[k] < 1e-10 {
+                    weights[k] = 0.0;
+                    continue;
+                }
+                weights[k] = wsum[k] / n as f64;
+                means[k] = msum[k] / wsum[k];
+                let var = (vsum[k] / wsum[k] - means[k] * means[k]).max(STD_FLOOR * STD_FLOOR);
+                stds[k] = var.sqrt();
+            }
+        }
+
+        // Drop dead components.
+        let alive: Vec<usize> = (0..s).filter(|&k| weights[k] > 1e-9).collect();
+        let gmm = Gmm1d {
+            weights: alive.iter().map(|&k| weights[k]).collect(),
+            means: alive.iter().map(|&k| means[k]).collect(),
+            stds: alive.iter().map(|&k| stds[k]).collect(),
+        };
+        assert!(!gmm.means.is_empty(), "EM lost all components");
+        gmm
+    }
+
+    /// Reassembles a fitted mixture from its parameters (for model
+    /// persistence). Panics on inconsistent arities or non-positive
+    /// standard deviations.
+    pub fn from_parts(weights: Vec<f64>, means: Vec<f64>, stds: Vec<f64>) -> Gmm1d {
+        assert!(!means.is_empty(), "mixture needs at least one component");
+        assert_eq!(weights.len(), means.len(), "weight arity mismatch");
+        assert_eq!(stds.len(), means.len(), "std arity mismatch");
+        assert!(stds.iter().all(|&s| s > 0.0), "stds must be positive");
+        Gmm1d {
+            weights,
+            means,
+            stds,
+        }
+    }
+
+    /// Number of surviving components.
+    pub fn n_components(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Component means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Component standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Component weights (sum to ~1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Index of the most responsible component for `x`
+    /// (`argmax_i π_i(x)` in the paper's notation).
+    pub fn most_likely_component(&self, x: f64) -> usize {
+        let mut best = 0;
+        let mut best_p = f64::NEG_INFINITY;
+        for k in 0..self.n_components() {
+            let p = self.weights[k] * gauss_pdf(x, self.means[k], self.stds[k]);
+            if p > best_p {
+                best_p = p;
+                best = k;
+            }
+        }
+        if best_p <= 0.0 {
+            nearest(&self.means, x)
+        } else {
+            best
+        }
+    }
+
+    /// Mode-specific normalization: `v_gmm = (v - µ_k) / (2 σ_k)` with
+    /// `k` the most likely component, clamped to `[-1, 1]` so tanh
+    /// outputs can reproduce it. Returns `(v_gmm, k)`.
+    pub fn normalize(&self, x: f64) -> (f64, usize) {
+        let k = self.most_likely_component(x);
+        let v = (x - self.means[k]) / (2.0 * self.stds[k]);
+        (v.clamp(-1.0, 1.0), k)
+    }
+
+    /// Inverse of [`Gmm1d::normalize`].
+    pub fn denormalize(&self, v_gmm: f64, k: usize) -> f64 {
+        assert!(k < self.n_components(), "component index out of range");
+        v_gmm * 2.0 * self.stds[k] + self.means[k]
+    }
+}
+
+fn gauss_pdf(x: f64, mean: f64, std: f64) -> f64 {
+    let z = (x - mean) / std;
+    (-0.5 * z * z).exp() / (std * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+fn std_dev(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
+}
+
+fn nearest(means: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (k, &m) in means.iter().enumerate() {
+        let d = (x - m).abs();
+        if d < best_d {
+            best_d = d;
+            best = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_tensor::Rng;
+
+    fn bimodal_sample(n: usize, seed: u64) -> Vec<f64> {
+        // The paper's running example: "young generation" N(20, 10) and
+        // "old generation" N(50, 5).
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.normal_ms(20.0, 10.0)
+                } else {
+                    rng.normal_ms(50.0, 5.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_modes() {
+        let data = bimodal_sample(4000, 0);
+        let gmm = Gmm1d::fit(&data, 2, 50);
+        let mut means = gmm.means().to_vec();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 20.0).abs() < 2.0, "means = {means:?}");
+        assert!((means[1] - 50.0).abs() < 2.0, "means = {means:?}");
+    }
+
+    #[test]
+    fn paper_example_age_43_is_old_generation() {
+        let data = bimodal_sample(4000, 1);
+        let gmm = Gmm1d::fit(&data, 2, 50);
+        let old = (0..2)
+            .max_by(|&a, &b| gmm.means()[a].partial_cmp(&gmm.means()[b]).unwrap())
+            .unwrap();
+        let (_v, k) = gmm.normalize(43.0);
+        assert_eq!(k, old, "43 should belong to the ~N(50, 5) mode");
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let data = bimodal_sample(2000, 2);
+        let gmm = Gmm1d::fit(&data, 2, 40);
+        for &x in &[15.0, 25.0, 48.0, 55.0] {
+            let (v, k) = gmm.normalize(x);
+            let back = gmm.denormalize(v, k);
+            assert!((back - x).abs() < 1e-9, "{x} -> {v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn clamps_outliers() {
+        let data = bimodal_sample(2000, 3);
+        let gmm = Gmm1d::fit(&data, 2, 40);
+        let (v, _) = gmm.normalize(1e6);
+        assert_eq!(v, 1.0);
+        let (v, _) = gmm.normalize(-1e6);
+        assert_eq!(v, -1.0);
+    }
+
+    #[test]
+    fn constant_column_survives() {
+        let data = vec![7.0; 100];
+        let gmm = Gmm1d::fit(&data, 3, 20);
+        assert!(gmm.n_components() >= 1);
+        let (v, k) = gmm.normalize(7.0);
+        assert!(v.abs() < 1e-6);
+        assert!((gmm.denormalize(v, k) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = bimodal_sample(1000, 4);
+        let gmm = Gmm1d::fit(&data, 4, 30);
+        let total: f64 = gmm.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_components_than_values() {
+        let data = vec![1.0, 2.0];
+        let gmm = Gmm1d::fit(&data, 5, 20);
+        assert!(gmm.n_components() <= 5);
+        let (v, k) = gmm.normalize(1.0);
+        assert!((gmm.denormalize(v, k) - 1.0).abs() < 0.5);
+    }
+}

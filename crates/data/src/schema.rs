@@ -1,0 +1,130 @@
+//! Table schemas.
+
+use crate::value::{AttrType, Attribute};
+
+/// The schema of a relational table: an ordered attribute list plus an
+/// optional designated label column (always categorical — the paper
+/// evaluates classification utility on categorical labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    label: Option<usize>,
+}
+
+impl Schema {
+    /// Creates a schema without a label column.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        assert!(!attrs.is_empty(), "schema needs at least one attribute");
+        Schema { attrs, label: None }
+    }
+
+    /// Creates a schema with the given column as the label. The label
+    /// column must be categorical.
+    pub fn with_label(attrs: Vec<Attribute>, label: usize) -> Self {
+        assert!(label < attrs.len(), "label index out of bounds");
+        assert_eq!(
+            attrs[label].ty,
+            AttrType::Categorical,
+            "label column must be categorical"
+        );
+        Schema {
+            attrs,
+            label: Some(label),
+        }
+    }
+
+    /// All attributes in column order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute at `j`.
+    pub fn attr(&self, j: usize) -> &Attribute {
+        &self.attrs[j]
+    }
+
+    /// Index of the label column, if designated.
+    pub fn label(&self) -> Option<usize> {
+        self.label
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Indices of all feature (non-label) columns.
+    pub fn feature_indices(&self) -> Vec<usize> {
+        (0..self.attrs.len())
+            .filter(|j| Some(*j) != self.label)
+            .collect()
+    }
+
+    /// Count of numerical attributes.
+    pub fn n_numerical(&self) -> usize {
+        self.attrs
+            .iter()
+            .filter(|a| a.ty == AttrType::Numerical)
+            .count()
+    }
+
+    /// Count of categorical attributes.
+    pub fn n_categorical(&self) -> usize {
+        self.attrs
+            .iter()
+            .filter(|a| a.ty == AttrType::Categorical)
+            .count()
+    }
+
+    /// Returns a copy of this schema without a label designation.
+    pub fn without_label(&self) -> Schema {
+        Schema {
+            attrs: self.attrs.clone(),
+            label: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        Schema::with_label(
+            vec![
+                Attribute::numerical("age"),
+                Attribute::categorical("workclass"),
+                Attribute::categorical("income"),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = demo();
+        assert_eq!(s.n_attrs(), 3);
+        assert_eq!(s.label(), Some(2));
+        assert_eq!(s.index_of("workclass"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.feature_indices(), vec![0, 1]);
+        assert_eq!(s.n_numerical(), 1);
+        assert_eq!(s.n_categorical(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label column must be categorical")]
+    fn numerical_label_rejected() {
+        Schema::with_label(vec![Attribute::numerical("x")], 0);
+    }
+
+    #[test]
+    fn without_label_strips() {
+        assert_eq!(demo().without_label().label(), None);
+    }
+}

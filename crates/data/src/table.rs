@@ -1,0 +1,406 @@
+//! Column-oriented relational tables.
+//!
+//! Columnar storage is the natural layout here: every operation the
+//! paper's pipeline performs — encoding, normalization, statistics,
+//! marginals — is per-attribute, so each step touches one contiguous
+//! column.
+
+use crate::schema::Schema;
+use crate::value::{AttrType, Value};
+use daisy_tensor::Rng;
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Numerical column.
+    Num(Vec<f64>),
+    /// Categorical column: codes into a category-name list.
+    Cat {
+        /// Per-row category codes, each `< categories.len()`.
+        codes: Vec<u32>,
+        /// Category display names; the domain size is `categories.len()`.
+        categories: Vec<String>,
+    },
+}
+
+impl Column {
+    /// A categorical column over a synthetic domain `c0..c{k-1}`.
+    pub fn cat_with_domain(codes: Vec<u32>, k: usize) -> Column {
+        assert!(k > 0, "categorical domain must be non-empty");
+        debug_assert!(codes.iter().all(|&c| (c as usize) < k));
+        Column::Cat {
+            codes,
+            categories: (0..k).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Num(v) => v.len(),
+            Column::Cat { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Num(v) => Value::Num(v[i]),
+            Column::Cat { codes, .. } => Value::Cat(codes[i]),
+        }
+    }
+
+    /// The attribute type this column stores.
+    pub fn ty(&self) -> AttrType {
+        match self {
+            Column::Num(_) => AttrType::Numerical,
+            Column::Cat { .. } => AttrType::Categorical,
+        }
+    }
+
+    /// Numerical payload; panics on a categorical column.
+    pub fn as_num(&self) -> &[f64] {
+        match self {
+            Column::Num(v) => v,
+            Column::Cat { .. } => panic!("expected numerical column"),
+        }
+    }
+
+    /// Categorical codes; panics on a numerical column.
+    pub fn as_cat(&self) -> &[u32] {
+        match self {
+            Column::Cat { codes, .. } => codes,
+            Column::Num(_) => panic!("expected categorical column"),
+        }
+    }
+
+    /// Domain size of a categorical column.
+    pub fn domain_size(&self) -> usize {
+        match self {
+            Column::Cat { categories, .. } => categories.len(),
+            Column::Num(_) => panic!("numerical columns have no domain size"),
+        }
+    }
+
+    /// Gathers the given rows into a new column.
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Num(v) => Column::Num(rows.iter().map(|&i| v[i]).collect()),
+            Column::Cat { codes, categories } => Column::Cat {
+                codes: rows.iter().map(|&i| codes[i]).collect(),
+                categories: categories.clone(),
+            },
+        }
+    }
+}
+
+/// A relational table `T = {t_1, …, t_n}` (paper §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Assembles a table, validating column/schema agreement.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(
+            schema.n_attrs(),
+            columns.len(),
+            "schema declares {} attributes but {} columns given",
+            schema.n_attrs(),
+            columns.len()
+        );
+        let n_rows = columns.first().map_or(0, Column::len);
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), n_rows, "column {j} length mismatch");
+            assert_eq!(
+                col.ty(),
+                schema.attr(j).ty,
+                "column {j} type does not match schema"
+            );
+        }
+        Table {
+            schema,
+            columns,
+            n_rows,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The `j`-th column.
+    pub fn column(&self, j: usize) -> &Column {
+        &self.columns[j]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Record `i` as a value vector.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Label codes (requires a designated categorical label column).
+    pub fn labels(&self) -> &[u32] {
+        let j = self
+            .schema
+            .label()
+            .expect("table has no designated label column");
+        self.columns[j].as_cat()
+    }
+
+    /// Domain size of the label column.
+    pub fn n_classes(&self) -> usize {
+        let j = self
+            .schema
+            .label()
+            .expect("table has no designated label column");
+        self.columns[j].domain_size()
+    }
+
+    /// A new table with only the given rows (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(rows)).collect(),
+            n_rows: rows.len(),
+        }
+    }
+
+    /// Shuffles and splits into train/validation/test with the paper's
+    /// 4:1:1 ratio (§6.2).
+    pub fn split_train_valid_test(&self, rng: &mut Rng) -> (Table, Table, Table) {
+        let mut idx: Vec<usize> = (0..self.n_rows).collect();
+        rng.shuffle(&mut idx);
+        let n_train = self.n_rows * 4 / 6;
+        let n_valid = self.n_rows / 6;
+        let train = self.select_rows(&idx[..n_train]);
+        let valid = self.select_rows(&idx[n_train..n_train + n_valid]);
+        let test = self.select_rows(&idx[n_train + n_valid..]);
+        (train, valid, test)
+    }
+
+    /// A new table without column `j`. Any label designation is
+    /// dropped (indices shift).
+    pub fn drop_column(&self, j: usize) -> Table {
+        assert!(j < self.n_attrs(), "column index out of bounds");
+        assert!(self.n_attrs() > 1, "cannot drop the only column");
+        let attrs: Vec<crate::value::Attribute> = self
+            .schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let columns: Vec<Column> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != j)
+            .map(|(_, c)| c.clone())
+            .collect();
+        Table::new(Schema::new(attrs), columns)
+    }
+
+    /// A new table with `column` inserted at position `j` under the
+    /// given schema (which must already account for the insertion).
+    pub fn insert_column(&self, j: usize, column: Column, schema: Schema) -> Table {
+        assert!(j <= self.n_attrs(), "insert position out of bounds");
+        assert_eq!(column.len(), self.n_rows, "inserted column length mismatch");
+        let mut columns = self.columns.clone();
+        columns.insert(j, column);
+        Table::new(schema, columns)
+    }
+
+    /// Row indices grouped by label code.
+    pub fn rows_by_label(&self) -> Vec<Vec<usize>> {
+        let labels = self.labels();
+        let mut groups = vec![Vec::new(); self.n_classes()];
+        for (i, &y) in labels.iter().enumerate() {
+            groups[y as usize].push(i);
+        }
+        groups
+    }
+
+    /// Label skewness: ratio between the most and least populous label
+    /// counts (the paper calls a dataset skew when this exceeds 9).
+    pub fn label_skewness(&self) -> f64 {
+        let groups = self.rows_by_label();
+        let max = groups.iter().map(Vec::len).max().unwrap_or(0);
+        let min = groups.iter().map(Vec::len).filter(|&n| n > 0).min().unwrap_or(1);
+        max as f64 / min as f64
+    }
+}
+
+/// Row-wise table construction.
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder. Categorical domains must be declared up front
+    /// via `domains` (domain size per attribute; numerical attributes
+    /// use 0).
+    pub fn new(schema: Schema, domains: &[usize]) -> Self {
+        assert_eq!(schema.n_attrs(), domains.len(), "domain arity mismatch");
+        let columns = schema
+            .attrs()
+            .iter()
+            .zip(domains)
+            .map(|(a, &k)| match a.ty {
+                AttrType::Numerical => Column::Num(Vec::new()),
+                AttrType::Categorical => Column::cat_with_domain(Vec::new(), k),
+            })
+            .collect();
+        TableBuilder { schema, columns }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            match (col, v) {
+                (Column::Num(data), Value::Num(x)) => data.push(*x),
+                (Column::Cat { codes, categories }, Value::Cat(c)) => {
+                    assert!(
+                        (*c as usize) < categories.len(),
+                        "category code {c} out of domain"
+                    );
+                    codes.push(*c);
+                }
+                _ => panic!("row value type does not match column"),
+            }
+        }
+    }
+
+    /// Finishes the table.
+    pub fn build(self) -> Table {
+        Table::new(self.schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Attribute;
+
+    fn demo_table() -> Table {
+        let schema = Schema::with_label(
+            vec![
+                Attribute::numerical("age"),
+                Attribute::categorical("workclass"),
+                Attribute::categorical("income"),
+            ],
+            2,
+        );
+        Table::new(
+            schema,
+            vec![
+                Column::Num(vec![38.0, 51.0, 27.0, 43.0, 35.0, 61.0]),
+                Column::cat_with_domain(vec![0, 1, 2, 1, 0, 2], 3),
+                Column::cat_with_domain(vec![0, 0, 0, 0, 1, 1], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = demo_table();
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.n_attrs(), 3);
+        assert_eq!(t.row(1), vec![Value::Num(51.0), Value::Cat(1), Value::Cat(0)]);
+        assert_eq!(t.labels(), &[0, 0, 0, 0, 1, 1]);
+        assert_eq!(t.n_classes(), 2);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let t = demo_table();
+        let s = t.select_rows(&[5, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0)[0], Value::Num(61.0));
+        assert_eq!(s.row(1)[0], Value::Num(38.0));
+    }
+
+    #[test]
+    fn split_ratios_and_disjointness() {
+        let schema = Schema::new(vec![Attribute::numerical("x")]);
+        let t = Table::new(
+            schema,
+            vec![Column::Num((0..600).map(|i| i as f64).collect())],
+        );
+        let mut rng = Rng::seed_from_u64(0);
+        let (train, valid, test) = t.split_train_valid_test(&mut rng);
+        assert_eq!(train.n_rows(), 400);
+        assert_eq!(valid.n_rows(), 100);
+        assert_eq!(test.n_rows(), 100);
+        let mut all: Vec<i64> = Vec::new();
+        for part in [&train, &valid, &test] {
+            all.extend(part.column(0).as_num().iter().map(|&v| v as i64));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..600).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn rows_by_label_groups() {
+        let t = demo_table();
+        let groups = t.rows_by_label();
+        assert_eq!(groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(groups[1], vec![4, 5]);
+        assert_eq!(t.label_skewness(), 2.0);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let schema = Schema::new(vec![
+            Attribute::numerical("x"),
+            Attribute::categorical("c"),
+        ]);
+        let mut b = TableBuilder::new(schema, &[0, 4]);
+        b.push(&[Value::Num(1.5), Value::Cat(3)]);
+        b.push(&[Value::Num(-2.0), Value::Cat(0)]);
+        let t = b.build();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.column(1).domain_size(), 4);
+        assert_eq!(t.row(0), vec![Value::Num(1.5), Value::Cat(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_columns_rejected() {
+        let schema = Schema::new(vec![
+            Attribute::numerical("x"),
+            Attribute::numerical("y"),
+        ]);
+        Table::new(
+            schema,
+            vec![Column::Num(vec![1.0]), Column::Num(vec![1.0, 2.0])],
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Per-attribute encode/decode logic.
+
+use crate::gmm::Gmm1d;
+use crate::table::Column;
+use crate::transform::{CategoricalEncoding, NumericalNormalization, TransformConfig};
+use crate::value::Value;
+
+/// How the generator's output layer must treat one encoded block —
+/// the attribute-aware output head of §5.1 / Appendix A.1.2 (cases C1
+/// through C4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputBlockKind {
+    /// `tanh` over one column (simple normalization, case C1).
+    Tanh,
+    /// `sigmoid` over one column (ordinal encoding, case C4).
+    Sigmoid,
+    /// `softmax` over the block (one-hot encoding, case C3).
+    Softmax,
+    /// `tanh` on the first column and `softmax` over the remaining
+    /// component indicator (GMM normalization, case C2).
+    GmmValueAndComponent,
+}
+
+/// An encoded block's position and activation requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputBlock {
+    /// Activation kind.
+    pub kind: OutputBlockKind,
+    /// First encoded column (inclusive).
+    pub lo: usize,
+    /// One past the last encoded column.
+    pub hi: usize,
+}
+
+impl OutputBlock {
+    /// Block width.
+    pub fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// The fitted, reversible transformation of a single attribute.
+#[derive(Debug, Clone)]
+pub enum AttributeCodec {
+    /// Ordinal categorical encoding scaled into `[0, 1]`.
+    Ordinal {
+        /// Domain size.
+        k: usize,
+    },
+    /// One-hot categorical encoding.
+    OneHot {
+        /// Domain size.
+        k: usize,
+    },
+    /// Min–max numerical normalization into `[-1, 1]`.
+    SimpleNorm {
+        /// Column minimum at fit time.
+        min: f64,
+        /// Column maximum at fit time.
+        max: f64,
+    },
+    /// Mode-specific normalization via a fitted univariate GMM.
+    Gmm {
+        /// The fitted mixture.
+        gmm: Gmm1d,
+    },
+}
+
+impl AttributeCodec {
+    /// Fits the codec dictated by `config` for one column.
+    pub fn fit(column: &Column, config: &TransformConfig) -> AttributeCodec {
+        match column {
+            Column::Cat { categories, .. } => match config.categorical {
+                CategoricalEncoding::Ordinal => AttributeCodec::Ordinal {
+                    k: categories.len(),
+                },
+                CategoricalEncoding::OneHot => AttributeCodec::OneHot {
+                    k: categories.len(),
+                },
+            },
+            Column::Num(values) => match config.numerical {
+                NumericalNormalization::Simple => {
+                    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    AttributeCodec::SimpleNorm { min, max }
+                }
+                NumericalNormalization::Gmm => AttributeCodec::Gmm {
+                    gmm: Gmm1d::fit(values, config.gmm_components, config.gmm_iterations),
+                },
+            },
+        }
+    }
+
+    /// Width of the encoded block.
+    pub fn width(&self) -> usize {
+        match self {
+            AttributeCodec::Ordinal { .. } => 1,
+            AttributeCodec::OneHot { k } => *k,
+            AttributeCodec::SimpleNorm { .. } => 1,
+            AttributeCodec::Gmm { gmm } => 1 + gmm.n_components(),
+        }
+    }
+
+    /// Activation kind the generator must apply to this block.
+    pub fn block_kind(&self) -> OutputBlockKind {
+        match self {
+            AttributeCodec::Ordinal { .. } => OutputBlockKind::Sigmoid,
+            AttributeCodec::OneHot { .. } => OutputBlockKind::Softmax,
+            AttributeCodec::SimpleNorm { .. } => OutputBlockKind::Tanh,
+            AttributeCodec::Gmm { .. } => OutputBlockKind::GmmValueAndComponent,
+        }
+    }
+
+    /// Encodes one value into `out` (length = [`AttributeCodec::width`]).
+    pub fn encode(&self, value: &Value, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.width());
+        match self {
+            AttributeCodec::Ordinal { k } => {
+                let c = value.as_cat() as usize;
+                debug_assert!(c < *k);
+                out[0] = if *k <= 1 {
+                    0.0
+                } else {
+                    c as f32 / (*k as f32 - 1.0)
+                };
+            }
+            AttributeCodec::OneHot { k } => {
+                let c = value.as_cat() as usize;
+                debug_assert!(c < *k);
+                out.fill(0.0);
+                out[c] = 1.0;
+            }
+            AttributeCodec::SimpleNorm { min, max } => {
+                let v = value.as_num();
+                out[0] = if max > min {
+                    (-1.0 + 2.0 * (v - min) / (max - min)) as f32
+                } else {
+                    0.0
+                };
+            }
+            AttributeCodec::Gmm { gmm } => {
+                let (v, k) = gmm.normalize(value.as_num());
+                out.fill(0.0);
+                out[0] = v as f32;
+                out[1 + k] = 1.0;
+            }
+        }
+    }
+
+    /// Decodes one encoded block back into a value. Inputs are treated
+    /// as raw network outputs: soft one-hot blocks are resolved by
+    /// argmax, scalars are clamped into their valid range.
+    pub fn decode(&self, block: &[f32]) -> Value {
+        debug_assert_eq!(block.len(), self.width());
+        match self {
+            AttributeCodec::Ordinal { k } => {
+                if *k <= 1 {
+                    return Value::Cat(0);
+                }
+                let v = block[0].clamp(0.0, 1.0);
+                let code = (v * (*k as f32 - 1.0)).round() as u32;
+                Value::Cat(code.min(*k as u32 - 1))
+            }
+            AttributeCodec::OneHot { .. } => {
+                let mut best = 0;
+                for i in 1..block.len() {
+                    if block[i] > block[best] {
+                        best = i;
+                    }
+                }
+                Value::Cat(best as u32)
+            }
+            AttributeCodec::SimpleNorm { min, max } => {
+                let v = block[0].clamp(-1.0, 1.0) as f64;
+                Value::Num(min + (v + 1.0) / 2.0 * (max - min))
+            }
+            AttributeCodec::Gmm { gmm } => {
+                let mut best = 0;
+                for i in 1..gmm.n_components() {
+                    if block[1 + i] > block[1 + best] {
+                        best = i;
+                    }
+                }
+                let v = block[0].clamp(-1.0, 1.0) as f64;
+                Value::Num(gmm.denormalize(v, best))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_roundtrip() {
+        let codec = AttributeCodec::Ordinal { k: 5 };
+        let mut buf = [0.0f32; 1];
+        for c in 0..5u32 {
+            codec.encode(&Value::Cat(c), &mut buf);
+            assert_eq!(codec.decode(&buf), Value::Cat(c));
+        }
+    }
+
+    #[test]
+    fn ordinal_decodes_noisy_outputs() {
+        let codec = AttributeCodec::Ordinal { k: 3 };
+        assert_eq!(codec.decode(&[0.45]), Value::Cat(1));
+        assert_eq!(codec.decode(&[-0.2]), Value::Cat(0));
+        assert_eq!(codec.decode(&[1.7]), Value::Cat(2));
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let codec = AttributeCodec::Ordinal { k: 1 };
+        let mut buf = [9.0f32; 1];
+        codec.encode(&Value::Cat(0), &mut buf);
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(codec.decode(&[0.7]), Value::Cat(0));
+    }
+
+    #[test]
+    fn onehot_roundtrip_and_argmax() {
+        let codec = AttributeCodec::OneHot { k: 4 };
+        let mut buf = [0.0f32; 4];
+        codec.encode(&Value::Cat(2), &mut buf);
+        assert_eq!(buf, [0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(codec.decode(&[0.1, 0.2, 0.6, 0.1]), Value::Cat(2));
+    }
+
+    #[test]
+    fn simple_norm_roundtrip() {
+        let codec = AttributeCodec::SimpleNorm {
+            min: 10.0,
+            max: 30.0,
+        };
+        let mut buf = [0.0f32; 1];
+        codec.encode(&Value::Num(10.0), &mut buf);
+        assert_eq!(buf[0], -1.0);
+        codec.encode(&Value::Num(30.0), &mut buf);
+        assert_eq!(buf[0], 1.0);
+        codec.encode(&Value::Num(20.0), &mut buf);
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(codec.decode(&[0.0]).as_num(), 20.0);
+        // Out-of-range outputs clamp to the fitted range.
+        assert_eq!(codec.decode(&[5.0]).as_num(), 30.0);
+    }
+
+    #[test]
+    fn constant_numeric_column() {
+        let codec = AttributeCodec::SimpleNorm { min: 4.0, max: 4.0 };
+        let mut buf = [0.0f32; 1];
+        codec.encode(&Value::Num(4.0), &mut buf);
+        assert_eq!(buf[0], 0.0);
+        assert_eq!(codec.decode(&buf).as_num(), 4.0);
+    }
+
+    #[test]
+    fn gmm_roundtrip_close() {
+        let mut values = Vec::new();
+        let mut rng = daisy_tensor::Rng::seed_from_u64(0);
+        for i in 0..2000 {
+            values.push(if i % 2 == 0 {
+                rng.normal_ms(20.0, 10.0)
+            } else {
+                rng.normal_ms(50.0, 5.0)
+            });
+        }
+        let codec = AttributeCodec::fit(
+            &Column::Num(values),
+            &TransformConfig::gn_ht(),
+        );
+        assert_eq!(codec.block_kind(), OutputBlockKind::GmmValueAndComponent);
+        let mut buf = vec![0.0f32; codec.width()];
+        for &x in &[18.0, 25.0, 47.0, 52.0] {
+            codec.encode(&Value::Num(x), &mut buf);
+            let back = codec.decode(&buf).as_num();
+            assert!((back - x).abs() < 0.5, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn fit_respects_config() {
+        let cat = Column::cat_with_domain(vec![0, 1, 2], 3);
+        let num = Column::Num(vec![1.0, 2.0, 3.0]);
+        let sn_od = TransformConfig::sn_od();
+        assert!(matches!(
+            AttributeCodec::fit(&cat, &sn_od),
+            AttributeCodec::Ordinal { k: 3 }
+        ));
+        assert!(matches!(
+            AttributeCodec::fit(&num, &sn_od),
+            AttributeCodec::SimpleNorm { .. }
+        ));
+        let gn_ht = TransformConfig::gn_ht();
+        assert!(matches!(
+            AttributeCodec::fit(&cat, &gn_ht),
+            AttributeCodec::OneHot { k: 3 }
+        ));
+        assert!(matches!(
+            AttributeCodec::fit(&num, &gn_ht),
+            AttributeCodec::Gmm { .. }
+        ));
+    }
+}

@@ -1,0 +1,291 @@
+//! Matrix-formed record transformation for CNN networks (paper §4,
+//! "Matrix-formed samples"; Appendix A.1.1).
+//!
+//! Each attribute must occupy exactly one matrix cell, so only ordinal
+//! encoding and simple normalization are applicable; the m values are
+//! packed row-major into the smallest square and zero-padded (e.g. 8
+//! attributes → 3×3 with one pad cell).
+
+use crate::schema::Schema;
+use crate::table::{Column, Table};
+use crate::value::{AttrType, Value};
+use daisy_tensor::Tensor;
+
+/// One matrix cell's transformation parameters (public mirror of the
+/// internal codec, for model persistence).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixCellParam {
+    /// Ordinal category over a domain of size `k`.
+    Ordinal {
+        /// Domain size.
+        k: usize,
+    },
+    /// Min–max normalization range.
+    Norm {
+        /// Fitted minimum.
+        min: f64,
+        /// Fitted maximum.
+        max: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum CellCodec {
+    /// Ordinal category scaled into `[-1, 1]` (tanh range of the CNN
+    /// generator output).
+    Ordinal { k: usize },
+    /// Min–max scaling into `[-1, 1]`.
+    Norm { min: f64, max: f64 },
+}
+
+impl CellCodec {
+    fn encode(&self, v: &Value) -> f32 {
+        match self {
+            CellCodec::Ordinal { k } => {
+                let c = v.as_cat() as f64;
+                if *k <= 1 {
+                    0.0
+                } else {
+                    (-1.0 + 2.0 * c / (*k as f64 - 1.0)) as f32
+                }
+            }
+            CellCodec::Norm { min, max } => {
+                if max > min {
+                    (-1.0 + 2.0 * (v.as_num() - min) / (max - min)) as f32
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn decode(&self, x: f32) -> Value {
+        let x = x.clamp(-1.0, 1.0) as f64;
+        match self {
+            CellCodec::Ordinal { k } => {
+                if *k <= 1 {
+                    return Value::Cat(0);
+                }
+                let code = ((x + 1.0) / 2.0 * (*k as f64 - 1.0)).round() as i64;
+                Value::Cat(code.clamp(0, *k as i64 - 1) as u32)
+            }
+            CellCodec::Norm { min, max } => Value::Num(min + (x + 1.0) / 2.0 * (max - min)),
+        }
+    }
+}
+
+/// Reversible transformation between records and `[n, 1, side, side]`
+/// square matrices.
+pub struct MatrixCodec {
+    schema: Schema,
+    categories: Vec<Vec<String>>,
+    cells: Vec<CellCodec>,
+    side: usize,
+}
+
+impl MatrixCodec {
+    /// Fits per-attribute cell codecs and computes the square side
+    /// `⌈√m⌉`.
+    pub fn fit(table: &Table) -> MatrixCodec {
+        assert!(table.n_rows() > 0, "cannot fit a codec on an empty table");
+        let mut cells = Vec::with_capacity(table.n_attrs());
+        let mut categories = Vec::with_capacity(table.n_attrs());
+        for j in 0..table.n_attrs() {
+            match table.column(j) {
+                Column::Cat { categories: c, .. } => {
+                    cells.push(CellCodec::Ordinal { k: c.len() });
+                    categories.push(c.clone());
+                }
+                Column::Num(values) => {
+                    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    cells.push(CellCodec::Norm { min, max });
+                    categories.push(Vec::new());
+                }
+            }
+        }
+        let m = cells.len();
+        let side = (m as f64).sqrt().ceil() as usize;
+        MatrixCodec {
+            schema: table.schema().clone(),
+            categories,
+            cells,
+            side,
+        }
+    }
+
+    /// Side length of the square sample.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// The schema this codec round-trips.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Per-cell transformation parameters (for model persistence).
+    pub fn cell_params(&self) -> Vec<MatrixCellParam> {
+        self.cells
+            .iter()
+            .map(|c| match c {
+                CellCodec::Ordinal { k } => MatrixCellParam::Ordinal { k: *k },
+                CellCodec::Norm { min, max } => MatrixCellParam::Norm {
+                    min: *min,
+                    max: *max,
+                },
+            })
+            .collect()
+    }
+
+    /// Category-name lists per column (for model persistence).
+    pub fn categories(&self) -> &[Vec<String>] {
+        &self.categories
+    }
+
+    /// Reassembles a codec from its parts (for model persistence).
+    pub fn from_parts(
+        schema: Schema,
+        categories: Vec<Vec<String>>,
+        cells: Vec<MatrixCellParam>,
+    ) -> MatrixCodec {
+        assert_eq!(schema.n_attrs(), cells.len(), "cell arity mismatch");
+        assert_eq!(schema.n_attrs(), categories.len(), "category arity mismatch");
+        let side = (cells.len() as f64).sqrt().ceil() as usize;
+        MatrixCodec {
+            schema,
+            categories,
+            cells: cells
+                .into_iter()
+                .map(|c| match c {
+                    MatrixCellParam::Ordinal { k } => CellCodec::Ordinal { k },
+                    MatrixCellParam::Norm { min, max } => CellCodec::Norm { min, max },
+                })
+                .collect(),
+            side,
+        }
+    }
+
+    /// Encodes a table into `[n, 1, side, side]` matrices.
+    pub fn encode_table(&self, table: &Table) -> Tensor {
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "table schema differs from the fitted schema"
+        );
+        let n = table.n_rows();
+        let area = self.side * self.side;
+        let mut data = vec![0.0f32; n * area];
+        for i in 0..n {
+            let row = table.row(i);
+            for (j, (cell, v)) in self.cells.iter().zip(&row).enumerate() {
+                data[i * area + j] = cell.encode(v);
+            }
+        }
+        Tensor::from_vec(data, &[n, 1, self.side, self.side])
+    }
+
+    /// Decodes `[n, 1, side, side]` matrices back into a table; pad
+    /// cells are ignored.
+    pub fn decode_table(&self, samples: &Tensor) -> Table {
+        assert_eq!(samples.ndim(), 4, "expected [n, 1, side, side]");
+        assert_eq!(samples.shape()[1], 1, "expected a single channel");
+        assert_eq!(samples.shape()[2], self.side, "side mismatch");
+        assert_eq!(samples.shape()[3], self.side, "side mismatch");
+        let n = samples.shape()[0];
+        let area = self.side * self.side;
+        let mut columns: Vec<Column> = self
+            .schema
+            .attrs()
+            .iter()
+            .zip(&self.categories)
+            .map(|(a, cats)| match a.ty {
+                AttrType::Numerical => Column::Num(Vec::with_capacity(n)),
+                AttrType::Categorical => Column::Cat {
+                    codes: Vec::with_capacity(n),
+                    categories: cats.clone(),
+                },
+            })
+            .collect();
+        for i in 0..n {
+            for (j, cell) in self.cells.iter().enumerate() {
+                let x = samples.data()[i * area + j];
+                match (&mut columns[j], cell.decode(x)) {
+                    (Column::Num(data), Value::Num(v)) => data.push(v),
+                    (Column::Cat { codes, .. }, Value::Cat(c)) => codes.push(c),
+                    _ => unreachable!("codec/type mismatch"),
+                }
+            }
+        }
+        Table::new(self.schema.clone(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Attribute;
+    use daisy_tensor::Rng;
+
+    fn table_with_attrs(m_num: usize, m_cat: usize, n: usize, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut attrs = Vec::new();
+        let mut columns = Vec::new();
+        for j in 0..m_num {
+            attrs.push(Attribute::numerical(format!("n{j}")));
+            columns.push(Column::Num((0..n).map(|_| rng.uniform(-3.0, 9.0)).collect()));
+        }
+        for j in 0..m_cat {
+            attrs.push(Attribute::categorical(format!("c{j}")));
+            columns.push(Column::cat_with_domain(
+                (0..n).map(|_| rng.usize(5) as u32).collect(),
+                5,
+            ));
+        }
+        Table::new(Schema::new(attrs), columns)
+    }
+
+    #[test]
+    fn eight_attrs_pack_into_3x3() {
+        // The paper's example: 8 attributes → 3×3 with one zero pad.
+        let t = table_with_attrs(5, 3, 20, 0);
+        let codec = MatrixCodec::fit(&t);
+        assert_eq!(codec.side(), 3);
+        let enc = codec.encode_table(&t);
+        assert_eq!(enc.shape(), &[20, 1, 3, 3]);
+        // Pad cell (index 8) stays zero.
+        for i in 0..20 {
+            assert_eq!(enc.data()[i * 9 + 8], 0.0);
+        }
+    }
+
+    #[test]
+    fn perfect_square_has_no_padding() {
+        let t = table_with_attrs(9, 0, 10, 1);
+        assert_eq!(MatrixCodec::fit(&t).side(), 3);
+        let t = table_with_attrs(16, 0, 10, 2);
+        assert_eq!(MatrixCodec::fit(&t).side(), 4);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = table_with_attrs(4, 4, 50, 3);
+        let codec = MatrixCodec::fit(&t);
+        let back = codec.decode_table(&codec.encode_table(&t));
+        for j in 0..4 {
+            for (a, b) in t.column(j).as_num().iter().zip(back.column(j).as_num()) {
+                assert!((a - b).abs() < 1e-5, "col {j}: {a} vs {b}");
+            }
+        }
+        for j in 4..8 {
+            assert_eq!(t.column(j).as_cat(), back.column(j).as_cat());
+        }
+    }
+
+    #[test]
+    fn encoded_range_is_tanh_compatible() {
+        let t = table_with_attrs(6, 3, 100, 4);
+        let enc = MatrixCodec::fit(&t).encode_table(&t);
+        assert!(enc.min() >= -1.0 && enc.max() <= 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Phase I of the paper's framework: reversible data transformation
+//! (§4). Records with mixed attribute types become numeric samples a
+//! GAN can train on; synthetic samples convert back into records.
+//!
+//! Two sample forms exist:
+//! - **vector-formed** ([`RecordCodec`]) for MLP/LSTM networks — any
+//!   combination of ordinal/one-hot encoding with simple/GMM
+//!   normalization;
+//! - **matrix-formed** ([`MatrixCodec`]) for CNN networks — restricted
+//!   to ordinal encoding + simple normalization, because each attribute
+//!   must occupy exactly one matrix cell.
+
+mod codec;
+mod matrix;
+mod record;
+
+pub use codec::{AttributeCodec, OutputBlock, OutputBlockKind};
+pub use matrix::{MatrixCellParam, MatrixCodec};
+pub use record::RecordCodec;
+
+use daisy_tensor::Tensor;
+
+/// Encoding scheme for categorical attributes (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoricalEncoding {
+    /// One ordinal integer per category, scaled into `[0, 1]`.
+    Ordinal,
+    /// A `|T[j]|`-wide one-hot indicator block.
+    OneHot,
+}
+
+/// Normalization scheme for numerical attributes (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericalNormalization {
+    /// Min–max scaling into `[-1, 1]`.
+    Simple,
+    /// Mode-specific normalization via a univariate GMM: a scaled value
+    /// plus a one-hot component indicator.
+    Gmm,
+}
+
+/// A point in the data-transformation design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// Categorical scheme.
+    pub categorical: CategoricalEncoding,
+    /// Numerical scheme.
+    pub numerical: NumericalNormalization,
+    /// GMM component count `s` (ignored for [`NumericalNormalization::Simple`]).
+    pub gmm_components: usize,
+    /// EM iterations for GMM fitting.
+    pub gmm_iterations: usize,
+}
+
+impl TransformConfig {
+    /// `sn/od`: simple normalization + ordinal encoding.
+    pub fn sn_od() -> Self {
+        TransformConfig {
+            categorical: CategoricalEncoding::Ordinal,
+            numerical: NumericalNormalization::Simple,
+            gmm_components: 5,
+            gmm_iterations: 30,
+        }
+    }
+
+    /// `sn/ht`: simple normalization + one-hot encoding.
+    pub fn sn_ht() -> Self {
+        TransformConfig {
+            categorical: CategoricalEncoding::OneHot,
+            ..Self::sn_od()
+        }
+    }
+
+    /// `gn/od`: GMM normalization + ordinal encoding.
+    pub fn gn_od() -> Self {
+        TransformConfig {
+            numerical: NumericalNormalization::Gmm,
+            ..Self::sn_od()
+        }
+    }
+
+    /// `gn/ht`: GMM normalization + one-hot encoding — the paper's
+    /// recommended default (Finding in §B.5.1).
+    pub fn gn_ht() -> Self {
+        TransformConfig {
+            categorical: CategoricalEncoding::OneHot,
+            numerical: NumericalNormalization::Gmm,
+            ..Self::sn_od()
+        }
+    }
+
+    /// Short display name matching the paper's table headers.
+    pub fn short_name(&self) -> &'static str {
+        match (self.numerical, self.categorical) {
+            (NumericalNormalization::Simple, CategoricalEncoding::Ordinal) => "sn/od",
+            (NumericalNormalization::Simple, CategoricalEncoding::OneHot) => "sn/ht",
+            (NumericalNormalization::Gmm, CategoricalEncoding::Ordinal) => "gn/od",
+            (NumericalNormalization::Gmm, CategoricalEncoding::OneHot) => "gn/ht",
+        }
+    }
+
+    /// All four corners of the transformation design space.
+    pub fn all() -> [TransformConfig; 4] {
+        [Self::sn_od(), Self::sn_ht(), Self::gn_od(), Self::gn_ht()]
+    }
+}
+
+/// One-hot encodes label codes into a `[n, k]` condition matrix (the
+/// condition vector `c` of conditional GAN, §5.3).
+pub fn one_hot_labels(labels: &[u32], k: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[labels.len(), k]);
+    for (i, &y) in labels.iter().enumerate() {
+        assert!((y as usize) < k, "label {y} out of domain {k}");
+        *out.at2_mut(i, y as usize) = 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_names() {
+        assert_eq!(TransformConfig::sn_od().short_name(), "sn/od");
+        assert_eq!(TransformConfig::gn_ht().short_name(), "gn/ht");
+        let names: Vec<_> = TransformConfig::all()
+            .iter()
+            .map(|c| c.short_name())
+            .collect();
+        assert_eq!(names, vec!["sn/od", "sn/ht", "gn/od", "gn/ht"]);
+    }
+
+    #[test]
+    fn one_hot_labels_basic() {
+        let t = one_hot_labels(&[0, 2, 1], 3);
+        assert_eq!(t.shape(), &[3, 3]);
+        assert_eq!(t.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(t.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(t.row(2), &[0.0, 1.0, 0.0]);
+    }
+}

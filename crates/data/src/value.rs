@@ -1,0 +1,102 @@
+//! Scalar values and attribute metadata.
+
+use std::fmt;
+
+/// The two attribute kinds the paper considers (§2.1): categorical
+/// (nominal) and numerical (discrete or continuous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Nominal attribute with a finite category domain.
+    Categorical,
+    /// Real-valued attribute.
+    Numerical,
+}
+
+/// Declaration of one column: a name plus its kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name.
+    pub name: String,
+    /// Column kind.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// A categorical attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Categorical,
+        }
+    }
+
+    /// A numerical attribute.
+    pub fn numerical(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            ty: AttrType::Numerical,
+        }
+    }
+}
+
+/// One cell of a record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Numerical cell.
+    Num(f64),
+    /// Categorical cell, as a code into the column's category list.
+    Cat(u32),
+}
+
+impl Value {
+    /// The numerical payload; panics on a categorical value.
+    pub fn as_num(&self) -> f64 {
+        match self {
+            Value::Num(v) => *v,
+            Value::Cat(_) => panic!("expected numerical value"),
+        }
+    }
+
+    /// The categorical code; panics on a numerical value.
+    pub fn as_cat(&self) -> u32 {
+        match self {
+            Value::Cat(c) => *c,
+            Value::Num(_) => panic!("expected categorical value"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Cat(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Num(2.5).as_num(), 2.5);
+        assert_eq!(Value::Cat(3).as_cat(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected numerical")]
+    fn wrong_accessor_panics() {
+        Value::Cat(1).as_num();
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        let a = Attribute::categorical("workclass");
+        assert_eq!(a.ty, AttrType::Categorical);
+        let b = Attribute::numerical("age");
+        assert_eq!(b.ty, AttrType::Numerical);
+        assert_eq!(b.name, "age");
+    }
+}

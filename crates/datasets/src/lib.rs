@@ -1,0 +1,16 @@
+//! # daisy-datasets
+//!
+//! Every dataset of the paper's §6.1: the simulated `SDataNum` /
+//! `SDataCat` families with controlled attribute correlation and label
+//! skewness, and seeded structural stand-ins for the eight real
+//! datasets of Table 2 (HTRU2, Digits, Adult, CovType, SAT, Anuran,
+//! Census, Bing).
+
+pub mod real;
+pub mod registry;
+pub mod sdata;
+pub mod synthetic;
+
+pub use registry::{all_real, by_name, high_dimensional, low_dimensional};
+pub use sdata::{SDataCat, SDataNum, Skew};
+pub use synthetic::TableSpec;

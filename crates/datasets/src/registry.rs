@@ -1,0 +1,66 @@
+//! Name-based dataset lookup for the experiment harness.
+
+use crate::real;
+use crate::synthetic::TableSpec;
+
+/// All real-dataset stand-ins, in the paper's Table 2 order.
+pub fn all_real() -> Vec<TableSpec> {
+    vec![
+        real::htru2(),
+        real::digits(),
+        real::adult(),
+        real::covtype(),
+        real::sat(),
+        real::anuran(),
+        real::census(),
+        real::bing(),
+    ]
+}
+
+/// Looks a dataset spec up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<TableSpec> {
+    all_real()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+/// The low-dimensional datasets (#Attr ≤ 20).
+pub fn low_dimensional() -> Vec<TableSpec> {
+    all_real()
+        .into_iter()
+        .filter(|s| s.n_attrs() <= 20)
+        .collect()
+}
+
+/// The high-dimensional datasets (#Attr > 20).
+pub fn high_dimensional() -> Vec<TableSpec> {
+    all_real()
+        .into_iter()
+        .filter(|s| s.n_attrs() > 20)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("adult").unwrap().name, "Adult");
+        assert_eq!(by_name("COVTYPE").unwrap().name, "CovType");
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn dimensionality_partition_matches_paper() {
+        let low: Vec<_> = low_dimensional().iter().map(|s| s.name).collect();
+        let high: Vec<_> = high_dimensional().iter().map(|s| s.name).collect();
+        assert_eq!(low, vec!["HTRU2", "Digits", "Adult", "CovType"]);
+        assert_eq!(high, vec!["SAT", "Anuran", "Census", "Bing"]);
+    }
+
+    #[test]
+    fn registry_covers_all_eight() {
+        assert_eq!(all_real().len(), 8);
+    }
+}

@@ -1,0 +1,337 @@
+//! The paper's simulated datasets (§6.1): `SDataNum` (grid Gaussian
+//! mixtures with controlled attribute correlation) and `SDataCat`
+//! (chain Bayesian networks with controlled conditional-probability
+//! concentration), each in balanced and skew label variants.
+
+use daisy_data::{Attribute, Column, Schema, Table};
+use daisy_tensor::Rng;
+
+/// Label-skewness setting for simulated data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Skew {
+    /// Positive:negative ≈ 1:1.
+    Balanced,
+    /// Positive:negative ≈ 1:9.
+    Skewed,
+}
+
+impl Skew {
+    fn positive_fraction(self) -> f64 {
+        match self {
+            Skew::Balanced => 0.5,
+            Skew::Skewed => 0.1,
+        }
+    }
+
+    /// Display suffix matching the paper's dataset names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Skew::Balanced => "balance",
+            Skew::Skewed => "skew",
+        }
+    }
+}
+
+/// Configuration of an `SDataNum` dataset: 25 two-dimensional Gaussians
+/// centered on the grid `{-4,-2,0,2,4}²`, `σ ~ U(0.5, 1)`, correlation
+/// coefficient `ρ` shared by all components.
+#[derive(Debug, Clone, Copy)]
+pub struct SDataNum {
+    /// Correlation coefficient `ρ_xy` of each Gaussian (the paper uses
+    /// 0.5 and 0.9).
+    pub correlation: f64,
+    /// Label balance.
+    pub skew: Skew,
+}
+
+impl SDataNum {
+    /// Generates `n` records. Each record samples one of the 25
+    /// components; its binary label leans on the component (a fixed
+    /// subset of components is positive-leaning), which plants a
+    /// feature↔label dependence for the utility classifiers while
+    /// hitting the target label ratio.
+    pub fn generate(&self, n: usize, seed: u64) -> Table {
+        assert!(
+            (0.0..1.0).contains(&self.correlation.abs()),
+            "|ρ| must be < 1"
+        );
+        let mut rng = Rng::seed_from_u64(seed);
+        // Component means on the 5x5 grid; per-component σs.
+        let grid = [-4.0, -2.0, 0.0, 2.0, 4.0];
+        let mut comps = Vec::with_capacity(25);
+        for &mx in &grid {
+            for &my in &grid {
+                let sx = rng.uniform(0.5, 1.0);
+                let sy = rng.uniform(0.5, 1.0);
+                comps.push((mx, my, sx, sy));
+            }
+        }
+        // Positive-leaning components: enough to hit the target ratio
+        // with P(y=1 | leaning) = 0.9 and P(y=1 | other) = 0.02.
+        let target = self.skew.positive_fraction();
+        let m = (((target - 0.02) / (0.9 - 0.02)) * 25.0).round().max(1.0) as usize;
+        let mut leaning = [false; 25];
+        // Spread the leaning components across the grid (stride pattern)
+        // so the label is not a linear function of position.
+        for i in 0..m.min(25) {
+            leaning[(i * 7) % 25] = true;
+        }
+
+        let rho = self.correlation;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.usize(25);
+            let (mx, my, sx, sy) = comps[c];
+            let z1 = rng.normal();
+            let z2 = rng.normal();
+            xs.push(mx + sx * z1);
+            ys.push(my + sy * (rho * z1 + (1.0 - rho * rho).sqrt() * z2));
+            let p = if leaning[c] { 0.9 } else { 0.02 };
+            labels.push(rng.bool(p) as u32);
+        }
+        Table::new(
+            Schema::with_label(
+                vec![
+                    Attribute::numerical("x"),
+                    Attribute::numerical("y"),
+                    Attribute::categorical("label"),
+                ],
+                2,
+            ),
+            vec![
+                Column::Num(xs),
+                Column::Num(ys),
+                Column::cat_with_domain(labels, 2),
+            ],
+        )
+    }
+
+    /// Dataset display name, e.g. `SDataNum-0.5-skew`.
+    pub fn name(&self) -> String {
+        format!("SDataNum-{}-{}", self.correlation, self.skew.suffix())
+    }
+}
+
+/// Configuration of an `SDataCat` dataset: a 5-node chain Bayesian
+/// network of categorical variables; each edge's conditional
+/// probability matrix has diagonal `p` and uniform off-diagonals, so
+/// larger `p` means stronger attribute dependence (`p = 1` makes each
+/// attribute a function of its predecessor).
+#[derive(Debug, Clone, Copy)]
+pub struct SDataCat {
+    /// Diagonal conditional probability `p` (the paper uses 0.5, 0.9).
+    pub diagonal: f64,
+    /// Label balance.
+    pub skew: Skew,
+    /// Domain size of each of the 5 attributes.
+    pub domain: usize,
+}
+
+impl SDataCat {
+    /// The paper's configuration with a domain size of 4 per attribute.
+    pub fn new(diagonal: f64, skew: Skew) -> Self {
+        SDataCat {
+            diagonal,
+            skew,
+            domain: 4,
+        }
+    }
+
+    /// Generates `n` records by ancestral sampling along the chain; the
+    /// binary label leans on the final node's value.
+    pub fn generate(&self, n: usize, seed: u64) -> Table {
+        assert!(
+            (0.0..=1.0).contains(&self.diagonal),
+            "diagonal probability must be in [0, 1]"
+        );
+        assert!(self.domain >= 2, "domain must have at least 2 values");
+        let mut rng = Rng::seed_from_u64(seed);
+        let k = self.domain;
+        let p = self.diagonal;
+        let off = (1.0 - p) / (k - 1) as f64;
+
+        // Label leaning per value of the last attribute, tuned to the
+        // target positive fraction (values are ~uniform marginally
+        // because the transition matrix is doubly stochastic).
+        let target = self.skew.positive_fraction();
+        let m = ((target - 0.02) / (0.9 - 0.02) * k as f64).round().max(1.0) as usize;
+        let leaning: Vec<bool> = (0..k).map(|v| v < m.min(k)).collect();
+
+        let mut cols: Vec<Vec<u32>> = (0..5).map(|_| Vec::with_capacity(n)).collect();
+        let mut labels = Vec::with_capacity(n);
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..n {
+            let mut prev = rng.usize(k);
+            cols[0].push(prev as u32);
+            for col in cols.iter_mut().skip(1) {
+                for (v, wv) in weights.iter_mut().enumerate() {
+                    *wv = if v == prev { p } else { off };
+                }
+                // p = 1 makes the off-diagonal zero; weighted() needs a
+                // positive sum, which p=1 still satisfies.
+                prev = rng.weighted(&weights);
+                col.push(prev as u32);
+            }
+            let lp = if leaning[prev] { 0.9 } else { 0.02 };
+            labels.push(rng.bool(lp) as u32);
+        }
+
+        let mut attrs: Vec<Attribute> = (0..5)
+            .map(|j| Attribute::categorical(format!("a{j}")))
+            .collect();
+        attrs.push(Attribute::categorical("label"));
+        let mut columns: Vec<Column> = cols
+            .into_iter()
+            .map(|codes| Column::cat_with_domain(codes, k))
+            .collect();
+        columns.push(Column::cat_with_domain(labels, 2));
+        Table::new(Schema::with_label(attrs, 5), columns)
+    }
+
+    /// Dataset display name, e.g. `SDataCat-0.9-balance`.
+    pub fn name(&self) -> String {
+        format!("SDataCat-{}-{}", self.diagonal, self.skew.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sdatanum_shape_and_grid() {
+        let t = SDataNum {
+            correlation: 0.5,
+            skew: Skew::Balanced,
+        }
+        .generate(2000, 0);
+        assert_eq!(t.n_rows(), 2000);
+        assert_eq!(t.schema().n_numerical(), 2);
+        let xs = t.column(0).as_num();
+        // Values live on the grid ± a few σ.
+        assert!(xs.iter().all(|&v| (-8.0..=8.0).contains(&v)));
+        // The mixture spans positive and negative regions.
+        assert!(xs.iter().any(|&v| v > 2.0) && xs.iter().any(|&v| v < -2.0));
+    }
+
+    #[test]
+    fn correlation_is_planted() {
+        let corr_of = |rho: f64| {
+            let t = SDataNum {
+                correlation: rho,
+                skew: Skew::Balanced,
+            }
+            .generate(20_000, 1);
+            let xs = t.column(0).as_num();
+            let ys = t.column(1).as_num();
+            // Within-component correlation: use residuals from the
+            // nearest grid centers.
+            let resid = |v: f64| v - (2.0 * ((v + 4.0) / 2.0).round().clamp(0.0, 4.0) - 4.0);
+            let rx: Vec<f64> = xs.iter().map(|&v| resid(v)).collect();
+            let ry: Vec<f64> = ys.iter().map(|&v| resid(v)).collect();
+            let n = rx.len() as f64;
+            let mx = rx.iter().sum::<f64>() / n;
+            let my = ry.iter().sum::<f64>() / n;
+            let cov = rx
+                .iter()
+                .zip(&ry)
+                .map(|(&a, &b)| (a - mx) * (b - my))
+                .sum::<f64>()
+                / n;
+            let sx = (rx.iter().map(|&a| (a - mx) * (a - mx)).sum::<f64>() / n).sqrt();
+            let sy = (ry.iter().map(|&b| (b - my) * (b - my)).sum::<f64>() / n).sqrt();
+            cov / (sx * sy)
+        };
+        // Higher ρ must yield visibly higher residual correlation.
+        assert!(corr_of(0.9) > corr_of(0.1) + 0.2);
+    }
+
+    #[test]
+    fn skew_ratios() {
+        let frac = |skew: Skew| {
+            let t = SDataNum {
+                correlation: 0.5,
+                skew,
+            }
+            .generate(10_000, 2);
+            t.labels().iter().filter(|&&y| y == 1).count() as f64 / 10_000.0
+        };
+        let b = frac(Skew::Balanced);
+        let s = frac(Skew::Skewed);
+        assert!((b - 0.5).abs() < 0.1, "balanced fraction {b}");
+        assert!((s - 0.1).abs() < 0.05, "skew fraction {s}");
+    }
+
+    #[test]
+    fn sdatacat_chain_dependence() {
+        let dependence = |p: f64| {
+            let t = SDataCat::new(p, Skew::Balanced).generate(10_000, 3);
+            let a = t.column(0).as_cat();
+            let b = t.column(1).as_cat();
+            a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / 10_000.0
+        };
+        let strong = dependence(0.9);
+        let weak = dependence(0.3);
+        assert!((strong - 0.9).abs() < 0.03, "strong diag {strong}");
+        assert!((weak - 0.3).abs() < 0.03, "weak diag {weak}");
+    }
+
+    #[test]
+    fn sdatacat_deterministic_chain_at_p1() {
+        let t = SDataCat::new(1.0, Skew::Balanced).generate(500, 4);
+        for j in 1..5 {
+            assert_eq!(t.column(j).as_cat(), t.column(0).as_cat());
+        }
+    }
+
+    #[test]
+    fn sdatacat_label_depends_on_chain() {
+        let t = SDataCat::new(0.9, Skew::Balanced).generate(10_000, 5);
+        let last = t.column(4).as_cat();
+        let labels = t.labels();
+        // P(y=1 | leaning value) must far exceed P(y=1 | other value).
+        let mut pos = [0usize; 2];
+        let mut tot = [0usize; 2];
+        for (&v, &y) in last.iter().zip(labels) {
+            let lean = usize::from(v < 2);
+            tot[lean] += 1;
+            pos[lean] += y as usize;
+        }
+        let p_lean = pos[1] as f64 / tot[1] as f64;
+        let p_other = pos[0] as f64 / tot[0] as f64;
+        assert!(p_lean > p_other + 0.5, "{p_lean} vs {p_other}");
+    }
+
+    #[test]
+    fn names_match_paper_convention() {
+        assert_eq!(
+            SDataNum {
+                correlation: 0.5,
+                skew: Skew::Skewed
+            }
+            .name(),
+            "SDataNum-0.5-skew"
+        );
+        assert_eq!(
+            SDataCat::new(0.9, Skew::Balanced).name(),
+            "SDataCat-0.9-balance"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SDataNum {
+            correlation: 0.5,
+            skew: Skew::Balanced,
+        }
+        .generate(100, 7);
+        let b = SDataNum {
+            correlation: 0.5,
+            skew: Skew::Balanced,
+        }
+        .generate(100, 7);
+        assert_eq!(a, b);
+    }
+}

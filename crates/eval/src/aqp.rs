@@ -1,0 +1,398 @@
+//! Approximate query processing utility (§2.1, §6.2): a workload of
+//! aggregate queries (count/avg/sum with selections and groupings) runs
+//! on the synthetic table and on uniform samples of the real table;
+//! `DiffAQP = |e − e'|` averaged over the workload, where `e` and `e'`
+//! are the relative errors of the sample and of the synthetic table
+//! against the real answers.
+
+use daisy_data::{AttrType, Column, Table};
+use daisy_tensor::Rng;
+
+/// Aggregate function of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)` over a numerical column.
+    Sum(usize),
+    /// `AVG(col)` over a numerical column.
+    Avg(usize),
+}
+
+/// A selection predicate.
+#[derive(Debug, Clone, Copy)]
+pub enum Predicate {
+    /// Categorical equality: `col = code`.
+    CatEq(usize, u32),
+    /// Numerical range: `lo <= col <= hi`.
+    NumRange(usize, f64, f64),
+}
+
+/// One aggregate query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Aggregate function.
+    pub agg: Agg,
+    /// Conjunctive selection predicates.
+    pub predicates: Vec<Predicate>,
+    /// Optional GROUP BY over a categorical column.
+    pub group_by: Option<usize>,
+}
+
+impl Predicate {
+    fn matches(&self, table: &Table, row: usize) -> bool {
+        match *self {
+            Predicate::CatEq(col, code) => table.column(col).as_cat()[row] == code,
+            Predicate::NumRange(col, lo, hi) => {
+                let v = table.column(col).as_num()[row];
+                v >= lo && v <= hi
+            }
+        }
+    }
+}
+
+/// Executes a query, returning `(group, value)` pairs; ungrouped
+/// queries return a single pair with group 0. Empty groups are omitted
+/// (AVG of nothing is undefined).
+pub fn execute(table: &Table, query: &Query) -> Vec<(u32, f64)> {
+    let n_groups = match query.group_by {
+        Some(col) => table.column(col).domain_size(),
+        None => 1,
+    };
+    let mut counts = vec![0usize; n_groups];
+    let mut sums = vec![0.0f64; n_groups];
+    for i in 0..table.n_rows() {
+        if !query.predicates.iter().all(|p| p.matches(table, i)) {
+            continue;
+        }
+        let g = match query.group_by {
+            Some(col) => table.column(col).as_cat()[i] as usize,
+            None => 0,
+        };
+        counts[g] += 1;
+        match query.agg {
+            Agg::Count => {}
+            Agg::Sum(col) | Agg::Avg(col) => sums[g] += table.column(col).as_num()[i],
+        }
+    }
+    (0..n_groups)
+        .filter(|&g| counts[g] > 0)
+        .map(|g| {
+            let v = match query.agg {
+                Agg::Count => counts[g] as f64,
+                Agg::Sum(_) => sums[g],
+                Agg::Avg(_) => sums[g] / counts[g] as f64,
+            };
+            (g as u32, v)
+        })
+        .collect()
+}
+
+/// Relative error of an estimated result against the true result,
+/// averaged over the true result's groups. Scaling for COUNT/SUM
+/// estimates from differently sized tables is the caller's concern —
+/// see [`workload_error`].
+pub fn relative_error(truth: &[(u32, f64)], estimate: &[(u32, f64)]) -> f64 {
+    if truth.is_empty() {
+        // Nothing qualified in the real table; a correct estimate also
+        // returns nothing.
+        return if estimate.is_empty() { 0.0 } else { 1.0 };
+    }
+    let mut total = 0.0;
+    for &(g, t) in truth {
+        let e = estimate
+            .iter()
+            .find(|(ge, _)| *ge == g)
+            .map(|&(_, v)| v);
+        total += match e {
+            // Missing group = 100% error, as in AQP practice.
+            None => 1.0,
+            Some(v) => {
+                if t.abs() < 1e-12 {
+                    if v.abs() < 1e-12 {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                } else {
+                    ((t - v) / t).abs().min(1.0)
+                }
+            }
+        };
+    }
+    total / truth.len() as f64
+}
+
+/// Generates a workload of `n` random aggregate queries against the
+/// table's schema, following the generation recipe of \[36\]: random
+/// aggregate (count/avg/sum), 0–2 selection predicates (categorical
+/// equality or a numeric range covering ~25–75% of the observed range),
+/// and a group-by on a categorical column with probability 1/2 (when
+/// one exists).
+pub fn generate_workload(table: &Table, n: usize, rng: &mut Rng) -> Vec<Query> {
+    let mut num_cols = Vec::new();
+    let mut cat_cols = Vec::new();
+    for (j, a) in table.schema().attrs().iter().enumerate() {
+        match a.ty {
+            AttrType::Numerical => num_cols.push(j),
+            AttrType::Categorical => cat_cols.push(j),
+        }
+    }
+    assert!(
+        !num_cols.is_empty() || !cat_cols.is_empty(),
+        "table has no columns"
+    );
+    let ranges: Vec<Option<(f64, f64)>> = table
+        .columns()
+        .iter()
+        .map(|c| match c {
+            Column::Num(v) => {
+                let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                Some((min, max))
+            }
+            _ => None,
+        })
+        .collect();
+
+    (0..n)
+        .map(|_| {
+            let agg = if num_cols.is_empty() {
+                Agg::Count
+            } else {
+                match rng.usize(3) {
+                    0 => Agg::Count,
+                    1 => Agg::Sum(num_cols[rng.usize(num_cols.len())]),
+                    _ => Agg::Avg(num_cols[rng.usize(num_cols.len())]),
+                }
+            };
+            let n_preds = rng.usize(3);
+            let predicates = (0..n_preds)
+                .filter_map(|_| {
+                    let pick_cat = !cat_cols.is_empty() && (num_cols.is_empty() || rng.bool(0.5));
+                    if pick_cat {
+                        let col = cat_cols[rng.usize(cat_cols.len())];
+                        let k = table.column(col).domain_size();
+                        Some(Predicate::CatEq(col, rng.usize(k) as u32))
+                    } else if !num_cols.is_empty() {
+                        let col = num_cols[rng.usize(num_cols.len())];
+                        let (min, max) = ranges[col].unwrap();
+                        if max <= min {
+                            return None;
+                        }
+                        let width = (max - min) * rng.uniform(0.25, 0.75);
+                        let lo = rng.uniform(min, max - width);
+                        Some(Predicate::NumRange(col, lo, lo + width))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let group_by = if !cat_cols.is_empty() && rng.bool(0.5) {
+                Some(cat_cols[rng.usize(cat_cols.len())])
+            } else {
+                None
+            };
+            Query {
+                agg,
+                predicates,
+                group_by,
+            }
+        })
+        .collect()
+}
+
+/// Mean relative error of `estimate_table` answering the workload
+/// against `real`. COUNT and SUM results are scaled by the row-count
+/// ratio so differently sized estimators are comparable.
+pub fn workload_error(real: &Table, estimate_table: &Table, queries: &[Query]) -> f64 {
+    assert!(!queries.is_empty(), "empty workload");
+    let scale = real.n_rows() as f64 / estimate_table.n_rows().max(1) as f64;
+    let mut total = 0.0;
+    for q in queries {
+        let truth = execute(real, q);
+        let mut est = execute(estimate_table, q);
+        if matches!(q.agg, Agg::Count | Agg::Sum(_)) {
+            for (_, v) in &mut est {
+                *v *= scale;
+            }
+        }
+        total += relative_error(&truth, &est);
+    }
+    total / queries.len() as f64
+}
+
+/// The paper's AQP utility protocol: `e'` = synthetic-table error,
+/// `e` = error of uniform samples (fraction `sample_frac`, averaged
+/// over `n_sample_sets` draws); returns the mean `|e − e'|`.
+pub fn aqp_utility(
+    real: &Table,
+    synthetic: &Table,
+    queries: &[Query],
+    sample_frac: f64,
+    n_sample_sets: usize,
+    rng: &mut Rng,
+) -> f64 {
+    assert!(!queries.is_empty(), "empty workload");
+    let sample_n = ((real.n_rows() as f64 * sample_frac) as usize).max(1);
+    let mut per_query_sample_err = vec![0.0f64; queries.len()];
+    for _ in 0..n_sample_sets.max(1) {
+        let idx: Vec<usize> = (0..sample_n).map(|_| rng.usize(real.n_rows())).collect();
+        let sample = real.select_rows(&idx);
+        let scale = real.n_rows() as f64 / sample_n as f64;
+        for (qi, q) in queries.iter().enumerate() {
+            let truth = execute(real, q);
+            let mut est = execute(&sample, q);
+            if matches!(q.agg, Agg::Count | Agg::Sum(_)) {
+                for (_, v) in &mut est {
+                    *v *= scale;
+                }
+            }
+            per_query_sample_err[qi] += relative_error(&truth, &est);
+        }
+    }
+    let sets = n_sample_sets.max(1) as f64;
+    let syn_scale = real.n_rows() as f64 / synthetic.n_rows().max(1) as f64;
+    let mut total = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let e_sample = per_query_sample_err[qi] / sets;
+        let truth = execute(real, q);
+        let mut est = execute(synthetic, q);
+        if matches!(q.agg, Agg::Count | Agg::Sum(_)) {
+            for (_, v) in &mut est {
+                *v *= syn_scale;
+            }
+        }
+        let e_syn = relative_error(&truth, &est);
+        total += (e_sample - e_syn).abs();
+    }
+    total / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Schema};
+
+    fn demo() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Attribute::numerical("v"),
+                Attribute::categorical("g"),
+            ]),
+            vec![
+                Column::Num(vec![1.0, 2.0, 3.0, 4.0]),
+                Column::cat_with_domain(vec![0, 0, 1, 1], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn count_sum_avg() {
+        let t = demo();
+        let q = Query {
+            agg: Agg::Count,
+            predicates: vec![],
+            group_by: None,
+        };
+        assert_eq!(execute(&t, &q), vec![(0, 4.0)]);
+        let q = Query {
+            agg: Agg::Sum(0),
+            predicates: vec![],
+            group_by: Some(1),
+        };
+        assert_eq!(execute(&t, &q), vec![(0, 3.0), (1, 7.0)]);
+        let q = Query {
+            agg: Agg::Avg(0),
+            predicates: vec![Predicate::NumRange(0, 2.0, 4.0)],
+            group_by: None,
+        };
+        assert_eq!(execute(&t, &q), vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn predicates_filter() {
+        let t = demo();
+        let q = Query {
+            agg: Agg::Count,
+            predicates: vec![Predicate::CatEq(1, 0), Predicate::NumRange(0, 1.5, 5.0)],
+            group_by: None,
+        };
+        assert_eq!(execute(&t, &q), vec![(0, 1.0)]); // only row with v=2, g=0
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(&[(0, 10.0)], &[(0, 10.0)]), 0.0);
+        assert_eq!(relative_error(&[(0, 10.0)], &[(0, 5.0)]), 0.5);
+        assert_eq!(relative_error(&[(0, 10.0)], &[]), 1.0);
+        assert_eq!(relative_error(&[], &[]), 0.0);
+        assert_eq!(relative_error(&[], &[(0, 1.0)]), 1.0);
+        // Errors cap at 1 so one bad query cannot dominate a workload.
+        assert_eq!(relative_error(&[(0, 1.0)], &[(0, 100.0)]), 1.0);
+    }
+
+    #[test]
+    fn identical_tables_have_zero_workload_error() {
+        let t = demo();
+        let mut rng = Rng::seed_from_u64(0);
+        let queries = generate_workload(&t, 50, &mut rng);
+        assert_eq!(workload_error(&t, &t, &queries), 0.0);
+    }
+
+    #[test]
+    fn count_scaling_makes_small_faithful_tables_accurate() {
+        // A half-size copy with the same distribution should answer
+        // COUNT queries almost perfectly after scaling.
+        let mut rng = Rng::seed_from_u64(1);
+        let n = 2000;
+        let mk = |n: usize, rng: &mut Rng| {
+            Table::new(
+                Schema::new(vec![
+                    Attribute::numerical("v"),
+                    Attribute::categorical("g"),
+                ]),
+                vec![
+                    Column::Num((0..n).map(|_| rng.uniform(0.0, 1.0)).collect()),
+                    Column::cat_with_domain(
+                        (0..n).map(|_| rng.usize(3) as u32).collect(),
+                        3,
+                    ),
+                ],
+            )
+        };
+        let real = mk(n, &mut rng);
+        let half = mk(n / 2, &mut rng);
+        let queries = generate_workload(&real, 100, &mut rng);
+        let err = workload_error(&real, &half, &queries);
+        assert!(err < 0.1, "scaled workload error {err}");
+    }
+
+    #[test]
+    fn aqp_utility_prefers_faithful_synthetic() {
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 1500;
+        let mk = |shift: f64, n: usize, rng: &mut Rng| {
+            Table::new(
+                Schema::new(vec![
+                    Attribute::numerical("v"),
+                    Attribute::categorical("g"),
+                ]),
+                vec![
+                    Column::Num((0..n).map(|_| rng.uniform(0.0, 1.0) + shift).collect()),
+                    Column::cat_with_domain(
+                        (0..n).map(|_| rng.usize(3) as u32).collect(),
+                        3,
+                    ),
+                ],
+            )
+        };
+        let real = mk(0.0, n, &mut rng);
+        let faithful = mk(0.0, n, &mut rng);
+        let shifted = mk(0.5, n, &mut rng);
+        let queries = generate_workload(&real, 80, &mut rng);
+        let good = aqp_utility(&real, &faithful, &queries, 0.05, 3, &mut rng);
+        let bad = aqp_utility(&real, &shifted, &queries, 0.05, 3, &mut rng);
+        assert!(good < bad, "faithful {good} vs shifted {bad}");
+    }
+}

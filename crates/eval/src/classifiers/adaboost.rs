@@ -1,0 +1,161 @@
+//! AdaBoost with the multi-class SAMME weighting (Zhu et al.) over
+//! depth-2 decision stumps — "an iterative algorithm to train different
+//! weak classifiers, then gathers them to form a stronger final
+//! classifier" (§6.2).
+
+use crate::classifiers::tree::DecisionTree;
+use crate::classifiers::Classifier;
+use daisy_tensor::{Rng, Tensor};
+
+/// SAMME AdaBoost over shallow trees.
+pub struct AdaBoost {
+    n_estimators: usize,
+    stump_depth: usize,
+    stages: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// Creates a booster with `n_estimators` weak learners.
+    pub fn new(n_estimators: usize) -> Self {
+        assert!(n_estimators > 0, "need at least one estimator");
+        AdaBoost {
+            n_estimators,
+            stump_depth: 2,
+            stages: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Number of fitted stages (may stop early on a perfect learner).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, x: &Tensor, y: &[usize], n_classes: usize, rng: &mut Rng) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        self.n_classes = n_classes;
+        self.stages.clear();
+        let n = x.rows();
+        let mut w = vec![1.0 / n as f64; n];
+        let k = n_classes as f64;
+        for _ in 0..self.n_estimators {
+            let mut stump = DecisionTree::new(self.stump_depth);
+            stump.fit_weighted(x, y, &w, n_classes, rng);
+            let pred = stump.predict(x);
+            let err: f64 = w
+                .iter()
+                .zip(pred.iter().zip(y))
+                .filter(|(_, (p, t))| p != t)
+                .map(|(wi, _)| wi)
+                .sum();
+            if err <= 1e-12 {
+                // Perfect learner dominates; finish with it.
+                self.stages.push((stump, 1.0));
+                break;
+            }
+            if err >= 1.0 - 1.0 / k {
+                // Worse than chance under SAMME: stop (keep what we have;
+                // fall back to this stump if it is the first).
+                if self.stages.is_empty() {
+                    self.stages.push((stump, 1.0));
+                }
+                break;
+            }
+            // SAMME stage weight: ln((1-err)/err) + ln(K-1).
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            for (wi, (p, t)) in w.iter_mut().zip(pred.iter().zip(y)) {
+                if p != t {
+                    *wi *= alpha.exp();
+                }
+            }
+            let total: f64 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= total;
+            }
+            self.stages.push((stump, alpha));
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // votes rows co-indexed with n
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        assert!(!self.stages.is_empty(), "booster is not fitted");
+        let n = x.rows();
+        let mut votes = Tensor::zeros(&[n, self.n_classes]);
+        for (stump, alpha) in &self.stages {
+            let pred = stump.predict(x);
+            for (i, &p) in pred.iter().enumerate() {
+                *votes.at2_mut(i, p) += *alpha as f32;
+            }
+        }
+        // Normalize vote mass into probabilities.
+        for i in 0..n {
+            let row = votes.row_mut(i);
+            let total: f32 = row.iter().sum();
+            if total > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= total;
+                }
+            } else {
+                row.fill(1.0 / row.len() as f32);
+            }
+        }
+        votes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::test_support::{blobs, three_blobs, xor};
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn boosting_beats_single_stump_on_xor() {
+        let (x, y) = xor(400, 0);
+        let (xt, yt) = xor(200, 1);
+        let mut rng = Rng::seed_from_u64(2);
+
+        let mut stump = DecisionTree::new(1);
+        stump.fit(&x, &y, 2, &mut rng);
+        let stump_acc = accuracy(&yt, &stump.predict(&xt));
+
+        let mut ab = AdaBoost::new(30);
+        ab.fit(&x, &y, 2, &mut rng);
+        let ab_acc = accuracy(&yt, &ab.predict(&xt));
+        assert!(
+            ab_acc > stump_acc + 0.1,
+            "boost {ab_acc} vs stump {stump_acc}"
+        );
+    }
+
+    #[test]
+    fn early_stop_on_separable_data() {
+        let (x, y) = blobs(100, 3);
+        // Widely separated blobs: a depth-2 tree is near-perfect, so the
+        // booster should not need all 50 stages.
+        let mut wide = Tensor::zeros(&[100, 2]);
+        for (i, &yi) in y.iter().enumerate() {
+            let c = if yi == 0 { -10.0 } else { 10.0 };
+            wide.row_mut(i).copy_from_slice(&[c, c]);
+        }
+        let _ = x;
+        let mut ab = AdaBoost::new(50);
+        let mut rng = Rng::seed_from_u64(4);
+        ab.fit(&wide, &y, 2, &mut rng);
+        assert!(ab.n_stages() < 5);
+        assert_eq!(accuracy(&y, &ab.predict(&wide)), 1.0);
+    }
+
+    #[test]
+    fn samme_handles_three_classes() {
+        let (x, y) = three_blobs(600, 5);
+        let (xt, yt) = three_blobs(300, 6);
+        let mut ab = AdaBoost::new(30);
+        let mut rng = Rng::seed_from_u64(7);
+        ab.fit(&x, &y, 3, &mut rng);
+        assert!(accuracy(&yt, &ab.predict(&xt)) > 0.85);
+    }
+}

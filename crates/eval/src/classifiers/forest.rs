@@ -1,0 +1,103 @@
+//! Random forests: bootstrap-sampled CART trees with per-split feature
+//! subsampling (√d), probability-averaged (the paper's RF10/RF20).
+
+use crate::classifiers::tree::DecisionTree;
+use crate::classifiers::Classifier;
+use daisy_tensor::{Rng, Tensor};
+
+/// A bagged ensemble of randomized decision trees.
+pub struct RandomForest {
+    n_trees: usize,
+    max_depth: usize,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Creates a forest of `n_trees` trees with the given depth cap.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        RandomForest {
+            n_trees,
+            max_depth,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Tensor, y: &[usize], n_classes: usize, rng: &mut Rng) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        self.n_classes = n_classes;
+        self.trees.clear();
+        let n = x.rows();
+        let mtry = (x.cols() as f64).sqrt().ceil() as usize;
+        for _ in 0..self.n_trees {
+            // Bootstrap sample.
+            let idx: Vec<usize> = (0..n).map(|_| rng.usize(n)).collect();
+            let xb = x.gather_rows(&idx);
+            let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+            let mut tree = DecisionTree::new(self.max_depth).with_max_features(mtry);
+            tree.fit(&xb, &yb, n_classes, rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        assert!(!self.trees.is_empty(), "forest is not fitted");
+        let mut total = Tensor::zeros(&[x.rows(), self.n_classes]);
+        for tree in &self.trees {
+            total.add_assign(&tree.predict_proba(x));
+        }
+        total.mul_scalar(1.0 / self.trees.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::test_support::{blobs, xor};
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn beats_chance_on_xor() {
+        let (x, y) = xor(400, 0);
+        let (xt, yt) = xor(200, 1);
+        let mut rf = RandomForest::new(10, 6);
+        let mut rng = Rng::seed_from_u64(2);
+        rf.fit(&x, &y, 2, &mut rng);
+        assert_eq!(rf.n_trees(), 10);
+        assert!(accuracy(&yt, &rf.predict(&xt)) > 0.9);
+    }
+
+    #[test]
+    fn probabilities_average_trees() {
+        let (x, y) = blobs(200, 3);
+        let mut rf = RandomForest::new(5, 4);
+        let mut rng = Rng::seed_from_u64(4);
+        rf.fit(&x, &y, 2, &mut rng);
+        let proba = rf.predict_proba(&x);
+        for r in 0..10 {
+            let s: f32 = proba.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(150, 5);
+        let run = || {
+            let mut rf = RandomForest::new(4, 5);
+            let mut rng = Rng::seed_from_u64(6);
+            rf.fit(&x, &y, 2, &mut rng);
+            rf.predict(&x)
+        };
+        assert_eq!(run(), run());
+    }
+}

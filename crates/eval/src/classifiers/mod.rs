@@ -1,0 +1,143 @@
+//! The evaluation classifiers of §6.2: decision trees (depth 10/30),
+//! random forests (depth 10/20), AdaBoost, and logistic regression.
+//! They replace the paper's scikit-learn models; the utility metric
+//! `Diff` only needs the *same* classifier applied to real and
+//! synthetic training data, which these provide deterministically.
+
+mod adaboost;
+mod forest;
+mod logistic;
+mod tree;
+
+pub use adaboost::AdaBoost;
+pub use forest::RandomForest;
+pub use logistic::LogisticRegression;
+pub use tree::DecisionTree;
+
+use daisy_tensor::{Rng, Tensor};
+
+/// A deterministic multi-class classifier over dense feature matrices.
+pub trait Classifier {
+    /// Trains on features `x [n, d]` and labels `y` over `n_classes`.
+    fn fit(&mut self, x: &Tensor, y: &[usize], n_classes: usize, rng: &mut Rng);
+
+    /// Class-probability estimates `[n, k]`.
+    fn predict_proba(&self, x: &Tensor) -> Tensor;
+
+    /// Hard predictions (argmax of probabilities).
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        self.predict_proba(x).argmax_rows()
+    }
+}
+
+/// A named classifier constructor.
+pub type ClassifierFactory = fn() -> Box<dyn Classifier>;
+
+/// The classifier suite of the paper's tables, as (name, constructor)
+/// pairs: DT10, DT30, RF10, RF20, AB, LR.
+pub fn classifier_zoo() -> Vec<(&'static str, ClassifierFactory)> {
+    vec![
+        ("DT10", || Box::new(DecisionTree::new(10))),
+        ("DT30", || Box::new(DecisionTree::new(30))),
+        ("RF10", || Box::new(RandomForest::new(16, 10))),
+        ("RF20", || Box::new(RandomForest::new(16, 20))),
+        ("AB", || Box::new(AdaBoost::new(30))),
+        ("LR", || Box::new(LogisticRegression::new(200, 0.5))),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use daisy_tensor::{Rng, Tensor};
+
+    /// Two Gaussian blobs (binary) with some class overlap.
+    pub fn blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = rng.usize(2);
+            let center = if label == 0 { -1.0 } else { 1.0 };
+            x.row_mut(i)[0] = rng.normal_ms(center, 0.6) as f32;
+            x.row_mut(i)[1] = rng.normal_ms(center, 0.6) as f32;
+            y.push(label);
+        }
+        (x, y)
+    }
+
+    /// XOR data — linearly inseparable, easy for trees.
+    pub fn xor(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = rng.bool(0.5);
+            let b = rng.bool(0.5);
+            x.row_mut(i)[0] = if a { 1.0 } else { 0.0 } + rng.normal() as f32 * 0.1;
+            x.row_mut(i)[1] = if b { 1.0 } else { 0.0 } + rng.normal() as f32 * 0.1;
+            y.push(usize::from(a != b));
+        }
+        (x, y)
+    }
+
+    /// Three-class blobs for multi-class checks.
+    pub fn three_blobs(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let centers = [(-2.0, 0.0), (2.0, 0.0), (0.0, 3.0)];
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = rng.usize(3);
+            x.row_mut(i)[0] = rng.normal_ms(centers[label].0, 0.5) as f32;
+            x.row_mut(i)[1] = rng.normal_ms(centers[label].1, 0.5) as f32;
+            y.push(label);
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn zoo_has_six_members() {
+        let zoo = classifier_zoo();
+        let names: Vec<_> = zoo.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["DT10", "DT30", "RF10", "RF20", "AB", "LR"]);
+    }
+
+    #[test]
+    fn every_zoo_member_learns_blobs() {
+        let (x, y) = blobs(400, 0);
+        let (xt, yt) = blobs(200, 1);
+        for (name, make) in classifier_zoo() {
+            let mut clf = make();
+            let mut rng = Rng::seed_from_u64(2);
+            clf.fit(&x, &y, 2, &mut rng);
+            let acc = accuracy(&yt, &clf.predict(&xt));
+            assert!(acc > 0.85, "{name} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn every_zoo_member_handles_multiclass() {
+        let (x, y) = three_blobs(600, 3);
+        let (xt, yt) = three_blobs(300, 4);
+        for (name, make) in classifier_zoo() {
+            let mut clf = make();
+            let mut rng = Rng::seed_from_u64(5);
+            clf.fit(&x, &y, 3, &mut rng);
+            let acc = accuracy(&yt, &clf.predict(&xt));
+            assert!(acc > 0.85, "{name} accuracy {acc}");
+            let proba = clf.predict_proba(&xt);
+            assert_eq!(proba.shape(), &[300, 3]);
+            for r in 0..5 {
+                let s: f32 = proba.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-3, "{name} probs sum to {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! CART decision trees with Gini impurity, depth caps, optional sample
+//! weights (for AdaBoost) and optional per-split feature subsampling
+//! (for random forests).
+
+use crate::classifiers::Classifier;
+use daisy_tensor::{Rng, Tensor};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        probs: Vec<f32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART decision tree (the paper's DT10/DT30 with depth 10/30).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    max_depth: usize,
+    min_samples_split: usize,
+    /// Features considered per split; `None` = all (plain CART),
+    /// `Some(k)` = random subset of k (random-forest member trees).
+    max_features: Option<usize>,
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// A tree with the given depth cap considering all features.
+    pub fn new(max_depth: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            max_features: None,
+            nodes: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Enables per-split random feature subsampling.
+    pub fn with_max_features(mut self, k: usize) -> Self {
+        self.max_features = Some(k.max(1));
+        self
+    }
+
+    /// Trains with explicit non-negative sample weights.
+    pub fn fit_weighted(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        weights: &[f64],
+        n_classes: usize,
+        rng: &mut Rng,
+    ) {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert_eq!(y.len(), weights.len(), "label/weight count mismatch");
+        assert!(n_classes > 0, "need at least one class");
+        assert!(x.rows() > 0, "cannot fit on zero samples");
+        self.n_classes = n_classes;
+        self.nodes.clear();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        self.build(x, y, weights, idx, 0, rng);
+    }
+
+    /// Number of nodes (for tests / introspection).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        w: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let probs = class_probs(y, w, &idx, self.n_classes);
+        let impurity = gini(&probs);
+        let stop = depth >= self.max_depth
+            || idx.len() < self.min_samples_split
+            || impurity <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold)) = self.best_split(x, y, w, &idx, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| x.at2(i, feature) <= threshold);
+                if !left_idx.is_empty() && !right_idx.is_empty() {
+                    // Reserve the slot before recursing so child indices
+                    // are stable.
+                    let slot = self.nodes.len();
+                    self.nodes.push(Node::Leaf { probs: Vec::new() });
+                    let left = self.build(x, y, w, left_idx, depth + 1, rng);
+                    let right = self.build(x, y, w, right_idx, depth + 1, rng);
+                    self.nodes[slot] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    return slot;
+                }
+            }
+        }
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { probs });
+        slot
+    }
+
+    /// Finds the split with the largest weighted Gini decrease by
+    /// sorting each candidate feature and scanning boundaries.
+    fn best_split(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        w: &[f64],
+        idx: &[usize],
+        rng: &mut Rng,
+    ) -> Option<(usize, f32)> {
+        let d = x.cols();
+        let features: Vec<usize> = match self.max_features {
+            Some(k) if k < d => rng.sample_indices(d, k),
+            _ => (0..d).collect(),
+        };
+        let total_w: f64 = idx.iter().map(|&i| w[i]).sum();
+        if total_w <= 0.0 {
+            return None;
+        }
+        let parent_probs = class_probs(y, w, idx, self.n_classes);
+        let parent_gini = gini(&parent_probs);
+
+        let mut best: Option<(f64, usize, f32)> = None;
+        let mut sorted = idx.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                x.at2(a, f)
+                    .partial_cmp(&x.at2(b, f))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Incremental class-weight tallies left of the scan point.
+            let mut left_counts = vec![0.0f64; self.n_classes];
+            let mut left_w = 0.0f64;
+            let mut right_counts = vec![0.0f64; self.n_classes];
+            for &i in sorted.iter() {
+                right_counts[y[i]] += w[i];
+            }
+            for k in 0..sorted.len() - 1 {
+                let i = sorted[k];
+                left_counts[y[i]] += w[i];
+                right_counts[y[i]] -= w[i];
+                left_w += w[i];
+                let v = x.at2(i, f);
+                let v_next = x.at2(sorted[k + 1], f);
+                if v_next <= v {
+                    continue; // no boundary between equal values
+                }
+                let right_w = total_w - left_w;
+                let gl = gini_from_counts(&left_counts, left_w);
+                let gr = gini_from_counts(&right_counts, right_w);
+                let weighted = (left_w * gl + right_w * gr) / total_w;
+                let gain = parent_gini - weighted;
+                let threshold = (v + v_next) / 2.0;
+                // Zero-gain splits are accepted (as in scikit-learn's
+                // CART): XOR-style interactions have zero marginal gain
+                // at the root yet resolve perfectly one level deeper.
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    fn leaf_probs(&self, row: &[f32]) -> &[f32] {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { probs } => return probs,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn class_probs(y: &[usize], w: &[f64], idx: &[usize], n_classes: usize) -> Vec<f32> {
+    let mut counts = vec![0.0f64; n_classes];
+    let mut total = 0.0f64;
+    for &i in idx {
+        counts[y[i]] += w[i];
+        total += w[i];
+    }
+    if total <= 0.0 {
+        return vec![1.0 / n_classes as f32; n_classes];
+    }
+    counts.iter().map(|&c| (c / total) as f32).collect()
+}
+
+fn gini(probs: &[f32]) -> f64 {
+    1.0 - probs.iter().map(|&p| (p as f64) * (p as f64)).sum::<f64>()
+}
+
+fn gini_from_counts(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Tensor, y: &[usize], n_classes: usize, rng: &mut Rng) {
+        let weights = vec![1.0f64; y.len()];
+        self.fit_weighted(x, y, &weights, n_classes, rng);
+    }
+
+    fn predict_proba(&self, x: &Tensor) -> Tensor {
+        assert!(!self.nodes.is_empty(), "tree is not fitted");
+        let mut out = Tensor::zeros(&[x.rows(), self.n_classes]);
+        for i in 0..x.rows() {
+            let probs = self.leaf_probs(x.row(i));
+            out.row_mut(i).copy_from_slice(probs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::test_support::{blobs, xor};
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        // x0 <= 0.5 → class 0; else class 1.
+        let x = Tensor::from_vec(vec![0.0, 0.1, 0.2, 0.8, 0.9, 1.0], &[6, 1]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut tree = DecisionTree::new(3);
+        let mut rng = Rng::seed_from_u64(0);
+        tree.fit(&x, &y, 2, &mut rng);
+        assert_eq!(tree.predict(&x), y);
+        // One split and two leaves suffice.
+        assert_eq!(tree.n_nodes(), 3);
+    }
+
+    #[test]
+    fn solves_xor() {
+        // Greedy CART needs extra depth on XOR: every single split has
+        // ~zero marginal gain, so early levels burn depth on spurious
+        // sliver splits before the two-level interaction resolves.
+        let (x, y) = xor(400, 1);
+        let (xt, yt) = xor(200, 2);
+        let mut tree = DecisionTree::new(10);
+        let mut rng = Rng::seed_from_u64(3);
+        tree.fit(&x, &y, 2, &mut rng);
+        assert!(accuracy(&yt, &tree.predict(&xt)) > 0.95);
+    }
+
+    #[test]
+    fn depth_cap_limits_overfit() {
+        let (x, y) = blobs(300, 4);
+        let mut shallow = DecisionTree::new(1);
+        let mut deep = DecisionTree::new(30);
+        let mut rng = Rng::seed_from_u64(5);
+        shallow.fit(&x, &y, 2, &mut rng);
+        deep.fit(&x, &y, 2, &mut rng);
+        assert!(shallow.n_nodes() <= 3);
+        assert!(deep.n_nodes() > shallow.n_nodes());
+        // Deep tree memorizes the training set.
+        assert!(accuracy(&y, &deep.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn sample_weights_shift_the_decision() {
+        // Conflicting points at the same x; weights decide the leaf.
+        let x = Tensor::from_vec(vec![0.0, 0.0, 1.0], &[3, 1]);
+        let y = vec![0, 1, 1];
+        let mut tree = DecisionTree::new(2);
+        let mut rng = Rng::seed_from_u64(6);
+        tree.fit_weighted(&x, &y, &[10.0, 0.1, 1.0], 2, &mut rng);
+        assert_eq!(tree.predict(&x)[0], 0);
+        tree.fit_weighted(&x, &y, &[0.1, 10.0, 1.0], 2, &mut rng);
+        assert_eq!(tree.predict(&x)[0], 1);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[4, 1]);
+        let y = vec![1, 1, 1, 1];
+        let mut tree = DecisionTree::new(10);
+        let mut rng = Rng::seed_from_u64(7);
+        tree.fit(&x, &y, 2, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        let probs = tree.predict_proba(&x);
+        assert_eq!(probs.at2(0, 1), 1.0);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = Tensor::zeros(&[10, 3]);
+        let y: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let mut tree = DecisionTree::new(5);
+        let mut rng = Rng::seed_from_u64(8);
+        tree.fit(&x, &y, 2, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        let probs = tree.predict_proba(&x);
+        assert!((probs.at2(0, 0) - 0.5).abs() < 1e-6);
+    }
+}

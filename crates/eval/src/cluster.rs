@@ -1,0 +1,260 @@
+//! Clustering utility (§2.1, §6.2): K-Means over the feature space
+//! (label excluded), scored against the gold-standard labels with
+//! normalized mutual information; `DiffCST = |NMI(real) − NMI(syn)|`.
+
+use crate::features::FeatureSpace;
+use daisy_data::Table;
+use daisy_tensor::{Rng, Tensor};
+
+/// K-Means with k-means++ seeding.
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    centroids: Option<Tensor>,
+}
+
+impl KMeans {
+    /// Creates a clusterer with `k` clusters.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one cluster");
+        KMeans {
+            k,
+            max_iters: 50,
+            centroids: None,
+        }
+    }
+
+    /// Fits on `x [n, d]` and returns per-row cluster assignments.
+    #[allow(clippy::needless_range_loop)] // co-indexing x, dist2, assign
+    pub fn fit_predict(&mut self, x: &Tensor, rng: &mut Rng) -> Vec<usize> {
+        let n = x.rows();
+        assert!(n >= self.k, "fewer points than clusters");
+        let d = x.cols();
+
+        // k-means++ seeding.
+        let mut centroids = Tensor::zeros(&[self.k, d]);
+        let first = rng.usize(n);
+        centroids.row_mut(0).copy_from_slice(x.row(first));
+        let mut dist2: Vec<f64> = (0..n)
+            .map(|i| sq_dist(x.row(i), centroids.row(0)))
+            .collect();
+        for c in 1..self.k {
+            let total: f64 = dist2.iter().sum();
+            let pick = if total > 0.0 {
+                rng.weighted(&dist2)
+            } else {
+                rng.usize(n)
+            };
+            centroids.row_mut(c).copy_from_slice(x.row(pick));
+            for i in 0..n {
+                let nd = sq_dist(x.row(i), centroids.row(c));
+                if nd < dist2[i] {
+                    dist2[i] = nd;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.max_iters {
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for c in 0..self.k {
+                    let dcur = sq_dist(x.row(i), centroids.row(c));
+                    if dcur < best_d {
+                        best_d = dcur;
+                        best = c;
+                    }
+                }
+                if assign[i] != best {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Recompute centroids; empty clusters keep their position.
+            let mut sums = Tensor::zeros(&[self.k, d]);
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                let c = assign[i];
+                counts[c] += 1;
+                let row = x.row(i);
+                let srow = sums.row_mut(c);
+                for (s, &v) in srow.iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    let srow = sums.row(c).to_vec();
+                    for (dst, s) in centroids.row_mut(c).iter_mut().zip(srow) {
+                        *dst = s * inv;
+                    }
+                }
+            }
+        }
+        self.centroids = Some(centroids);
+        assign
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64) * ((x - y) as f64))
+        .sum()
+}
+
+/// Normalized mutual information between two labelings, in `[0, 1]`
+/// (arithmetic-mean normalization).
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labeling length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = a.iter().max().map_or(0, |&m| m + 1);
+    let kb = b.iter().max().map_or(0, |&m| m + 1);
+    let mut joint = vec![vec![0.0f64; kb]; ka];
+    let mut pa = vec![0.0f64; ka];
+    let mut pb = vec![0.0f64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x][y] += 1.0;
+        pa[x] += 1.0;
+        pb[y] += 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let pxy = joint[x][y] / nf;
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (pa[x] / nf * pb[y] / nf)).ln();
+            }
+        }
+    }
+    let ha = -pa
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| (p / nf) * (p / nf).ln())
+        .sum::<f64>();
+    let hb = -pb
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| (p / nf) * (p / nf).ln())
+        .sum::<f64>();
+    let denom = (ha + hb) / 2.0;
+    if denom <= 0.0 {
+        // Both labelings constant: identical partitions by convention.
+        return 1.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+/// NMI of K-Means clusters (k = label cardinality) against the gold
+/// labels, with the label excluded from the features — `Eval(C|T)`.
+pub fn kmeans_nmi(table: &Table, rng: &mut Rng) -> f64 {
+    let k = table.n_classes();
+    let space = FeatureSpace::fit(table);
+    let x = space.transform(table);
+    let labels = FeatureSpace::labels(table);
+    let clusters = KMeans::new(k.min(table.n_rows())).fit_predict(&x, rng);
+    nmi(&labels, &clusters)
+}
+
+/// The paper's clustering utility:
+/// `DiffCST = |Eval(C|T) − Eval(C'|T')|`.
+pub fn clustering_utility(real: &Table, synthetic: &Table, rng: &mut Rng) -> f64 {
+    let real_nmi = kmeans_nmi(real, rng);
+    let syn_nmi = kmeans_nmi(synthetic, rng);
+    (real_nmi - syn_nmi).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Column, Schema};
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let mut rng = Rng::seed_from_u64(0);
+        let n = 300;
+        let mut x = Tensor::zeros(&[n, 2]);
+        let mut truth = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 3;
+            truth.push(c);
+            let (cx, cy) = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)][c];
+            x.row_mut(i)[0] = rng.normal_ms(cx, 0.5) as f32;
+            x.row_mut(i)[1] = rng.normal_ms(cy, 0.5) as f32;
+        }
+        let clusters = KMeans::new(3).fit_predict(&x, &mut rng);
+        assert!(nmi(&truth, &clusters) > 0.95);
+    }
+
+    #[test]
+    fn nmi_bounds_and_identity() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-9);
+        // Permuted label names preserve NMI.
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-9);
+        // Constant labeling carries no information about a varied one.
+        let c = vec![0, 0, 0, 0, 0, 0];
+        assert_eq!(nmi(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn nmi_of_independent_labelings_is_low() {
+        let mut rng = Rng::seed_from_u64(1);
+        let a: Vec<usize> = (0..2000).map(|_| rng.usize(4)).collect();
+        let b: Vec<usize> = (0..2000).map(|_| rng.usize(4)).collect();
+        assert!(nmi(&a, &b) < 0.02);
+    }
+
+    fn blob_table(n: usize, tight: bool, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let spread = if tight { 0.3 } else { 5.0 };
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let c = rng.usize(2) as u32;
+            labels.push(c);
+            let center = if c == 0 { -3.0 } else { 3.0 };
+            xs.push(rng.normal_ms(center, spread));
+            ys.push(rng.normal_ms(center, spread));
+        }
+        Table::new(
+            Schema::with_label(
+                vec![
+                    Attribute::numerical("x"),
+                    Attribute::numerical("y"),
+                    Attribute::categorical("label"),
+                ],
+                2,
+            ),
+            vec![
+                Column::Num(xs),
+                Column::Num(ys),
+                Column::cat_with_domain(labels, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn clustering_utility_prefers_faithful_synthetic() {
+        let real = blob_table(300, true, 2);
+        let faithful = blob_table(300, true, 3);
+        let blurry = blob_table(300, false, 4);
+        let mut rng = Rng::seed_from_u64(5);
+        let good = clustering_utility(&real, &faithful, &mut rng);
+        let bad = clustering_utility(&real, &blurry, &mut rng);
+        assert!(good < bad, "faithful {good} vs blurry {bad}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Pairwise-correlation fidelity: does the synthetic table reproduce
+//! the real table's attribute↔attribute association structure?
+//!
+//! Complements the per-attribute marginal fidelity of
+//! [`crate::distribution`]: a synthesizer can nail every marginal while
+//! destroying all correlations (the independent-marginals baseline does
+//! exactly that), and the paper's whole LSTM-vs-MLP argument is about
+//! capturing column correlation. Associations are measured uniformly in
+//! `[0, 1]`: |Pearson| for numeric pairs, Cramér's V for categorical
+//! pairs, and the correlation ratio `η` for mixed pairs.
+
+use daisy_data::{Column, Table};
+
+/// Absolute Pearson correlation of two numeric slices.
+pub fn pearson_abs(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())).abs().min(1.0)
+}
+
+/// Cramér's V between two coded categorical slices over domains
+/// `ka`, `kb`.
+#[allow(clippy::needless_range_loop)] // contingency-table index algebra
+pub fn cramers_v(a: &[u32], b: &[u32], ka: usize, kb: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n == 0 || ka < 2 || kb < 2 {
+        return 0.0;
+    }
+    let mut joint = vec![0.0f64; ka * kb];
+    let mut ra = vec![0.0f64; ka];
+    let mut rb = vec![0.0f64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize * kb + y as usize] += 1.0;
+        ra[x as usize] += 1.0;
+        rb[y as usize] += 1.0;
+    }
+    let nf = n as f64;
+    let mut chi2 = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let expected = ra[x] * rb[y] / nf;
+            if expected > 0.0 {
+                let d = joint[x * kb + y] - expected;
+                chi2 += d * d / expected;
+            }
+        }
+    }
+    let denom = nf * (ka.min(kb) as f64 - 1.0);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (chi2 / denom).sqrt().min(1.0)
+}
+
+/// Correlation ratio `η` of a numeric attribute across the groups of a
+/// categorical attribute (square root of between-group variance over
+/// total variance).
+pub fn correlation_ratio(cat: &[u32], num: &[f64], k: usize) -> f64 {
+    assert_eq!(cat.len(), num.len(), "length mismatch");
+    let n = num.len();
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let grand = num.iter().sum::<f64>() / n as f64;
+    let mut group_sum = vec![0.0f64; k];
+    let mut group_n = vec![0usize; k];
+    for (&c, &v) in cat.iter().zip(num) {
+        group_sum[c as usize] += v;
+        group_n[c as usize] += 1;
+    }
+    let mut between = 0.0;
+    for g in 0..k {
+        if group_n[g] > 0 {
+            let mean = group_sum[g] / group_n[g] as f64;
+            between += group_n[g] as f64 * (mean - grand) * (mean - grand);
+        }
+    }
+    let total: f64 = num.iter().map(|&v| (v - grand) * (v - grand)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (between / total).sqrt().min(1.0)
+}
+
+/// Association of one attribute pair in `[0, 1]`.
+pub fn association(table: &Table, i: usize, j: usize) -> f64 {
+    match (&table.columns()[i], &table.columns()[j]) {
+        (Column::Num(a), Column::Num(b)) => pearson_abs(a, b),
+        (Column::Cat { codes: a, categories: ca }, Column::Cat { codes: b, categories: cb }) => {
+            cramers_v(a, b, ca.len(), cb.len())
+        }
+        (Column::Cat { codes: c, categories }, Column::Num(v))
+        | (Column::Num(v), Column::Cat { codes: c, categories }) => {
+            correlation_ratio(c, v, categories.len())
+        }
+    }
+}
+
+/// The full association matrix (symmetric, unit diagonal).
+#[allow(clippy::needless_range_loop)] // symmetric fill
+pub fn association_matrix(table: &Table) -> Vec<Vec<f64>> {
+    let m = table.n_attrs();
+    let mut out = vec![vec![0.0; m]; m];
+    for i in 0..m {
+        out[i][i] = 1.0;
+        for j in i + 1..m {
+            let a = association(table, i, j);
+            out[i][j] = a;
+            out[j][i] = a;
+        }
+    }
+    out
+}
+
+/// Correlation fidelity: mean absolute difference between the real and
+/// synthetic association matrices over the strict upper triangle
+/// (0 = association structure fully preserved).
+pub fn correlation_fidelity(real: &Table, synthetic: &Table) -> f64 {
+    assert_eq!(real.schema(), synthetic.schema(), "schema mismatch");
+    let ra = association_matrix(real);
+    let sa = association_matrix(synthetic);
+    let m = real.n_attrs();
+    if m < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..m {
+        for j in i + 1..m {
+            total += (ra[i][j] - sa[i][j]).abs();
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Schema};
+    use daisy_tensor::Rng;
+
+    #[test]
+    fn pearson_extremes() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson_abs(&a, &b) - 1.0).abs() < 1e-9);
+        let anti: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson_abs(&a, &anti) - 1.0).abs() < 1e-9); // absolute value
+        let constant = vec![5.0; 4];
+        assert_eq!(pearson_abs(&a, &constant), 0.0);
+    }
+
+    #[test]
+    fn cramers_v_extremes() {
+        let a = vec![0u32, 1, 0, 1, 0, 1];
+        assert!((cramers_v(&a, &a, 2, 2) - 1.0).abs() < 1e-9);
+        let mut rng = Rng::seed_from_u64(0);
+        let x: Vec<u32> = (0..20_000).map(|_| rng.usize(3) as u32).collect();
+        let y: Vec<u32> = (0..20_000).map(|_| rng.usize(3) as u32).collect();
+        assert!(cramers_v(&x, &y, 3, 3) < 0.03);
+    }
+
+    #[test]
+    fn correlation_ratio_extremes() {
+        // Perfect separation: group determines the value.
+        let cat = vec![0u32, 0, 1, 1];
+        let num = vec![1.0, 1.0, 5.0, 5.0];
+        assert!((correlation_ratio(&cat, &num, 2) - 1.0).abs() < 1e-9);
+        // Independence.
+        let mut rng = Rng::seed_from_u64(1);
+        let cat: Vec<u32> = (0..20_000).map(|_| rng.usize(4) as u32).collect();
+        let num: Vec<f64> = (0..20_000).map(|_| rng.normal()).collect();
+        assert!(correlation_ratio(&cat, &num, 4) < 0.03);
+    }
+
+    fn correlated_table(n: usize, correlated: bool, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut c = Vec::with_capacity(n);
+        for _ in 0..n {
+            let base = rng.normal();
+            x.push(base);
+            if correlated {
+                y.push(base + rng.normal() * 0.3);
+                c.push(u32::from(base > 0.0));
+            } else {
+                y.push(rng.normal());
+                c.push(rng.usize(2) as u32);
+            }
+        }
+        Table::new(
+            Schema::new(vec![
+                Attribute::numerical("x"),
+                Attribute::numerical("y"),
+                Attribute::categorical("c"),
+            ]),
+            vec![
+                Column::Num(x),
+                Column::Num(y),
+                Column::cat_with_domain(c, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn fidelity_detects_destroyed_correlations() {
+        let real = correlated_table(4000, true, 2);
+        let faithful = correlated_table(4000, true, 3);
+        let destroyed = correlated_table(4000, false, 4);
+        let good = correlation_fidelity(&real, &faithful);
+        let bad = correlation_fidelity(&real, &destroyed);
+        assert!(good < 0.05, "faithful fidelity {good}");
+        assert!(bad > 0.3, "destroyed fidelity {bad}");
+    }
+
+    #[test]
+    fn association_matrix_is_symmetric_with_unit_diagonal() {
+        let t = correlated_table(500, true, 5);
+        let m = association_matrix(&t);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, m[j][i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Functional-dependency preservation.
+//!
+//! The paper's future-work list (§8, "Capturing attribute correlations")
+//! points at the database community's functional dependencies as the
+//! explicit form of attribute correlation GANs only capture implicitly
+//! (citing the FakeTables attempt \[16\]). This module provides the
+//! measurement side: mine approximate single-attribute FDs `A → B` from
+//! the real table, then check how well the synthetic table satisfies
+//! them.
+
+use daisy_data::{AttrType, Column, Table};
+use std::collections::HashMap;
+
+/// An approximate functional dependency `lhs → rhs` between two
+/// categorical attributes, with its confidence on the mining table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalDependency {
+    /// Determinant attribute index.
+    pub lhs: usize,
+    /// Dependent attribute index.
+    pub rhs: usize,
+    /// Fraction of rows whose `rhs` value equals the majority `rhs`
+    /// value of their `lhs` group (1.0 = exact FD).
+    pub confidence: f64,
+    /// The majority mapping `lhs code → rhs code` observed.
+    pub mapping: HashMap<u32, u32>,
+}
+
+/// Confidence of `lhs → rhs` on a table, together with the majority
+/// mapping: for each `lhs` value, the most frequent `rhs` value; the
+/// confidence is the fraction of rows following that mapping.
+pub fn fd_confidence(table: &Table, lhs: usize, rhs: usize) -> (f64, HashMap<u32, u32>) {
+    let a = table.column(lhs).as_cat();
+    let b = table.column(rhs).as_cat();
+    let mut counts: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *counts.entry(x).or_default().entry(y).or_insert(0) += 1;
+    }
+    let mut mapping = HashMap::new();
+    let mut majority_total = 0usize;
+    for (x, ys) in &counts {
+        let (&best_y, &n) = ys.iter().max_by_key(|(_, &n)| n).unwrap();
+        mapping.insert(*x, best_y);
+        majority_total += n;
+    }
+    let confidence = majority_total as f64 / a.len().max(1) as f64;
+    (confidence, mapping)
+}
+
+/// Mines all pairwise categorical FDs with confidence at least
+/// `min_confidence` and a non-trivial determinant (the mapping must
+/// take at least two distinct values — otherwise "everything maps to
+/// the constant" is vacuously confident).
+pub fn mine_fds(table: &Table, min_confidence: f64) -> Vec<FunctionalDependency> {
+    let cat_cols: Vec<usize> = (0..table.n_attrs())
+        .filter(|&j| table.schema().attr(j).ty == AttrType::Categorical)
+        .collect();
+    let mut fds = Vec::new();
+    for &lhs in &cat_cols {
+        for &rhs in &cat_cols {
+            if lhs == rhs {
+                continue;
+            }
+            let (confidence, mapping) = fd_confidence(table, lhs, rhs);
+            let distinct_rhs: std::collections::HashSet<u32> =
+                mapping.values().copied().collect();
+            if confidence >= min_confidence && distinct_rhs.len() >= 2 {
+                fds.push(FunctionalDependency {
+                    lhs,
+                    rhs,
+                    confidence,
+                    mapping,
+                });
+            }
+        }
+    }
+    fds
+}
+
+/// How well `synthetic` satisfies an FD mined from the real table: the
+/// fraction of synthetic rows whose `rhs` follows the real majority
+/// mapping (unseen `lhs` codes count as violations).
+pub fn fd_satisfaction(synthetic: &Table, fd: &FunctionalDependency) -> f64 {
+    let a = synthetic.column(fd.lhs).as_cat();
+    let b = synthetic.column(fd.rhs).as_cat();
+    if a.is_empty() {
+        return 0.0;
+    }
+    let hits = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| fd.mapping.get(x) == Some(y))
+        .count();
+    hits as f64 / a.len() as f64
+}
+
+/// Summary of FD preservation: mean absolute gap between each mined
+/// FD's real confidence and its synthetic satisfaction (0 = perfectly
+/// preserved). Returns `None` when the real table has no qualifying
+/// FDs.
+pub fn fd_preservation_gap(
+    real: &Table,
+    synthetic: &Table,
+    min_confidence: f64,
+) -> Option<f64> {
+    let fds = mine_fds(real, min_confidence);
+    if fds.is_empty() {
+        return None;
+    }
+    let total: f64 = fds
+        .iter()
+        .map(|fd| (fd.confidence - fd_satisfaction(synthetic, fd)).abs())
+        .sum();
+    Some(total / fds.len() as f64)
+}
+
+/// Convenience: does the table have at least two categorical columns
+/// (the precondition for FD mining)?
+pub fn supports_fd_mining(table: &Table) -> bool {
+    table
+        .columns()
+        .iter()
+        .filter(|c| matches!(c, Column::Cat { .. }))
+        .count()
+        >= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Schema};
+    use daisy_tensor::Rng;
+
+    /// city → state is an exact FD; state → city is not.
+    fn geo_table(n: usize, noise: f64, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut city = Vec::with_capacity(n);
+        let mut state = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.usize(6) as u32; // 6 cities
+            city.push(c);
+            // Cities 0-2 in state 0, cities 3-5 in state 1, with noise.
+            let s = if rng.f64() < noise {
+                rng.usize(2) as u32
+            } else {
+                u32::from(c >= 3)
+            };
+            state.push(s);
+        }
+        Table::new(
+            Schema::new(vec![
+                Attribute::categorical("city"),
+                Attribute::categorical("state"),
+            ]),
+            vec![
+                Column::cat_with_domain(city, 6),
+                Column::cat_with_domain(state, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_fd_has_confidence_one() {
+        let t = geo_table(1000, 0.0, 0);
+        let (conf, mapping) = fd_confidence(&t, 0, 1);
+        assert_eq!(conf, 1.0);
+        assert_eq!(mapping[&0], 0);
+        assert_eq!(mapping[&5], 1);
+    }
+
+    #[test]
+    fn noisy_fd_confidence_drops() {
+        let t = geo_table(5000, 0.2, 1);
+        let (conf, _) = fd_confidence(&t, 0, 1);
+        // 20% noise, half of which lands on the right state anyway.
+        assert!((conf - 0.9).abs() < 0.03, "conf = {conf}");
+    }
+
+    #[test]
+    fn mining_finds_city_to_state_only() {
+        let t = geo_table(2000, 0.02, 2);
+        let fds = mine_fds(&t, 0.9);
+        assert_eq!(fds.len(), 1);
+        assert_eq!((fds[0].lhs, fds[0].rhs), (0, 1));
+        // state → city cannot be confident: each state hosts 3 cities.
+        let (conf_rev, _) = fd_confidence(&t, 1, 0);
+        assert!(conf_rev < 0.6);
+    }
+
+    #[test]
+    fn satisfaction_of_faithful_and_broken_synthetic() {
+        let real = geo_table(2000, 0.0, 3);
+        let fds = mine_fds(&real, 0.95);
+        let fd = &fds[0];
+        let faithful = geo_table(2000, 0.0, 4);
+        assert!(fd_satisfaction(&faithful, fd) > 0.99);
+        // Shuffle the state column to break the FD.
+        let mut rng = Rng::seed_from_u64(5);
+        let mut broken_state: Vec<u32> =
+            (0..2000).map(|_| rng.usize(2) as u32).collect();
+        rng.shuffle(&mut broken_state);
+        let broken = Table::new(
+            real.schema().clone(),
+            vec![
+                real.columns()[0].clone(),
+                Column::cat_with_domain(broken_state, 2),
+            ],
+        );
+        assert!(fd_satisfaction(&broken, fd) < 0.65);
+        // The preservation gap ranks them accordingly.
+        let g_faithful = fd_preservation_gap(&real, &faithful, 0.95).unwrap();
+        let g_broken = fd_preservation_gap(&real, &broken, 0.95).unwrap();
+        assert!(g_faithful < 0.02);
+        assert!(g_broken > 0.3);
+    }
+
+    #[test]
+    fn vacuous_constant_fds_excluded() {
+        // b is constant: a → b has confidence 1 but is vacuous.
+        let t = Table::new(
+            Schema::new(vec![
+                Attribute::categorical("a"),
+                Attribute::categorical("b"),
+            ]),
+            vec![
+                Column::cat_with_domain(vec![0, 1, 2, 0, 1, 2], 3),
+                Column::cat_with_domain(vec![0, 0, 0, 0, 0, 0], 2),
+            ],
+        );
+        assert!(mine_fds(&t, 0.9).is_empty());
+    }
+
+    #[test]
+    fn supports_check() {
+        let t = geo_table(10, 0.0, 6);
+        assert!(supports_fd_mining(&t));
+        let numeric_only = Table::new(
+            Schema::new(vec![Attribute::numerical("x")]),
+            vec![Column::Num(vec![1.0])],
+        );
+        assert!(!supports_fd_mining(&numeric_only));
+    }
+}

@@ -1,0 +1,164 @@
+//! Feature extraction for the evaluation classifiers and K-Means: a
+//! fixed featurization (min–max scaled numerics, one-hot categoricals)
+//! fitted on the real training table and applied identically to real,
+//! synthetic and test tables, so utility differences reflect the data,
+//! not the featurizer.
+
+use daisy_data::{Column, Schema, Table};
+use daisy_tensor::Tensor;
+
+#[derive(Debug, Clone)]
+enum FeatureCol {
+    Num { col: usize, min: f64, max: f64 },
+    Cat { col: usize, k: usize },
+}
+
+/// A fitted feature space over a table's non-label attributes.
+#[derive(Debug, Clone)]
+pub struct FeatureSpace {
+    schema: Schema,
+    cols: Vec<FeatureCol>,
+    width: usize,
+}
+
+impl FeatureSpace {
+    /// Fits scaling parameters on `table` (typically the real training
+    /// split). The label column, if designated, is excluded.
+    pub fn fit(table: &Table) -> FeatureSpace {
+        let mut cols = Vec::new();
+        let mut width = 0;
+        for j in table.schema().feature_indices() {
+            match table.column(j) {
+                Column::Num(v) => {
+                    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    cols.push(FeatureCol::Num { col: j, min, max });
+                    width += 1;
+                }
+                Column::Cat { categories, .. } => {
+                    cols.push(FeatureCol::Cat {
+                        col: j,
+                        k: categories.len(),
+                    });
+                    width += categories.len();
+                }
+            }
+        }
+        FeatureSpace {
+            schema: table.schema().clone(),
+            cols,
+            width,
+        }
+    }
+
+    /// Width of the feature vector.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Transforms a table (with the fitted schema) into a `[n, width]`
+    /// feature matrix.
+    pub fn transform(&self, table: &Table) -> Tensor {
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "table schema differs from the fitted schema"
+        );
+        let n = table.n_rows();
+        let mut out = Tensor::zeros(&[n, self.width]);
+        for i in 0..n {
+            let row = out.row_mut(i);
+            let mut off = 0;
+            for fc in &self.cols {
+                match *fc {
+                    FeatureCol::Num { col, min, max } => {
+                        let v = table.column(col).as_num()[i];
+                        row[off] = if max > min {
+                            (((v - min) / (max - min)).clamp(0.0, 1.0)) as f32
+                        } else {
+                            0.0
+                        };
+                        off += 1;
+                    }
+                    FeatureCol::Cat { col, k } => {
+                        let c = table.column(col).as_cat()[i] as usize;
+                        if c < k {
+                            row[off + c] = 1.0;
+                        }
+                        off += k;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Label codes as `usize` (requires a designated label).
+    pub fn labels(table: &Table) -> Vec<usize> {
+        table.labels().iter().map(|&y| y as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Schema};
+
+    fn demo() -> Table {
+        Table::new(
+            Schema::with_label(
+                vec![
+                    Attribute::numerical("x"),
+                    Attribute::categorical("c"),
+                    Attribute::categorical("y"),
+                ],
+                2,
+            ),
+            vec![
+                Column::Num(vec![0.0, 5.0, 10.0]),
+                Column::cat_with_domain(vec![0, 2, 1], 3),
+                Column::cat_with_domain(vec![0, 1, 0], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn width_excludes_label() {
+        let t = demo();
+        let fs = FeatureSpace::fit(&t);
+        assert_eq!(fs.width(), 1 + 3); // numeric + 3-way one-hot, label skipped
+    }
+
+    #[test]
+    fn transform_scales_and_encodes() {
+        let t = demo();
+        let fs = FeatureSpace::fit(&t);
+        let x = fs.transform(&t);
+        assert_eq!(x.shape(), &[3, 4]);
+        assert_eq!(x.row(0), &[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(x.row(1), &[0.5, 0.0, 0.0, 1.0]);
+        assert_eq!(x.row(2), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let train = demo();
+        let fs = FeatureSpace::fit(&train);
+        let wild = Table::new(
+            train.schema().clone(),
+            vec![
+                Column::Num(vec![-100.0, 100.0]),
+                Column::cat_with_domain(vec![0, 0], 3),
+                Column::cat_with_domain(vec![0, 0], 2),
+            ],
+        );
+        let x = fs.transform(&wild);
+        assert_eq!(x.at2(0, 0), 0.0);
+        assert_eq!(x.at2(1, 0), 1.0);
+    }
+
+    #[test]
+    fn labels_extracted() {
+        assert_eq!(FeatureSpace::labels(&demo()), vec![0, 1, 0]);
+    }
+}

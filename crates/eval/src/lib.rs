@@ -1,0 +1,40 @@
+//! # daisy-eval
+//!
+//! The evaluation machinery of the paper's §6.2: classification utility
+//! (`Diff` of F1/AUC across the DT/RF/AdaBoost/LR suite), clustering
+//! utility (K-Means + NMI), AQP utility (aggregate-query workloads and
+//! relative-error differences), privacy risk (hitting rate, DCR), and
+//! per-attribute distribution fidelity.
+
+pub mod aqp;
+pub mod classifiers;
+pub mod cluster;
+pub mod correlation;
+pub mod distribution;
+pub mod fd;
+pub mod features;
+pub mod metrics;
+pub mod privacy;
+pub mod utility;
+
+pub use aqp::{aqp_utility, execute, generate_workload, workload_error, Agg, Predicate, Query};
+pub use classifiers::{
+    classifier_zoo, AdaBoost, Classifier, DecisionTree, LogisticRegression, RandomForest,
+};
+pub use cluster::{clustering_utility, kmeans_nmi, nmi, KMeans};
+pub use correlation::{
+    association, association_matrix, correlation_fidelity, correlation_ratio, cramers_v,
+    pearson_abs,
+};
+pub use fd::{
+    fd_confidence, fd_preservation_gap, fd_satisfaction, mine_fds, supports_fd_mining,
+    FunctionalDependency,
+};
+pub use distribution::{
+    attribute_fidelity, quantile_summary, total_variation, wasserstein1, AttributeFidelity,
+    QuantileSummary,
+};
+pub use features::FeatureSpace;
+pub use metrics::{accuracy, auc_binary, f1_score, precision, recall, target_class};
+pub use privacy::{dcr, dcr_baseline, hitting_rate};
+pub use utility::{classification_utility, f1_on_test, UtilityReport};

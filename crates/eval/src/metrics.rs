@@ -1,0 +1,164 @@
+//! Classification metrics: F1 (the paper's primary utility metric),
+//! precision/recall, accuracy, and binary AUC.
+
+/// Accuracy over predicted vs. true labels.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Precision of one class: `TP / (TP + FP)`; 0 when nothing predicted.
+pub fn precision(truth: &[usize], pred: &[usize], class: usize) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let tp = truth
+        .iter()
+        .zip(pred)
+        .filter(|(t, p)| **p == class && **t == class)
+        .count();
+    let predicted = pred.iter().filter(|&&p| p == class).count();
+    if predicted == 0 {
+        0.0
+    } else {
+        tp as f64 / predicted as f64
+    }
+}
+
+/// Recall of one class: `TP / (TP + FN)`; 0 when the class is absent.
+pub fn recall(truth: &[usize], pred: &[usize], class: usize) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let tp = truth
+        .iter()
+        .zip(pred)
+        .filter(|(t, p)| **p == class && **t == class)
+        .count();
+    let actual = truth.iter().filter(|&&t| t == class).count();
+    if actual == 0 {
+        0.0
+    } else {
+        tp as f64 / actual as f64
+    }
+}
+
+/// F1 score of one class — the harmonic mean of precision and recall.
+/// The paper evaluates the positive label on binary tasks and the rare
+/// label on multi-class tasks.
+pub fn f1_score(truth: &[usize], pred: &[usize], class: usize) -> f64 {
+    let p = precision(truth, pred, class);
+    let r = recall(truth, pred, class);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// The class whose F1 the paper reports: the rarest label in the
+/// reference labels (for binary data this is the minority/positive
+/// label; for multi-class, the rare label that is "more difficult to
+/// predict than others").
+pub fn target_class(reference_labels: &[usize], n_classes: usize) -> usize {
+    assert!(n_classes > 0, "need at least one class");
+    let mut counts = vec![0usize; n_classes];
+    for &y in reference_labels {
+        counts[y] += 1;
+    }
+    // Rarest non-empty class; ties resolve to the smallest code.
+    (0..n_classes)
+        .filter(|&c| counts[c] > 0)
+        .min_by_key(|&c| counts[c])
+        .unwrap_or(0)
+}
+
+/// Binary AUC (area under the ROC curve) from positive-class scores,
+/// computed via the Mann–Whitney U statistic with tie correction.
+pub fn auc_binary(truth: &[usize], scores: &[f64], positive: usize) -> f64 {
+    assert_eq!(truth.len(), scores.len(), "length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    // Average ranks with tie handling.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let n_pos = truth.iter().filter(|&&t| t == positive).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(t, _)| **t == positive)
+        .map(|(_, r)| r)
+        .sum();
+    (rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0, 1, 1, 0];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(f1_score(&y, &y, 1), 1.0);
+        assert_eq!(precision(&y, &y, 0), 1.0);
+        assert_eq!(recall(&y, &y, 0), 1.0);
+    }
+
+    #[test]
+    fn known_f1() {
+        // TP=1 (idx 1), FP=1 (idx 3), FN=1 (idx 2).
+        let truth = vec![0, 1, 1, 0];
+        let pred = vec![0, 1, 0, 1];
+        assert_eq!(precision(&truth, &pred, 1), 0.5);
+        assert_eq!(recall(&truth, &pred, 1), 0.5);
+        assert_eq!(f1_score(&truth, &pred, 1), 0.5);
+    }
+
+    #[test]
+    fn degenerate_f1_is_zero() {
+        let truth = vec![1, 1, 1];
+        let pred = vec![0, 0, 0];
+        assert_eq!(f1_score(&truth, &pred, 1), 0.0);
+    }
+
+    #[test]
+    fn target_class_is_minority() {
+        assert_eq!(target_class(&[0, 0, 0, 1], 2), 1);
+        assert_eq!(target_class(&[2, 2, 1, 1, 1, 0, 0, 0, 0], 3), 2);
+        // Absent classes are skipped.
+        assert_eq!(target_class(&[0, 0, 1], 5), 1);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let truth = vec![0, 0, 1, 1];
+        assert_eq!(auc_binary(&truth, &[0.1, 0.2, 0.8, 0.9], 1), 1.0);
+        assert_eq!(auc_binary(&truth, &[0.9, 0.8, 0.2, 0.1], 1), 0.0);
+        // All-equal scores → 0.5 via tie correction.
+        assert_eq!(auc_binary(&truth, &[0.5, 0.5, 0.5, 0.5], 1), 0.5);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // One inversion among 2x2 pairs: AUC = 3/4.
+        let truth = vec![0, 1, 0, 1];
+        let scores = vec![0.1, 0.3, 0.35, 0.8];
+        assert!((auc_binary(&truth, &scores, 1) - 0.75).abs() < 1e-9);
+    }
+}

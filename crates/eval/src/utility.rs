@@ -1,0 +1,202 @@
+//! The paper's machine-learning utility protocol (§2.1, §6.2): train a
+//! classifier `f` on the real table and `f'` on the synthetic table,
+//! evaluate both on the same test set, and report
+//! `Diff = |Eval(f | T_test) − Eval(f' | T_test)|`.
+
+use crate::classifiers::Classifier;
+use crate::features::FeatureSpace;
+use crate::metrics::{auc_binary, f1_score, target_class};
+use daisy_data::Table;
+use daisy_tensor::Rng;
+
+/// Result of one utility comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilityReport {
+    /// F1 (of the target class) for the classifier trained on real data.
+    pub f1_real: f64,
+    /// F1 for the classifier trained on synthetic data.
+    pub f1_synthetic: f64,
+    /// `|f1_real − f1_synthetic|` — the paper's `Diff`.
+    pub f1_diff: f64,
+    /// AUC for the real-trained classifier (binary tasks; 0.5 baseline
+    /// reported for multi-class).
+    pub auc_real: f64,
+    /// AUC for the synthetic-trained classifier.
+    pub auc_synthetic: f64,
+}
+
+/// Trains `make()` classifiers on real and synthetic tables and
+/// evaluates both on `test`. The feature space and the target (rare)
+/// class are fitted on the real training table only, so synthetic data
+/// cannot move the goalposts.
+pub fn classification_utility(
+    real_train: &Table,
+    synthetic: &Table,
+    test: &Table,
+    make: fn() -> Box<dyn Classifier>,
+    rng: &mut Rng,
+) -> UtilityReport {
+    assert_eq!(
+        real_train.schema(),
+        synthetic.schema(),
+        "real and synthetic schemas differ"
+    );
+    assert_eq!(real_train.schema(), test.schema(), "test schema differs");
+    let n_classes = real_train.n_classes();
+    let space = FeatureSpace::fit(real_train);
+    let x_real = space.transform(real_train);
+    let y_real = FeatureSpace::labels(real_train);
+    let x_syn = space.transform(synthetic);
+    let y_syn = FeatureSpace::labels(synthetic);
+    let x_test = space.transform(test);
+    let y_test = FeatureSpace::labels(test);
+    let target = target_class(&y_real, n_classes);
+
+    let mut f = make();
+    f.fit(&x_real, &y_real, n_classes, rng);
+    let pred_real = f.predict(&x_test);
+    let f1_real = f1_score(&y_test, &pred_real, target);
+
+    let mut f_syn = make();
+    // A synthetic table can collapse onto a single label; the classifier
+    // still trains (single-class) and scores 0 on the rare class.
+    f_syn.fit(&x_syn, &y_syn, n_classes, rng);
+    let pred_syn = f_syn.predict(&x_test);
+    let f1_synthetic = f1_score(&y_test, &pred_syn, target);
+
+    let (auc_real, auc_synthetic) = if n_classes == 2 {
+        let pr = f.predict_proba(&x_test);
+        let ps = f_syn.predict_proba(&x_test);
+        let sr: Vec<f64> = (0..x_test.rows()).map(|i| pr.at2(i, target) as f64).collect();
+        let ss: Vec<f64> = (0..x_test.rows()).map(|i| ps.at2(i, target) as f64).collect();
+        (
+            auc_binary(&y_test, &sr, target),
+            auc_binary(&y_test, &ss, target),
+        )
+    } else {
+        (0.5, 0.5)
+    };
+
+    UtilityReport {
+        f1_real,
+        f1_synthetic,
+        f1_diff: (f1_real - f1_synthetic).abs(),
+        auc_real,
+        auc_synthetic,
+    }
+}
+
+/// Absolute F1 of a classifier trained on `train` and evaluated on
+/// `test` — used by epoch-robustness plots (Figure 4) and as a
+/// validation scorer during model selection.
+pub fn f1_on_test(
+    train: &Table,
+    test: &Table,
+    reference: &Table,
+    make: fn() -> Box<dyn Classifier>,
+    rng: &mut Rng,
+) -> f64 {
+    if train.n_rows() == 0 {
+        return 0.0;
+    }
+    let n_classes = reference.n_classes();
+    let space = FeatureSpace::fit(reference);
+    let y_ref = FeatureSpace::labels(reference);
+    let target = target_class(&y_ref, n_classes);
+    let mut clf = make();
+    clf.fit(
+        &space.transform(train),
+        &FeatureSpace::labels(train),
+        n_classes,
+        rng,
+    );
+    let pred = clf.predict(&space.transform(test));
+    f1_score(&FeatureSpace::labels(test), &pred, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_data::{Attribute, Column, Schema};
+
+    /// A labeled table where the label is a noisy function of x.
+    fn labeled(n: usize, noise: f64, seed: u64) -> Table {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = rng.bool(0.3) as u32; // minority class 1
+            ys.push(y);
+            let base = if y == 1 { 2.0 } else { -2.0 };
+            xs.push(rng.normal_ms(base, 1.0 + noise));
+        }
+        Table::new(
+            Schema::with_label(
+                vec![Attribute::numerical("x"), Attribute::categorical("y")],
+                1,
+            ),
+            vec![Column::Num(xs), Column::cat_with_domain(ys, 2)],
+        )
+    }
+
+    #[test]
+    fn faithful_synthetic_has_small_diff() {
+        let real = labeled(500, 0.0, 0);
+        let synthetic = labeled(500, 0.0, 1); // same distribution
+        let test = labeled(300, 0.0, 2);
+        let mut rng = Rng::seed_from_u64(3);
+        let report = classification_utility(
+            &real,
+            &synthetic,
+            &test,
+            || Box::new(crate::classifiers::DecisionTree::new(10)),
+            &mut rng,
+        );
+        assert!(report.f1_real > 0.8, "f1_real = {}", report.f1_real);
+        assert!(report.f1_diff < 0.1, "diff = {}", report.f1_diff);
+        assert!(report.auc_real > 0.9);
+    }
+
+    #[test]
+    fn garbage_synthetic_has_large_diff() {
+        let real = labeled(500, 0.0, 4);
+        // Garbage: labels independent of features.
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 500;
+        let garbage = Table::new(
+            real.schema().clone(),
+            vec![
+                Column::Num((0..n).map(|_| rng.normal()).collect()),
+                Column::cat_with_domain((0..n).map(|_| rng.usize(2) as u32).collect(), 2),
+            ],
+        );
+        let test = labeled(300, 0.0, 6);
+        let report = classification_utility(
+            &real,
+            &garbage,
+            &test,
+            || Box::new(crate::classifiers::DecisionTree::new(10)),
+            &mut rng,
+        );
+        assert!(
+            report.f1_diff > 0.2,
+            "garbage should hurt: diff = {}",
+            report.f1_diff
+        );
+    }
+
+    #[test]
+    fn f1_on_test_tracks_quality() {
+        let real = labeled(400, 0.0, 7);
+        let test = labeled(200, 0.0, 8);
+        let mut rng = Rng::seed_from_u64(9);
+        let good = f1_on_test(
+            &real,
+            &test,
+            &real,
+            || Box::new(crate::classifiers::DecisionTree::new(10)),
+            &mut rng,
+        );
+        assert!(good > 0.8);
+    }
+}

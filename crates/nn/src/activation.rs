@@ -1,0 +1,74 @@
+//! Parameter-free activation layers.
+
+use crate::module::Module;
+use daisy_tensor::{Param, Var};
+
+/// Activation functions as pluggable modules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `x` for positive inputs, `alpha * x` otherwise.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (useful as a configurable no-op).
+    Identity,
+}
+
+impl Module for Activation {
+    fn forward(&self, input: &Var) -> Var {
+        match self {
+            Activation::Relu => input.relu(),
+            Activation::LeakyRelu(alpha) => input.leaky_relu(*alpha),
+            Activation::Tanh => input.tanh(),
+            Activation::Sigmoid => input.sigmoid(),
+            Activation::Identity => input.clone(),
+        }
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_tensor::Tensor;
+
+    fn apply(act: Activation, xs: &[f32]) -> Vec<f32> {
+        act.forward(&Var::constant(Tensor::from_slice(xs)))
+            .value()
+            .data()
+            .to_vec()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(apply(Activation::Relu, &[-1.0, 0.0, 2.0]), vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let out = apply(Activation::LeakyRelu(0.2), &[-1.0, 2.0]);
+        assert!((out[0] + 0.2).abs() < 1e-6);
+        assert_eq!(out[1], 2.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let out = apply(Activation::Tanh, &[-10.0, 10.0]);
+        assert!(out[0] > -1.0 - 1e-6 && out[0] < -0.99);
+        assert!(out[1] < 1.0 + 1e-6 && out[1] > 0.99);
+        let out = apply(Activation::Sigmoid, &[-10.0, 0.0, 10.0]);
+        assert!(out[0] < 0.01 && (out[1] - 0.5).abs() < 1e-6 && out[2] > 0.99);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(apply(Activation::Identity, &[1.5, -2.5]), vec![1.5, -2.5]);
+    }
+}

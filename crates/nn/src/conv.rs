@@ -1,0 +1,154 @@
+//! Convolutional layers for the DCGAN-style networks (paper §A.1.1).
+
+use crate::init::dcgan_normal;
+use crate::module::Module;
+use daisy_tensor::{conv::conv_out_dim, conv::conv_transpose_out_dim, Param, Rng, Tensor, Var};
+
+/// Standard 2-D convolution: weight `[OC, C, KH, KW]`, per-channel
+/// bias.
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with DCGAN `N(0, 0.02)` weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Conv2d {
+            weight: Param::new(dcgan_normal(
+                &[out_channels, in_channels, kernel, kernel],
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_dim(&self, input: usize) -> usize {
+        conv_out_dim(input, self.weight.shape()[2], self.stride, self.pad)
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, input: &Var) -> Var {
+        input
+            .conv2d(&self.weight.var(), self.stride, self.pad)
+            .add_channel_bias(&self.bias.var())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// Transposed (fractionally strided) 2-D convolution — the `DeConv` of
+/// the paper's generator: weight `[IC, OC, KH, KW]`, per-channel bias.
+pub struct ConvTranspose2d {
+    weight: Param,
+    bias: Param,
+    stride: usize,
+    pad: usize,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed conv layer with DCGAN `N(0, 0.02)` weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        ConvTranspose2d {
+            weight: Param::new(dcgan_normal(
+                &[in_channels, out_channels, kernel, kernel],
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_dim(&self, input: usize) -> usize {
+        conv_transpose_out_dim(input, self.weight.shape()[2], self.stride, self.pad)
+    }
+}
+
+impl Module for ConvTranspose2d {
+    fn forward(&self, input: &Var) -> Var {
+        input
+            .conv_transpose2d(&self.weight.var(), self.stride, self.pad)
+            .add_channel_bias(&self.bias.var())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = Rng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 8, 4, 2, 1, &mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 1, 16, 16], &mut rng));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+        assert_eq!(conv.out_dim(16), 8);
+    }
+
+    #[test]
+    fn transpose_conv_shapes() {
+        let mut rng = Rng::seed_from_u64(1);
+        let deconv = ConvTranspose2d::new(8, 1, 4, 2, 1, &mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 8, 8, 8], &mut rng));
+        let y = deconv.forward(&x);
+        assert_eq!(y.shape(), &[2, 1, 16, 16]);
+        assert_eq!(deconv.out_dim(8), 16);
+    }
+
+    #[test]
+    fn dcgan_roundtrip_geometry() {
+        // Generator path 1x1 -> 4x4 -> 8x8 matches the discriminator path
+        // 8x8 -> 4x4 -> 1x1 in reverse.
+        let mut rng = Rng::seed_from_u64(2);
+        let up1 = ConvTranspose2d::new(16, 8, 4, 2, 0, &mut rng);
+        let up2 = ConvTranspose2d::new(8, 1, 4, 2, 1, &mut rng);
+        let z = Var::constant(Tensor::randn(&[1, 16, 1, 1], &mut rng));
+        let img = up2.forward(&up1.forward(&z));
+        assert_eq!(img.shape(), &[1, 1, 8, 8]);
+
+        let down1 = Conv2d::new(1, 8, 4, 2, 1, &mut rng);
+        let down2 = Conv2d::new(8, 16, 4, 2, 0, &mut rng);
+        let code = down2.forward(&down1.forward(&img));
+        assert_eq!(code.shape(), &[1, 16, 1, 1]);
+    }
+
+    #[test]
+    fn gradients_reach_conv_params() {
+        let mut rng = Rng::seed_from_u64(3);
+        let conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 1, 5, 5], &mut rng));
+        conv.forward(&x).sqr().mean().backward();
+        for p in conv.params() {
+            assert!(p.grad().norm() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Inverted dropout — optional regularization for discriminators
+//! (keeps D from memorizing small real tables, a practical knob beyond
+//! the paper's simplified-D remedy).
+
+use crate::module::Module;
+use daisy_tensor::{Param, Rng, Tensor, Var};
+use std::cell::{Cell, RefCell};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so eval mode
+/// is the identity. The mask RNG is owned by the layer (seeded at
+/// construction), keeping the `Module::forward` signature pure.
+pub struct Dropout {
+    p: f32,
+    training: Cell<bool>,
+    rng: RefCell<Rng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout {
+            p,
+            training: Cell::new(true),
+            rng: RefCell::new(Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&self, input: &Var) -> Var {
+        if !self.training.get() || self.p == 0.0 {
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.borrow_mut();
+        let mask_data: Vec<f32> = (0..input.value().numel())
+            .map(|_| if rng.bool(keep as f64) { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, input.shape());
+        input.mul(&Var::constant(mask))
+    }
+
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = d.forward(&Var::constant(x.clone()));
+        assert_eq!(y.value(), &x);
+    }
+
+    #[test]
+    fn training_mode_zeroes_and_rescales() {
+        let d = Dropout::new(0.5, 1);
+        let n = 10_000;
+        let x = Tensor::ones(&[1, n]);
+        let y = d.forward(&Var::constant(x));
+        let zeros = y.value().data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "dropped fraction {frac}");
+        // Survivors are scaled to preserve the expectation.
+        let mean = y.value().mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        for &v in y.value().data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_flows_through_kept_units_only() {
+        let d = Dropout::new(0.5, 2);
+        let p = Param::new(Tensor::ones(&[1, 100]));
+        let y = d.forward(&p.var());
+        y.sum().backward();
+        let g = p.grad();
+        // Gradient is the mask itself: 0 or 1/keep.
+        for (&gv, &yv) in g.data().iter().zip(y.value().data()) {
+            assert_eq!(gv, yv);
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 3);
+        let x = Tensor::from_slice(&[4.0, 5.0]);
+        assert_eq!(d.forward(&Var::constant(x.clone())).value(), &x);
+    }
+}

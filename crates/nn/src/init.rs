@@ -1,0 +1,54 @@
+//! Weight initialization schemes.
+
+use daisy_tensor::{Rng, Tensor};
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The default for fully-connected layers with tanh/sigmoid outputs.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, shape: &[usize], rng: &mut Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    Tensor::rand_uniform(shape, -a, a, rng)
+}
+
+/// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU stacks.
+pub fn kaiming_normal(fan_in: usize, shape: &[usize], rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in as f64).sqrt() as f32;
+    Tensor::randn(shape, rng).mul_scalar(std)
+}
+
+/// DCGAN-style `N(0, 0.02)` initialization used for convolutional
+/// generators/discriminators (Radford et al., as adopted by tableGAN).
+pub fn dcgan_normal(shape: &[usize], rng: &mut Rng) -> Tensor {
+    Tensor::randn(shape, rng).mul_scalar(0.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::seed_from_u64(0);
+        let t = xavier_uniform(100, 100, &[100, 100], &mut rng);
+        let a = (6.0f64 / 200.0).sqrt() as f32;
+        assert!(t.max() <= a && t.min() >= -a);
+        assert!(t.data().iter().any(|&x| x.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn kaiming_std() {
+        let mut rng = Rng::seed_from_u64(1);
+        let t = kaiming_normal(128, &[128, 128], &mut rng);
+        let mean = t.mean();
+        let var = t.sqr().mean() - mean * mean;
+        let expected = 2.0 / 128.0;
+        assert!((var - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn dcgan_std() {
+        let mut rng = Rng::seed_from_u64(2);
+        let t = dcgan_normal(&[64, 64], &mut rng);
+        let var = t.sqr().mean();
+        assert!((var.sqrt() - 0.02).abs() < 0.002);
+    }
+}

@@ -1,0 +1,116 @@
+//! Loss helpers beyond the primitives on `Var`.
+//!
+//! The interesting one is the KL-divergence warm-up term of VTrain
+//! (paper Equation 2): the generator loss adds, per attribute, the KL
+//! divergence between the real minibatch's attribute distribution and
+//! the synthetic minibatch's attribute distribution, computed on the
+//! (softmax) probability columns so it stays differentiable.
+
+use daisy_tensor::{Tensor, Var};
+
+/// KL divergence `KL(p ‖ q)` where `p` is a constant empirical
+/// distribution and `q` is a differentiable `[K]` distribution var
+/// (e.g. the batch mean of softmax outputs). Returns a `[1]` var.
+///
+/// Zero-probability real categories contribute nothing (0·ln 0 = 0);
+/// `q` is floored at `eps` for stability.
+pub fn kl_divergence(p_real: &Tensor, q_syn: &Var, eps: f32) -> Var {
+    assert_eq!(
+        p_real.shape(),
+        q_syn.shape(),
+        "kl_divergence operand shape mismatch"
+    );
+    // KL(p||q) = Σ p (ln p - ln q) = Σ p ln p - Σ p ln q.
+    let entropy_term: f32 = p_real
+        .data()
+        .iter()
+        .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+        .sum();
+    let cross = q_syn.ln_eps(eps).mul(&Var::constant(p_real.clone())).sum();
+    cross.neg().add_scalar(entropy_term)
+}
+
+/// Empirical distribution of a one-hot (or probability) column block:
+/// the column means of `[B, K]`, renormalized to sum to one.
+pub fn empirical_distribution(block: &Tensor) -> Tensor {
+    let mut mean = block.mean_axis0();
+    let total = mean.sum();
+    if total > 0.0 {
+        mean = mean.mul_scalar(1.0 / total);
+    } else {
+        // Degenerate batch: fall back to uniform.
+        let k = mean.numel();
+        mean = Tensor::full(&[k], 1.0 / k as f32);
+    }
+    mean
+}
+
+/// Differentiable batch distribution of a synthetic probability block:
+/// column means renormalized via their (scalar) sum.
+pub fn batch_distribution(block: &Var) -> Var {
+    let mean = block.mean_axis0();
+    let total = mean.value().sum().max(1e-8);
+    mean.mul_scalar(1.0 / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = Tensor::from_slice(&[0.25, 0.25, 0.5]);
+        let q = Var::constant(p.clone());
+        let kl = kl_divergence(&p, &q, 1e-12);
+        assert!(kl.value().data()[0].abs() < 1e-5);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = Tensor::from_slice(&[0.9, 0.1]);
+        let q = Var::constant(Tensor::from_slice(&[0.5, 0.5]));
+        let kl = kl_divergence(&p, &q, 1e-12).value().data()[0];
+        let expected = 0.9 * (0.9f32 / 0.5).ln() + 0.1 * (0.1f32 / 0.5).ln();
+        assert!((kl - expected).abs() < 1e-4, "kl = {kl}");
+    }
+
+    #[test]
+    fn kl_handles_zero_real_mass() {
+        let p = Tensor::from_slice(&[1.0, 0.0]);
+        let q = Var::constant(Tensor::from_slice(&[0.5, 0.5]));
+        let kl = kl_divergence(&p, &q, 1e-12).value().data()[0];
+        assert!((kl - (2.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kl_gradient_pulls_q_toward_p() {
+        let p = Tensor::from_slice(&[0.8, 0.2]);
+        let param = daisy_tensor::Param::new(Tensor::from_slice(&[0.5, 0.5]));
+        kl_divergence(&p, &param.var(), 1e-12).backward();
+        let g = param.grad();
+        // d/dq_i of -Σ p ln q = -p_i / q_i: steeper for the
+        // under-represented category, so gradient descent raises q_0
+        // faster than q_1.
+        assert!(g.data()[0] < g.data()[1]);
+    }
+
+    #[test]
+    fn empirical_distribution_normalizes() {
+        let block = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        let d = empirical_distribution(&block);
+        assert!((d.data()[0] - 2.0 / 3.0).abs() < 1e-6);
+        assert!((d.sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_distribution_is_differentiable() {
+        let param = daisy_tensor::Param::new(Tensor::from_vec(
+            vec![0.7, 0.3, 0.4, 0.6],
+            &[2, 2],
+        ));
+        let d = batch_distribution(&param.var());
+        assert!((d.value().sum() - 1.0).abs() < 1e-5);
+        d.sqr().sum().backward();
+        assert!(param.grad().norm() > 0.0);
+    }
+}

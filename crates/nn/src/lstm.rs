@@ -1,0 +1,195 @@
+//! LSTM cell (Hochreiter & Schmidhuber), used by the sequence-generation
+//! networks of the paper (§5.1, Figure 12).
+//!
+//! The cell is not a [`crate::module::Module`] — its forward pass takes
+//! `(input, hidden, cell)` and returns the new pair, so the generator
+//! and discriminator drive it explicitly across timesteps. Gradients
+//! flow through time automatically because the whole unrolled sequence
+//! lives in one autodiff graph.
+
+use crate::init::xavier_uniform;
+use daisy_tensor::{Param, Rng, Tensor, Var};
+
+/// A single LSTM cell with combined gate weights.
+///
+/// Gate layout along the `4H` axis: input `i`, forget `f`, candidate
+/// `g`, output `o`.
+pub struct LstmCell {
+    w_ih: Param, // [I, 4H]
+    w_hh: Param, // [H, 4H]
+    bias: Param, // [4H]
+    input_size: usize,
+    hidden_size: usize,
+}
+
+/// The recurrent state `(h, c)` carried between timesteps.
+#[derive(Clone)]
+pub struct LstmState {
+    /// Hidden state `[B, H]`.
+    pub h: Var,
+    /// Cell state `[B, H]`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Creates a cell; the forget-gate bias starts at 1 (standard trick
+    /// to preserve long-range memory early in training).
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut Rng) -> Self {
+        let mut bias = Tensor::zeros(&[4 * hidden_size]);
+        for j in hidden_size..2 * hidden_size {
+            bias.data_mut()[j] = 1.0;
+        }
+        LstmCell {
+            w_ih: Param::new(xavier_uniform(
+                input_size,
+                4 * hidden_size,
+                &[input_size, 4 * hidden_size],
+                rng,
+            )),
+            w_hh: Param::new(xavier_uniform(
+                hidden_size,
+                4 * hidden_size,
+                &[hidden_size, 4 * hidden_size],
+                rng,
+            )),
+            bias: Param::new(bias),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Zero-initialized state for a batch.
+    pub fn zero_state(&self, batch: usize) -> LstmState {
+        LstmState {
+            h: Var::constant(Tensor::zeros(&[batch, self.hidden_size])),
+            c: Var::constant(Tensor::zeros(&[batch, self.hidden_size])),
+        }
+    }
+
+    /// Randomly initialized state (the paper initializes `h0`/`f0` with
+    /// random values for the LSTM generator).
+    pub fn random_state(&self, batch: usize, rng: &mut Rng) -> LstmState {
+        LstmState {
+            h: Var::constant(Tensor::randn(&[batch, self.hidden_size], rng)),
+            c: Var::constant(Tensor::randn(&[batch, self.hidden_size], rng)),
+        }
+    }
+
+    /// One timestep: `x [B, I]`, state `[B, H]` → new state.
+    pub fn step(&self, x: &Var, state: &LstmState) -> LstmState {
+        assert_eq!(
+            x.shape().last().copied(),
+            Some(self.input_size),
+            "LstmCell expected input width {}, got {:?}",
+            self.input_size,
+            x.shape()
+        );
+        let hs = self.hidden_size;
+        let gates = x
+            .matmul(&self.w_ih.var())
+            .add(&state.h.matmul(&self.w_hh.var()))
+            .add_row(&self.bias.var());
+        let i = gates.slice_cols(0, hs).sigmoid();
+        let f = gates.slice_cols(hs, 2 * hs).sigmoid();
+        let g = gates.slice_cols(2 * hs, 3 * hs).tanh();
+        let o = gates.slice_cols(3 * hs, 4 * hs).sigmoid();
+        let c = f.mul(&state.c).add(&i.mul(&g));
+        let h = o.mul(&c.tanh());
+        LstmState { h, c }
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w_ih.clone(), self.w_hh.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{zero_grads, Module};
+
+    #[test]
+    fn step_shapes() {
+        let mut rng = Rng::seed_from_u64(0);
+        let cell = LstmCell::new(5, 7, &mut rng);
+        let state = cell.zero_state(3);
+        let x = Var::constant(Tensor::randn(&[3, 5], &mut rng));
+        let next = cell.step(&x, &state);
+        assert_eq!(next.h.shape(), &[3, 7]);
+        assert_eq!(next.c.shape(), &[3, 7]);
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut rng = Rng::seed_from_u64(1);
+        let cell = LstmCell::new(2, 4, &mut rng);
+        let mut state = cell.zero_state(2);
+        for t in 0..5 {
+            let x = Var::constant(Tensor::full(&[2, 2], t as f32 * 0.1));
+            state = cell.step(&x, &state);
+        }
+        state.h.sqr().mean().backward();
+        for p in cell.params() {
+            assert!(p.grad().norm() > 0.0, "no gradient reached {p:?}");
+        }
+    }
+
+    #[test]
+    fn learns_to_memorize_first_input() {
+        // Task: after 3 steps, h must encode the sign of the first input.
+        let mut rng = Rng::seed_from_u64(2);
+        let cell = LstmCell::new(1, 8, &mut rng);
+        let readout = crate::linear::Linear::new(8, 1, &mut rng);
+        let mut params = cell.params();
+        params.extend(readout.params());
+
+        let run = |first: f32| {
+            let mut state = cell.zero_state(1);
+            for t in 0..3 {
+                let v = if t == 0 { first } else { 0.0 };
+                state = cell.step(&Var::constant(Tensor::from_vec(vec![v], &[1, 1])), &state);
+            }
+            crate::module::Module::forward(&readout, &state.h)
+        };
+
+        for _ in 0..300 {
+            zero_grads(&params);
+            let mut total = 0.0;
+            for &(first, target) in &[(1.0f32, 1.0f32), (-1.0, 0.0)] {
+                let logit = run(first);
+                let loss = logit.bce_with_logits(&Tensor::from_vec(vec![target], &[1, 1]));
+                total += loss.value().data()[0];
+                loss.backward();
+            }
+            for p in &params {
+                p.update(|v, g| v.axpy(-0.5, g));
+            }
+            if total < 0.02 {
+                break;
+            }
+        }
+        let pos = run(1.0).value().data()[0];
+        let neg = run(-1.0).value().data()[0];
+        assert!(pos > 0.0 && neg < 0.0, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = Rng::seed_from_u64(3);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let b = cell.params()[2].value();
+        assert_eq!(&b.data()[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b.data()[0..3], &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! The [`Module`] abstraction shared by all layers and networks.
+
+use daisy_tensor::{Param, Tensor, Var};
+
+/// A differentiable transformation with trainable parameters.
+///
+/// `forward` builds a fresh computation graph each call; gradients land
+/// in the [`Param`]s returned by `params`.
+pub trait Module {
+    /// Applies the module to a batch.
+    fn forward(&self, input: &Var) -> Var;
+
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Switches layers with train/eval behaviour (batch norm) between
+    /// modes. Default: no-op.
+    fn set_training(&self, _training: bool) {}
+}
+
+/// Zeroes the gradient of every parameter.
+pub fn zero_grads(params: &[Param]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+/// Total number of scalar weights.
+pub fn num_params(params: &[Param]) -> usize {
+    params.iter().map(Param::numel).sum()
+}
+
+/// Snapshot of all parameter values (for epoch-based model selection).
+pub fn snapshot(params: &[Param]) -> Vec<Tensor> {
+    params.iter().map(Param::value).collect()
+}
+
+/// Restores a snapshot taken by [`snapshot`].
+pub fn restore(params: &[Param], state: &[Tensor]) {
+    assert_eq!(params.len(), state.len(), "snapshot arity mismatch");
+    for (p, t) in params.iter().zip(state) {
+        p.set_value(t.clone());
+    }
+}
+
+/// A chain of modules applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// An empty chain (identity).
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, input: &Var) -> Var {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for layer in &self.layers {
+            layer.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::linear::Linear;
+    use daisy_tensor::Rng;
+
+    #[test]
+    fn sequential_composes() {
+        let mut rng = Rng::seed_from_u64(0);
+        let net = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Activation::Relu)
+            .push(Linear::new(8, 2, &mut rng));
+        let x = Var::constant(Tensor::randn(&[3, 4], &mut rng));
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(net.params().len(), 4); // two weight/bias pairs
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = Rng::seed_from_u64(1);
+        let net = Linear::new(3, 3, &mut rng);
+        let params = net.params();
+        let saved = snapshot(&params);
+        // Perturb.
+        for p in &params {
+            p.set_value(p.value().add_scalar(1.0));
+        }
+        let x = Var::constant(Tensor::ones(&[1, 3]));
+        let perturbed = net.forward(&x).value().clone();
+        restore(&params, &saved);
+        let restored = net.forward(&x).value().clone();
+        assert_ne!(perturbed, restored);
+        // Restored output must equal the pre-perturbation output.
+        let net2_out = net.forward(&x);
+        assert_eq!(net2_out.value(), &restored);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut rng = Rng::seed_from_u64(2);
+        let net = Linear::new(2, 2, &mut rng);
+        let x = Var::constant(Tensor::ones(&[1, 2]));
+        net.forward(&x).sum().backward();
+        let params = net.params();
+        assert!(params[0].grad().norm() > 0.0);
+        zero_grads(&params);
+        assert_eq!(params[0].grad().norm(), 0.0);
+    }
+
+    #[test]
+    fn num_params_counts() {
+        let mut rng = Rng::seed_from_u64(3);
+        let net = Linear::new(4, 5, &mut rng);
+        assert_eq!(num_params(&net.params()), 4 * 5 + 5);
+    }
+}

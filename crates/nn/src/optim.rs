@@ -1,0 +1,311 @@
+//! Gradient-descent optimizers and clipping utilities.
+//!
+//! The paper's training algorithms pin the optimizer choice: Adam for
+//! vanilla/conditional GAN training (Algorithms 1, 3) and RMSProp for
+//! Wasserstein/DPGAN training (Algorithms 2, 4). Weight clipping
+//! implements the `clip(θ, -c, c)` step of WGAN; per-sample gradient
+//! clipping bounds sensitivity for DPGAN.
+
+use daisy_tensor::{Param, Tensor};
+
+/// A first-order optimizer bound to a fixed parameter set.
+pub trait Optimizer {
+    /// Applies one update from the currently accumulated gradients.
+    fn step(&mut self);
+
+    /// The parameters this optimizer updates.
+    fn params(&self) -> &[Param];
+
+    /// Zeroes all gradients.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (kept for reference/testing).
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        Sgd { params, lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        let lr = self.lr;
+        for p in &self.params {
+            p.update(|v, g| v.axpy(-lr, g));
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional betas (0.9, 0.999).
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        Adam::with_betas(params, lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit betas (DCGAN-style training often uses
+    /// `beta1 = 0.5`).
+    pub fn with_betas(params: Vec<Param>, lr: f32, beta1: f32, beta2: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            m,
+            v,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        for (i, p) in self.params.iter().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            p.update(|value, grad| {
+                for ((mi, vi), (&gi, xi)) in m
+                    .data_mut()
+                    .iter_mut()
+                    .zip(v.data_mut())
+                    .zip(grad.data().iter().zip(value.data_mut()))
+                {
+                    *mi = b1 * *mi + (1.0 - b1) * gi;
+                    *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *xi -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// RMSProp (Tieleman & Hinton), the optimizer mandated by WGAN.
+pub struct RmsProp {
+    params: Vec<Param>,
+    lr: f32,
+    alpha: f32,
+    eps: f32,
+    sq: Vec<Tensor>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with the conventional smoothing `alpha = 0.99`.
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let sq = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        RmsProp {
+            params,
+            lr,
+            alpha: 0.99,
+            eps: 1e-8,
+            sq,
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self) {
+        let (lr, alpha, eps) = (self.lr, self.alpha, self.eps);
+        for (i, p) in self.params.iter().enumerate() {
+            let sq = &mut self.sq[i];
+            p.update(|value, grad| {
+                for (si, (&gi, xi)) in sq
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data().iter().zip(value.data_mut()))
+                {
+                    *si = alpha * *si + (1.0 - alpha) * gi * gi;
+                    *xi -= lr * gi / (si.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Clamps every weight into `[-c, c]` — the WGAN Lipschitz surrogate
+/// (Algorithm 2, line 8).
+pub fn clip_weights(params: &[Param], c: f32) {
+    assert!(c > 0.0, "clip bound must be positive");
+    for p in params {
+        p.update(|v, _| v.map_inplace(|x| x.clamp(-c, c)));
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm. Used by DPGAN to bound
+/// gradient sensitivity before noise addition.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad().norm_sq()).sum::<f32>().sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params {
+            let scaled = p.grad().mul_scalar(scale);
+            p.zero_grad();
+            p_add_grad(p, &scaled);
+        }
+    }
+    total
+}
+
+/// Adds Gaussian noise `N(0, sigma^2)` to every gradient — the DPGAN
+/// noise mechanism (Algorithm 4, line 8).
+pub fn add_grad_noise(params: &[Param], sigma: f32, rng: &mut daisy_tensor::Rng) {
+    for p in params {
+        let noise = Tensor::randn(&p.shape(), rng).mul_scalar(sigma);
+        p_add_grad(p, &noise);
+    }
+}
+
+fn p_add_grad(p: &Param, delta: &Tensor) {
+    // Param exposes gradient accumulation only through backward; route a
+    // manual deposit through a trivial graph so the invariant "gradients
+    // only come from accumulate" holds in one place.
+    let v = p.var();
+    let seed = delta.clone();
+    v.backward_with(seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_tensor::{Rng, Var};
+
+    fn quadratic_loss(p: &Param) -> daisy_tensor::Var {
+        // L = mean((x - 3)^2): minimum at 3.
+        p.var().add_scalar(-3.0).sqr().mean()
+    }
+
+    fn optimize(mut opt: impl Optimizer, steps: usize) -> f32 {
+        for _ in 0..steps {
+            opt.zero_grad();
+            let p = &opt.params()[0];
+            quadratic_loss(p).backward();
+            opt.step();
+        }
+        opt.params()[0].value().mean()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new(Tensor::zeros(&[4]));
+        let x = optimize(Sgd::new(vec![p], 0.2), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new(Tensor::zeros(&[4]));
+        let x = optimize(Adam::new(vec![p], 0.1), 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let p = Param::new(Tensor::zeros(&[4]));
+        let x = optimize(RmsProp::new(vec![p], 0.05), 300);
+        assert!((x - 3.0).abs() < 5e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_faster_than_sgd_on_ill_conditioned() {
+        // L = x0^2 + 100 x1^2 from (1, 1): adaptive scaling should reach
+        // the optimum where plain SGD with a safe lr crawls.
+        let loss = |p: &Param| {
+            let x = p.var();
+            let w = Var::constant(Tensor::from_slice(&[1.0, 100.0]));
+            x.sqr().mul(&w).sum()
+        };
+        let run = |mut opt: Box<dyn Optimizer>| {
+            for _ in 0..200 {
+                opt.zero_grad();
+                loss(&opt.params()[0]).backward();
+                opt.step();
+            }
+            opt.params()[0].value().norm()
+        };
+        let sgd_final = run(Box::new(Sgd::new(
+            vec![Param::new(Tensor::ones(&[2]))],
+            0.004,
+        )));
+        let adam_final = run(Box::new(Adam::new(
+            vec![Param::new(Tensor::ones(&[2]))],
+            0.05,
+        )));
+        assert!(
+            adam_final < sgd_final,
+            "adam {adam_final} vs sgd {sgd_final}"
+        );
+    }
+
+    #[test]
+    fn weight_clipping_bounds_weights() {
+        let p = Param::new(Tensor::from_slice(&[-5.0, 0.3, 5.0]));
+        clip_weights(std::slice::from_ref(&p), 0.5);
+        assert_eq!(p.value().data(), &[-0.5, 0.3, 0.5]);
+    }
+
+    #[test]
+    fn grad_norm_clipping() {
+        let p = Param::new(Tensor::zeros(&[2]));
+        p.var().mul_scalar(3.0).sum().backward(); // grad = [3, 3]
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
+        assert!((pre - (18.0f32).sqrt()).abs() < 1e-4);
+        assert!((p.grad().norm() - 1.0).abs() < 1e-4);
+        // Under the bound: untouched.
+        let q = Param::new(Tensor::zeros(&[2]));
+        q.var().mul_scalar(0.1).sum().backward();
+        clip_grad_norm(std::slice::from_ref(&q), 1.0);
+        assert!((q.grad().norm() - (0.02f32).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_noise_perturbs() {
+        let mut rng = Rng::seed_from_u64(0);
+        let p = Param::new(Tensor::zeros(&[16]));
+        add_grad_noise(std::slice::from_ref(&p), 1.0, &mut rng);
+        assert!(p.grad().norm() > 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # daisy-tensor
+//!
+//! Dense `f32` tensors, deterministic random number generation, and
+//! reverse-mode automatic differentiation — the substrate under the
+//! neural networks of the Daisy relational-data-synthesis study.
+//!
+//! The crate is dependency-free and CPU-only by design: the paper's
+//! experiments compare *model and algorithm structure*, which this
+//! substrate reproduces exactly; raw device throughput is out of scope.
+//!
+//! ## Layout
+//! - [`rng`] — xoshiro256++ RNG with normal/Laplace/weighted sampling.
+//! - [`tensor`] — the [`Tensor`] type and constructors.
+//! - [`ops`] / [`linalg`] / [`conv`] — elementwise math, reductions,
+//!   matmul, convolution primitives.
+//! - [`autodiff`] — [`Var`]/[`Param`] computation graph with
+//!   backpropagation.
+//!
+//! ## Example
+//! ```
+//! use daisy_tensor::{Param, Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let w = Param::new(Tensor::randn(&[4, 2], &mut rng));
+//! let x = daisy_tensor::Var::constant(Tensor::randn(&[8, 4], &mut rng));
+//! let loss = x.matmul(&w.var()).tanh().sqr().mean();
+//! loss.backward();
+//! assert_eq!(w.grad().shape(), &[4, 2]);
+//! ```
+
+pub mod autodiff;
+pub mod conv;
+pub mod linalg;
+pub mod ops;
+pub mod rng;
+pub mod tensor;
+
+pub use autodiff::{Param, Var};
+pub use rng::Rng;
+pub use tensor::Tensor;

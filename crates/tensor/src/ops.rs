@@ -1,0 +1,414 @@
+//! Elementwise arithmetic, row-broadcast operations and reductions.
+//!
+//! Broadcasting is intentionally restricted to the two patterns the
+//! neural-network layers need: scalar ⊕ tensor and `[B, D] ⊕ [D]`
+//! (row broadcast). Anything fancier would be dead weight.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise square.
+    pub fn sqr(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Adds a `[D]` vector to every row of a `[B, D]` tensor.
+    pub fn add_row(&self, row: &Tensor) -> Tensor {
+        self.row_broadcast(row, |a, b| a + b)
+    }
+
+    /// Subtracts a `[D]` vector from every row of a `[B, D]` tensor.
+    pub fn sub_row(&self, row: &Tensor) -> Tensor {
+        self.row_broadcast(row, |a, b| a - b)
+    }
+
+    /// Multiplies every row of a `[B, D]` tensor by a `[D]` vector.
+    pub fn mul_row(&self, row: &Tensor) -> Tensor {
+        self.row_broadcast(row, |a, b| a * b)
+    }
+
+    /// Divides every row of a `[B, D]` tensor by a `[D]` vector.
+    pub fn div_row(&self, row: &Tensor) -> Tensor {
+        self.row_broadcast(row, |a, b| a / b)
+    }
+
+    fn row_broadcast(&self, row: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.ndim(), 2, "row broadcast requires a 2-D tensor");
+        assert_eq!(
+            row.numel(),
+            self.cols(),
+            "row length {} does not match columns {}",
+            row.numel(),
+            self.cols()
+        );
+        let cols = self.cols();
+        let rv = row.data();
+        let data = self
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| f(a, rv[i % cols]))
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element (NaN-propagating max over at least one value).
+    pub fn max(&self) -> f32 {
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums of a `[B, D]` tensor, producing `[D]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "sum_axis0 requires a 2-D tensor");
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = self.row(r);
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, &[cols])
+    }
+
+    /// Column means of a `[B, D]` tensor, producing `[D]`.
+    pub fn mean_axis0(&self) -> Tensor {
+        let rows = self.rows().max(1) as f32;
+        self.sum_axis0().mul_scalar(1.0 / rows)
+    }
+
+    /// Row sums of a `[B, D]` tensor, producing `[B]`.
+    pub fn sum_axis1(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "sum_axis1 requires a 2-D tensor");
+        let data = (0..self.rows())
+            .map(|r| self.row(r).iter().sum())
+            .collect();
+        Tensor::from_vec(data, &[self.rows()])
+    }
+
+    /// Index of the largest value in a 1-D tensor (ties resolve to the
+    /// first occurrence).
+    pub fn argmax(&self) -> usize {
+        assert!(self.numel() > 0, "argmax of empty tensor");
+        let mut best = 0;
+        let mut best_v = self.data()[0];
+        for (i, &v) in self.data().iter().enumerate().skip(1) {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax of a `[B, D]` tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.ndim(), 2, "argmax_rows requires a 2-D tensor");
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for i in 1..row.len() {
+                    if row[i] > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Numerically stable row-wise softmax of a `[B, D]` tensor.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "softmax_rows requires a 2-D tensor");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Concatenates 2-D tensors along columns (axis 1). All inputs must
+    /// share the same row count.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let rows = parts[0].rows();
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut data = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for p in parts {
+                assert_eq!(p.rows(), rows, "concat_cols row count mismatch");
+                data.extend_from_slice(p.row(r));
+            }
+        }
+        Tensor::from_vec(data, &[rows, total])
+    }
+
+    /// Extracts the column range `[lo, hi)` of a 2-D tensor.
+    pub fn slice_cols(&self, lo: usize, hi: usize) -> Tensor {
+        assert_eq!(self.ndim(), 2, "slice_cols requires a 2-D tensor");
+        assert!(lo <= hi && hi <= self.cols(), "column range out of bounds");
+        let mut data = Vec::with_capacity(self.rows() * (hi - lo));
+        for r in 0..self.rows() {
+            data.extend_from_slice(&self.row(r)[lo..hi]);
+        }
+        Tensor::from_vec(data, &[self.rows(), hi - lo])
+    }
+
+    /// Gathers the given rows of a 2-D tensor into a new tensor.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.ndim(), 2, "gather_rows requires a 2-D tensor");
+        let mut data = Vec::with_capacity(indices.len() * self.cols());
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor::from_vec(data, &[indices.len(), self.cols()])
+    }
+
+    /// Squared L2 norm of the whole tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|&x| x * x).sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Clamps all elements to `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data().iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2() -> Tensor {
+        Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])
+    }
+
+    #[test]
+    fn elementwise_arith() {
+        let a = t2();
+        let b = Tensor::full(&[2, 3], 2.0);
+        assert_eq!(a.add(&b).at2(0, 0), 3.0);
+        assert_eq!(a.sub(&b).at2(1, 2), 4.0);
+        assert_eq!(a.mul(&b).at2(1, 0), 8.0);
+        assert_eq!(a.div(&b).at2(0, 1), 1.0);
+        assert_eq!(a.neg().at2(0, 0), -1.0);
+    }
+
+    #[test]
+    fn row_broadcasts() {
+        let a = t2();
+        let r = Tensor::from_slice(&[1.0, 10.0, 100.0]);
+        assert_eq!(a.add_row(&r).row(1), &[5.0, 15.0, 106.0]);
+        assert_eq!(a.mul_row(&r).row(0), &[1.0, 20.0, 300.0]);
+        assert_eq!(a.sub_row(&r).row(0), &[0.0, -8.0, -97.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t2();
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.mean(), 3.5);
+        assert_eq!(a.max(), 6.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.sum_axis0().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis1().data(), &[6.0, 15.0]);
+        assert_eq!(a.mean_axis0().data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn argmax_variants() {
+        let a = Tensor::from_slice(&[0.1, 0.9, 0.3]);
+        assert_eq!(a.argmax(), 1);
+        let b = Tensor::from_vec(vec![0.0, 1.0, 5.0, 2.0], &[2, 2]);
+        assert_eq!(b.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large inputs must not overflow to NaN.
+        assert!(!s.has_non_finite());
+        // Monotonicity within the row.
+        assert!(s.at2(0, 2) > s.at2(0, 1) && s.at2(0, 1) > s.at2(0, 0));
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = t2();
+        let left = a.slice_cols(0, 1);
+        let right = a.slice_cols(1, 3);
+        let back = Tensor::concat_cols(&[&left, &right]);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = t2();
+        let g = a.gather_rows(&[1, 1, 0]);
+        assert_eq!(g.shape(), &[3, 3]);
+        assert_eq!(g.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(g.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn norms_and_clamp() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.clamp(0.0, 3.5).data(), &[3.0, 3.5]);
+    }
+}
+
+/// Channel-permutation helpers used by 2-D batch normalization: they
+/// move the channel axis of a `[B, C, H, W]` tensor to the last
+/// position (`[B*H*W, C]`) and back, so per-channel statistics reduce
+/// to per-column statistics.
+impl Tensor {
+    /// `[B, C, H, W] -> [B*H*W, C]`.
+    pub fn bchw_to_nc(&self) -> Tensor {
+        assert_eq!(self.ndim(), 4, "bchw_to_nc requires a 4-D tensor");
+        let s = self.shape().to_vec();
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let hw = h * w;
+        let mut out = vec![0.0f32; self.numel()];
+        let d = self.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                for p in 0..hw {
+                    out[(bi * hw + p) * c + ci] = d[(bi * c + ci) * hw + p];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b * hw, c])
+    }
+
+    /// `[B*H*W, C] -> [B, C, H, W]` (inverse of [`Tensor::bchw_to_nc`]).
+    pub fn nc_to_bchw(&self, b: usize, c: usize, h: usize, w: usize) -> Tensor {
+        assert_eq!(self.ndim(), 2, "nc_to_bchw requires a 2-D tensor");
+        assert_eq!(self.numel(), b * c * h * w, "nc_to_bchw element mismatch");
+        let hw = h * w;
+        let mut out = vec![0.0f32; self.numel()];
+        let d = self.data();
+        for bi in 0..b {
+            for ci in 0..c {
+                for p in 0..hw {
+                    out[(bi * c + ci) * hw + p] = d[(bi * hw + p) * c + ci];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, c, h, w])
+    }
+}
+
+#[cfg(test)]
+mod perm_tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn bchw_nc_roundtrip() {
+        let mut rng = Rng::seed_from_u64(77);
+        let x = Tensor::randn(&[2, 3, 4, 5], &mut rng);
+        let nc = x.bchw_to_nc();
+        assert_eq!(nc.shape(), &[2 * 4 * 5, 3]);
+        assert_eq!(nc.nc_to_bchw(2, 3, 4, 5), x);
+    }
+
+    #[test]
+    fn bchw_nc_places_channels_in_columns() {
+        // One batch, two channels of constant values 1 and 2.
+        let mut data = vec![1.0f32; 4];
+        data.extend(vec![2.0f32; 4]);
+        let x = Tensor::from_vec(data, &[1, 2, 2, 2]);
+        let nc = x.bchw_to_nc();
+        for r in 0..4 {
+            assert_eq!(nc.row(r), &[1.0, 2.0]);
+        }
+    }
+}

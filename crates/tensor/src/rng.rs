@@ -1,0 +1,316 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (weight initialization,
+//! minibatch sampling, noise priors, dataset simulation, differential
+//! privacy noise) draws from [`Rng`], a xoshiro256++ generator seeded via
+//! SplitMix64. A single `u64` seed therefore reproduces an entire
+//! experiment bit-for-bit, which the test suites and the benchmark
+//! harness rely on.
+
+/// SplitMix64 step, used to expand a single `u64` seed into the four
+/// 64-bit words of xoshiro256++ state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; it is a simulation RNG with a 2^256-1
+/// period and excellent statistical quality, sufficient for the Monte
+/// Carlo workloads in this repository.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Two generators created from the same seed produce identical
+    /// streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child generator. Useful for handing each
+    /// thread or submodel its own stream while keeping the parent
+    /// deterministic.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        self.f64() as f32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Uses Lemire's multiply-shift with a
+    /// rejection step to stay unbiased.
+    #[inline]
+    pub fn usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::usize requires n > 0");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= lo.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range requires lo < hi");
+        lo + self.usize(hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate via the Box–Muller transform (cached
+    /// pairs, so consecutive calls alternate between fresh and spare
+    /// values).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(spare) = self.gauss_spare.take() {
+            return spare;
+        }
+        // Rejection-free polar form would branch unpredictably; the
+        // trigonometric form is fine at this scale.
+        let u1 = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_ms(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Laplace deviate with location 0 and the given scale `b`
+    /// (density `exp(-|x|/b) / 2b`). Used by the differentially private
+    /// synthesizers.
+    pub fn laplace(&mut self, scale: f64) -> f64 {
+        let u = self.f64() - 0.5;
+        -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Samples an index from an (unnormalized, non-negative) weight
+    /// vector. Panics if all weights are zero or any is negative.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+            "Rng::weighted requires non-negative weights with positive sum"
+        );
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (reservoir-free; uses a
+    /// partial Fisher–Yates over an index vector).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_unbiased_small_range() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.usize(5)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "frac = {frac}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = Rng::seed_from_u64(13);
+        let scale = 2.0;
+        let n = 200_000;
+        let (mut sum, mut sum_abs) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.laplace(scale);
+            sum += x;
+            sum_abs += x.abs();
+        }
+        // E[X] = 0, E[|X|] = b.
+        assert!((sum / n as f64).abs() < 0.05);
+        assert!((sum_abs / n as f64 - scale).abs() < 0.05);
+    }
+
+    #[test]
+    fn weighted_follows_weights() {
+        let mut rng = Rng::seed_from_u64(17);
+        let weights = [1.0, 3.0];
+        let n = 100_000;
+        let ones = (0..n).filter(|_| rng.weighted(&weights) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(19);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from_u64(23);
+        let idx = rng.sample_indices(50, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(31);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

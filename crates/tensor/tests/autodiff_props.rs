@@ -1,0 +1,118 @@
+//! Property-based validation of the autodiff engine: for randomly
+//! generated inputs and operator chains, analytic gradients must match
+//! central finite differences.
+
+use daisy_tensor::{Param, Rng, Tensor, Var};
+use proptest::prelude::*;
+
+/// Compares the analytic gradient of `f` at `x` against central finite
+/// differences at every coordinate.
+fn grad_matches_fd(x: Tensor, f: impl Fn(&Var) -> Var, tol: f32) -> Result<(), TestCaseError> {
+    let param = Param::new(x.clone());
+    f(&param.var()).backward();
+    let analytic = param.grad();
+    let eps = 1e-2f32;
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fp = f(&Var::constant(xp)).value().data()[0];
+        let fm = f(&Var::constant(xm)).value().data()[0];
+        let fd = (fp - fm) / (2.0 * eps);
+        let a = analytic.data()[i];
+        prop_assert!(
+            (fd - a).abs() < tol.max(tol * fd.abs()),
+            "grad[{}]: fd {} vs analytic {}",
+            i,
+            fd,
+            a
+        );
+    }
+    Ok(())
+}
+
+fn small_tensor(seed: u64, rows: usize, cols: usize) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    Tensor::randn(&[rows, cols], &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Smooth activation chains: tanh ∘ affine, sigmoid ∘ affine.
+    #[test]
+    fn smooth_chains(seed in 0u64..10_000, rows in 1usize..4, cols in 1usize..5) {
+        grad_matches_fd(
+            small_tensor(seed, rows, cols),
+            |x| x.mul_scalar(0.7).tanh().sigmoid().mean(),
+            2e-2,
+        )?;
+    }
+
+    /// Softmax composed with a weighted sum.
+    #[test]
+    fn softmax_weighted(seed in 0u64..10_000, rows in 1usize..4, cols in 2usize..5) {
+        let w = small_tensor(seed ^ 1, rows, cols);
+        grad_matches_fd(
+            small_tensor(seed, rows, cols),
+            move |x| x.softmax_rows().mul(&Var::constant(w.clone())).sum(),
+            2e-2,
+        )?;
+    }
+
+    /// Matmul against a random constant, squared and summed.
+    #[test]
+    fn matmul_quadratic(seed in 0u64..10_000, m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let b = small_tensor(seed ^ 2, k, n);
+        grad_matches_fd(
+            small_tensor(seed, m, k),
+            move |x| x.matmul(&Var::constant(b.clone())).sqr().mean(),
+            6e-2,
+        )?;
+    }
+
+    /// Slicing, concatenation and row broadcasting together.
+    #[test]
+    fn shape_ops(seed in 0u64..10_000, rows in 1usize..4) {
+        let row = small_tensor(seed ^ 3, 1, 2).reshape(&[2]);
+        grad_matches_fd(
+            small_tensor(seed, rows, 4),
+            move |x| {
+                let left = x.slice_cols(0, 2);
+                let right = x.slice_cols(2, 4);
+                Var::concat_cols(&[left.add_row(&Var::constant(row.clone())), right])
+                    .sqr()
+                    .mean()
+            },
+            5e-2,
+        )?;
+    }
+
+    /// BCE-with-logits against random binary targets.
+    #[test]
+    fn bce_targets(seed in 0u64..10_000, rows in 1usize..4, cols in 1usize..4) {
+        let mut rng = Rng::seed_from_u64(seed ^ 4);
+        let target = Tensor::from_vec(
+            (0..rows * cols).map(|_| f32::from(rng.bool(0.5) as u8)).collect(),
+            &[rows, cols],
+        );
+        grad_matches_fd(
+            small_tensor(seed, rows, cols),
+            move |x| x.bce_with_logits(&target),
+            2e-2,
+        )?;
+    }
+
+    /// The gradient of a sum over concatenated duplicates doubles.
+    #[test]
+    fn reuse_doubles_gradient(seed in 0u64..10_000, rows in 1usize..4, cols in 1usize..4) {
+        let x = small_tensor(seed, rows, cols);
+        let p = Param::new(x.clone());
+        let v = p.var();
+        Var::concat_cols(&[v.clone(), v]).sum().backward();
+        for &g in p.grad().data() {
+            prop_assert!((g - 2.0).abs() < 1e-5);
+        }
+    }
+}

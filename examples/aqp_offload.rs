@@ -1,0 +1,64 @@
+//! Approximate query processing offload (paper §2.1): ship a synthetic
+//! table to the client so dashboards answer aggregate queries locally,
+//! without hitting the server that holds the real data.
+//!
+//! Compares the synthetic table against the classic alternative — a 1%
+//! uniform sample — on a workload of count/avg/sum queries with
+//! selections and group-bys.
+//!
+//! ```sh
+//! cargo run --release --example aqp_offload
+//! ```
+
+use daisy::eval::{generate_workload, workload_error};
+use daisy::prelude::*;
+
+fn main() {
+    // A Bing-like production workload table: wide, mixed-type,
+    // unlabeled.
+    let spec = daisy::datasets::by_name("Bing").expect("registered dataset");
+    let table = spec.generate(8000, 9);
+    let mut rng = Rng::seed_from_u64(2);
+    println!(
+        "warehouse table: {} rows, {} attributes",
+        table.n_rows(),
+        table.n_attrs()
+    );
+
+    // Train an unconditional GAN (no label column exists).
+    let mut tc = TrainConfig::vtrain(500);
+    tc.batch_size = 64;
+    let mut config = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+    config.transform = TransformConfig::gn_ht();
+    println!("training synthesizer...");
+    let fitted = Synthesizer::fit(&table, &config);
+    let synthetic = fitted.generate(table.n_rows(), &mut rng);
+
+    // Baselines for the client cache: a 1% uniform sample and
+    // independent marginals.
+    let one_percent: Vec<usize> = (0..table.n_rows() / 100).map(|_| rng.usize(table.n_rows())).collect();
+    let sample = {
+        
+        table.select_rows(&one_percent)
+    };
+    let independent = IndependentMarginals::fit(&table).synthesize(table.n_rows(), &mut rng);
+
+    let queries = generate_workload(&table, 400, &mut rng);
+    println!("workload: {} aggregate queries (count/avg/sum, selections, group-by)", queries.len());
+    println!();
+    println!("{:<22} {:>18}", "client cache", "mean rel. error");
+    for (name, estimate) in [
+        ("GAN synthetic (100%)", &synthetic),
+        ("uniform sample (1%)", &sample),
+        ("independent marginals", &independent),
+    ] {
+        let err = workload_error(&table, estimate, &queries);
+        println!("{name:<22} {err:>18.4}");
+    }
+    println!();
+    println!(
+        "The synthetic table competes with the 1% sample while never \
+         exposing a real row; the independent baseline shows what \
+         ignoring attribute correlations costs."
+    );
+}

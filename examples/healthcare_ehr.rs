@@ -1,0 +1,109 @@
+//! The paper's motivating scenario (§1): a hospital wants to share
+//! electronic health records with a research team without months of
+//! privacy review. It releases a GAN-synthesized table instead, and the
+//! team's models/algorithms transfer back to the real data.
+//!
+//! This example builds a simulated EHR table (vitals, demographics,
+//! diagnosis label), synthesizes it, and verifies the two transfers the
+//! paper measures: classification (predicting the diagnosis) and
+//! clustering (discovering patient groups), plus a privacy audit.
+//!
+//! ```sh
+//! cargo run --release --example healthcare_ehr
+//! ```
+
+use daisy::data::{Attribute, Column, Schema, Table};
+use daisy::prelude::*;
+
+/// Simulated EHR: two latent conditions drive vitals and diagnosis.
+fn simulate_ehr(n: usize, seed: u64) -> Table {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut age = Vec::with_capacity(n);
+    let mut systolic = Vec::with_capacity(n);
+    let mut glucose = Vec::with_capacity(n);
+    let mut bmi = Vec::with_capacity(n);
+    let mut smoker = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut diagnosis = Vec::with_capacity(n);
+    for _ in 0..n {
+        // ~18% of patients carry the condition (skewed label).
+        let sick = rng.bool(0.18);
+        let severity = if sick { rng.uniform(0.5, 1.5) } else { 0.0 };
+        age.push(rng.normal_ms(52.0 + 14.0 * severity, 12.0).clamp(18.0, 95.0));
+        systolic.push(rng.normal_ms(118.0 + 22.0 * severity, 11.0));
+        glucose.push(rng.normal_ms(95.0 + 40.0 * severity, 14.0));
+        bmi.push(rng.normal_ms(25.0 + 4.0 * severity, 3.5));
+        smoker.push(u32::from(rng.bool(0.2 + 0.3 * severity.min(1.0))));
+        sex.push(rng.usize(2) as u32);
+        diagnosis.push(u32::from(sick));
+    }
+    Table::new(
+        Schema::with_label(
+            vec![
+                Attribute::numerical("age"),
+                Attribute::numerical("systolic_bp"),
+                Attribute::numerical("glucose"),
+                Attribute::numerical("bmi"),
+                Attribute::categorical("smoker"),
+                Attribute::categorical("sex"),
+                Attribute::categorical("diagnosis"),
+            ],
+            6,
+        ),
+        vec![
+            Column::Num(age),
+            Column::Num(systolic),
+            Column::Num(glucose),
+            Column::Num(bmi),
+            Column::cat_with_domain(smoker, 2),
+            Column::cat_with_domain(sex, 2),
+            Column::cat_with_domain(diagnosis, 2),
+        ],
+    )
+}
+
+fn main() {
+    let records = simulate_ehr(4000, 11);
+    let mut rng = Rng::seed_from_u64(3);
+    let (train, _valid, test) = records.split_train_valid_test(&mut rng);
+    println!(
+        "hospital table: {} patients, {:.1}% diagnosed",
+        train.n_rows(),
+        100.0 * train.labels().iter().filter(|&&y| y == 1).count() as f64
+            / train.n_rows() as f64
+    );
+
+    // Conditional GAN (CTrain) handles the skewed diagnosis label.
+    let mut tc = TrainConfig::ctrain(800);
+    tc.batch_size = 64;
+    let mut config = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+    config.transform = TransformConfig::gn_ht();
+    println!("training synthesizer...");
+    let fitted = Synthesizer::fit(&train, &config);
+    let release = fitted.generate(train.n_rows(), &mut rng);
+
+    // 1. Classification transfer: the research team trains a
+    //    diagnosis model on the release; the hospital checks it on
+    //    real held-out patients.
+    for (name, make) in classifier_zoo().into_iter().take(3) {
+        let report = classification_utility(&train, &release, &test, make, &mut rng);
+        println!(
+            "  {name}: F1(real) {:.3} vs F1(release) {:.3}  (Diff {:.3})",
+            report.f1_real, report.f1_synthetic, report.f1_diff
+        );
+    }
+
+    // 2. Clustering transfer: patient-group discovery (the paper's
+    //    DiffCST with K-Means + NMI).
+    let diff_cst = clustering_utility(&train, &release, &mut rng);
+    println!("  clustering DiffCST: {diff_cst:.4} (lower = structure preserved)");
+
+    // 3. Privacy audit before releasing.
+    let hr = daisy::eval::hitting_rate(&train, &release, 1000, &mut rng);
+    let d = daisy::eval::dcr(&train, &release, 500, &mut rng);
+    println!("  privacy audit: hitting rate {hr:.3}%, DCR {d:.3}");
+    println!(
+        "  (release carries no one-to-one mapping to patients; \
+         re-identification risk is bounded by the audit above)"
+    );
+}

@@ -1,0 +1,457 @@
+//! `daisy` — command-line relational data synthesis.
+//!
+//! ```text
+//! daisy demo --out real.csv                         # write a demo table
+//! daisy synth real.csv --label income --out fake.csv
+//! daisy evaluate real.csv fake.csv --label income   # utility + privacy
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no CLI dependency);
+//! see `daisy --help`.
+
+use daisy::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+const HELP: &str = "\
+daisy — GAN-based relational data synthesis (Fan et al., PVLDB 2020, in Rust)
+
+USAGE:
+    daisy demo --out <FILE> [--rows N] [--dataset NAME]
+    daisy synth <REAL.csv> --out <FILE> [OPTIONS]
+    daisy generate <MODEL.daisy> --out <FILE> --rows N [--seed N]
+    daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
+    daisy describe <TABLE.csv> [--label COL]
+
+SYNTH OPTIONS:
+    --label COL          label column name (enables conditional training)
+    --rows N             synthetic rows to emit (default: input size)
+    --network KIND       mlp | lstm | cnn          (default: mlp)
+    --train ALGO         vtrain | wtrain | ctrain  (default: vtrain,
+                         ctrain when --label is given and skew > 9)
+    --transform SCHEME   sn/od | sn/ht | gn/od | gn/ht (default: gn/ht)
+    --iterations N       generator iterations (default: 1500)
+    --epsilon E          train with DPTrain at privacy budget E
+    --seed N             RNG seed (default: 7)
+    --save FILE          also save the fitted model (reuse with `generate`)
+
+DEMO OPTIONS:
+    --dataset NAME       HTRU2|Digits|Adult|CovType|SAT|Anuran|Census|Bing
+                         (default: Adult)
+    --rows N             rows to generate (default: 3000)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of the argument list, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "demo" => demo(args),
+        "synth" => synth(args),
+        "evaluate" => evaluate(args),
+        "describe" => describe(args),
+        "generate" => generate(args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_csv(path: &str, label: Option<&str>) -> Result<Table, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    daisy::data::csv::read_csv(BufReader::new(file), label)
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save_csv(table: &Table, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    daisy::data::csv::write_csv(table, BufWriter::new(file))
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn describe(mut args: Vec<String>) -> Result<(), String> {
+    let label = take_flag(&mut args, "--label")?;
+    let path = args.first().ok_or("describe requires a CSV path")?;
+    let table = load_csv(path, label.as_deref())?;
+    println!(
+        "{path}: {} rows, {} numerical + {} categorical attributes",
+        table.n_rows(),
+        table.schema().n_numerical(),
+        table.schema().n_categorical()
+    );
+    for (j, attr) in table.schema().attrs().iter().enumerate() {
+        match &table.columns()[j] {
+            daisy::data::Column::Num(v) => {
+                let s = daisy::eval::quantile_summary(v);
+                println!(
+                    "  {:<24} numeric   min {:.3}  median {:.3}  max {:.3}  mean {:.3}",
+                    attr.name, s.min, s.median, s.max, s.mean
+                );
+            }
+            daisy::data::Column::Cat { categories, codes } => {
+                let mut counts = vec![0usize; categories.len()];
+                for &c in codes {
+                    counts[c as usize] += 1;
+                }
+                let top = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &n)| n)
+                    .map(|(i, &n)| format!("{} ({:.1}%)", categories[i], 100.0 * n as f64 / codes.len().max(1) as f64))
+                    .unwrap_or_default();
+                println!(
+                    "  {:<24} categorical  |domain| {}  top {}",
+                    attr.name,
+                    categories.len(),
+                    top
+                );
+            }
+        }
+    }
+    if table.schema().label().is_some() {
+        println!(
+            "  label skewness (max/min class ratio): {:.2}{}",
+            table.label_skewness(),
+            if table.label_skewness() > 9.0 {
+                "  -> skew (paper criterion)"
+            } else {
+                "  -> balanced"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn demo(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?.ok_or("demo requires --out")?;
+    let rows = match take_flag(&mut args, "--rows")? {
+        Some(v) => parse_usize(&v, "--rows")?,
+        None => 3000,
+    };
+    let name = take_flag(&mut args, "--dataset")?.unwrap_or_else(|| "Adult".into());
+    let spec = daisy::datasets::by_name(&name)
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let table = spec.generate(rows, 42);
+    save_csv(&table, &out)?;
+    println!(
+        "wrote {rows} rows of the {} stand-in to {out} ({} numerical, {} categorical attrs)",
+        spec.name,
+        table.schema().n_numerical(),
+        table.schema().n_categorical()
+    );
+    Ok(())
+}
+
+fn synth(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?.ok_or("synth requires --out")?;
+    let label = take_flag(&mut args, "--label")?;
+    let rows = take_flag(&mut args, "--rows")?;
+    let network = take_flag(&mut args, "--network")?.unwrap_or_else(|| "mlp".into());
+    let train_algo = take_flag(&mut args, "--train")?;
+    let transform = take_flag(&mut args, "--transform")?.unwrap_or_else(|| "gn/ht".into());
+    let iterations = match take_flag(&mut args, "--iterations")? {
+        Some(v) => parse_usize(&v, "--iterations")?,
+        None => 1500,
+    };
+    let epsilon = take_flag(&mut args, "--epsilon")?;
+    let save_path = take_flag(&mut args, "--save")?;
+    let seed = match take_flag(&mut args, "--seed")? {
+        Some(v) => parse_usize(&v, "--seed")? as u64,
+        None => 7,
+    };
+    let input = args
+        .first()
+        .ok_or("synth requires an input CSV path")?
+        .clone();
+
+    let table = load_csv(&input, label.as_deref())?;
+    let n_out = match rows {
+        Some(v) => parse_usize(&v, "--rows")?,
+        None => table.n_rows(),
+    };
+    println!(
+        "loaded {}: {} rows, {} attributes{}",
+        input,
+        table.n_rows(),
+        table.n_attrs(),
+        label
+            .as_deref()
+            .map(|l| format!(", label {l:?}"))
+            .unwrap_or_default()
+    );
+
+    let network = match network.to_lowercase().as_str() {
+        "mlp" => NetworkKind::Mlp,
+        "lstm" => NetworkKind::Lstm,
+        "cnn" => NetworkKind::Cnn,
+        other => return Err(format!("unknown network {other:?}")),
+    };
+    let mut tc = match train_algo.as_deref() {
+        Some("vtrain") => TrainConfig::vtrain(iterations),
+        Some("wtrain") => TrainConfig::wtrain(iterations),
+        Some("ctrain") => TrainConfig::ctrain(iterations),
+        Some(other) => return Err(format!("unknown training algorithm {other:?}")),
+        None => {
+            // Paper guidance: conditional GAN for skewed labels.
+            if table.schema().label().is_some() && table.label_skewness() > 9.0 {
+                println!("label skewness > 9: using CTrain (conditional GAN)");
+                TrainConfig::ctrain(iterations)
+            } else {
+                TrainConfig::vtrain(iterations)
+            }
+        }
+    };
+    if let Some(eps) = epsilon {
+        let eps: f64 = eps
+            .parse()
+            .map_err(|_| format!("invalid --epsilon {eps:?}"))?;
+        let dp = DpConfig::for_epsilon(
+            eps,
+            iterations * 3,
+            tc.batch_size,
+            table.n_rows(),
+        );
+        tc = TrainConfig::dptrain(iterations, dp);
+        println!("DPTrain enabled at epsilon = {eps}");
+    }
+    let mut config = SynthesizerConfig::new(network, tc);
+    config.transform = match transform.as_str() {
+        "sn/od" => TransformConfig::sn_od(),
+        "sn/ht" => TransformConfig::sn_ht(),
+        "gn/od" => TransformConfig::gn_od(),
+        "gn/ht" => TransformConfig::gn_ht(),
+        other => return Err(format!("unknown transform {other:?}")),
+    };
+    config.seed = seed;
+
+    println!(
+        "training {} / {} / {} for {} iterations...",
+        config.network.name(),
+        config.transform.short_name(),
+        config.train.name(),
+        config.train.iterations
+    );
+    let fitted = Synthesizer::fit(&table, &config);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37);
+    let synthetic = fitted.generate(n_out, &mut rng);
+    save_csv(&synthetic, &out)?;
+    println!("wrote {n_out} synthetic rows to {out}");
+    if let Some(path) = save_path {
+        fitted.save(&path)?;
+        println!("saved the fitted model to {path}");
+    }
+    Ok(())
+}
+
+fn generate(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?.ok_or("generate requires --out")?;
+    let rows = take_flag(&mut args, "--rows")?.ok_or("generate requires --rows")?;
+    let rows = parse_usize(&rows, "--rows")?;
+    let seed = match take_flag(&mut args, "--seed")? {
+        Some(v) => parse_usize(&v, "--seed")? as u64,
+        None => 7,
+    };
+    let model_path = args.first().ok_or("generate requires a model path")?;
+    let fitted = FittedSynthesizer::load(model_path)?;
+    let mut rng = Rng::seed_from_u64(seed);
+    let synthetic = fitted.generate(rows, &mut rng);
+    save_csv(&synthetic, &out)?;
+    println!("generated {rows} rows from {model_path} into {out}");
+    Ok(())
+}
+
+fn evaluate(mut args: Vec<String>) -> Result<(), String> {
+    let label = take_flag(&mut args, "--label")?;
+    if args.len() < 2 {
+        return Err("evaluate requires <REAL.csv> <SYNTH.csv>".into());
+    }
+    let real = load_csv(&args[0], label.as_deref())?;
+    let synthetic = load_csv(&args[1], label.as_deref())?;
+    if real.schema() != synthetic.schema() {
+        return Err("real and synthetic schemas differ (check --label and headers)".into());
+    }
+    let mut rng = Rng::seed_from_u64(1);
+
+    println!("== distribution fidelity ==");
+    for f in daisy::eval::attribute_fidelity(&real, &synthetic) {
+        match f {
+            daisy::eval::AttributeFidelity::Numerical {
+                name, wasserstein, ..
+            } => println!("  {name:<24} W1 = {wasserstein:.4}"),
+            daisy::eval::AttributeFidelity::Categorical { name, tv } => {
+                println!("  {name:<24} TV = {tv:.4}")
+            }
+        }
+    }
+    println!(
+        "  pairwise correlation gap = {:.4}",
+        daisy::eval::correlation_fidelity(&real, &synthetic)
+    );
+    if let Some(gap) = daisy::eval::fd_preservation_gap(&real, &synthetic, 0.8) {
+        println!("  functional-dependency gap = {gap:.4}");
+    }
+
+    if real.schema().label().is_some() {
+        println!("== classification utility (F1 Diff; lower is better) ==");
+        // Hold out a third of the real data as the shared test set.
+        let mut idx: Vec<usize> = (0..real.n_rows()).collect();
+        rng.shuffle(&mut idx);
+        let cut = real.n_rows() * 2 / 3;
+        let train = real.select_rows(&idx[..cut]);
+        let test = real.select_rows(&idx[cut..]);
+        let binary = real.n_classes() == 2;
+        for (name, make) in classifier_zoo() {
+            let report = classification_utility(&train, &synthetic, &test, make, &mut rng);
+            if binary {
+                println!(
+                    "  {name:<5} F1 real {:.3}  synthetic {:.3}  Diff {:.3}   AUC real {:.3}  synthetic {:.3}",
+                    report.f1_real,
+                    report.f1_synthetic,
+                    report.f1_diff,
+                    report.auc_real,
+                    report.auc_synthetic
+                );
+            } else {
+                println!(
+                    "  {name:<5} F1 real {:.3}  synthetic {:.3}  Diff {:.3}",
+                    report.f1_real, report.f1_synthetic, report.f1_diff
+                );
+            }
+        }
+        println!("== clustering utility ==");
+        println!(
+            "  DiffCST = {:.4}",
+            clustering_utility(&real, &synthetic, &mut rng)
+        );
+    }
+
+    println!("== privacy risk ==");
+    let hr = daisy::eval::hitting_rate(&real, &synthetic, 2000, &mut rng);
+    let d = daisy::eval::dcr(&real, &synthetic, 1000, &mut rng);
+    println!("  hitting rate = {hr:.3}% (lower = better privacy)");
+    println!("  DCR          = {d:.4} (higher = better privacy)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_flag_extracts_and_removes() {
+        let mut args: Vec<String> = ["synth", "--out", "x.csv", "in.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(take_flag(&mut args, "--out").unwrap(), Some("x.csv".into()));
+        assert_eq!(args, vec!["synth", "in.csv"]);
+        assert_eq!(take_flag(&mut args, "--missing").unwrap(), None);
+    }
+
+    #[test]
+    fn take_flag_requires_value() {
+        let mut args: Vec<String> = vec!["--out".into()];
+        assert!(take_flag(&mut args, "--out").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn help_is_ok() {
+        assert!(run(&["--help".into()]).is_ok());
+    }
+
+    #[test]
+    fn demo_synth_evaluate_roundtrip() {
+        let dir = std::env::temp_dir().join("daisy-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let real = dir.join("real.csv").to_string_lossy().to_string();
+        let fake = dir.join("fake.csv").to_string_lossy().to_string();
+        run(&[
+            "demo".into(),
+            "--out".into(),
+            real.clone(),
+            "--rows".into(),
+            "300".into(),
+            "--dataset".into(),
+            "HTRU2".into(),
+        ])
+        .unwrap();
+        run(&[
+            "synth".into(),
+            real.clone(),
+            "--label".into(),
+            "label".into(),
+            "--out".into(),
+            fake.clone(),
+            "--iterations".into(),
+            "30".into(),
+        ])
+        .unwrap();
+        run(&[
+            "evaluate".into(),
+            real.clone(),
+            fake,
+            "--label".into(),
+            "label".into(),
+        ])
+        .unwrap();
+        run(&["describe".into(), real, "--label".into(), "label".into()]).unwrap();
+    }
+
+    #[test]
+    fn synth_save_then_generate() {
+        let dir = std::env::temp_dir().join("daisy-cli-gen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let real = dir.join("real.csv").to_string_lossy().to_string();
+        let model = dir.join("model.daisy").to_string_lossy().to_string();
+        let out = dir.join("gen.csv").to_string_lossy().to_string();
+        run(&["demo".into(), "--out".into(), real.clone(), "--rows".into(), "200".into(), "--dataset".into(), "HTRU2".into()]).unwrap();
+        run(&["synth".into(), real, "--label".into(), "label".into(), "--out".into(), dir.join("f.csv").to_string_lossy().to_string(), "--iterations".into(), "20".into(), "--save".into(), model.clone()]).unwrap();
+        run(&["generate".into(), model, "--out".into(), out.clone(), "--rows".into(), "50".into()]).unwrap();
+        let n = std::fs::read_to_string(out).unwrap().lines().count();
+        assert_eq!(n, 51); // header + 50 rows
+    }
+
+    #[test]
+    fn parse_usize_messages() {
+        assert_eq!(parse_usize("42", "x").unwrap(), 42);
+        assert!(parse_usize("nope", "x").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-method integration: every synthesizer implements the common
+//! interface and produces schema-faithful tables; relative behaviours
+//! that are stable at small scale hold.
+
+use daisy::prelude::*;
+
+#[test]
+fn all_methods_produce_schema_faithful_tables() {
+    let spec = daisy::datasets::by_name("Adult").unwrap();
+    let table = spec.generate(700, 1);
+    let mut rng = Rng::seed_from_u64(2);
+
+    let mut tc = TrainConfig::vtrain(80);
+    tc.batch_size = 32;
+    tc.epochs = 2;
+    let mut gan_cfg = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+    gan_cfg.g_hidden = vec![32];
+    gan_cfg.d_hidden = vec![32];
+    let gan = Synthesizer::fit(&table, &gan_cfg);
+    let vae = Vae::fit(
+        &table,
+        &VaeConfig {
+            iterations: 200,
+            hidden: vec![32],
+            ..VaeConfig::default()
+        },
+    );
+    let pb = PrivBayes::fit(&table, &PrivBayesConfig::with_epsilon(1.0));
+    let ind = IndependentMarginals::fit(&table);
+
+    let methods: Vec<&dyn TableSynthesizer> = vec![&gan, &vae, &pb, &ind];
+    for method in methods {
+        let syn = method.synthesize(150, &mut rng);
+        assert_eq!(syn.schema(), table.schema(), "{}", method.method_name());
+        assert_eq!(syn.n_rows(), 150);
+        // Numeric columns contain finite values.
+        for j in 0..syn.n_attrs() {
+            if let daisy::data::Column::Num(v) = &syn.columns()[j] {
+                assert!(v.iter().all(|x| x.is_finite()), "{}", method.method_name());
+            }
+        }
+    }
+}
+
+#[test]
+fn privbayes_epsilon_tradeoff_on_dependence() {
+    // Tighter epsilon must hurt the preserved dependence (monotone in
+    // expectation; compared at the extremes to stay robust).
+    let table = daisy::datasets::SDataCat::new(0.9, daisy::datasets::Skew::Balanced)
+        .generate(3000, 3);
+    let dependence = |syn: &daisy::data::Table| {
+        let a = syn.column(0).as_cat();
+        let b = syn.column(1).as_cat();
+        a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / syn.n_rows() as f64
+    };
+    let mut rng = Rng::seed_from_u64(4);
+    let loose = PrivBayes::fit(&table, &PrivBayesConfig::with_epsilon(16.0))
+        .synthesize(3000, &mut rng);
+    let tight = PrivBayes::fit(&table, &PrivBayesConfig::with_epsilon(0.01))
+        .synthesize(3000, &mut rng);
+    assert!(
+        dependence(&loose) > dependence(&tight) + 0.1,
+        "loose {} vs tight {}",
+        dependence(&loose),
+        dependence(&tight)
+    );
+}
+
+#[test]
+fn independent_marginals_lose_to_structure_aware_methods_on_aqp() {
+    // Group-by queries over correlated attributes punish the
+    // correlation-destroying baseline.
+    use daisy::eval::{generate_workload, workload_error};
+    let table = daisy::datasets::SDataCat::new(0.9, daisy::datasets::Skew::Balanced)
+        .generate(4000, 5);
+    let mut rng = Rng::seed_from_u64(6);
+    let queries = generate_workload(&table, 200, &mut rng);
+    let ind = IndependentMarginals::fit(&table).synthesize(4000, &mut rng);
+    let pb = PrivBayes::fit(&table, &PrivBayesConfig::with_epsilon(16.0))
+        .synthesize(4000, &mut rng);
+    let e_ind = workload_error(&table, &ind, &queries);
+    let e_pb = workload_error(&table, &pb, &queries);
+    assert!(
+        e_pb < e_ind,
+        "structure-aware PB ({e_pb}) should beat independent ({e_ind})"
+    );
+}
+
+#[test]
+fn vae_and_gan_share_the_record_codec_contract() {
+    // Both neural methods must decode through the same reversible
+    // transformation, so category codes always stay in-domain.
+    let spec = daisy::datasets::by_name("Census").unwrap();
+    let table = spec.generate(500, 7);
+    let mut rng = Rng::seed_from_u64(8);
+    let vae = Vae::fit(
+        &table,
+        &VaeConfig {
+            iterations: 100,
+            hidden: vec![32],
+            ..VaeConfig::default()
+        },
+    );
+    let syn = vae.synthesize(200, &mut rng);
+    for j in 0..syn.n_attrs() {
+        if let daisy::data::Column::Cat { codes, categories } = &syn.columns()[j] {
+            assert!(codes.iter().all(|&c| (c as usize) < categories.len()));
+        }
+    }
+}

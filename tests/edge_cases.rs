@@ -1,0 +1,188 @@
+//! Cross-crate edge cases: unusual shapes, degenerate data, and error
+//! paths that the per-module unit tests do not reach.
+
+use daisy::data::{Attribute, Column, Schema, Table};
+use daisy::prelude::*;
+
+fn quick(network: NetworkKind, iterations: usize) -> SynthesizerConfig {
+    let mut tc = TrainConfig::vtrain(iterations);
+    tc.batch_size = 16;
+    tc.epochs = 2;
+    let mut cfg = SynthesizerConfig::new(network, tc);
+    cfg.g_hidden = vec![24];
+    cfg.d_hidden = vec![24];
+    cfg.noise_dim = 8;
+    cfg.cnn_channels = 4;
+    cfg
+}
+
+#[test]
+fn single_attribute_table_synthesizes() {
+    // One numeric column and nothing else (no label).
+    let mut rng = Rng::seed_from_u64(0);
+    let table = Table::new(
+        Schema::new(vec![Attribute::numerical("x")]),
+        vec![Column::Num((0..300).map(|_| rng.normal_ms(5.0, 2.0)).collect())],
+    );
+    let fitted = Synthesizer::fit(&table, &quick(NetworkKind::Mlp, 60));
+    let syn = fitted.generate(50, &mut rng);
+    assert_eq!(syn.n_rows(), 50);
+    assert!(syn.column(0).as_num().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn constant_columns_survive_the_pipeline() {
+    let mut rng = Rng::seed_from_u64(1);
+    let table = Table::new(
+        Schema::with_label(
+            vec![
+                Attribute::numerical("const_num"),
+                Attribute::categorical("const_cat"),
+                Attribute::numerical("varies"),
+                Attribute::categorical("y"),
+            ],
+            3,
+        ),
+        vec![
+            Column::Num(vec![7.0; 200]),
+            Column::cat_with_domain(vec![0; 200], 1),
+            Column::Num((0..200).map(|_| rng.normal()).collect()),
+            Column::cat_with_domain((0..200).map(|_| rng.usize(2) as u32).collect(), 2),
+        ],
+    );
+    for config in [TransformConfig::sn_od(), TransformConfig::gn_ht()] {
+        let codec = daisy::data::RecordCodec::fit(&table, &config);
+        let back = codec.decode_table(&codec.encode_table(&table));
+        assert!(back.column(0).as_num().iter().all(|&v| (v - 7.0).abs() < 1e-6));
+        assert!(back.column(1).as_cat().iter().all(|&c| c == 0));
+    }
+    // And the full GAN pipeline does not blow up on them. (The GMM
+    // std floor of 1e-4 lets decoded constants wiggle by ±2e-4.)
+    let fitted = Synthesizer::fit(&table, &quick(NetworkKind::Mlp, 40));
+    let syn = fitted.generate(30, &mut rng);
+    assert!(syn.column(0).as_num().iter().all(|&v| (v - 7.0).abs() < 1e-3));
+}
+
+#[test]
+fn wide_table_goes_through_lstm_and_cnn() {
+    // 36 numeric attributes (SAT-like): LSTM unrolls 72 steps under
+    // gn; CNN packs into a 7x7 matrix (36 -> side 6... ceil(sqrt(37))
+    // with label = 7x7? 37 attrs -> side 7).
+    let spec = daisy::datasets::by_name("SAT").unwrap();
+    let table = spec.generate(250, 2);
+    let mut rng = Rng::seed_from_u64(3);
+    for network in [NetworkKind::Lstm, NetworkKind::Cnn] {
+        let fitted = Synthesizer::fit(&table, &quick(network, 20));
+        let syn = fitted.generate(20, &mut rng);
+        assert_eq!(syn.n_attrs(), table.n_attrs(), "{network:?}");
+    }
+}
+
+#[test]
+fn batch_larger_than_table_is_fine() {
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(40, 4);
+    let mut cfg = quick(NetworkKind::Mlp, 30);
+    cfg.train.batch_size = 128; // far more than 40 rows: sampling w/ replacement
+    let fitted = Synthesizer::fit(&table, &cfg);
+    let mut rng = Rng::seed_from_u64(5);
+    assert_eq!(fitted.generate(10, &mut rng).n_rows(), 10);
+}
+
+#[test]
+fn generate_more_rows_than_training() {
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(200, 6);
+    let fitted = Synthesizer::fit(&table, &quick(NetworkKind::Mlp, 40));
+    let mut rng = Rng::seed_from_u64(7);
+    let syn = fitted.generate(1000, &mut rng);
+    assert_eq!(syn.n_rows(), 1000);
+}
+
+#[test]
+fn snapshots_are_independent() {
+    // Different epochs must generally produce different generators.
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(300, 8);
+    let mut cfg = quick(NetworkKind::Mlp, 100);
+    cfg.train.epochs = 4;
+    let mut fitted = Synthesizer::fit(&table, &cfg);
+    let mut rng_a = Rng::seed_from_u64(9);
+    let mut rng_b = Rng::seed_from_u64(9);
+    let first = fitted.generate_from_snapshot(0, 30, &mut rng_a);
+    let last = fitted.generate_from_snapshot(3, 30, &mut rng_b);
+    assert_ne!(first, last, "epoch snapshots identical");
+    // And generate_from_snapshot restores the selection afterwards.
+    assert_eq!(fitted.selected_epoch(), 3);
+}
+
+#[test]
+fn wasserstein_trains_cnn() {
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(250, 10);
+    let mut cfg = quick(NetworkKind::Cnn, 20);
+    cfg.train = TrainConfig::wtrain(20);
+    cfg.train.batch_size = 16;
+    cfg.train.epochs = 2;
+    let fitted = Synthesizer::fit(&table, &cfg);
+    let mut rng = Rng::seed_from_u64(11);
+    assert_eq!(fitted.generate(10, &mut rng).n_rows(), 10);
+}
+
+#[test]
+#[should_panic(expected = "conditional GAN requires a labeled table")]
+fn conditional_on_unlabeled_panics() {
+    let table = daisy::datasets::by_name("Bing").unwrap().generate(100, 12);
+    let mut cfg = quick(NetworkKind::Mlp, 10);
+    cfg.train.conditional = true;
+    let _ = Synthesizer::fit(&table, &cfg);
+}
+
+#[test]
+#[should_panic(expected = "does not support conditional")]
+fn conditional_cnn_panics() {
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(100, 13);
+    let mut cfg = quick(NetworkKind::Cnn, 10);
+    cfg.train.conditional = true;
+    let _ = Synthesizer::fit(&table, &cfg);
+}
+
+#[test]
+fn vae_handles_wide_categorical_tables() {
+    let spec = daisy::datasets::by_name("Census").unwrap();
+    let table = spec.generate(300, 14);
+    let vae = Vae::fit(
+        &table,
+        &VaeConfig {
+            iterations: 60,
+            hidden: vec![32],
+            ..VaeConfig::default()
+        },
+    );
+    let mut rng = Rng::seed_from_u64(15);
+    let syn = vae.generate(40, &mut rng);
+    assert_eq!(syn.n_attrs(), table.n_attrs());
+}
+
+#[test]
+fn privbayes_on_single_column() {
+    let mut rng = Rng::seed_from_u64(16);
+    let table = Table::new(
+        Schema::new(vec![Attribute::categorical("only")]),
+        vec![Column::cat_with_domain(
+            (0..500).map(|_| rng.usize(3) as u32).collect(),
+            3,
+        )],
+    );
+    let pb = PrivBayes::fit(&table, &PrivBayesConfig::with_epsilon(4.0));
+    let syn = pb.generate(500, &mut rng);
+    // Marginal roughly preserved even with one attribute.
+    let count0 = syn.column(0).as_cat().iter().filter(|&&c| c == 0).count();
+    assert!((count0 as f64 / 500.0 - 1.0 / 3.0).abs() < 0.15);
+}
+
+#[test]
+fn duplicated_rows_flag_collapse_after_decode() {
+    // A generator emitting constants must be caught by the detector.
+    let table = daisy::datasets::by_name("HTRU2").unwrap().generate(100, 17);
+    let codec = daisy::data::RecordCodec::fit(&table, &TransformConfig::sn_od());
+    let constant = daisy::tensor::Tensor::zeros(&[100, codec.width()]);
+    let decoded = codec.decode_table(&constant);
+    assert!(daisy::core::is_collapsed(&decoded, 0.9));
+}

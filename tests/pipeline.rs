@@ -1,0 +1,156 @@
+//! End-to-end integration tests across crates: dataset generation →
+//! transformation → GAN training → synthesis → evaluation.
+
+use daisy::prelude::*;
+
+fn quick_config(network: NetworkKind, conditional: bool) -> SynthesizerConfig {
+    let mut tc = if conditional {
+        TrainConfig::ctrain(150)
+    } else {
+        TrainConfig::vtrain(150)
+    };
+    tc.batch_size = 32;
+    tc.epochs = 3;
+    let mut cfg = SynthesizerConfig::new(network, tc);
+    cfg.g_hidden = vec![48];
+    cfg.d_hidden = vec![48];
+    cfg.noise_dim = 12;
+    cfg.cnn_channels = 4;
+    cfg
+}
+
+#[test]
+fn full_pipeline_every_network_on_mixed_data() {
+    let spec = daisy::datasets::by_name("Adult").unwrap();
+    let table = spec.generate(900, 1);
+    let mut rng = Rng::seed_from_u64(2);
+    let (train, _valid, test) = table.split_train_valid_test(&mut rng);
+    for network in [NetworkKind::Mlp, NetworkKind::Lstm, NetworkKind::Cnn] {
+        let fitted = Synthesizer::fit(&train, &quick_config(network, false));
+        let synthetic = fitted.generate(train.n_rows(), &mut rng);
+        assert_eq!(synthetic.schema(), train.schema(), "{network:?}");
+        assert_eq!(synthetic.n_rows(), train.n_rows());
+        // Utility evaluation runs and produces finite numbers.
+        let report = classification_utility(
+            &train,
+            &synthetic,
+            &test,
+            || Box::new(daisy::eval::DecisionTree::new(10)),
+            &mut rng,
+        );
+        assert!(report.f1_diff.is_finite());
+        assert!((0.0..=1.0).contains(&report.f1_diff));
+        // Privacy metrics run on the pair.
+        let hr = daisy::eval::hitting_rate(&train, &synthetic, 100, &mut rng);
+        assert!((0.0..=100.0).contains(&hr));
+        let d = daisy::eval::dcr(&train, &synthetic, 50, &mut rng);
+        assert!(d >= 0.0);
+    }
+}
+
+#[test]
+fn gan_learns_a_strongly_separated_blob_dataset() {
+    // Binary blobs far apart: after training, a classifier trained on
+    // synthetic data must recover most of the real classifier's F1.
+    use daisy::data::{Attribute, Column, Schema, Table};
+    let n = 1200;
+    let mut rng = Rng::seed_from_u64(3);
+    let mut xs = Vec::with_capacity(n);
+    let mut zs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let y = rng.bool(0.5) as u32;
+        let c = if y == 1 { 5.0 } else { -5.0 };
+        xs.push(rng.normal_ms(c, 1.0));
+        zs.push(rng.normal_ms(c, 1.0));
+        ys.push(y);
+    }
+    let table = Table::new(
+        Schema::with_label(
+            vec![
+                Attribute::numerical("x"),
+                Attribute::numerical("z"),
+                Attribute::categorical("y"),
+            ],
+            2,
+        ),
+        vec![
+            Column::Num(xs),
+            Column::Num(zs),
+            Column::cat_with_domain(ys, 2),
+        ],
+    );
+    let (train, _valid, test) = table.split_train_valid_test(&mut rng);
+    let mut cfg = quick_config(NetworkKind::Mlp, true);
+    cfg.train.iterations = 400;
+    let fitted = Synthesizer::fit(&train, &cfg);
+    let synthetic = fitted.generate(train.n_rows(), &mut rng);
+    let report = classification_utility(
+        &train,
+        &synthetic,
+        &test,
+        || Box::new(daisy::eval::DecisionTree::new(10)),
+        &mut rng,
+    );
+    assert!(report.f1_real > 0.95, "real baseline {}", report.f1_real);
+    assert!(
+        report.f1_synthetic > 0.6,
+        "synthetic-trained classifier too weak: {}",
+        report.f1_synthetic
+    );
+}
+
+#[test]
+fn conditional_gan_respects_minority_label() {
+    let table = daisy::datasets::SDataNum {
+        correlation: 0.5,
+        skew: daisy::datasets::Skew::Skewed,
+    }
+    .generate(1200, 4);
+    let mut rng = Rng::seed_from_u64(5);
+    let (train, _valid, _test) = table.split_train_valid_test(&mut rng);
+    let fitted = Synthesizer::fit(&train, &quick_config(NetworkKind::Mlp, true));
+    let synthetic = fitted.generate(2000, &mut rng);
+    let p1 = synthetic.labels().iter().filter(|&&y| y == 1).count() as f64 / 2000.0;
+    let real_p1 =
+        train.labels().iter().filter(|&&y| y == 1).count() as f64 / train.n_rows() as f64;
+    assert!(
+        (p1 - real_p1).abs() < 0.07,
+        "label distribution drifted: {p1} vs {real_p1}"
+    );
+}
+
+#[test]
+fn snapshot_model_selection_uses_validation() {
+    let spec = daisy::datasets::by_name("HTRU2").unwrap();
+    let table = spec.generate(800, 6);
+    let mut rng = Rng::seed_from_u64(7);
+    let (train, valid, _test) = table.split_train_valid_test(&mut rng);
+    // Paper protocol: pick the epoch snapshot whose synthetic data
+    // trains the best validation classifier.
+    let fitted = Synthesizer::fit_selected(&train, &quick_config(NetworkKind::Mlp, false), |syn| {
+        let mut rng = Rng::seed_from_u64(8);
+        daisy::eval::f1_on_test(
+            syn,
+            &valid,
+            &train,
+            || Box::new(daisy::eval::DecisionTree::new(10)),
+            &mut rng,
+        )
+    });
+    assert!(fitted.selected_epoch() < fitted.n_snapshots());
+}
+
+#[test]
+fn csv_roundtrip_of_synthetic_table() {
+    let spec = daisy::datasets::by_name("Adult").unwrap();
+    let table = spec.generate(300, 9);
+    let fitted = Synthesizer::fit(&table, &quick_config(NetworkKind::Mlp, false));
+    let mut rng = Rng::seed_from_u64(10);
+    let synthetic = fitted.generate(100, &mut rng);
+    let mut buf = Vec::new();
+    daisy::data::csv::write_csv(&synthetic, &mut buf).unwrap();
+    let back = daisy::data::csv::read_csv(&buf[..], Some("label")).unwrap();
+    assert_eq!(back.n_rows(), 100);
+    assert_eq!(back.n_attrs(), synthetic.n_attrs());
+}
