@@ -1,10 +1,10 @@
-//! Criterion microbenchmarks for the hot kernels under the study:
-//! matmul, convolution, LSTM steps, record transformation, and one full
-//! GAN training step per network family. These quantify the ablation
-//! trade-offs called out in DESIGN.md (tape autodiff cost, LSTM's
-//! sequential overhead vs MLP).
+//! Microbenchmarks for the hot kernels under the study: matmul,
+//! convolution, record transformation, and one full GAN training step
+//! per network family. These quantify the ablation trade-offs called
+//! out in DESIGN.md (tape autodiff cost, LSTM's sequential overhead vs
+//! MLP). Timing is a hand-rolled median-of-samples loop so the suite
+//! carries no external benchmarking dependency.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use daisy_core::discriminator::{Discriminator, MlpDiscriminator};
 use daisy_core::generator::{Generator, LstmGenerator, MlpGenerator};
 use daisy_core::sampler::TrainingData;
@@ -14,42 +14,59 @@ use daisy_data::{RecordCodec, TransformConfig};
 use daisy_datasets::by_name;
 use daisy_tensor::{Rng, Tensor};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_matmul(c: &mut Criterion) {
+/// Runs `f` repeatedly and reports the median per-iteration time over
+/// `samples` timed samples (after one warm-up call).
+fn bench(name: &str, samples: usize, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    println!("{name:<36} {median:>10.3} ms/iter  ({samples} samples)");
+}
+
+fn bench_matmul() {
     let mut rng = Rng::seed_from_u64(0);
     let a = Tensor::randn(&[128, 256], &mut rng);
     let b = Tensor::randn(&[256, 128], &mut rng);
-    c.bench_function("matmul_128x256x128", |bencher| {
-        bencher.iter(|| black_box(a.matmul(&b)))
+    bench("matmul_128x256x128", 20, || {
+        black_box(a.matmul(&b));
     });
-    c.bench_function("matmul_tn_128x256x128", |bencher| {
-        bencher.iter(|| black_box(a.matmul_tn(&Tensor::randn(&[128, 64], &mut rng.clone()))))
+    let c = Tensor::randn(&[128, 64], &mut rng);
+    bench("matmul_tn_128x256x128", 20, || {
+        black_box(a.matmul_tn(&c));
     });
 }
 
-fn bench_conv(c: &mut Criterion) {
+fn bench_conv() {
     let mut rng = Rng::seed_from_u64(1);
     let x = Tensor::randn(&[32, 8, 8, 8], &mut rng);
     let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
-    c.bench_function("conv2d_32x8x8x8_k3", |bencher| {
-        bencher.iter(|| black_box(daisy_tensor::conv::conv2d(&x, &w, 1, 1)))
+    bench("conv2d_32x8x8x8_k3", 20, || {
+        black_box(daisy_tensor::conv::conv2d(&x, &w, 1, 1));
     });
 }
 
-fn bench_transform(c: &mut Criterion) {
+fn bench_transform() {
     let spec = by_name("Adult").unwrap();
     let table = spec.generate(2000, 2);
     let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
-    c.bench_function("encode_adult_2000_gn_ht", |bencher| {
-        bencher.iter(|| black_box(codec.encode_table(&table)))
+    bench("encode_adult_2000_gn_ht", 10, || {
+        black_box(codec.encode_table(&table));
     });
     let encoded = codec.encode_table(&table);
-    c.bench_function("decode_adult_2000_gn_ht", |bencher| {
-        bencher.iter(|| black_box(codec.decode_table(&encoded)))
+    bench("decode_adult_2000_gn_ht", 10, || {
+        black_box(codec.decode_table(&encoded));
     });
 }
 
-fn bench_gan_step(c: &mut Criterion) {
+fn bench_gan_step() {
     let spec = by_name("Adult").unwrap();
     let table = spec.generate(1000, 3);
     let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
@@ -57,45 +74,43 @@ fn bench_gan_step(c: &mut Criterion) {
     let spans = softmax_spans(&codec.output_blocks());
     for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
         let name = format!("gan_iteration_{}", network.name().to_lowercase());
-        c.bench_function(&name, |bencher| {
-            bencher.iter_with_setup(
-                || {
-                    let mut rng = Rng::seed_from_u64(4);
-                    let g: Box<dyn Generator> = match network {
-                        NetworkKind::Mlp => Box::new(MlpGenerator::new(
-                            24,
-                            0,
-                            &[64, 64],
-                            codec.output_blocks(),
-                            &mut rng,
-                        )),
-                        _ => Box::new(LstmGenerator::new(
-                            24,
-                            0,
-                            64,
-                            32,
-                            codec.output_blocks(),
-                            &mut rng,
-                        )),
-                    };
-                    let d: Box<dyn Discriminator> =
-                        Box::new(MlpDiscriminator::new(codec.width(), 0, &[64], &mut rng));
-                    (g, d, Rng::seed_from_u64(5))
-                },
-                |(g, d, mut rng)| {
-                    let mut cfg = TrainConfig::vtrain(1);
-                    cfg.batch_size = 64;
-                    cfg.epochs = 1;
-                    black_box(train_gan(g.as_ref(), d.as_ref(), &data, &spans, &cfg, &mut rng));
-                },
-            )
+        bench(&name, 10, || {
+            let mut rng = Rng::seed_from_u64(4);
+            let g: Box<dyn Generator> = match network {
+                NetworkKind::Mlp => Box::new(MlpGenerator::new(
+                    24,
+                    0,
+                    &[64, 64],
+                    codec.output_blocks(),
+                    &mut rng,
+                )),
+                _ => Box::new(LstmGenerator::new(
+                    24,
+                    0,
+                    64,
+                    32,
+                    codec.output_blocks(),
+                    &mut rng,
+                )),
+            };
+            let d: Box<dyn Discriminator> =
+                Box::new(MlpDiscriminator::new(codec.width(), 0, &[64], &mut rng));
+            let mut step_rng = Rng::seed_from_u64(5);
+            let mut cfg = TrainConfig::vtrain(1);
+            cfg.batch_size = 64;
+            cfg.epochs = 1;
+            black_box(
+                train_gan(g.as_ref(), d.as_ref(), &data, &spans, &cfg, &mut step_rng)
+                    .expect("bench iteration trains"),
+            );
         });
     }
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_conv, bench_transform, bench_gan_step
+fn main() {
+    println!("== kernel microbenchmarks ==");
+    bench_matmul();
+    bench_conv();
+    bench_transform();
+    bench_gan_step();
 }
-criterion_main!(kernels);

@@ -4,11 +4,13 @@
 
 use daisy_core::{
     DiscriminatorKind, NetworkKind, Synthesizer, SynthesizerConfig, TableSynthesizer, TrainConfig,
+    TrainOutcome,
 };
 use daisy_data::{Table, TransformConfig};
 use daisy_datasets::TableSpec;
 use daisy_eval::{classification_utility, classifier_zoo};
 use daisy_tensor::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Experiment scale knobs. Quick mode keeps every experiment's *shape*
 /// (datasets, design points, classifiers) while shrinking rows and
@@ -129,12 +131,101 @@ pub fn gan_config(
     cfg
 }
 
+/// Extra attempts (each with a fresh seed) a benchmark cell gets before
+/// it is declared failed.
+pub const CELL_RETRIES: usize = 2;
+
+/// Outcome of one isolated benchmark cell: the synthetic table if any
+/// attempt succeeded, plus a record of how it got there.
+pub struct CellOutcome {
+    /// The synthesized table, when some attempt succeeded.
+    pub synthetic: Option<Table>,
+    /// Total attempts spent (1 when the first try succeeded).
+    pub attempts: usize,
+    /// One message per failed attempt (training error or caught panic).
+    pub failures: Vec<String>,
+    /// The resilience report of the winning attempt.
+    pub outcome: Option<TrainOutcome>,
+}
+
+impl CellOutcome {
+    /// True when the winning run needed the resilience layer (rollback,
+    /// escalation, or degradation) or more than one attempt.
+    pub fn was_rocky(&self) -> bool {
+        self.attempts > 1 || self.outcome.as_ref().is_some_and(|o| !o.is_clean())
+    }
+}
+
+/// Fits one design-space cell in isolation: a training failure — a
+/// typed [`daisy_core::TrainError`] or even a panic deeper in the
+/// stack — is caught and retried with a fresh seed instead of taking
+/// the whole experiment sweep down. A seed-dependent divergence (bad
+/// initialization, unlucky minibatch order) rarely repeats under a
+/// different seed.
+pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcome {
+    let mut failures = Vec::new();
+    for attempt in 0..=CELL_RETRIES {
+        // Decorrelate retries: shift both the model seed and the
+        // generation seed by a fixed odd constant per attempt.
+        let shift = (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut cfg = cfg.clone();
+        cfg.seed = cfg.seed.wrapping_add(shift);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Synthesizer::try_fit(train, &cfg).map(|fitted| {
+                let mut rng = Rng::seed_from_u64((seed ^ 0x9e37).wrapping_add(shift));
+                let outcome = fitted.outcome().clone();
+                (fitted.generate(train.n_rows(), &mut rng), outcome)
+            })
+        }));
+        match result {
+            Ok(Ok((synthetic, outcome))) => {
+                return CellOutcome {
+                    synthetic: Some(synthetic),
+                    attempts: attempt + 1,
+                    failures,
+                    outcome: Some(outcome),
+                }
+            }
+            Ok(Err(e)) => failures.push(format!("attempt {}: {e}", attempt + 1)),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push(format!("attempt {}: panic: {msg}", attempt + 1));
+            }
+        }
+    }
+    CellOutcome {
+        synthetic: None,
+        attempts: CELL_RETRIES + 1,
+        failures,
+        outcome: None,
+    }
+}
+
 /// Fits a GAN at a design point and synthesizes a table the size of the
-/// training split.
+/// training split. Runs through [`run_cell`], so a flaky cell retries
+/// with fresh seeds before giving up; only total failure aborts the
+/// experiment.
 pub fn fit_and_generate(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> Table {
-    let fitted = Synthesizer::fit(train, cfg);
-    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37);
-    fitted.generate(train.n_rows(), &mut rng)
+    let cell = run_cell(train, cfg, seed);
+    if cell.was_rocky() {
+        for f in &cell.failures {
+            eprintln!("  [cell] {f}");
+        }
+        if let Some(o) = cell.outcome.as_ref().filter(|o| !o.is_clean()) {
+            eprintln!("  [cell] recovered: {}", o.summary());
+        }
+    }
+    cell.synthetic.unwrap_or_else(|| {
+        panic!(
+            "benchmark cell failed after {} attempts: {}",
+            cell.attempts,
+            cell.failures.join("; ")
+        )
+    })
 }
 
 /// Per-classifier F1 Diff of a synthetic table, over the zoo of §6.2.
@@ -320,6 +411,57 @@ mod tests {
         assert!(default_gan_for(&skewed, 0).train.conditional);
         let (unlabeled, _, _) = prepare(&by_name("Bing").unwrap(), 2);
         assert!(!default_gan_for(&unlabeled, 0).train.conditional);
+    }
+
+    fn tiny_table(rows: usize) -> Table {
+        use daisy_data::{Attribute, Column, Schema};
+        let schema = Schema::new(vec![
+            Attribute::numerical("x"),
+            Attribute::numerical("y"),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Column::Num((0..rows).map(|i| i as f64).collect()),
+                Column::Num((0..rows).map(|i| (i % 7) as f64).collect()),
+            ],
+        )
+    }
+
+    fn tiny_cfg(seed: u64) -> SynthesizerConfig {
+        let mut tc = TrainConfig::vtrain(8);
+        tc.batch_size = 16;
+        tc.epochs = 2;
+        let mut cfg = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+        cfg.g_hidden = vec![8];
+        cfg.d_hidden = vec![8];
+        cfg.noise_dim = 4;
+        cfg.seed = seed;
+        cfg
+    }
+
+    #[test]
+    fn run_cell_clean_first_attempt() {
+        let table = tiny_table(48);
+        let cell = run_cell(&table, &tiny_cfg(1), 1);
+        assert_eq!(cell.attempts, 1);
+        assert!(cell.failures.is_empty());
+        assert!(!cell.was_rocky());
+        assert_eq!(cell.synthetic.unwrap().n_rows(), 48);
+    }
+
+    #[test]
+    fn run_cell_exhausts_retries_on_persistent_failure() {
+        // An empty table fails every attempt with a typed error; the
+        // cell retries with fresh seeds and then reports the failures
+        // instead of panicking.
+        let empty = tiny_table(0);
+        let cell = run_cell(&empty, &tiny_cfg(1), 1);
+        assert!(cell.synthetic.is_none());
+        assert_eq!(cell.attempts, CELL_RETRIES + 1);
+        assert_eq!(cell.failures.len(), CELL_RETRIES + 1);
+        assert!(cell.was_rocky());
+        assert!(cell.failures[0].contains("empty table"));
     }
 
     #[test]

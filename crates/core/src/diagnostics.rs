@@ -4,34 +4,65 @@
 //! records in synthetic table T′": the generator emits a limited
 //! diversity of samples regardless of the noise. The duplicate fraction
 //! below is the signal the paper's deep-dive used to identify collapsed
-//! runs (F1 dropping to 0 on a snapshot).
+//! runs (F1 dropping to 0 on a snapshot). The encoded-space variant is
+//! what the training resilience layer's periodic collapse probe uses —
+//! it scores raw generator output without needing the reversible codec.
 
 use daisy_data::{Column, Table};
-use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Quantizes `v` into one of `bins` equi-width buckets of `[min, max]`,
+/// reserving bucket `bins` for non-finite values so NaN/±inf rows hash
+/// consistently instead of exercising a NaN→int cast.
+fn quantize(v: f64, min: f64, max: f64, bins: usize) -> u32 {
+    if !v.is_finite() {
+        return bins as u32;
+    }
+    if max > min {
+        let q = ((v - min) / (max - min) * bins as f64) as i64;
+        q.clamp(0, bins as i64 - 1) as u32
+    } else {
+        0
+    }
+}
+
+/// The observed range of the finite values of a column; `None` when the
+/// column has no finite value at all (e.g. an all-NaN probe column).
+fn finite_range<I: Iterator<Item = f64>>(values: I) -> Option<(f64, f64)> {
+    let mut range: Option<(f64, f64)> = None;
+    for v in values {
+        if v.is_finite() {
+            range = Some(match range {
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                None => (v, v),
+            });
+        }
+    }
+    range
+}
 
 /// Fraction of records that are duplicates of an earlier record, after
 /// quantizing numerical attributes into `bins` equi-width buckets of
-/// their observed range. 0 = all distinct, →1 = collapsed.
+/// their observed finite range. 0 = all distinct, →1 = collapsed.
+/// Non-finite values (NaN, ±inf) share a dedicated extra bucket, so a
+/// poisoned or all-NaN column degrades to "one bucket" rather than
+/// poisoning the whole score.
 pub fn duplicate_fraction(table: &Table, bins: usize) -> f64 {
     assert!(bins > 0, "need at least one bin");
     if table.n_rows() <= 1 {
         return 0.0;
     }
-    // Precompute per-column quantization ranges.
+    // Precompute per-column quantization ranges over finite values.
     let ranges: Vec<Option<(f64, f64)>> = table
         .columns()
         .iter()
         .map(|c| match c {
-            Column::Num(v) => {
-                let min = v.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                Some((min, max))
-            }
+            Column::Num(v) => finite_range(v.iter().copied()).or(Some((0.0, 0.0))),
             Column::Cat { .. } => None,
         })
         .collect();
 
-    let mut seen: HashMap<Vec<u32>, ()> = HashMap::with_capacity(table.n_rows());
+    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(table.n_rows());
     let mut duplicates = 0usize;
     for i in 0..table.n_rows() {
         let key: Vec<u32> = table
@@ -41,21 +72,48 @@ pub fn duplicate_fraction(table: &Table, bins: usize) -> f64 {
             .map(|(c, r)| match c {
                 Column::Num(v) => {
                     let (min, max) = r.unwrap();
-                    if max > min {
-                        let q = ((v[i] - min) / (max - min) * bins as f64) as i64;
-                        q.clamp(0, bins as i64 - 1) as u32
-                    } else {
-                        0
-                    }
+                    quantize(v[i], min, max, bins)
                 }
                 Column::Cat { codes, .. } => codes[i],
             })
             .collect();
-        if seen.insert(key, ()).is_some() {
+        if !seen.insert(key) {
             duplicates += 1;
         }
     }
     duplicates as f64 / table.n_rows() as f64
+}
+
+/// [`duplicate_fraction`] over encoded `[n, d]` samples — the form the
+/// trainer's collapse probe sees (raw generator output, before the
+/// reversible decode). Each column is quantized over its observed
+/// finite range exactly like a numerical attribute.
+pub fn encoded_duplicate_fraction(samples: &daisy_tensor::Tensor, bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    let n = samples.rows();
+    if n <= 1 {
+        return 0.0;
+    }
+    let d = samples.cols();
+    let ranges: Vec<(f64, f64)> = (0..d)
+        .map(|j| {
+            finite_range((0..n).map(|i| samples.at2(i, j) as f64)).unwrap_or((0.0, 0.0))
+        })
+        .collect();
+    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(n);
+    let mut duplicates = 0usize;
+    for i in 0..n {
+        let key: Vec<u32> = samples
+            .row(i)
+            .iter()
+            .zip(&ranges)
+            .map(|(&v, &(min, max))| quantize(v as f64, min, max, bins))
+            .collect();
+        if !seen.insert(key) {
+            duplicates += 1;
+        }
+    }
+    duplicates as f64 / n as f64
 }
 
 /// True when the duplicate fraction exceeds `threshold` — the default
@@ -68,6 +126,7 @@ pub fn is_collapsed(table: &Table, threshold: f64) -> bool {
 mod tests {
     use super::*;
     use daisy_data::{Attribute, Schema};
+    use daisy_tensor::{Rng, Tensor};
 
     fn table_of(nums: Vec<f64>, cats: Vec<u32>) -> Table {
         Table::new(
@@ -105,5 +164,43 @@ mod tests {
     fn empty_and_singleton_safe() {
         let t = table_of(vec![1.0], vec![0]);
         assert_eq!(duplicate_fraction(&t, 10), 0.0);
+    }
+
+    #[test]
+    fn all_nan_column_does_not_poison_the_score() {
+        // An all-NaN numerical column must act like a constant column
+        // (one shared bucket), not return NaN or panic: distinctness
+        // then hinges on the categorical column alone.
+        let t = table_of(vec![f64::NAN; 4], vec![0, 1, 2, 3]);
+        let f = duplicate_fraction(&t, 10);
+        assert!(f.is_finite());
+        assert_eq!(f, 0.0);
+        // With duplicated categories the NaN rows collide.
+        let t = table_of(vec![f64::NAN; 4], vec![1; 4]);
+        assert_eq!(duplicate_fraction(&t, 10), 0.75);
+    }
+
+    #[test]
+    fn mixed_nan_and_finite_values_split_buckets() {
+        // NaN rows bucket together but never merge with finite rows,
+        // and infinities join the non-finite bucket.
+        let t = table_of(
+            vec![f64::NAN, f64::NAN, 1.0, 2.0, f64::INFINITY],
+            vec![0; 5],
+        );
+        // Duplicates: second NaN (with first), inf (with the NaNs).
+        assert_eq!(duplicate_fraction(&t, 10), 2.0 / 5.0);
+    }
+
+    #[test]
+    fn encoded_probe_matches_collapse_semantics() {
+        let mut rng = Rng::seed_from_u64(0);
+        let diverse = Tensor::randn(&[64, 6], &mut rng);
+        assert!(encoded_duplicate_fraction(&diverse, 20) < 0.5);
+        let collapsed = Tensor::full(&[64, 6], 0.123);
+        assert!(encoded_duplicate_fraction(&collapsed, 20) > 0.95);
+        // NaN output (a diverged generator) is also maximally duplicated.
+        let nan = Tensor::full(&[64, 6], f32::NAN);
+        assert!(encoded_duplicate_fraction(&nan, 20) > 0.95);
     }
 }

@@ -21,7 +21,9 @@
 pub mod config;
 pub mod diagnostics;
 pub mod discriminator;
+pub mod fault;
 pub mod generator;
+pub mod guard;
 pub mod model_selection;
 pub mod output_head;
 pub mod persist;
@@ -32,11 +34,15 @@ pub mod train;
 pub use config::{
     DiscriminatorKind, DpConfig, LossKind, NetworkKind, SynthesizerConfig, TrainConfig,
 };
-pub use diagnostics::{duplicate_fraction, is_collapsed};
+pub use diagnostics::{duplicate_fraction, encoded_duplicate_fraction, is_collapsed};
 pub use discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
+pub use fault::{Fault, FaultPlan};
 pub use generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
+pub use guard::{
+    GuardConfig, RecoveryAction, RecoveryEvent, TrainError, TrainGuard, TrainOutcome, TripReason,
+};
 pub use model_selection::{default_candidates, random_search, HyperParams, SearchResult};
 pub use persist::PersistError;
 pub use sampler::{Minibatch, TrainingData};
 pub use synthesizer::{FittedSynthesizer, SampleCodec, Synthesizer, TableSynthesizer};
-pub use train::{train_gan, EpochStats, TrainingRun};
+pub use train::{train_gan, train_gan_resilient, EpochStats, ResilientRun, TrainingRun};

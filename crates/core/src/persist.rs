@@ -592,6 +592,9 @@ impl FittedSynthesizer {
                 history: Vec::new(),
             },
             selected_epoch: 0,
+            // The file stores only the selected snapshot; the training
+            // health report is not persisted.
+            outcome: crate::guard::TrainOutcome::default(),
         })
     }
 

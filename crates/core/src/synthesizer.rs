@@ -4,10 +4,12 @@
 
 use crate::config::{DiscriminatorKind, NetworkKind, SynthesizerConfig};
 use crate::discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
+use crate::fault::FaultPlan;
 use crate::generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
+use crate::guard::{GuardConfig, TrainError, TrainOutcome};
 use crate::output_head::softmax_spans;
 use crate::sampler::TrainingData;
-use crate::train::{train_gan, EpochStats, TrainingRun};
+use crate::train::{train_gan_resilient, EpochStats, TrainingRun};
 use daisy_data::{Column, MatrixCodec, RecordCodec, Schema, Table};
 use daisy_nn::restore;
 use daisy_tensor::{Rng, Tensor};
@@ -103,6 +105,9 @@ pub struct FittedSynthesizer {
     pub(crate) run: TrainingRun,
     /// Which epoch snapshot the generator currently holds.
     pub(crate) selected_epoch: usize,
+    /// Health report of the training run (recoveries, escalations,
+    /// degradation status).
+    pub(crate) outcome: TrainOutcome,
 }
 
 impl FittedSynthesizer {
@@ -124,6 +129,13 @@ impl FittedSynthesizer {
     /// The fitted configuration.
     pub fn config(&self) -> &SynthesizerConfig {
         &self.config
+    }
+
+    /// The resilience layer's report on the training run: recovery
+    /// trace, escalations taken, and whether the run degraded to its
+    /// best snapshot instead of completing.
+    pub fn outcome(&self) -> &TrainOutcome {
+        &self.outcome
     }
 
     /// Loads the generator parameters of the given epoch snapshot.
@@ -191,29 +203,134 @@ pub struct Synthesizer;
 
 impl Synthesizer {
     /// Fits a GAN synthesizer and keeps the **last** epoch snapshot.
+    ///
+    /// Thin compatible wrapper over [`Synthesizer::try_fit`]: panics on
+    /// [`TrainError`]. Callers that want to handle training failure
+    /// (invalid configuration, unrecoverable divergence) should use
+    /// `try_fit` directly.
     pub fn fit(table: &Table, config: &SynthesizerConfig) -> FittedSynthesizer {
-        Self::fit_inner(table, config, None)
+        Self::try_fit(table, config)
+            .unwrap_or_else(|e| panic!("synthesizer training failed: {e}"))
+    }
+
+    /// Fits a GAN synthesizer under the default resilience policy
+    /// ([`GuardConfig::default`]) and keeps the **last** epoch snapshot.
+    ///
+    /// Training runs with NaN/divergence guards and snapshot-rollback
+    /// recovery; a degraded-but-usable run comes back `Ok` with
+    /// [`TrainOutcome::degraded`] set, and only a run with no healthy
+    /// epoch at all is an `Err`.
+    pub fn try_fit(
+        table: &Table,
+        config: &SynthesizerConfig,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        Self::try_fit_with(table, config, &GuardConfig::default(), &FaultPlan::none())
+    }
+
+    /// [`Synthesizer::try_fit`] with an explicit guard policy and fault
+    /// plan (the fault plan injects deterministic failures for testing;
+    /// pass [`FaultPlan::none`] in production).
+    ///
+    /// When training degrades or fails and
+    /// [`GuardConfig::escalate_simplified_d`] is set, the synthesizer
+    /// applies the paper's §5.2 remedy: it rebuilds with the simplified
+    /// discriminator and refits (the fault plan re-arms for the new
+    /// attempt).
+    pub fn try_fit_with(
+        table: &Table,
+        config: &SynthesizerConfig,
+        guard: &GuardConfig,
+        faults: &FaultPlan,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        Self::try_fit_inner(table, config, guard, faults, None)
     }
 
     /// Fits a GAN synthesizer with validation-based model selection
     /// (§6.2): after training, every epoch snapshot generates a
     /// validation-sized synthetic table which `scorer` rates (higher is
-    /// better); the best snapshot is loaded.
+    /// better); the best snapshot is loaded. Panics on [`TrainError`];
+    /// see [`Synthesizer::try_fit_selected`].
     pub fn fit_selected(
         table: &Table,
         config: &SynthesizerConfig,
         scorer: impl FnMut(&Table) -> f64,
     ) -> FittedSynthesizer {
-        Self::fit_inner(table, config, Some(Box::new(scorer)))
+        Self::try_fit_selected(table, config, scorer)
+            .unwrap_or_else(|e| panic!("synthesizer training failed: {e}"))
+    }
+
+    /// [`Synthesizer::fit_selected`] with a typed error instead of a
+    /// panic, running under the default resilience policy.
+    pub fn try_fit_selected(
+        table: &Table,
+        config: &SynthesizerConfig,
+        scorer: impl FnMut(&Table) -> f64,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        Self::try_fit_inner(
+            table,
+            config,
+            &GuardConfig::default(),
+            &FaultPlan::none(),
+            Some(Box::new(scorer)),
+        )
     }
 
     #[allow(clippy::type_complexity)]
-    fn fit_inner(
+    fn try_fit_inner(
         table: &Table,
         config: &SynthesizerConfig,
-        scorer: Option<Box<dyn FnMut(&Table) -> f64 + '_>>,
-    ) -> FittedSynthesizer {
-        assert!(table.n_rows() > 0, "cannot fit on an empty table");
+        guard: &GuardConfig,
+        faults: &FaultPlan,
+        mut scorer: Option<Box<dyn FnMut(&Table) -> f64 + '_>>,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        let first = Self::fit_attempt(table, config, guard, faults, scorer.as_deref_mut());
+        let needs_escalation = match &first {
+            Ok(f) => f.outcome.degraded,
+            Err(TrainError::Unrecoverable { .. }) => true,
+            Err(TrainError::InvalidConfig(_)) => false,
+        };
+        if needs_escalation && guard.escalate_simplified_d && !config.simplified_d {
+            // The paper's other §5.2 remedy: shrink the discriminator so
+            // it cannot saturate, and train again from scratch.
+            let mut simplified = config.clone();
+            simplified.simplified_d = true;
+            match Self::fit_attempt(table, &simplified, guard, faults, scorer.as_deref_mut()) {
+                Ok(mut second) => {
+                    second.outcome.escalated_simplified_d = true;
+                    // Keep the first attempt's trace so the full story
+                    // survives in one report.
+                    if let Err(TrainError::Unrecoverable { trace, .. }) = &first {
+                        let mut merged = trace.clone();
+                        merged.extend(second.outcome.recoveries.iter().copied());
+                        second.outcome.recoveries = merged;
+                    } else if let Ok(f) = &first {
+                        let mut merged = f.outcome.recoveries.clone();
+                        merged.extend(second.outcome.recoveries.iter().copied());
+                        second.outcome.recoveries = merged;
+                    }
+                    Ok(second)
+                }
+                // The escalation also failed: fall back to the degraded
+                // first attempt when one exists.
+                Err(e2) => first.map_err(|_| e2),
+            }
+        } else {
+            first
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn fit_attempt(
+        table: &Table,
+        config: &SynthesizerConfig,
+        guard: &GuardConfig,
+        faults: &FaultPlan,
+        scorer: Option<&mut (dyn FnMut(&Table) -> f64 + '_)>,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        let invalid = |msg: &str| TrainError::InvalidConfig(msg.to_string());
+        if table.n_rows() == 0 {
+            return Err(invalid("cannot fit on an empty table"));
+        }
         let mut rng = Rng::seed_from_u64(config.seed);
 
         // Conditional mode strips the label from the generated record:
@@ -227,11 +344,10 @@ impl Synthesizer {
             })
             .unwrap_or_default();
         let record_table = if conditional {
-            let j = label_col.expect("conditional GAN requires a labeled table");
-            assert!(
-                config.network != NetworkKind::Cnn,
-                "the CNN family does not support conditional GAN"
-            );
+            let j = label_col.ok_or_else(|| invalid("conditional GAN requires a labeled table"))?;
+            if config.network == NetworkKind::Cnn {
+                return Err(invalid("the CNN family does not support conditional GAN"));
+            }
             table.drop_column(j)
         } else {
             table.clone()
@@ -248,10 +364,9 @@ impl Synthesizer {
         let data = TrainingData::from_encoded(encoded, table);
 
         let cond_dim = if conditional {
-            assert!(
-                data.n_classes() > 0,
-                "conditional GAN requires a labeled table"
-            );
+            if data.n_classes() == 0 {
+                return Err(invalid("conditional GAN requires a labeled table"));
+            }
             data.n_classes()
         } else {
             0
@@ -303,10 +418,9 @@ impl Synthesizer {
         };
         let d_hidden = config.effective_d_hidden();
         let pac = config.train.pac.max(1);
-        assert!(
-            pac == 1 || config.discriminator == DiscriminatorKind::Mlp,
-            "PacGAN packing requires the MLP discriminator"
-        );
+        if pac > 1 && config.discriminator != DiscriminatorKind::Mlp {
+            return Err(invalid("PacGAN packing requires the MLP discriminator"));
+        }
         let discriminator: Box<dyn Discriminator> = match config.discriminator {
             DiscriminatorKind::Mlp => Box::new(MlpDiscriminator::with_dropout(
                 codec.width() * pac,
@@ -340,15 +454,17 @@ impl Synthesizer {
             }
         };
 
-        // Phase II: adversarial training.
-        let run = train_gan(
+        // Phase II: adversarial training under the resilience layer.
+        let resilient = train_gan_resilient(
             generator.as_ref(),
             discriminator.as_ref(),
             &data,
             &spans,
             &config.train,
+            guard,
+            faults,
             &mut rng,
-        );
+        )?;
 
         let label_dist = data.label_distribution();
         let mut fitted = FittedSynthesizer {
@@ -360,13 +476,14 @@ impl Synthesizer {
             output_schema: table.schema().clone(),
             label_categories,
             selected_epoch: 0,
-            run,
+            run: resilient.run,
+            outcome: resilient.outcome,
         };
         let last = fitted.n_snapshots() - 1;
         fitted.load_snapshot(last);
 
         // Validation-based model selection over epoch snapshots.
-        if let Some(mut scorer) = scorer {
+        if let Some(scorer) = scorer {
             let sample_n = table.n_rows().clamp(64, 512);
             let mut best = (f64::NEG_INFINITY, last);
             for e in 0..fitted.n_snapshots() {
@@ -379,7 +496,7 @@ impl Synthesizer {
             }
             fitted.load_snapshot(best.1);
         }
-        fitted
+        Ok(fitted)
     }
 }
 
@@ -509,6 +626,102 @@ mod tests {
         let a = fitted.generate(20, &mut Rng::seed_from_u64(42));
         let b = fitted.generate(20, &mut Rng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    fn resilience_guard() -> GuardConfig {
+        GuardConfig {
+            check_weights_every: 1,
+            probe_every: 0,
+            warmup_steps: usize::MAX,
+            divergence_factor: f32::INFINITY,
+            ..GuardConfig::default()
+        }
+    }
+
+    #[test]
+    fn try_fit_recovers_from_injected_fault() {
+        let table = tiny_table(300, 20);
+        let fitted = Synthesizer::try_fit_with(
+            &table,
+            &quick_config(NetworkKind::Mlp),
+            &resilience_guard(),
+            &FaultPlan::nan_grad_at(6),
+        )
+        .expect("recovered fit");
+        assert_eq!(fitted.outcome().recoveries.len(), 1);
+        assert!(!fitted.outcome().degraded);
+        // The recovered model still generates a full, valid table.
+        let mut rng = Rng::seed_from_u64(21);
+        let synthetic = fitted.generate(50, &mut rng);
+        assert_eq!(synthetic.n_rows(), 50);
+        assert_eq!(synthetic.schema(), table.schema());
+    }
+
+    #[test]
+    fn try_fit_clean_run_has_clean_outcome() {
+        let table = tiny_table(200, 22);
+        let fitted = Synthesizer::try_fit(&table, &quick_config(NetworkKind::Mlp)).unwrap();
+        assert!(fitted.outcome().is_clean());
+    }
+
+    #[test]
+    fn unrecoverable_fault_is_an_error_not_a_panic() {
+        let table = tiny_table(200, 24);
+        let mut guard = resilience_guard();
+        guard.max_recoveries = 0;
+        guard.escalate_simplified_d = false;
+        let Err(err) = Synthesizer::try_fit_with(
+            &table,
+            &quick_config(NetworkKind::Mlp),
+            &guard,
+            &FaultPlan::nan_grad_at(0),
+        ) else {
+            panic!("expected Unrecoverable");
+        };
+        assert!(matches!(err, crate::guard::TrainError::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn degraded_run_returns_best_snapshot() {
+        let table = tiny_table(300, 26);
+        let mut guard = resilience_guard();
+        guard.max_recoveries = 1;
+        guard.escalate_wtrain = false;
+        guard.escalate_simplified_d = false;
+        // quick_config: 12 iterations over 3 epochs = 4 per epoch. The
+        // second fault lands after epoch 1 exists but past the budget.
+        let plan = FaultPlan::new(vec![
+            crate::fault::Fault::NanGrad { step: 5 },
+            crate::fault::Fault::NanGrad { step: 7 },
+        ]);
+        let fitted =
+            Synthesizer::try_fit_with(&table, &quick_config(NetworkKind::Mlp), &guard, &plan)
+                .expect("degraded but usable");
+        assert!(fitted.outcome().degraded);
+        assert!(fitted.outcome().completed_epochs >= 1);
+        let mut rng = Rng::seed_from_u64(27);
+        assert_eq!(fitted.generate(20, &mut rng).n_rows(), 20);
+    }
+
+    #[test]
+    fn persistent_failure_escalates_to_simplified_d() {
+        let table = tiny_table(300, 28);
+        let mut guard = resilience_guard();
+        guard.max_recoveries = 1;
+        guard.escalate_wtrain = false;
+        guard.escalate_simplified_d = true;
+        let plan = FaultPlan::new(vec![
+            crate::fault::Fault::NanGrad { step: 5 },
+            crate::fault::Fault::NanGrad { step: 7 },
+        ]);
+        let fitted =
+            Synthesizer::try_fit_with(&table, &quick_config(NetworkKind::Mlp), &guard, &plan)
+                .expect("escalated fit");
+        // The refit used the paper's simplified discriminator, and the
+        // outcome records the escalation plus both attempts' traces.
+        assert!(fitted.outcome().escalated_simplified_d);
+        assert!(fitted.config().simplified_d);
+        assert!(fitted.outcome().recoveries.len() >= 2);
     }
 
     #[test]

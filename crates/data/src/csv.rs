@@ -3,14 +3,20 @@
 //! Intended for moving synthetic tables in and out of the library (the
 //! datasets themselves are generated in-process). Quoting is not
 //! supported; category names containing commas are rejected on write.
+//! All malformed-input conditions surface as typed [`DataError`]s so
+//! callers (notably the CLI) can report them instead of panicking.
 
+use crate::error::DataError;
 use crate::schema::Schema;
 use crate::table::{Column, Table};
 use crate::value::Attribute;
-use std::io::{self, BufRead, Write};
+use std::io::{BufRead, Write};
 
 /// Serializes a table as CSV with a header row.
-pub fn write_csv<W: Write>(table: &Table, mut out: W) -> io::Result<()> {
+///
+/// Fails with [`DataError::UnwritableCategory`] if a category name
+/// contains a comma (the writer does not quote).
+pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<(), DataError> {
     let names: Vec<&str> = table
         .schema()
         .attrs()
@@ -25,10 +31,9 @@ pub fn write_csv<W: Write>(table: &Table, mut out: W) -> io::Result<()> {
                 Column::Num(v) => cells.push(format!("{}", v[i])),
                 Column::Cat { codes, categories } => {
                     let name = &categories[codes[i] as usize];
-                    assert!(
-                        !name.contains(','),
-                        "category name {name:?} contains a comma"
-                    );
+                    if name.contains(',') {
+                        return Err(DataError::UnwritableCategory { name: name.clone() });
+                    }
                     cells.push(name.clone());
                 }
             }
@@ -41,26 +46,40 @@ pub fn write_csv<W: Write>(table: &Table, mut out: W) -> io::Result<()> {
 /// Parses CSV produced by [`write_csv`] (or any unquoted CSV with a
 /// header). Column types are inferred: a column is numerical when every
 /// cell parses as `f64`, categorical otherwise. `label` optionally
-/// names the label column.
-pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> io::Result<Table> {
+/// names the label column; naming a column that is not in the header is
+/// a [`DataError::UnknownLabel`].
+pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> Result<Table, DataError> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
-    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let header = lines.next().ok_or(DataError::EmptyCsv)??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let n = names.len();
+    for (j, name) in names.iter().enumerate() {
+        if name.is_empty() {
+            return Err(DataError::BlankColumnName { column: j });
+        }
+        if names[..j].contains(name) {
+            return Err(DataError::DuplicateColumn { name: name.clone() });
+        }
+    }
+    if let Some(l) = label {
+        if !names.iter().any(|name| name == l) {
+            return Err(DataError::UnknownLabel { name: l.to_string() });
+        }
+    }
+
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); n];
-    for line in lines {
+    for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let row: Vec<&str> = line.split(',').collect();
         if row.len() != n {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("row has {} cells, expected {n}", row.len()),
-            ));
+            return Err(DataError::RaggedRow {
+                line: i + 2, // one-based; the header is line 1
+                got: row.len(),
+                expected: n,
+            });
         }
         for (c, v) in cells.iter_mut().zip(row) {
             c.push(v.trim().to_string());
@@ -70,13 +89,20 @@ pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> io::Result<Table> 
     let mut attrs = Vec::with_capacity(n);
     let mut columns = Vec::with_capacity(n);
     for (name, col) in names.iter().zip(&cells) {
-        let all_numeric = !col.is_empty() && col.iter().all(|v| v.parse::<f64>().is_ok());
+        // Parse each cell at most once: the column is numerical only if
+        // every cell parses, in which case `parsed` holds all values.
+        let mut parsed = Vec::with_capacity(col.len());
+        for v in col {
+            match v.parse::<f64>() {
+                Ok(x) => parsed.push(x),
+                Err(_) => break,
+            }
+        }
+        let all_numeric = !col.is_empty() && parsed.len() == col.len();
         let force_categorical = label == Some(name.as_str());
         if all_numeric && !force_categorical {
             attrs.push(Attribute::numerical(name.clone()));
-            columns.push(Column::Num(
-                col.iter().map(|v| v.parse::<f64>().unwrap()).collect(),
-            ));
+            columns.push(Column::Num(parsed));
         } else {
             attrs.push(Attribute::categorical(name.clone()));
             let mut categories: Vec<String> = Vec::new();
@@ -154,6 +180,61 @@ mod tests {
     #[test]
     fn ragged_row_rejected() {
         let csv = "a,b\n1,2\n3\n";
-        assert!(read_csv(csv.as_bytes(), None).is_err());
+        let Err(e) = read_csv(csv.as_bytes(), None) else {
+            panic!("ragged row must be rejected");
+        };
+        assert!(matches!(
+            e,
+            DataError::RaggedRow {
+                line: 3,
+                got: 1,
+                expected: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let Err(e) = read_csv("".as_bytes(), None) else {
+            panic!("empty input must be rejected");
+        };
+        assert!(matches!(e, DataError::EmptyCsv));
+    }
+
+    #[test]
+    fn blank_and_duplicate_headers_rejected() {
+        let Err(e) = read_csv("a,,c\n1,2,3\n".as_bytes(), None) else {
+            panic!("blank header must be rejected");
+        };
+        assert!(matches!(e, DataError::BlankColumnName { column: 1 }));
+
+        let Err(e) = read_csv("a,b,a\n1,2,3\n".as_bytes(), None) else {
+            panic!("duplicate header must be rejected");
+        };
+        assert!(matches!(e, DataError::DuplicateColumn { name } if name == "a"));
+    }
+
+    #[test]
+    fn missing_label_column_rejected() {
+        let Err(e) = read_csv("a,b\n1,2\n".as_bytes(), Some("income")) else {
+            panic!("unknown label must be rejected");
+        };
+        assert!(matches!(e, DataError::UnknownLabel { name } if name == "income"));
+    }
+
+    #[test]
+    fn comma_category_rejected_on_write() {
+        let schema = Schema::new(vec![Attribute::categorical("c")]);
+        let t = Table::new(
+            schema,
+            vec![Column::Cat {
+                codes: vec![0],
+                categories: vec!["a,b".into()],
+            }],
+        );
+        let Err(e) = write_csv(&t, Vec::new()) else {
+            panic!("comma category must be rejected");
+        };
+        assert!(matches!(e, DataError::UnwritableCategory { name } if name == "a,b"));
     }
 }

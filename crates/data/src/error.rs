@@ -1,0 +1,128 @@
+//! Typed errors for table ingestion and export.
+//!
+//! CSV parsing is the one place the library consumes untrusted input,
+//! so every malformed-input condition surfaces as a [`DataError`]
+//! instead of a panic: the CLI reports "row 3 has 2 cells, expected 4"
+//! rather than aborting with a backtrace.
+
+use std::fmt;
+use std::io;
+
+/// An error raised while reading or writing tabular data.
+#[derive(Debug)]
+pub enum DataError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The input had no header row (or no bytes at all).
+    EmptyCsv,
+    /// A header cell was blank, so the column cannot be addressed.
+    BlankColumnName {
+        /// Zero-based index of the blank header cell.
+        column: usize,
+    },
+    /// Two columns share a name; `--label` and schema lookups would be
+    /// ambiguous.
+    DuplicateColumn {
+        /// The repeated column name.
+        name: String,
+    },
+    /// A data row's cell count disagrees with the header.
+    RaggedRow {
+        /// One-based line number in the input (the header is line 1).
+        line: usize,
+        /// Cells found on the offending row.
+        got: usize,
+        /// Cells implied by the header.
+        expected: usize,
+    },
+    /// The requested label column does not exist in the header.
+    UnknownLabel {
+        /// The label name that was requested.
+        name: String,
+    },
+    /// A category name cannot be serialized unambiguously (the writer
+    /// does not quote, so embedded commas are rejected).
+    UnwritableCategory {
+        /// The offending category name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::EmptyCsv => write!(f, "empty CSV: missing header row"),
+            DataError::BlankColumnName { column } => {
+                write!(f, "header column {} has a blank name", column + 1)
+            }
+            DataError::DuplicateColumn { name } => {
+                write!(f, "duplicate column name {name:?} in header")
+            }
+            DataError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => write!(f, "line {line}: row has {got} cells, expected {expected}"),
+            DataError::UnknownLabel { name } => {
+                write!(f, "label column {name:?} not found in header")
+            }
+            DataError::UnwritableCategory { name } => {
+                write!(f, "category name {name:?} contains a comma and cannot be written unquoted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_user_facing() {
+        let msgs = [
+            DataError::EmptyCsv.to_string(),
+            DataError::BlankColumnName { column: 0 }.to_string(),
+            DataError::DuplicateColumn { name: "age".into() }.to_string(),
+            DataError::RaggedRow {
+                line: 3,
+                got: 2,
+                expected: 4,
+            }
+            .to_string(),
+            DataError::UnknownLabel {
+                name: "income".into(),
+            }
+            .to_string(),
+            DataError::UnwritableCategory { name: "a,b".into() }.to_string(),
+        ];
+        assert!(msgs[0].contains("header"));
+        assert!(msgs[1].contains("column 1"));
+        assert!(msgs[2].contains("age"));
+        assert!(msgs[3].contains("line 3") && msgs[3].contains("expected 4"));
+        assert!(msgs[4].contains("income"));
+        assert!(msgs[5].contains("comma"));
+    }
+
+    #[test]
+    fn io_errors_wrap_with_source() {
+        let e = DataError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -25,12 +25,14 @@
 //! ```
 
 pub mod csv;
+pub mod error;
 pub mod gmm;
 pub mod schema;
 pub mod table;
 pub mod transform;
 pub mod value;
 
+pub use error::DataError;
 pub use gmm::Gmm1d;
 pub use schema::Schema;
 pub use table::{Column, Table, TableBuilder};

@@ -43,6 +43,17 @@ pub fn restore(params: &[Param], state: &[Tensor]) {
     }
 }
 
+/// True when any parameter value contains a NaN or infinity — the
+/// weight-health check of the training resilience layer.
+pub fn params_non_finite(params: &[Param]) -> bool {
+    params.iter().any(|p| p.value().has_non_finite())
+}
+
+/// True when any accumulated gradient contains a NaN or infinity.
+pub fn grads_non_finite(params: &[Param]) -> bool {
+    params.iter().any(|p| p.grad().has_non_finite())
+}
+
 /// A chain of modules applied in order.
 pub struct Sequential {
     layers: Vec<Box<dyn Module>>,

@@ -22,6 +22,24 @@ pub trait Optimizer {
             p.zero_grad();
         }
     }
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Changes the learning rate at runtime (used by the training
+    /// resilience layer to decay the step size after a rollback).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Snapshot of the optimizer's internal state (moment estimates,
+    /// step counters) as plain tensors, so training can roll back to a
+    /// previous point without momentum carrying the failure forward.
+    /// The learning rate is intentionally *not* part of the state: a
+    /// rollback restores moments but keeps any post-rollback LR decay.
+    fn state(&self) -> Vec<Tensor>;
+
+    /// Restores a snapshot taken by [`Optimizer::state`]. Panics if the
+    /// snapshot arity/shape does not match this optimizer.
+    fn set_state(&mut self, state: &[Tensor]);
 }
 
 /// Plain stochastic gradient descent (kept for reference/testing).
@@ -47,6 +65,22 @@ impl Optimizer for Sgd {
 
     fn params(&self) -> &[Param] {
         &self.params
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    fn set_state(&mut self, state: &[Tensor]) {
+        assert!(state.is_empty(), "SGD carries no optimizer state");
     }
 }
 
@@ -117,6 +151,34 @@ impl Optimizer for Adam {
     fn params(&self) -> &[Param] {
         &self.params
     }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        // [t] followed by first and second moments, in parameter order.
+        let mut out = vec![Tensor::from_slice(&[self.t as f32])];
+        out.extend(self.m.iter().cloned());
+        out.extend(self.v.iter().cloned());
+        out
+    }
+
+    fn set_state(&mut self, state: &[Tensor]) {
+        let n = self.params.len();
+        assert_eq!(state.len(), 1 + 2 * n, "Adam state arity mismatch");
+        self.t = state[0].data()[0] as u32;
+        for i in 0..n {
+            assert_eq!(state[1 + i].shape(), self.m[i].shape());
+            assert_eq!(state[1 + n + i].shape(), self.v[i].shape());
+            self.m[i] = state[1 + i].clone();
+            self.v[i] = state[1 + n + i].clone();
+        }
+    }
 }
 
 /// RMSProp (Tieleman & Hinton), the optimizer mandated by WGAN.
@@ -162,6 +224,26 @@ impl Optimizer for RmsProp {
 
     fn params(&self) -> &[Param] {
         &self.params
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn state(&self) -> Vec<Tensor> {
+        self.sq.clone()
+    }
+
+    fn set_state(&mut self, state: &[Tensor]) {
+        assert_eq!(state.len(), self.sq.len(), "RMSProp state arity mismatch");
+        for (sq, s) in self.sq.iter_mut().zip(state) {
+            assert_eq!(s.shape(), sq.shape());
+            *sq = s.clone();
+        }
     }
 }
 
@@ -299,6 +381,67 @@ mod tests {
         q.var().mul_scalar(0.1).sum().backward();
         clip_grad_norm(std::slice::from_ref(&q), 1.0);
         assert!((q.grad().norm() - (0.02f32).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn optimizer_state_roundtrip_restores_trajectory() {
+        // Stepping from a restored (value, state) pair must reproduce the
+        // exact trajectory — the property rollback recovery relies on.
+        let run = |make: &dyn Fn(Vec<Param>) -> Box<dyn Optimizer>| {
+            let p = Param::new(Tensor::ones(&[4]));
+            let mut opt = make(vec![p]);
+            for _ in 0..5 {
+                opt.zero_grad();
+                quadratic_loss(&opt.params()[0]).backward();
+                opt.step();
+            }
+            let value = opt.params()[0].value();
+            let state = opt.state();
+            // Diverge for a few steps, then roll back.
+            for _ in 0..3 {
+                opt.zero_grad();
+                quadratic_loss(&opt.params()[0]).backward();
+                opt.step();
+            }
+            opt.params()[0].set_value(value.clone());
+            opt.set_state(&state);
+            opt.zero_grad();
+            quadratic_loss(&opt.params()[0]).backward();
+            opt.step();
+            let after_rollback = opt.params()[0].value();
+
+            // Reference: never diverged.
+            let q = Param::new(Tensor::ones(&[4]));
+            let mut reference = make(vec![q]);
+            for _ in 0..6 {
+                reference.zero_grad();
+                quadratic_loss(&reference.params()[0]).backward();
+                reference.step();
+            }
+            (after_rollback, reference.params()[0].value())
+        };
+        for make in [
+            (&|p| Box::new(Adam::new(p, 0.05)) as Box<dyn Optimizer>)
+                as &dyn Fn(Vec<Param>) -> Box<dyn Optimizer>,
+            &|p| Box::new(RmsProp::new(p, 0.05)) as Box<dyn Optimizer>,
+            &|p| Box::new(Sgd::new(p, 0.05)) as Box<dyn Optimizer>,
+        ] {
+            let (rolled, reference) = run(make);
+            assert_eq!(rolled.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let p = Param::new(Tensor::zeros(&[2]));
+        let mut opt = Sgd::new(vec![p], 1.0);
+        assert_eq!(opt.lr(), 1.0);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+        opt.zero_grad();
+        opt.params()[0].var().sum().backward(); // grad = [1, 1]
+        opt.step();
+        assert_eq!(opt.params()[0].value().data(), &[-0.5, -0.5]);
     }
 
     #[test]

@@ -45,11 +45,12 @@ pub use daisy_tensor as tensor;
 pub mod prelude {
     pub use daisy_baselines::{IndependentMarginals, PrivBayes, PrivBayesConfig, Vae, VaeConfig};
     pub use daisy_core::{
-        DiscriminatorKind, DpConfig, FittedSynthesizer, LossKind, NetworkKind, Synthesizer,
-        SynthesizerConfig, TableSynthesizer, TrainConfig,
+        DiscriminatorKind, DpConfig, FaultPlan, FittedSynthesizer, GuardConfig, LossKind,
+        NetworkKind, Synthesizer, SynthesizerConfig, TableSynthesizer, TrainConfig, TrainError,
+        TrainOutcome,
     };
     pub use daisy_data::{
-        Attribute, Column, RecordCodec, Schema, Table, TransformConfig, Value,
+        Attribute, Column, DataError, RecordCodec, Schema, Table, TransformConfig, Value,
     };
     pub use daisy_eval::{classifier_zoo, classification_utility, clustering_utility};
     pub use daisy_tensor::{Rng, Tensor};

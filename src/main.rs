@@ -264,7 +264,12 @@ fn synth(mut args: Vec<String>) -> Result<(), String> {
         config.train.name(),
         config.train.iterations
     );
-    let fitted = Synthesizer::fit(&table, &config);
+    let fitted = Synthesizer::try_fit(&table, &config)
+        .map_err(|e| format!("training failed: {e}"))?;
+    let outcome = fitted.outcome();
+    if !outcome.is_clean() {
+        println!("training hit instability but recovered: {}", outcome.summary());
+    }
     let mut rng = Rng::seed_from_u64(seed ^ 0x9e37);
     let synthetic = fitted.generate(n_out, &mut rng);
     save_csv(&synthetic, &out)?;
