@@ -1,9 +1,13 @@
 //! Microbenchmarks for the hot kernels under the study: matmul,
-//! convolution, record transformation, and one full GAN training step
-//! per network family. These quantify the ablation trade-offs called
-//! out in DESIGN.md (tape autodiff cost, LSTM's sequential overhead vs
-//! MLP). Timing is a hand-rolled median-of-samples loop so the suite
-//! carries no external benchmarking dependency.
+//! convolution, record transformation, and one full GAN training epoch
+//! per network family — each measured serial (1 thread) and parallel
+//! (4 threads) against the pre-parallel naive reference kernels.
+//! Timing is a hand-rolled median-of-samples loop so the suite carries
+//! no external benchmarking dependency.
+//!
+//! Set `DAISY_BENCH_JSON=<path>` to also write the measurements as JSON
+//! (the committed `BENCH_kernels.json` at the repo root is produced this
+//! way); see `docs/PERFORMANCE.md` for the runbook and how to read it.
 
 use daisy_core::discriminator::{Discriminator, MlpDiscriminator};
 use daisy_core::generator::{Generator, LstmGenerator, MlpGenerator};
@@ -12,9 +16,20 @@ use daisy_core::train::train_gan;
 use daisy_core::{output_head::softmax_spans, NetworkKind, TrainConfig};
 use daisy_data::{RecordCodec, TransformConfig};
 use daisy_datasets::by_name;
-use daisy_tensor::{Rng, Tensor};
+use daisy_tensor::{pool, Rng, Tensor};
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One recorded measurement, mirrored into the JSON report.
+struct Rec {
+    name: String,
+    threads: usize,
+    median_ms: f64,
+    samples: usize,
+}
+
+static RECORDS: Mutex<Vec<Rec>> = Mutex::new(Vec::new());
 
 /// Runs `f` repeatedly and reports the median per-iteration time over
 /// `samples` timed samples (after one warm-up call).
@@ -28,32 +43,112 @@ fn bench(name: &str, samples: usize, mut f: impl FnMut()) {
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = times[times.len() / 2];
-    println!("{name:<36} {median:>10.3} ms/iter  ({samples} samples)");
+    let threads = pool::num_threads();
+    println!("{name:<40} {median:>10.3} ms/iter  ({samples} samples, {threads} thread(s))");
+    RECORDS.lock().unwrap().push(Rec {
+        name: name.to_string(),
+        threads,
+        median_ms: median,
+        samples,
+    });
 }
 
-fn bench_matmul() {
+/// The seed's serial i-k-j matmul, kept verbatim as the "before"
+/// reference the parallel blocked kernel is compared against.
+fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let a_row = &ad[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+fn bench_matmul_references() {
+    // "Before" numbers: the naive serial kernel, single-threaded.
+    pool::set_threads(1);
     let mut rng = Rng::seed_from_u64(0);
     let a = Tensor::randn(&[128, 256], &mut rng);
     let b = Tensor::randn(&[256, 128], &mut rng);
-    bench("matmul_128x256x128", 20, || {
-        black_box(a.matmul(&b));
+    bench("matmul_naive_128x256x128", 20, || {
+        black_box(matmul_naive(&a, &b));
     });
-    let c = Tensor::randn(&[128, 64], &mut rng);
-    bench("matmul_tn_128x256x128", 20, || {
-        black_box(a.matmul_tn(&c));
+    let a5 = Tensor::randn(&[512, 512], &mut rng);
+    let b5 = Tensor::randn(&[512, 512], &mut rng);
+    bench("matmul_naive_512x512x512", 10, || {
+        black_box(matmul_naive(&a5, &b5));
     });
 }
 
-fn bench_conv() {
+fn bench_matmul(threads: usize) {
+    pool::set_threads(threads);
+    let mut rng = Rng::seed_from_u64(0);
+    let a = Tensor::randn(&[128, 256], &mut rng);
+    let b = Tensor::randn(&[256, 128], &mut rng);
+    bench(&format!("matmul_128x256x128@{threads}t"), 20, || {
+        black_box(a.matmul(&b));
+    });
+    let c = Tensor::randn(&[128, 64], &mut rng);
+    bench(&format!("matmul_tn_128x256x128@{threads}t"), 20, || {
+        black_box(a.matmul_tn(&c));
+    });
+    let a5 = Tensor::randn(&[512, 512], &mut rng);
+    let b5 = Tensor::randn(&[512, 512], &mut rng);
+    bench(&format!("matmul_512x512x512@{threads}t"), 10, || {
+        black_box(a5.matmul(&b5));
+    });
+    let b5t = b5.clone();
+    bench(&format!("matmul_nt_512x512x512@{threads}t"), 10, || {
+        black_box(a5.matmul_nt(&b5t));
+    });
+}
+
+fn bench_conv(threads: usize) {
+    pool::set_threads(threads);
     let mut rng = Rng::seed_from_u64(1);
     let x = Tensor::randn(&[32, 8, 8, 8], &mut rng);
     let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
-    bench("conv2d_32x8x8x8_k3", 20, || {
+    bench(&format!("conv2d_32x8x8x8_k3@{threads}t"), 20, || {
         black_box(daisy_tensor::conv::conv2d(&x, &w, 1, 1));
+    });
+    let x2 = Tensor::randn(&[64, 16, 16, 16], &mut rng);
+    let w2 = Tensor::randn(&[32, 16, 4, 4], &mut rng);
+    bench(&format!("conv2d_64x16x16x16_k4s2@{threads}t"), 10, || {
+        black_box(daisy_tensor::conv::conv2d(&x2, &w2, 2, 1));
+    });
+}
+
+fn bench_reductions(threads: usize) {
+    pool::set_threads(threads);
+    let mut rng = Rng::seed_from_u64(6);
+    let a = Tensor::randn(&[512, 512], &mut rng);
+    let b = Tensor::randn(&[512, 512], &mut rng);
+    bench(&format!("sum_512x512@{threads}t"), 50, || {
+        black_box(a.sum());
+    });
+    bench(&format!("mul_512x512@{threads}t"), 50, || {
+        black_box(a.mul(&b));
+    });
+    bench(&format!("softmax_rows_512x512@{threads}t"), 20, || {
+        black_box(a.softmax_rows());
     });
 }
 
 fn bench_transform() {
+    pool::set_threads(1);
     let spec = by_name("Adult").unwrap();
     let table = spec.generate(2000, 2);
     let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
@@ -66,14 +161,20 @@ fn bench_transform() {
     });
 }
 
-fn bench_gan_step() {
+/// End-to-end epoch time: one full VTrain epoch (all D and G steps over
+/// the dataset) per network family, serial vs parallel.
+fn bench_gan_epoch(threads: usize) {
+    pool::set_threads(threads);
     let spec = by_name("Adult").unwrap();
     let table = spec.generate(1000, 3);
     let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
     let data = TrainingData::from_table(&table, &codec);
     let spans = softmax_spans(&codec.output_blocks());
     for network in [NetworkKind::Mlp, NetworkKind::Lstm] {
-        let name = format!("gan_iteration_{}", network.name().to_lowercase());
+        let name = format!(
+            "gan_epoch_{}@{threads}t",
+            network.name().to_lowercase()
+        );
         bench(&name, 10, || {
             let mut rng = Rng::seed_from_u64(4);
             let g: Box<dyn Generator> = match network {
@@ -107,10 +208,54 @@ fn bench_gan_step() {
     }
 }
 
+fn write_json(path: &str, host_cores: usize) {
+    let recs = RECORDS.lock().unwrap();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"generated_by\": \"DAISY_BENCH_JSON=BENCH_kernels.json cargo bench -p daisy-bench --bench kernels\",\n");
+    s.push_str(&format!("  \"host_logical_cores\": {host_cores},\n"));
+    s.push_str("  \"unit\": \"median ms per iteration\",\n");
+    if host_cores < 4 {
+        s.push_str(&format!(
+            "  \"note\": \"host exposes only {host_cores} logical core(s); @4t rows \
+measure pool overhead under oversubscription, not parallel speedup — re-run on a \
+4+ core host to observe scaling\",\n"
+        ));
+    }
+    s.push_str("  \"entries\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_ms\": {:.3}, \"samples\": {}}}{}\n",
+            r.name,
+            r.threads,
+            r.median_ms,
+            r.samples,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
-    println!("== kernel microbenchmarks ==");
-    bench_matmul();
-    bench_conv();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== kernel microbenchmarks (host logical cores: {host_cores}) ==");
+    bench_matmul_references();
+    for threads in [1usize, 4] {
+        bench_matmul(threads);
+        bench_conv(threads);
+        bench_reductions(threads);
+        bench_gan_epoch(threads);
+    }
     bench_transform();
-    bench_gan_step();
+    pool::set_threads(1);
+    if let Ok(path) = std::env::var("DAISY_BENCH_JSON") {
+        let path = if path == "1" || path.is_empty() {
+            "BENCH_kernels.json".to_string()
+        } else {
+            path
+        };
+        write_json(&path, host_cores);
+    }
 }

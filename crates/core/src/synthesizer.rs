@@ -14,6 +14,15 @@ use daisy_data::{Column, MatrixCodec, RecordCodec, Schema, Table};
 use daisy_nn::restore;
 use daisy_tensor::{Rng, Tensor};
 
+/// Rows per generation batch in [`FittedSynthesizer::generate`].
+///
+/// Deliberately a constant: each batch draws noise (and, for LSTM
+/// generators, initial states) from the caller's RNG, so the batch size
+/// is part of the deterministic computation. It must never be derived
+/// from the thread count or machine — the worker pool parallelizes
+/// *inside* each batch's forward pass instead.
+pub const GENERATION_BATCH: usize = 256;
+
 /// Anything that can produce a synthetic table — the common interface
 /// of the GAN synthesizer and the baselines (VAE, PrivBayes,
 /// independent marginals), letting the experiment harness swap methods.
@@ -146,6 +155,13 @@ impl FittedSynthesizer {
     }
 
     /// Generates `n` synthetic records (Phase III).
+    ///
+    /// Generation runs in fixed [`GENERATION_BATCH`]-row batches; each
+    /// batch's forward pass executes on daisy-tensor's worker pool, so
+    /// generation scales with `DAISY_THREADS` while staying
+    /// bit-identical for any thread count (the batch size — and with it
+    /// the RNG draw order — is a constant, never a function of the
+    /// parallelism).
     pub fn generate(&self, n: usize, rng: &mut Rng) -> Table {
         let g = self.generator.as_ref();
         g.set_training(false);
@@ -155,7 +171,7 @@ impl FittedSynthesizer {
         let conditional = self.config.train.conditional;
         let mut row = 0;
         while row < n {
-            let batch = (n - row).min(256);
+            let batch = (n - row).min(GENERATION_BATCH);
             let z = g.sample_noise(batch, rng);
             let cond = if conditional {
                 let labels: Vec<u32> = (0..batch)

@@ -16,6 +16,13 @@
 //! bounded rollback/escalation recovery policy, while [`train_gan`]
 //! keeps the open-loop behaviour (guards disabled) for callers that
 //! want the raw algorithms.
+//!
+//! Every D and G step runs its matmuls, convolutions and reductions on
+//! daisy-tensor's worker pool (`daisy_tensor::pool`, sized by
+//! `DAISY_THREADS`). The pool's determinism contract — bit-identical
+//! results for any thread count — is what keeps the guard's recovery
+//! traces and the fixed-seed reproducibility tests below valid on
+//! multi-core machines.
 
 use crate::config::{LossKind, TrainConfig};
 use crate::discriminator::Discriminator;

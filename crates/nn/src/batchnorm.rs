@@ -1,5 +1,10 @@
 //! Batch normalization (Ioffe & Szegedy), used by every generator in
 //! the paper's design space (`BN` in Equations 5–7 of Appendix A.1).
+//!
+//! The batch statistics reduce over rows via `Tensor::mean_axis0`,
+//! which is a *canonically blocked* parallel reduction (fixed 64-row
+//! partials combined in order — see `daisy_tensor::pool`), so training
+//! statistics are bit-identical for any thread count.
 
 use crate::module::Module;
 use daisy_tensor::{Param, Tensor, Var};

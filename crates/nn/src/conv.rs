@@ -1,4 +1,9 @@
 //! Convolutional layers for the DCGAN-style networks (paper §A.1.1).
+//!
+//! Both layers lower to the primitives in `daisy_tensor::conv`: above a
+//! size threshold the forward convolution becomes im2col + parallel
+//! matmul, and the input/weight gradients parallelize over the batch,
+//! all bit-identical for any thread count.
 
 use crate::init::dcgan_normal;
 use crate::module::Module;

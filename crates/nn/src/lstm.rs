@@ -6,6 +6,11 @@
 //! and discriminator drive it explicitly across timesteps. Gradients
 //! flow through time automatically because the whole unrolled sequence
 //! lives in one autodiff graph.
+//!
+//! The two gate matmuls per step (`x · W_ih` and `h · W_hh`, each
+//! `[B, ·] x [·, 4H]`) are the cell's hot path; they run on
+//! daisy-tensor's row-partitioned parallel matmul, as do their
+//! transposed counterparts in the backward pass.
 
 use crate::init::xavier_uniform;
 use daisy_tensor::{Param, Rng, Tensor, Var};

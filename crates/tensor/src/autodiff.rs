@@ -11,6 +11,17 @@
 //! finite-difference test), simplicity (owned tensors, no lifetimes in
 //! the graph), and just enough operator coverage for the MLP / LSTM /
 //! DCGAN generators and discriminators of the paper.
+//!
+//! ## Parallelism
+//!
+//! The graph itself is single-threaded by design (`Rc`/`RefCell`
+//! nodes); parallelism lives *inside* the tensor kernels each node
+//! calls. The backward walk therefore parallelizes automatically: the
+//! matmul backward runs the row-partitioned `matmul_nt`/`matmul_tn`,
+//! the conv backward runs the batch-parallel gradient primitives, and
+//! elementwise backward closures run the chunked `map`/`zip` — all on
+//! the worker pool in [`crate::pool`], all bit-identical for any
+//! thread count.
 
 use crate::conv::{
     conv2d, conv2d_grad_input, conv2d_grad_weight, conv_out_dim, conv_transpose_out_dim,

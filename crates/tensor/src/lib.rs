@@ -4,17 +4,23 @@
 //! reverse-mode automatic differentiation — the substrate under the
 //! neural networks of the Daisy relational-data-synthesis study.
 //!
-//! The crate is dependency-free and CPU-only by design: the paper's
-//! experiments compare *model and algorithm structure*, which this
-//! substrate reproduces exactly; raw device throughput is out of scope.
+//! The crate is dependency-free and CPU-only, but not single-threaded:
+//! the hot kernels (matmul variants, im2col convolution, batched
+//! elementwise and reduction ops) run on a persistent worker pool
+//! ([`pool`]) sized from `std::thread::available_parallelism` and
+//! overridable with `DAISY_THREADS`. Results are bit-identical for any
+//! thread count (see the [`pool`] determinism contract), so parallelism
+//! never costs reproducibility.
 //!
 //! ## Layout
-//! - [`rng`] — xoshiro256++ RNG with normal/Laplace/weighted sampling.
+//! - [`rng`] — xoshiro256++ RNG with normal/Laplace/weighted sampling
+//!   and [`Rng::fork`]-based stream splitting.
 //! - [`tensor`] — the [`Tensor`] type and constructors.
 //! - [`ops`] / [`linalg`] / [`conv`] — elementwise math, reductions,
 //!   matmul, convolution primitives.
 //! - [`autodiff`] — [`Var`]/[`Param`] computation graph with
 //!   backpropagation.
+//! - [`pool`] — the worker pool behind the parallel kernels.
 //!
 //! ## Example
 //! ```
@@ -28,10 +34,13 @@
 //! assert_eq!(w.grad().shape(), &[4, 2]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod autodiff;
 pub mod conv;
 pub mod linalg;
 pub mod ops;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 

@@ -1,15 +1,64 @@
 //! Matrix multiplication and transposition kernels.
 //!
-//! The matmul uses the cache-friendly i-k-j loop order so the inner loop
-//! streams both the output row and a row of `b`, which autovectorizes
-//! well. At the matrix sizes used by the GAN models (≤ 1024 per side)
-//! this is within a small factor of a tuned BLAS and keeps the crate
-//! dependency-free.
+//! All three matmul variants are row-partitioned across the worker pool
+//! ([`crate::pool`]) above a size threshold and tiled for cache reuse
+//! where that does not change the accumulation order. Every output
+//! element is computed entirely within one row block, with additions in
+//! ascending-`k` order — exactly the order of the serial reference loop
+//! — so results are bit-identical for any thread count and any block
+//! size. See the determinism contract in [`crate::pool`].
+//!
+//! The plain [`Tensor::matmul`] streams the output row and a row of `b`
+//! in the inner loop (i-k-j order), which autovectorizes well, and skips
+//! zero `a` entries — a large win for the one-hot-encoded matrices the
+//! GAN transformations produce.
 
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Tile width over the shared `k` dimension for [`Tensor::matmul`].
+/// Keeps the active panel of `b` (≈ `K_TILE × N` floats) inside L2 for
+/// the matrix sizes the GAN models use. Tiling over `k` reorders only
+/// *which rows of `b` stream when*, not the per-element addition order,
+/// so it is bit-compatible with the untiled loop.
+const K_TILE: usize = 128;
+
+use pool::rows_per_block;
+
+/// The i-k-j kernel for rows `r0..r0+rows` of the output, with `k`
+/// tiling and the zero-skip. Per element, additions happen in ascending
+/// `k` order regardless of tiling.
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, k: usize, n: usize) {
+    let rows = out.len() / n.max(1);
+    for k0 in (0..k).step_by(K_TILE) {
+        let k1 = (k0 + K_TILE).min(k);
+        for i in 0..rows {
+            let a_row = &a[(r0 + i) * k + k0..(r0 + i) * k + k1];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+}
 
 impl Tensor {
     /// Matrix product of `[M, K] x [K, N] -> [M, N]`.
+    ///
+    /// Runs on the worker pool above [`pool::PAR_MIN_WORK`]
+    /// multiply-adds; bit-identical to the serial loop at any thread
+    /// count. Zero entries of `self` are skipped, which makes one-hot
+    /// encoded inputs cheap.
+    ///
+    /// # Panics
+    /// If either operand is not 2-D, or the inner dimensions differ
+    /// (the message carries both shapes).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D");
@@ -24,19 +73,10 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            let a_row = &a[i * k..(i + 1) * k];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        let rpb = rows_per_block(m, m * k * n);
+        pool::for_each_row_chunk(&mut out, n, rpb, |r0, chunk| {
+            matmul_rows(a, b, chunk, r0, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -55,54 +95,87 @@ impl Tensor {
 
     /// `self^T x other`, computed without materializing the transpose.
     /// Shapes: `[K, M]^T x [K, N] -> [M, N]`.
+    ///
+    /// Parallelized over output rows; per element the `k` additions stay
+    /// in ascending order, so results match the serial loop bit-for-bit.
+    ///
+    /// # Panics
+    /// If either operand is not 2-D, or the inner (shared `K`)
+    /// dimensions differ (the message carries both shapes).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D");
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
-        assert_eq!(k, k2, "matmul_tn shared dimension mismatch");
+        assert_eq!(
+            k, k2,
+            "matmul_tn inner dimensions differ: {:?}^T x {:?}",
+            self.shape(),
+            other.shape()
+        );
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
-        for kk in 0..k {
-            let a_row = &a[kk * m..(kk + 1) * m];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aki * bv;
+        let rpb = rows_per_block(m, m * k * n);
+        pool::for_each_row_chunk(&mut out, n, rpb, |i0, chunk| {
+            let rows = chunk.len() / n.max(1);
+            for kk in 0..k {
+                let a_row = &a[kk * m..(kk + 1) * m];
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for i in 0..rows {
+                    let aki = a_row[i0 + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[i * n..(i + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aki * bv;
+                    }
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
     /// `self x other^T`, computed without materializing the transpose.
     /// Shapes: `[M, K] x [N, K]^T -> [M, N]`.
+    ///
+    /// Parallelized over output rows; each element is one dot product
+    /// accumulated in ascending `k` order, identical to the serial loop.
+    ///
+    /// # Panics
+    /// If either operand is not 2-D, or the inner (shared `K`)
+    /// dimensions differ (the message carries both shapes).
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D");
         assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D");
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
-        assert_eq!(k, k2, "matmul_nt shared dimension mismatch");
+        assert_eq!(
+            k, k2,
+            "matmul_nt inner dimensions differ: {:?} x {:?}^T",
+            self.shape(),
+            other.shape()
+        );
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
+        let rpb = rows_per_block(m, m * k * n);
+        pool::for_each_row_chunk(&mut out, n, rpb, |i0, chunk| {
+            let rows = chunk.len() / n.max(1);
+            for i in 0..rows {
+                let a_row = &a[(i0 + i) * k..(i0 + i + 1) * k];
+                let out_row = &mut chunk[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -185,10 +258,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inner dimensions differ")]
+    #[should_panic(expected = "inner dimensions differ: [2, 3] x [2, 3]")]
     fn matmul_dim_mismatch_panics() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn inner dimensions differ: [4, 2]^T x [3, 5]")]
+    fn matmul_tn_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[4, 2]);
+        let b = Tensor::zeros(&[3, 5]);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt inner dimensions differ: [2, 4] x [5, 3]^T")]
+    fn matmul_nt_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 4]);
+        let b = Tensor::zeros(&[5, 3]);
+        let _ = a.matmul_nt(&b);
+    }
+
+    /// Parallel blocked kernels must equal a plain serial reference
+    /// bit-for-bit on awkward shapes (non-divisible tiles, 1×N, N×1).
+    #[test]
+    fn blocked_parallel_matches_serial_reference() {
+        let _g = crate::pool::test_guard();
+        fn reference(a: &Tensor, b: &Tensor) -> Tensor {
+            let (m, k) = (a.rows(), a.cols());
+            let n = b.cols();
+            let mut out = vec![0.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a.data()[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[i * n + j] += aik * b.data()[kk * n + j];
+                    }
+                }
+            }
+            Tensor::from_vec(out, &[m, n])
+        }
+        let mut rng = Rng::seed_from_u64(11);
+        for &(m, k, n) in &[
+            (1usize, 300usize, 7usize), // 1×N row vector, k > K_TILE
+            (7, 300, 1),                // N×1 column output
+            (65, 129, 33),              // nothing divides the tiles
+            (130, 257, 66),
+        ] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let want = reference(&a, &b);
+            for threads in [1, 4] {
+                crate::pool::set_threads(threads);
+                assert_eq!(a.matmul(&b).data(), want.data(), "m={m} k={k} n={n} threads={threads}");
+                // tn/nt checked against their own 1-thread runs below.
+            }
+            crate::pool::set_threads(1);
+            let tn1 = a.transpose().matmul_tn(&b);
+            let nt1 = a.matmul_nt(&b.transpose());
+            crate::pool::set_threads(4);
+            assert_eq!(a.transpose().matmul_tn(&b).data(), tn1.data());
+            assert_eq!(a.matmul_nt(&b.transpose()).data(), nt1.data());
+        }
+        crate::pool::set_threads(4);
     }
 }

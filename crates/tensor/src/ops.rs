@@ -3,8 +3,27 @@
 //! Broadcasting is intentionally restricted to the two patterns the
 //! neural-network layers need: scalar ⊕ tensor and `[B, D] ⊕ [D]`
 //! (row broadcast). Anything fancier would be dead weight.
+//!
+//! Batched elementwise ops and the reductions run on the worker pool
+//! ([`crate::pool`]) above a size threshold. Reductions are *canonically
+//! blocked*: partials are computed over fixed-size element/row blocks
+//! (independent of the thread count) and combined in block order, on the
+//! serial path too, so every result is bit-identical for any thread
+//! count.
 
+use crate::pool;
 use crate::tensor::Tensor;
+
+/// Elements per partial in the canonically blocked full-tensor
+/// reductions ([`Tensor::sum`], [`Tensor::norm_sq`]). Fixed — never a
+/// function of the thread count — so the partial boundaries, and hence
+/// the floating-point result, are the same on every machine.
+const REDUCE_BLOCK: usize = 16 * 1024;
+
+/// Rows per partial in the canonically blocked column reduction
+/// ([`Tensor::sum_axis0`]). Fixed for the same reason as
+/// `REDUCE_BLOCK`.
+const AXIS0_ROW_BLOCK: usize = 64;
 
 impl Tensor {
     /// Elementwise addition.
@@ -72,7 +91,7 @@ impl Tensor {
         self.row_broadcast(row, |a, b| a / b)
     }
 
-    fn row_broadcast(&self, row: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn row_broadcast(&self, row: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(self.ndim(), 2, "row broadcast requires a 2-D tensor");
         assert_eq!(
             row.numel(),
@@ -81,20 +100,40 @@ impl Tensor {
             row.numel(),
             self.cols()
         );
-        let cols = self.cols();
+        let (rows, cols) = (self.rows(), self.cols());
         let rv = row.data();
-        let data = self
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| f(a, rv[i % cols]))
-            .collect();
+        let a = self.data();
+        let mut data = vec![0.0f32; a.len()];
+        let rpb = pool::rows_per_block(rows, a.len());
+        pool::for_each_row_chunk(&mut data, cols, rpb, |r0, chunk| {
+            for (i, orow) in chunk.chunks_mut(cols).enumerate() {
+                let arow = &a[(r0 + i) * cols..(r0 + i + 1) * cols];
+                for ((o, &av), &bv) in orow.iter_mut().zip(arow).zip(rv) {
+                    *o = f(av, bv);
+                }
+            }
+        });
         Tensor::from_vec(data, self.shape())
     }
 
     /// Sum of all elements.
+    ///
+    /// Canonically blocked: partial sums over fixed `REDUCE_BLOCK`
+    /// element runs, combined in block order — the same computation on
+    /// the serial and parallel paths, so the result is bit-identical for
+    /// any thread count.
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        let d = self.data();
+        if d.len() <= REDUCE_BLOCK {
+            return d.iter().sum();
+        }
+        let n_blocks = d.len().div_ceil(REDUCE_BLOCK);
+        let partials = pool::collect_blocks(n_blocks, |b| {
+            let start = b * REDUCE_BLOCK;
+            let end = (start + REDUCE_BLOCK).min(d.len());
+            d[start..end].iter().sum::<f32>()
+        });
+        partials.iter().sum()
     }
 
     /// Mean of all elements.
@@ -119,13 +158,33 @@ impl Tensor {
     }
 
     /// Column sums of a `[B, D]` tensor, producing `[D]`.
+    ///
+    /// Canonically blocked over fixed `AXIS0_ROW_BLOCK`-row runs:
+    /// each run produces a partial column sum and partials are combined
+    /// in run order, identically on the serial and parallel paths.
     pub fn sum_axis0(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "sum_axis0 requires a 2-D tensor");
         let (rows, cols) = (self.rows(), self.cols());
+        let block_sum = |r0: usize, r1: usize| {
+            let mut part = vec![0.0f32; cols];
+            for r in r0..r1 {
+                for (o, &x) in part.iter_mut().zip(self.row(r)) {
+                    *o += x;
+                }
+            }
+            part
+        };
+        if rows <= AXIS0_ROW_BLOCK {
+            return Tensor::from_vec(block_sum(0, rows), &[cols]);
+        }
+        let n_blocks = rows.div_ceil(AXIS0_ROW_BLOCK);
+        let partials = pool::collect_blocks(n_blocks, |b| {
+            let r0 = b * AXIS0_ROW_BLOCK;
+            block_sum(r0, (r0 + AXIS0_ROW_BLOCK).min(rows))
+        });
         let mut out = vec![0.0f32; cols];
-        for r in 0..rows {
-            let row = self.row(r);
-            for (o, &x) in out.iter_mut().zip(row) {
+        for part in &partials {
+            for (o, &x) in out.iter_mut().zip(part) {
                 *o += x;
             }
         }
@@ -139,12 +198,20 @@ impl Tensor {
     }
 
     /// Row sums of a `[B, D]` tensor, producing `[B]`.
+    ///
+    /// Each output element is one row's serial sum, so the result never
+    /// depends on how rows are spread across threads.
     pub fn sum_axis1(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "sum_axis1 requires a 2-D tensor");
-        let data = (0..self.rows())
-            .map(|r| self.row(r).iter().sum())
-            .collect();
-        Tensor::from_vec(data, &[self.rows()])
+        let rows = self.rows();
+        let mut data = vec![0.0f32; rows];
+        let rpb = pool::rows_per_block(rows, self.numel());
+        pool::for_each_row_chunk(&mut data, 1, rpb, |r0, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = self.row(r0 + i).iter().sum();
+            }
+        });
+        Tensor::from_vec(data, &[rows])
     }
 
     /// Index of the largest value in a 1-D tensor (ties resolve to the
@@ -180,21 +247,30 @@ impl Tensor {
     }
 
     /// Numerically stable row-wise softmax of a `[B, D]` tensor.
+    ///
+    /// Rows are independent, so the row-parallel result is bit-identical
+    /// to the serial one.
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "softmax_rows requires a 2-D tensor");
+        let (rows, cols) = (self.rows(), self.cols());
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - m).exp();
-                sum += *x;
-            }
-            for x in row.iter_mut() {
-                *x /= sum;
-            }
+        if cols == 0 {
+            return out;
         }
+        let rpb = pool::rows_per_block(rows, self.numel() * 4);
+        pool::for_each_row_chunk(out.data_mut(), cols, rpb, |_, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - m).exp();
+                    sum += *x;
+                }
+                for x in row.iter_mut() {
+                    *x /= sum;
+                }
+            }
+        });
         out
     }
 
@@ -236,8 +312,21 @@ impl Tensor {
     }
 
     /// Squared L2 norm of the whole tensor.
+    ///
+    /// Canonically blocked like [`Tensor::sum`]: bit-identical for any
+    /// thread count.
     pub fn norm_sq(&self) -> f32 {
-        self.data().iter().map(|&x| x * x).sum()
+        let d = self.data();
+        if d.len() <= REDUCE_BLOCK {
+            return d.iter().map(|&x| x * x).sum();
+        }
+        let n_blocks = d.len().div_ceil(REDUCE_BLOCK);
+        let partials = pool::collect_blocks(n_blocks, |b| {
+            let start = b * REDUCE_BLOCK;
+            let end = (start + REDUCE_BLOCK).min(d.len());
+            d[start..end].iter().map(|&x| x * x).sum::<f32>()
+        });
+        partials.iter().sum()
     }
 
     /// L2 norm.
@@ -342,6 +431,38 @@ mod tests {
         assert_eq!(a.norm_sq(), 25.0);
         assert_eq!(a.norm(), 5.0);
         assert_eq!(a.clamp(0.0, 3.5).data(), &[3.0, 3.5]);
+    }
+
+    /// Reductions and batched elementwise ops must be bit-identical for
+    /// any thread count — the pool's determinism contract.
+    #[test]
+    fn reductions_are_thread_count_invariant() {
+        let _g = crate::pool::test_guard();
+        let mut rng = crate::rng::Rng::seed_from_u64(42);
+        // Big enough to cross REDUCE_BLOCK and AXIS0_ROW_BLOCK, with an
+        // awkward non-divisible tail.
+        let a = Tensor::randn(&[603, 97], &mut rng);
+        let b = Tensor::randn(&[603, 97], &mut rng);
+        let r = Tensor::randn(&[97], &mut rng);
+        crate::pool::set_threads(1);
+        let serial = (
+            a.sum(),
+            a.norm_sq(),
+            a.sum_axis0(),
+            a.sum_axis1(),
+            a.softmax_rows(),
+            a.add_row(&r),
+            a.mul(&b),
+        );
+        crate::pool::set_threads(5);
+        assert_eq!(a.sum().to_bits(), serial.0.to_bits());
+        assert_eq!(a.norm_sq().to_bits(), serial.1.to_bits());
+        assert_eq!(a.sum_axis0(), serial.2);
+        assert_eq!(a.sum_axis1(), serial.3);
+        assert_eq!(a.softmax_rows(), serial.4);
+        assert_eq!(a.add_row(&r), serial.5);
+        assert_eq!(a.mul(&b), serial.6);
+        crate::pool::set_threads(1);
     }
 }
 

@@ -1,0 +1,440 @@
+//! Persistent worker pool for data-parallel tensor kernels.
+//!
+//! The pool is a process-global set of `std::thread` workers that execute
+//! *blocks* of a data-parallel loop. It exists so the hot kernels in
+//! [`crate::linalg`], [`crate::conv`] and [`crate::ops`] can use every
+//! core without taking a dependency on rayon and without paying a thread
+//! spawn per operation: workers are spawned once and park on a condition
+//! variable between jobs.
+//!
+//! ## Sizing
+//!
+//! The default worker count is `DAISY_THREADS` (if set to a positive
+//! integer) or [`std::thread::available_parallelism`]. It can be changed
+//! at runtime with [`set_threads`]; the determinism contract below makes
+//! this safe even while other threads are running kernels.
+//!
+//! ## Determinism contract
+//!
+//! Every kernel built on this pool produces **bit-identical results for
+//! any thread count**, including 1. This is stronger than the usual
+//! "deterministic for a fixed thread count" guarantee and is what keeps
+//! the resilience layer's recovery traces reproducible:
+//!
+//! - *Disjoint-write* kernels (matmul row blocks, elementwise maps,
+//!   per-sample convolution) compute each output element entirely within
+//!   one block, in the same per-element floating-point accumulation
+//!   order as the serial loop. Block boundaries only decide *who*
+//!   computes an element, never the order of the additions inside it.
+//! - *Reductions* ([`Tensor::sum`](crate::Tensor::sum) and friends) are
+//!   defined over **fixed-size blocks that do not depend on the thread
+//!   count**: each block produces a partial, and partials are combined
+//!   in block-index order. The serial path runs the exact same blocked
+//!   computation, so serial and parallel results are bit-for-bit equal.
+//!
+//! Because results never depend on the thread count, [`set_threads`] is
+//! purely a performance knob and tests may call it freely.
+//!
+//! ## Scheduling
+//!
+//! [`parallel_for`] publishes a job (a lifetime-erased pointer to the
+//! caller's closure plus an atomic block cursor) to the shared queue as
+//! one ticket per helper worker. Workers and the calling thread claim
+//! block indices with `fetch_add` until the cursor is exhausted; the
+//! caller then reclaims any tickets still sitting unpopped in the queue
+//! and blocks on the job's condition variable until every outstanding
+//! helper has finished. The closure reference never escapes the call:
+//! `parallel_for` does not return until all workers are done touching
+//! the job, which is what makes the lifetime erasure sound.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Minimum number of scalar operations (e.g. multiply-adds) below which
+/// kernels should stay on the serial path. Dispatching a job costs a few
+/// microseconds of queue and wake-up traffic; small design-space cells
+/// (tiny matmuls, short rows) are faster off the pool entirely.
+pub const PAR_MIN_WORK: usize = 32 * 1024;
+
+/// A data-parallel job: a lifetime-erased task plus claim/completion state.
+struct Job {
+    /// Pointer to the caller's closure. Valid for the whole job lifetime
+    /// because `parallel_for` blocks until `tickets == 0`.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed block index.
+    next: AtomicUsize,
+    /// Total number of blocks.
+    n_blocks: usize,
+    state: Mutex<JobState>,
+    done: Condvar,
+}
+
+struct JobState {
+    /// Blocks fully executed (by workers and the submitting thread).
+    completed: usize,
+    /// Tickets handed to helpers that have not yet been returned.
+    tickets: usize,
+    /// Set if any block's task panicked on a worker thread.
+    panicked: bool,
+}
+
+/// A queue entry: one worker's invitation to help with a job.
+struct Ticket(*const Job);
+// SAFETY: the `Job` a ticket points at outlives the ticket — the
+// submitting thread does not return (and thus does not invalidate the
+// job) until every ticket has been popped-and-returned or reclaimed.
+unsafe impl Send for Ticket {}
+
+struct Pool {
+    queue: Mutex<VecDeque<Ticket>>,
+    wake: Condvar,
+    /// Configured thread count (including the submitting thread).
+    target: AtomicUsize,
+    /// Worker threads actually spawned so far.
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DAISY_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        target: AtomicUsize::new(default_threads()),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// The configured thread count, including the submitting thread.
+///
+/// Defaults to `DAISY_THREADS` or the machine's available parallelism.
+/// A value of 1 means every kernel runs serially on the calling thread.
+pub fn num_threads() -> usize {
+    pool().target.load(Ordering::Relaxed)
+}
+
+/// Set the thread count used by all subsequent kernels (clamped to ≥ 1).
+///
+/// Missing workers are spawned on demand; surplus workers simply stay
+/// parked. Thanks to the determinism contract this never changes any
+/// kernel's result, only its speed, so tests may flip it at will even
+/// while other threads are mid-kernel.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    let p = pool();
+    p.target.store(n, Ordering::Relaxed);
+    ensure_workers(p, n.saturating_sub(1));
+}
+
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < want {
+        std::thread::Builder::new()
+            .name(format!("daisy-worker-{}", *spawned))
+            .spawn(move || worker_loop(p))
+            .expect("failed to spawn daisy worker thread");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let ticket = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = p.wake.wait(q).unwrap();
+            }
+        };
+        // SAFETY: the job outlives the ticket (see `Ticket`).
+        unsafe { run_ticket(ticket.0) };
+    }
+}
+
+/// Claim and run blocks until the job's cursor is exhausted, then return
+/// the ticket by updating the job's completion state.
+///
+/// # Safety
+/// `job` must point to a live `Job` whose submitter is blocked in
+/// `parallel_for` until `tickets == 0`.
+unsafe fn run_ticket(job: *const Job) {
+    let job = &*job;
+    let (done, panicked) = run_blocks(job);
+    let mut st = job.state.lock().unwrap();
+    st.completed += done;
+    st.tickets -= 1;
+    st.panicked |= panicked;
+    if st.completed == job.n_blocks && st.tickets == 0 {
+        job.done.notify_all();
+    }
+}
+
+/// Shared claim loop for workers and the submitting thread.
+fn run_blocks(job: &Job) -> (usize, bool) {
+    // SAFETY: the task pointer is valid for the job's lifetime.
+    let task = unsafe { &*job.task };
+    let mut done = 0usize;
+    let mut panicked = false;
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_blocks {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            panicked = true;
+        }
+        done += 1;
+    }
+    (done, panicked)
+}
+
+/// Run `task(block)` for every `block` in `0..n_blocks`, spreading blocks
+/// across the pool. Blocks may run in any order and on any thread; each
+/// block index runs exactly once. Returns only after every block has
+/// finished, so `task` may borrow from the caller's stack.
+///
+/// With `num_threads() <= 1` (or a single block) this is a plain serial
+/// loop with no synchronization at all.
+///
+/// # Panics
+/// If `task` panics on any thread, the panic is surfaced on the calling
+/// thread after all blocks have completed.
+pub fn parallel_for<F: Fn(usize) + Sync>(n_blocks: usize, task: F) {
+    parallel_for_dyn(n_blocks, &task)
+}
+
+fn parallel_for_dyn(n_blocks: usize, task: &(dyn Fn(usize) + Sync)) {
+    if n_blocks == 0 {
+        return;
+    }
+    let threads = num_threads();
+    let helpers = threads.saturating_sub(1).min(n_blocks - 1);
+    if helpers == 0 {
+        for i in 0..n_blocks {
+            task(i);
+        }
+        return;
+    }
+    let p = pool();
+    ensure_workers(p, helpers);
+
+    // SAFETY: we erase the task's lifetime to store it in the job. The
+    // pointer is only dereferenced by workers holding a ticket, and this
+    // function does not return until every ticket is accounted for.
+    let task_ptr: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task) };
+    let job = Job {
+        task: task_ptr,
+        next: AtomicUsize::new(0),
+        n_blocks,
+        state: Mutex::new(JobState {
+            completed: 0,
+            tickets: helpers,
+            panicked: false,
+        }),
+        done: Condvar::new(),
+    };
+    let job_ptr = &job as *const Job;
+
+    {
+        let mut q = p.queue.lock().unwrap();
+        for _ in 0..helpers {
+            q.push_back(Ticket(job_ptr));
+        }
+        p.wake.notify_all();
+    }
+
+    // The submitting thread works too.
+    let (done_here, panicked_here) = run_blocks(&job);
+
+    // Reclaim tickets nobody popped (all workers were busy elsewhere or
+    // the job drained before they woke), so we don't wait on them.
+    let reclaimed = {
+        let mut q = p.queue.lock().unwrap();
+        let before = q.len();
+        q.retain(|t| !std::ptr::eq(t.0, job_ptr));
+        before - q.len()
+    };
+
+    let mut st = job.state.lock().unwrap();
+    st.completed += done_here;
+    st.tickets -= reclaimed;
+    st.panicked |= panicked_here;
+    while !(st.completed == job.n_blocks && st.tickets == 0) {
+        st = job.done.wait(st).unwrap();
+    }
+    let panicked = st.panicked;
+    drop(st);
+    if panicked {
+        panic!("a daisy-tensor parallel kernel task panicked on a worker thread");
+    }
+}
+
+/// Suggested rows-per-block for a disjoint-write kernel that produces
+/// `rows` output rows at a total cost of `work` scalar operations:
+/// one block (pure serial path) below [`PAR_MIN_WORK`], otherwise about
+/// four blocks per thread so the dynamic claim loop can level uneven
+/// progress. Affects only scheduling, never results — each output row
+/// is computed entirely within one block.
+pub fn rows_per_block(rows: usize, work: usize) -> usize {
+    if work < PAR_MIN_WORK {
+        return rows.max(1);
+    }
+    let blocks = (num_threads() * 4).max(1);
+    rows.div_ceil(blocks).max(1)
+}
+
+/// Split `0..total` into contiguous runs of at most `block_size` items
+/// and run `f(start, end)` for each run in parallel. Run boundaries are
+/// a pure function of `total` and `block_size` — never of the thread
+/// count — which is what reduction kernels rely on for determinism.
+pub fn for_each_block<F: Fn(usize, usize) + Sync>(total: usize, block_size: usize, f: F) {
+    if total == 0 {
+        return;
+    }
+    let block_size = block_size.max(1);
+    let n_blocks = total.div_ceil(block_size);
+    parallel_for(n_blocks, |b| {
+        let start = b * block_size;
+        let end = (start + block_size).min(total);
+        f(start, end);
+    });
+}
+
+/// Partition a mutable buffer of `total_rows` rows of `row_width`
+/// elements into chunks of at most `rows_per_block` rows and run
+/// `f(first_row, chunk)` on each chunk in parallel.
+///
+/// Each chunk is a disjoint `&mut [f32]` window of `out`, so the closure
+/// can write freely without synchronization.
+pub fn for_each_row_chunk<F>(out: &mut [f32], row_width: usize, rows_per_block: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    let row_width = row_width.max(1);
+    debug_assert_eq!(out.len() % row_width, 0);
+    let total_rows = out.len() / row_width;
+    let base = out.as_mut_ptr() as usize;
+    for_each_block(total_rows, rows_per_block, |r0, r1| {
+        // SAFETY: blocks are disjoint row ranges of `out`, each block
+        // index runs exactly once, and `out` outlives the call.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut((base as *mut f32).add(r0 * row_width), (r1 - r0) * row_width)
+        };
+        f(r0, chunk);
+    });
+}
+
+/// Compute one value per block in parallel and return them in block
+/// order. Used by reductions: combining the returned partials in index
+/// order gives a result independent of which thread produced which slot.
+pub fn collect_blocks<T, F>(n_blocks: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n_blocks];
+    let base = out.as_mut_ptr() as usize;
+    parallel_for(n_blocks, |i| {
+        // SAFETY: each block index runs exactly once, slots are disjoint,
+        // and `out` outlives the call.
+        unsafe { *(base as *mut T).add(i) = f(i) };
+    });
+    out
+}
+
+/// Serializes unit tests that mutate the global thread count. Results
+/// never depend on the thread count, but tests asserting *behavior* at a
+/// specific count (e.g. serial in-order execution) must not race.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn parallel_for_runs_every_block_once() {
+        let _g = test_guard();
+        set_threads(4);
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        parallel_for(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_each_row_chunk_covers_disjointly() {
+        let _g = test_guard();
+        set_threads(3);
+        let mut buf = vec![0.0f32; 7 * 5]; // 7 rows, awkward block split
+        for_each_row_chunk(&mut buf, 5, 2, |first_row, chunk| {
+            for (r, row) in chunk.chunks_mut(5).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + r) as f32;
+                }
+            }
+        });
+        for (i, row) in buf.chunks(5).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32), "row {i} wrong: {row:?}");
+        }
+    }
+
+    #[test]
+    fn collect_blocks_is_in_block_order() {
+        let _g = test_guard();
+        set_threads(4);
+        let parts = collect_blocks(57, |i| i * 10);
+        assert_eq!(parts, (0..57).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_when_one_thread() {
+        // With a single thread the loop must run inline (and in order,
+        // though callers are not allowed to rely on order).
+        let _g = test_guard();
+        set_threads(1);
+        let mut seen = Vec::new();
+        let cell = std::sync::Mutex::new(&mut seen);
+        parallel_for(8, |i| cell.lock().unwrap().push(i));
+        set_threads(4);
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _g = test_guard();
+        set_threads(4);
+        let r = catch_unwind(|| {
+            parallel_for(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+}

@@ -6,6 +6,7 @@
 //! kernels, so copy costs for reshapes are negligible and the
 //! simplicity pays for itself in the autodiff layer.
 
+use crate::pool;
 use crate::rng::Rng;
 use std::fmt;
 
@@ -194,34 +195,56 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    ///
+    /// Large tensors are chunked across the worker pool; every element
+    /// is produced independently, so the result never depends on the
+    /// thread count (see [`crate::pool`]).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = &self.data;
+        let mut data = vec![0.0f32; src.len()];
+        let epb = pool::rows_per_block(src.len(), src.len());
+        pool::for_each_row_chunk(&mut data, 1, epb, |i0, chunk| {
+            let n = chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[i0..i0 + n]) {
+                *o = f(x);
+            }
+        });
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }
 
-    /// Applies `f` elementwise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    /// Applies `f` elementwise in place (chunked like [`Tensor::map`]).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let len = self.data.len();
+        let epb = pool::rows_per_block(len, len);
+        pool::for_each_row_chunk(&mut self.data, 1, epb, |_, chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
     }
 
-    /// Combines two same-shape tensors elementwise.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// Combines two same-shape tensors elementwise (chunked like
+    /// [`Tensor::map`]).
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
             "zip requires matching shapes ({:?} vs {:?})",
             self.shape, other.shape
         );
+        let (a, b) = (&self.data, &other.data);
+        let mut data = vec![0.0f32; a.len()];
+        let epb = pool::rows_per_block(a.len(), a.len());
+        pool::for_each_row_chunk(&mut data, 1, epb, |i0, chunk| {
+            let n = chunk.len();
+            for ((o, &av), &bv) in chunk.iter_mut().zip(&a[i0..i0 + n]).zip(&b[i0..i0 + n]) {
+                *o = f(av, bv);
+            }
+        });
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
             shape: self.shape.clone(),
         }
     }

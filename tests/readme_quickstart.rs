@@ -1,0 +1,48 @@
+//! Compile-guard for the README quick-start snippet.
+//!
+//! The function body below mirrors the `## Install & quickstart` code
+//! block in `README.md` line for line (only the dataset size and
+//! iteration budget are allowed to differ). If the public API drifts,
+//! this file stops compiling and the README must be updated with it.
+
+use daisy::prelude::*;
+
+fn readme_quickstart() -> Result<(), TrainError> {
+    // Any labeled relational table; here the Adult-like structural stand-in.
+    let table: Table = daisy::datasets::by_name("Adult").unwrap().generate(300, 1);
+    let mut rng = Rng::seed_from_u64(7);
+    let (train, _valid, test) = table.split_train_valid_test(&mut rng);
+
+    // The paper's recommended design point for skewed labels:
+    // conditional training, one-hot + GMM transformation.
+    let mut config = SynthesizerConfig::new(NetworkKind::Lstm, TrainConfig::ctrain(40));
+    config.transform = TransformConfig::gn_ht();
+
+    // `try_fit` trains under the resilience guard and returns a typed
+    // `TrainError` instead of panicking; `Synthesizer::fit` is the
+    // panicking shorthand. Every fitted model carries a health report.
+    let fitted = Synthesizer::try_fit(&train, &config)?;
+    println!("training: {}", fitted.outcome().summary());
+    let synthetic = fitted.generate(train.n_rows(), &mut rng);
+
+    // Utility: |F1(real-trained) − F1(synthetic-trained)| on the test set.
+    let report = classification_utility(
+        &train,
+        &synthetic,
+        &test,
+        || Box::new(daisy::eval::DecisionTree::new(10)),
+        &mut rng,
+    );
+    println!("F1 Diff = {:.3}", report.f1_diff);
+
+    // Privacy risk of the release.
+    let hit = daisy::eval::hitting_rate(&train, &synthetic, 5000, &mut rng);
+    let dcr = daisy::eval::dcr(&train, &synthetic, 3000, &mut rng);
+    println!("hitting rate = {hit:.4}, DCR = {dcr:.3}");
+    Ok(())
+}
+
+#[test]
+fn quickstart_snippet_runs() {
+    readme_quickstart().expect("README quick-start pipeline trains");
+}

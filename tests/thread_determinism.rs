@@ -1,0 +1,49 @@
+//! The pool's determinism contract, end to end: a fixed seed must
+//! produce bit-identical synthetic data for 1 thread and for N threads.
+//!
+//! This is what keeps the resilience layer's recovery traces (PR 1) and
+//! the persisted-model "bit-for-bit generation" guarantee alive on
+//! multi-core machines: parallelism is a performance knob, never an
+//! input to the computation.
+
+use daisy::prelude::*;
+use daisy::tensor::pool;
+
+fn quick_config(network: NetworkKind) -> SynthesizerConfig {
+    let mut tc = TrainConfig::vtrain(120);
+    tc.batch_size = 32;
+    tc.epochs = 2;
+    let mut cfg = SynthesizerConfig::new(network, tc);
+    cfg.g_hidden = vec![40];
+    cfg.d_hidden = vec![40];
+    cfg.noise_dim = 10;
+    cfg.cnn_channels = 4;
+    cfg
+}
+
+fn fit_and_generate(table: &daisy::data::Table, network: NetworkKind) -> daisy::data::Table {
+    let mut rng = Rng::seed_from_u64(77);
+    let (train, _valid, _test) = table.clone().split_train_valid_test(&mut rng);
+    let fitted = Synthesizer::fit(&train, &quick_config(network));
+    fitted.generate(200, &mut rng)
+}
+
+#[test]
+fn synthesizer_output_is_identical_for_1_and_n_threads() {
+    let table = daisy::datasets::SDataNum {
+        correlation: 0.4,
+        skew: daisy::datasets::Skew::Balanced,
+    }
+    .generate(500, 3);
+    for network in [NetworkKind::Mlp, NetworkKind::Cnn] {
+        pool::set_threads(1);
+        let serial = fit_and_generate(&table, network);
+        pool::set_threads(6);
+        let parallel = fit_and_generate(&table, network);
+        pool::set_threads(1);
+        assert_eq!(
+            serial, parallel,
+            "{network:?}: synthetic output changed with the thread count"
+        );
+    }
+}
