@@ -16,9 +16,11 @@ use daisy_core::train::train_gan;
 use daisy_core::{output_head::softmax_spans, NetworkKind, TrainConfig};
 use daisy_data::{RecordCodec, TransformConfig};
 use daisy_datasets::by_name;
+use daisy_telemetry::json::Json;
+use daisy_telemetry::MemoryRecorder;
 use daisy_tensor::{pool, Rng, Tensor};
 use std::hint::black_box;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One recorded measurement, mirrored into the JSON report.
@@ -208,34 +210,107 @@ fn bench_gan_epoch(threads: usize) {
     }
 }
 
-fn write_json(path: &str, host_cores: usize) {
+/// Builds the JSON report through the shared telemetry [`Json`] writer
+/// (the same serializer `DAISY_TRACE` lines go through), replacing the
+/// hand-rolled string builder this bench used to carry.
+fn bench_report(host_cores: usize) -> Json {
     let recs = RECORDS.lock().unwrap();
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"generated_by\": \"DAISY_BENCH_JSON=BENCH_kernels.json cargo bench -p daisy-bench --bench kernels\",\n");
-    s.push_str(&format!("  \"host_logical_cores\": {host_cores},\n"));
-    s.push_str("  \"unit\": \"median ms per iteration\",\n");
+    let mut root = vec![
+        (
+            "generated_by".to_string(),
+            Json::Str(
+                "DAISY_BENCH_JSON=BENCH_kernels.json cargo bench -p daisy-bench --bench kernels"
+                    .to_string(),
+            ),
+        ),
+        ("host_logical_cores".to_string(), Json::Num(host_cores as f64)),
+        (
+            "unit".to_string(),
+            Json::Str("median ms per iteration".to_string()),
+        ),
+    ];
     if host_cores < 4 {
-        s.push_str(&format!(
-            "  \"note\": \"host exposes only {host_cores} logical core(s); @4t rows \
+        root.push((
+            "note".to_string(),
+            Json::Str(format!(
+                "host exposes only {host_cores} logical core(s); @4t rows \
 measure pool overhead under oversubscription, not parallel speedup — re-run on a \
-4+ core host to observe scaling\",\n"
+4+ core host to observe scaling"
+            )),
         ));
     }
-    s.push_str("  \"entries\": [\n");
-    for (i, r) in recs.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"threads\": {}, \"median_ms\": {:.3}, \"samples\": {}}}{}\n",
-            r.name,
-            r.threads,
-            r.median_ms,
-            r.samples,
-            if i + 1 < recs.len() { "," } else { "" }
-        ));
+    let entries = recs
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(r.name.clone())),
+                ("threads".to_string(), Json::Num(r.threads as f64)),
+                (
+                    "median_ms".to_string(),
+                    Json::Num((r.median_ms * 1e3).round() / 1e3),
+                ),
+                ("samples".to_string(), Json::Num(r.samples as f64)),
+            ])
+        })
+        .collect();
+    root.push(("entries".to_string(), Json::Arr(entries)));
+    Json::Obj(root)
+}
+
+fn write_json(path: &str, host_cores: usize) {
+    let report = bench_report(host_cores);
+    let mut body = report.to_pretty();
+    body.push('\n');
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!(
+            "warning: DAISY_BENCH_JSON={path} is not writable ({e}); report not saved"
+        ),
     }
-    s.push_str("  ]\n}\n");
-    std::fs::write(path, s).expect("write bench json");
-    println!("wrote {path}");
+}
+
+/// Measures what the telemetry layer costs: the hottest kernel and one
+/// full GAN epoch, each with tracing disabled (the no-op gate) and with
+/// a live in-memory recorder (metric observation on every kernel
+/// dispatch, events at epoch granularity).
+fn bench_telemetry_overhead() {
+    pool::set_threads(1);
+    let mut rng = Rng::seed_from_u64(7);
+    let a = Tensor::randn(&[128, 256], &mut rng);
+    let b = Tensor::randn(&[256, 128], &mut rng);
+    bench("matmul_128x256x128_telemetry_off", 20, || {
+        black_box(a.matmul(&b));
+    });
+    let rec: Arc<MemoryRecorder> = Arc::new(MemoryRecorder::new());
+    daisy_telemetry::with_recorder(rec, || {
+        bench("matmul_128x256x128_telemetry_on", 20, || {
+            black_box(a.matmul(&b));
+        });
+    });
+
+    let spec = by_name("Adult").unwrap();
+    let table = spec.generate(1000, 3);
+    let codec = RecordCodec::fit(&table, &TransformConfig::gn_ht());
+    let data = TrainingData::from_table(&table, &codec);
+    let spans = softmax_spans(&codec.output_blocks());
+    let epoch = || {
+        let mut rng = Rng::seed_from_u64(4);
+        let g = MlpGenerator::new(24, 0, &[64, 64], codec.output_blocks(), &mut rng);
+        let d = MlpDiscriminator::new(codec.width(), 0, &[64], &mut rng);
+        let mut step_rng = Rng::seed_from_u64(5);
+        let mut cfg = TrainConfig::vtrain(1);
+        cfg.batch_size = 64;
+        cfg.epochs = 1;
+        black_box(
+            train_gan(&g, &d, &data, &spans, &cfg, &mut step_rng)
+                .expect("bench iteration trains"),
+        );
+    };
+    bench("gan_epoch_mlp_telemetry_off", 10, epoch);
+    let rec: Arc<MemoryRecorder> = Arc::new(MemoryRecorder::new());
+    daisy_telemetry::with_recorder(rec, || {
+        bench("gan_epoch_mlp_telemetry_on", 10, epoch);
+    });
 }
 
 fn main() {
@@ -249,6 +324,7 @@ fn main() {
         bench_gan_epoch(threads);
     }
     bench_transform();
+    bench_telemetry_overhead();
     pool::set_threads(1);
     if let Ok(path) = std::env::var("DAISY_BENCH_JSON") {
         let path = if path == "1" || path.is_empty() {

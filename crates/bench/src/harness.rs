@@ -9,6 +9,7 @@ use daisy_core::{
 use daisy_data::{Table, TransformConfig};
 use daisy_datasets::TableSpec;
 use daisy_eval::{classification_utility, classifier_zoo};
+use daisy_telemetry::{field, schema};
 use daisy_tensor::Rng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -163,6 +164,27 @@ impl CellOutcome {
 /// initialization, unlucky minibatch order) rarely repeats under a
 /// different seed.
 pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcome {
+    let telemetry = daisy_telemetry::enabled();
+    let cell_label = format!("{}/{}", cfg.network.name(), cfg.train.name());
+    if telemetry {
+        daisy_telemetry::emit(
+            schema::CELL_START,
+            vec![field("cell", cell_label.as_str()), field("seed", seed)],
+        );
+    }
+    let finish = |attempts: usize, ok: bool, rocky: bool| {
+        if telemetry {
+            daisy_telemetry::emit(
+                schema::CELL_END,
+                vec![
+                    field("cell", cell_label.as_str()),
+                    field("attempts", attempts),
+                    field("ok", ok),
+                    field("rocky", rocky),
+                ],
+            );
+        }
+    };
     let mut failures = Vec::new();
     for attempt in 0..=CELL_RETRIES {
         // Decorrelate retries: shift both the model seed and the
@@ -179,12 +201,14 @@ pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcom
         }));
         match result {
             Ok(Ok((synthetic, outcome))) => {
-                return CellOutcome {
+                let cell = CellOutcome {
                     synthetic: Some(synthetic),
                     attempts: attempt + 1,
                     failures,
                     outcome: Some(outcome),
-                }
+                };
+                finish(cell.attempts, true, cell.was_rocky());
+                return cell;
             }
             Ok(Err(e)) => failures.push(format!("attempt {}: {e}", attempt + 1)),
             Err(payload) => {
@@ -196,7 +220,18 @@ pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcom
                 failures.push(format!("attempt {}: panic: {msg}", attempt + 1));
             }
         }
+        if telemetry && attempt < CELL_RETRIES {
+            daisy_telemetry::emit(
+                schema::CELL_RETRY,
+                vec![
+                    field("cell", cell_label.as_str()),
+                    field("attempt", attempt + 1),
+                    field("error", failures.last().unwrap().as_str()),
+                ],
+            );
+        }
     }
+    finish(CELL_RETRIES + 1, false, true);
     CellOutcome {
         synthetic: None,
         attempts: CELL_RETRIES + 1,

@@ -51,6 +51,15 @@ impl Fault {
             | Fault::ForceCollapse { step } => step,
         }
     }
+
+    /// Machine-readable tag used in `fault_fired` telemetry events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::NanGrad { .. } => "nan_grad",
+            Fault::PoisonBatch { .. } => "poison_batch",
+            Fault::ForceCollapse { .. } => "force_collapse",
+        }
+    }
 }
 
 /// A deterministic schedule of faults for one training run.

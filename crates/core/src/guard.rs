@@ -137,6 +137,39 @@ impl fmt::Display for TripReason {
     }
 }
 
+impl TripReason {
+    /// Machine-readable tag used in `guard_trip` telemetry events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TripReason::NonFiniteLoss { .. } => "non_finite_loss",
+            TripReason::NonFiniteWeights => "non_finite_weights",
+            TripReason::Divergence { .. } => "divergence",
+            TripReason::ModeCollapse { .. } => "mode_collapse",
+        }
+    }
+
+    /// The tag plus reason-specific detail as telemetry fields.
+    pub fn telemetry_fields(&self) -> daisy_telemetry::Fields {
+        use daisy_telemetry::field;
+        let mut fields = vec![field("reason", self.tag())];
+        match *self {
+            TripReason::NonFiniteLoss { d_loss, g_loss } => {
+                fields.push(field("d_loss", d_loss));
+                fields.push(field("g_loss", g_loss));
+            }
+            TripReason::NonFiniteWeights => {}
+            TripReason::Divergence { loss, ema } => {
+                fields.push(field("loss", loss));
+                fields.push(field("ema", ema));
+            }
+            TripReason::ModeCollapse { duplicate_fraction } => {
+                fields.push(field("duplicate_fraction", duplicate_fraction));
+            }
+        }
+        fields
+    }
+}
+
 /// What the recovery policy did about a trip.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RecoveryAction {
@@ -163,6 +196,17 @@ impl fmt::Display for RecoveryAction {
     }
 }
 
+impl RecoveryAction {
+    /// Machine-readable tag used in `recovery` telemetry events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecoveryAction::Rollback { .. } => "rollback",
+            RecoveryAction::SwitchToWTrain { .. } => "switch_to_wtrain",
+            RecoveryAction::Degrade => "degrade",
+        }
+    }
+}
+
 /// One entry of the recovery trace. For a fixed seed and fault plan the
 /// full trace is bit-reproducible.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,6 +219,26 @@ pub struct RecoveryEvent {
     pub reason: TripReason,
     /// What the policy did.
     pub action: RecoveryAction,
+}
+
+impl RecoveryEvent {
+    /// Telemetry fields for the `recovery` event: logical position,
+    /// action tag, and the cumulative learning-rate scale when the
+    /// action has one.
+    pub fn telemetry_fields(&self) -> daisy_telemetry::Fields {
+        use daisy_telemetry::field;
+        let mut fields = vec![
+            field("step", self.step),
+            field("epoch", self.epoch),
+            field("action", self.action.tag()),
+        ];
+        if let RecoveryAction::Rollback { lr_scale } | RecoveryAction::SwitchToWTrain { lr_scale } =
+            self.action
+        {
+            fields.push(field("lr_scale", lr_scale));
+        }
+        fields
+    }
 }
 
 /// Structured report of a training run's health, attached to every

@@ -12,6 +12,7 @@ use crate::sampler::TrainingData;
 use crate::train::{train_gan_resilient, EpochStats, TrainingRun};
 use daisy_data::{Column, MatrixCodec, RecordCodec, Schema, Table};
 use daisy_nn::restore;
+use daisy_telemetry::{field, schema};
 use daisy_tensor::{Rng, Tensor};
 
 /// Rows per generation batch in [`FittedSynthesizer::generate`].
@@ -306,6 +307,16 @@ impl Synthesizer {
             Err(TrainError::InvalidConfig(_)) => false,
         };
         if needs_escalation && guard.escalate_simplified_d && !config.simplified_d {
+            if daisy_telemetry::enabled() {
+                let reason = match &first {
+                    Ok(_) => "degraded",
+                    Err(_) => "unrecoverable",
+                };
+                daisy_telemetry::emit(
+                    schema::ESCALATE_SIMPLIFIED_D,
+                    vec![field("reason", reason)],
+                );
+            }
             // The paper's other §5.2 remedy: shrink the discriminator so
             // it cannot saturate, and train again from scratch.
             let mut simplified = config.clone();
@@ -346,6 +357,19 @@ impl Synthesizer {
         let invalid = |msg: &str| TrainError::InvalidConfig(msg.to_string());
         if table.n_rows() == 0 {
             return Err(invalid("cannot fit on an empty table"));
+        }
+        if daisy_telemetry::enabled() {
+            daisy_telemetry::emit(
+                schema::FIT_START,
+                vec![
+                    field("network", config.network.name()),
+                    field("algorithm", config.train.name()),
+                    field("rows", table.n_rows()),
+                    field("seed", config.seed),
+                    field("conditional", config.train.conditional),
+                    field("simplified_d", config.simplified_d),
+                ],
+            );
         }
         let mut rng = Rng::seed_from_u64(config.seed);
 
@@ -506,11 +530,40 @@ impl Synthesizer {
                 let mut eval_rng = Rng::seed_from_u64(config.seed ^ 0x5e1ec7);
                 let synthetic = fitted.generate_from_snapshot(e, sample_n, &mut eval_rng);
                 let score = scorer(&synthetic);
+                if daisy_telemetry::enabled() {
+                    daisy_telemetry::emit(
+                        schema::MODEL_SELECTION_SCORE,
+                        vec![field("epoch", e), field("score", score)],
+                    );
+                }
                 if score > best.0 {
                     best = (score, e);
                 }
             }
             fitted.load_snapshot(best.1);
+            if daisy_telemetry::enabled() {
+                daisy_telemetry::emit(
+                    schema::MODEL_SELECTED,
+                    vec![field("epoch", best.1), field("score", best.0)],
+                );
+            }
+        }
+        if daisy_telemetry::enabled() {
+            daisy_telemetry::emit(
+                schema::FIT_END,
+                vec![
+                    field("completed_epochs", fitted.outcome.completed_epochs),
+                    field("recoveries", fitted.outcome.recoveries.len()),
+                    field("degraded", fitted.outcome.degraded),
+                    field("escalated_wtrain", fitted.outcome.escalated_wtrain),
+                    field("selected_epoch", fitted.selected_epoch),
+                    field("clean", fitted.outcome.is_clean()),
+                ],
+            );
+            // End-of-fit pool/kernel utilization. The snapshot event is
+            // marked non-deterministic (counters depend on the thread
+            // count), so `deterministic_view` drops it wholesale.
+            daisy_telemetry::emit_metrics_snapshot();
         }
         Ok(fitted)
     }

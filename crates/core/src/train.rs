@@ -34,10 +34,20 @@ use crate::guard::{
 use crate::sampler::{Minibatch, TrainingData};
 use daisy_nn::loss::{batch_distribution, empirical_distribution, kl_divergence};
 use daisy_nn::{
-    add_grad_noise, clip_grad_norm, clip_weights, params_non_finite, restore, snapshot,
+    add_grad_noise, clip_grad_norm, clip_weights, grad_norm, params_non_finite, restore, snapshot,
     zero_grads, Adam, Optimizer, RmsProp,
 };
+use daisy_telemetry::{field, schema};
 use daisy_tensor::{Rng, Tensor, Var};
+
+/// Emits the typed `recovery` event for one recovery-trace entry.
+/// Exactly one event per entry: every push onto `outcome.recoveries`
+/// is paired with one call.
+fn emit_recovery(event: &RecoveryEvent) {
+    if daisy_telemetry::enabled() {
+        daisy_telemetry::emit(schema::RECOVERY, event.telemetry_fields());
+    }
+}
 
 /// Aggregate losses of one training epoch.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +202,21 @@ pub fn train_gan_resilient(
     rng: &mut Rng,
 ) -> Result<ResilientRun, TrainError> {
     validate(cfg, data)?;
+    if daisy_telemetry::enabled() {
+        daisy_telemetry::emit(
+            schema::TRAIN_START,
+            vec![
+                field("algorithm", cfg.name()),
+                field("iterations", cfg.iterations),
+                field("epochs", cfg.epochs),
+                field("batch_size", cfg.batch_size),
+                field("d_steps", cfg.d_steps),
+                field("conditional", cfg.conditional),
+                field("dp", cfg.dp.is_some()),
+                field("pac", cfg.pac),
+            ],
+        );
+    }
     let g_params = g.params();
     let d_params = d.params();
     g.set_training(true);
@@ -233,6 +258,12 @@ pub fn train_gan_resilient(
         // ---- deterministic fault injection ----
         let mut poison = false;
         for fault in armed.take(t) {
+            if daisy_telemetry::enabled() {
+                daisy_telemetry::emit(
+                    schema::FAULT_FIRED,
+                    vec![field("kind", fault.kind()), field("step", t)],
+                );
+            }
             match fault {
                 Fault::NanGrad { .. } => {
                     // Route the NaN through the optimizer, exactly as an
@@ -323,6 +354,11 @@ pub fn train_gan_resilient(
 
         // ---- recovery policy ----
         if let Some(reason) = trip {
+            if daisy_telemetry::enabled() {
+                let mut fields = vec![field("step", t), field("epoch", run.history.len())];
+                fields.extend(reason.telemetry_fields());
+                daisy_telemetry::emit(schema::GUARD_TRIP, fields);
+            }
             if outcome.recoveries.len() >= guard_cfg.max_recoveries {
                 // Budget exhausted: degrade to the best healthy state,
                 // or fail when none exists.
@@ -332,6 +368,7 @@ pub fn train_gan_resilient(
                     reason,
                     action: RecoveryAction::Degrade,
                 });
+                emit_recovery(outcome.recoveries.last().unwrap());
                 if run.history.is_empty() {
                     g.set_training(false);
                     d.set_training(false);
@@ -410,6 +447,7 @@ pub fn train_gan_resilient(
                     RecoveryAction::Rollback { lr_scale }
                 },
             });
+            emit_recovery(outcome.recoveries.last().unwrap());
             t = healthy.t;
             continue;
         }
@@ -424,6 +462,33 @@ pub fn train_gan_resilient(
                 kl: (acc.2 / n) as f32,
             });
             run.snapshots.push(snapshot(&g_params));
+            if daisy_telemetry::enabled() {
+                let stats = run.history.last().unwrap();
+                // Gradient norms are read-only probes of the last step's
+                // grads; the values are deterministic (pool contract) so
+                // they may live in the event stream, and the gauges make
+                // them visible in metrics snapshots too.
+                let gn_g = grad_norm(&g_params);
+                let gn_d = grad_norm(&d_params);
+                daisy_telemetry::metrics::gauge("train.grad_norm_g").set(gn_g as f64);
+                daisy_telemetry::metrics::gauge("train.grad_norm_d").set(gn_d as f64);
+                daisy_telemetry::emit(
+                    schema::EPOCH,
+                    vec![
+                        field("epoch", stats.epoch),
+                        field("step", t),
+                        field("d_loss", stats.d_loss),
+                        field("g_loss", stats.g_loss),
+                        field("kl", stats.kl),
+                        field("grad_norm_g", gn_g),
+                        field("grad_norm_d", gn_d),
+                    ],
+                );
+                daisy_telemetry::emit(
+                    schema::SNAPSHOT,
+                    vec![field("epoch", stats.epoch), field("step", t)],
+                );
+            }
             acc = (0.0, 0.0, 0.0, 0);
             healthy = Healthy {
                 g: snapshot(&g_params),
@@ -444,6 +509,17 @@ pub fn train_gan_resilient(
     g.set_training(false);
     d.set_training(false);
     outcome.completed_epochs = run.history.len();
+    if daisy_telemetry::enabled() {
+        daisy_telemetry::emit(
+            schema::TRAIN_END,
+            vec![
+                field("completed_epochs", outcome.completed_epochs),
+                field("recoveries", outcome.recoveries.len()),
+                field("degraded", outcome.degraded),
+                field("escalated_wtrain", outcome.escalated_wtrain),
+            ],
+        );
+    }
     Ok(ResilientRun { run, outcome })
 }
 
@@ -829,6 +905,80 @@ mod tests {
         assert!(!params_non_finite(&g.params()));
         use crate::discriminator::Discriminator;
         assert!(!params_non_finite(&d.params()));
+    }
+
+    /// The telemetry contract for the resilience layer: one typed event
+    /// per fault firing, per guard trip, and per recovery action — no
+    /// duplicates, no drops.
+    #[test]
+    fn faulted_run_emits_exactly_one_event_per_incident() {
+        use daisy_telemetry::MemoryRecorder;
+        use std::sync::Arc;
+        let cfg = TrainConfig {
+            iterations: 12,
+            batch_size: 32,
+            epochs: 4,
+            ..TrainConfig::vtrain(12)
+        };
+        let (g, d, data, spans) = setup(&cfg, 30);
+        let mut rng = Rng::seed_from_u64(31);
+        let rec = Arc::new(MemoryRecorder::new());
+        let res = daisy_telemetry::with_recorder(rec.clone(), || {
+            train_gan_resilient(
+                &g,
+                &d,
+                &data,
+                &spans,
+                &cfg,
+                &test_guard(),
+                &FaultPlan::nan_grad_at(5),
+                &mut rng,
+            )
+            .unwrap()
+        });
+        assert_eq!(rec.count(schema::FAULT_FIRED), 1);
+        assert_eq!(rec.count(schema::GUARD_TRIP), 1);
+        assert_eq!(rec.count(schema::RECOVERY), res.outcome.recoveries.len());
+        assert_eq!(rec.count(schema::TRAIN_START), 1);
+        assert_eq!(rec.count(schema::TRAIN_END), 1);
+        // Every clean epoch boundary logs one epoch event and one
+        // snapshot event; rollbacks may re-run epochs, so the trace can
+        // hold more epoch events than the final history length.
+        assert_eq!(rec.count(schema::EPOCH), rec.count(schema::SNAPSHOT));
+        assert!(rec.count(schema::EPOCH) >= res.outcome.completed_epochs);
+    }
+
+    /// A clean run must carry no incident events at all.
+    #[test]
+    fn clean_run_emits_no_incident_events() {
+        use daisy_telemetry::MemoryRecorder;
+        use std::sync::Arc;
+        let cfg = TrainConfig {
+            iterations: 8,
+            batch_size: 32,
+            epochs: 2,
+            ..TrainConfig::vtrain(8)
+        };
+        let (g, d, data, spans) = setup(&cfg, 0);
+        let mut rng = Rng::seed_from_u64(7);
+        let rec = Arc::new(MemoryRecorder::new());
+        daisy_telemetry::with_recorder(rec.clone(), || {
+            train_gan_resilient(
+                &g,
+                &d,
+                &data,
+                &spans,
+                &cfg,
+                &test_guard(),
+                &FaultPlan::none(),
+                &mut rng,
+            )
+            .unwrap()
+        });
+        assert_eq!(rec.count(schema::FAULT_FIRED), 0);
+        assert_eq!(rec.count(schema::GUARD_TRIP), 0);
+        assert_eq!(rec.count(schema::RECOVERY), 0);
+        assert_eq!(rec.count(schema::EPOCH), 2);
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub fn grads_non_finite(params: &[Param]) -> bool {
     params.iter().any(|p| p.grad().has_non_finite())
 }
 
+/// Global L2 norm of all gradients: `sqrt(sum_p ||grad_p||^2)`. The
+/// same quantity [`crate::clip_grad_norm`] computes before scaling,
+/// without the clip; used for telemetry gauges.
+pub fn grad_norm(params: &[Param]) -> f32 {
+    params
+        .iter()
+        .map(|p| p.grad().norm_sq())
+        .sum::<f32>()
+        .sqrt()
+}
+
 /// A chain of modules applied in order.
 pub struct Sequential {
     layers: Vec<Box<dyn Module>>,

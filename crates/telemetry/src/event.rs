@@ -1,0 +1,237 @@
+//! Trace events: the unit of the deterministic observability stream.
+//!
+//! An [`Event`] is a named record with flat key/value fields. Its
+//! identity is **logical**: epoch and step counters, sequence numbers,
+//! loss values — never wall-clock time. Wall-clock measurements are
+//! allowed but must live in the separate [`Event::wall`] field list,
+//! which [`crate::trace::deterministic_view`] strips before comparing
+//! traces; an event whose whole content is machine-dependent (e.g. a
+//! metrics-registry snapshot) sets [`Event::nd`] and is dropped from
+//! the deterministic view entirely.
+
+use crate::json::{write_escaped, write_num};
+use std::fmt::Write as _;
+
+/// A telemetry field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, indices, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Non-finite values serialize as the strings
+    /// `"NaN"` / `"inf"` / `"-inf"` (JSON has no NaN), which keeps a
+    /// NaN-carrying guard trip representable and still deterministic.
+    F64(f64),
+    /// Text (names, enum tags, error messages).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_num(*v, out),
+            Value::Str(s) => write_escaped(s, out),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// A list of named fields, in emission order.
+pub type Fields = Vec<(String, Value)>;
+
+/// Builds one `(key, value)` field (sugar for emission sites).
+pub fn field(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+/// One structured trace event.
+///
+/// Serialized as a single JSON line:
+/// `{"seq":N,"event":"<name>",<fields...>[,"nd":true][,"wall":{...}]}`.
+/// The sequence number is assigned by the receiving [`crate::Recorder`]
+/// (each recorder numbers its own stream from 0), so for a fixed seed
+/// the `seq` of every deterministic event is itself deterministic.
+///
+/// The keys `seq`, `event`, `nd` and `wall` are reserved; field names
+/// must not collide with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event type, from [`crate::schema`].
+    pub name: &'static str,
+    /// Deterministic fields (logical time, losses, counters, tags).
+    pub fields: Fields,
+    /// Non-deterministic fields (wall-clock durations and other
+    /// machine-dependent measurements). Stripped by
+    /// [`crate::trace::deterministic_view`].
+    pub wall: Fields,
+    /// Marks the whole event as non-deterministic (dropped from the
+    /// deterministic view). Used for metrics-registry snapshots.
+    pub nd: bool,
+}
+
+impl Event {
+    /// A deterministic event with the given fields.
+    pub fn new(name: &'static str, fields: Fields) -> Self {
+        Event {
+            name,
+            fields,
+            wall: Vec::new(),
+            nd: false,
+        }
+    }
+
+    /// Attaches non-deterministic (wall-clock) fields.
+    pub fn with_wall(mut self, wall: Fields) -> Self {
+        self.wall = wall;
+        self
+    }
+
+    /// Marks the whole event non-deterministic.
+    pub fn non_deterministic(mut self) -> Self {
+        self.nd = true;
+        self
+    }
+
+    /// Looks up a deterministic field by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serializes to one JSON line (no trailing newline) under the
+    /// given recorder-assigned sequence number.
+    pub fn to_json_line(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        let _ = write!(out, "{{\"seq\":{seq},\"event\":");
+        write_escaped(self.name, &mut out);
+        for (k, v) in &self.fields {
+            out.push(',');
+            write_escaped(k, &mut out);
+            out.push(':');
+            v.write_json(&mut out);
+        }
+        if self.nd {
+            out.push_str(",\"nd\":true");
+        }
+        if !self.wall.is_empty() {
+            out.push_str(",\"wall\":{");
+            for (i, (k, v)) in self.wall.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, &mut out);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn serializes_in_field_order() {
+        let e = Event::new(
+            "epoch",
+            vec![
+                field("epoch", 3usize),
+                field("d_loss", 0.5f32),
+                field("tag", "x"),
+                field("ok", true),
+            ],
+        );
+        assert_eq!(
+            e.to_json_line(7),
+            r#"{"seq":7,"event":"epoch","epoch":3,"d_loss":0.5,"tag":"x","ok":true}"#
+        );
+    }
+
+    #[test]
+    fn wall_and_nd_render() {
+        let e = Event::new("metrics", vec![field("n", 1usize)])
+            .non_deterministic()
+            .with_wall(vec![field("ms", 1.25f64)]);
+        let line = e.to_json_line(0);
+        assert_eq!(
+            line,
+            r#"{"seq":0,"event":"metrics","n":1,"nd":true,"wall":{"ms":1.25}}"#
+        );
+        // The line is valid JSON.
+        assert!(Json::parse(&line).is_ok());
+    }
+
+    #[test]
+    fn nan_fields_stay_valid_json() {
+        let e = Event::new("guard_trip", vec![field("d_loss", f32::NAN)]);
+        let line = e.to_json_line(1);
+        assert!(line.contains(r#""d_loss":"NaN""#));
+        assert!(Json::parse(&line).is_ok());
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let e = Event::new("x", vec![field("a", 1usize)]);
+        assert_eq!(e.get("a"), Some(&Value::U64(1)));
+        assert_eq!(e.get("b"), None);
+    }
+}

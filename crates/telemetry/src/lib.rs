@@ -1,0 +1,297 @@
+//! Zero-dependency structured telemetry for the daisy workspace.
+//!
+//! The layer has two planes:
+//!
+//! - A **deterministic event stream** ([`Event`]): typed records of
+//!   what the run *did* — epochs, guard trips, recoveries, fault
+//!   firings, model selection, bench cells. Event identity is logical
+//!   time (epoch / step / sequence number), never wall-clock; optional
+//!   wall-clock measurements ride in a separate, strippable `wall`
+//!   sub-object. For a fixed seed, the deterministic view of a trace
+//!   ([`trace::deterministic_view`]) is byte-identical across runs
+//!   *and across `DAISY_THREADS` settings* — the same contract the
+//!   compute pool already guarantees for numeric results.
+//! - An **aggregate metrics registry** ([`metrics`]): counters, gauges
+//!   and fixed-bucket histograms updated via relaxed atomics from any
+//!   thread (pool job counts, kernel dispatch sizes). These values
+//!   legitimately vary with thread count, so they only enter the event
+//!   stream as an explicitly non-deterministic snapshot
+//!   ([`emit_metrics_snapshot`]).
+//!
+//! # Routing
+//!
+//! Every [`emit`] goes to exactly one [`Recorder`]: the calling
+//! thread's innermost scoped recorder ([`with_recorder`], used by
+//! tests) if one is installed, otherwise the process-global recorder —
+//! a [`JsonlSink`] created lazily from `DAISY_TRACE=<path>`. With
+//! neither, [`enabled`] is `false` and instrumented call sites skip
+//! event construction entirely, so an untraced run pays one relaxed
+//! atomic load per site.
+//!
+//! # Quick start
+//!
+//! ```
+//! use daisy_telemetry::{emit, field, with_recorder, MemoryRecorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(MemoryRecorder::new());
+//! with_recorder(rec.clone(), || {
+//!     emit("epoch", vec![field("epoch", 0usize), field("d_loss", 0.5f64)]);
+//! });
+//! assert_eq!(rec.count("epoch"), 1);
+//! ```
+//!
+//! See `docs/OBSERVABILITY.md` for the runbook and [`schema`] for the
+//! event vocabulary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod schema;
+pub mod sink;
+pub mod trace;
+
+pub use event::{field, Event, Fields, Value};
+pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use report::RunReport;
+pub use sink::JsonlSink;
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The process-global sink, created on first use from `DAISY_TRACE`.
+/// `None` when the variable is unset, empty, or names an unwritable
+/// path (the latter warns once on stderr instead of failing silently).
+static GLOBAL: OnceLock<Option<Arc<JsonlSink>>> = OnceLock::new();
+
+/// Number of live scoped recorders across all threads; a cheap upper
+/// bound used by [`enabled`] so untraced production runs never touch
+/// thread-local storage.
+static LOCALS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Innermost-wins stack of scoped recorders for this thread.
+    static STACK: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+    /// Events emitted from this thread, ever; spans diff it for their
+    /// logical duration.
+    static EMITTED: Cell<u64> = const { Cell::new(0) };
+}
+
+fn global() -> Option<&'static Arc<JsonlSink>> {
+    GLOBAL
+        .get_or_init(|| {
+            let path = std::env::var_os("DAISY_TRACE")?;
+            if path.is_empty() {
+                return None;
+            }
+            match JsonlSink::create(&path) {
+                Ok(sink) => Some(Arc::new(sink)),
+                Err(e) => {
+                    eprintln!(
+                        "warning: DAISY_TRACE={} is not writable ({e}); tracing disabled",
+                        path.to_string_lossy()
+                    );
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// Forces initialization of the global sink from `DAISY_TRACE` and
+/// reports whether a trace file is being written. Binaries call this
+/// at startup so a misconfigured path warns immediately rather than at
+/// the first emission; library code never needs to.
+pub fn init_from_env() -> bool {
+    global().is_some()
+}
+
+/// `true` when at least one recorder might receive events. This is the
+/// fast gate for hot paths: one relaxed load (plus one initialized
+/// `OnceLock` read) when tracing is off.
+pub fn enabled() -> bool {
+    LOCALS.load(Ordering::Relaxed) > 0 || global().is_some()
+}
+
+/// Runs `f` with `recorder` installed as this thread's innermost
+/// recorder; every [`emit`] from inside `f` (on this thread) goes to it
+/// instead of the global sink. Scopes nest; the recorder is removed on
+/// unwind as well as on return. This is how tests and the bench
+/// harness capture traces without touching process-global state.
+pub fn with_recorder<R>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            LOCALS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    STACK.with(|s| s.borrow_mut().push(recorder));
+    LOCALS.fetch_add(1, Ordering::Relaxed);
+    let _guard = Guard;
+    f()
+}
+
+/// Emits a deterministic event with the given name and fields. Sugar
+/// for [`emit_event`] with [`Event::new`].
+pub fn emit(name: &'static str, fields: Fields) {
+    emit_event(Event::new(name, fields));
+}
+
+/// Routes one event to this thread's innermost scoped recorder, or to
+/// the global sink when no scope is active. Drops the event when
+/// neither exists.
+pub fn emit_event(event: Event) {
+    let local: Option<Arc<dyn Recorder>> = if LOCALS.load(Ordering::Relaxed) > 0 {
+        STACK.with(|s| s.borrow().last().cloned())
+    } else {
+        None
+    };
+    let recorder: &dyn Recorder = match (&local, global()) {
+        (Some(rec), _) => rec.as_ref(),
+        (None, Some(sink)) => sink.as_ref(),
+        (None, None) => return,
+    };
+    EMITTED.with(|c| c.set(c.get() + 1));
+    recorder.record(event);
+}
+
+/// An open span, created by [`span_start`]. Call [`Span::end`] to emit
+/// the matching close event; dropping without `end` emits nothing.
+pub struct Span {
+    name: &'static str,
+    start_events: u64,
+    start: Instant,
+}
+
+/// Opens a span: emits a [`schema::SPAN_START`] event carrying `fields`
+/// and returns a handle whose [`Span::end`] emits
+/// [`schema::SPAN_END`] with the span's *logical* duration — the number
+/// of events this thread emitted while the span was open — plus the
+/// wall-clock milliseconds in the strippable `wall` sub-object.
+pub fn span_start(name: &'static str, mut fields: Fields) -> Span {
+    if enabled() {
+        fields.insert(0, field("span", name));
+        emit_event(Event::new(schema::SPAN_START, fields));
+    }
+    Span {
+        name,
+        start_events: EMITTED.with(|c| c.get()),
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// Closes the span (see [`span_start`]).
+    pub fn end(self) {
+        if !enabled() {
+            return;
+        }
+        let events = EMITTED.with(|c| c.get()).saturating_sub(self.start_events);
+        let ms = self.start.elapsed().as_secs_f64() * 1000.0;
+        emit_event(
+            Event::new(
+                schema::SPAN_END,
+                vec![field("span", self.name), field("events", events)],
+            )
+            .with_wall(vec![field("ms", ms)]),
+        );
+    }
+}
+
+/// Emits the current state of every registered metric as one
+/// [`schema::METRICS`] event marked non-deterministic (metrics values
+/// depend on thread count and scheduling, so the deterministic view
+/// drops the snapshot wholesale).
+pub fn emit_metrics_snapshot() {
+    if !enabled() {
+        return;
+    }
+    emit_event(Event::new(schema::METRICS, metrics::snapshot_fields()).non_deterministic());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_recorder_captures_and_restores() {
+        let outer = Arc::new(MemoryRecorder::new());
+        let inner = Arc::new(MemoryRecorder::new());
+        with_recorder(outer.clone(), || {
+            emit("a", vec![]);
+            with_recorder(inner.clone(), || {
+                emit("b", vec![]);
+            });
+            emit("c", vec![]);
+        });
+        assert_eq!(outer.count("a"), 1);
+        assert_eq!(outer.count("b"), 0);
+        assert_eq!(outer.count("c"), 1);
+        assert_eq!(inner.count("b"), 1);
+    }
+
+    #[test]
+    fn scoped_recorder_pops_on_panic() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_recorder(rec.clone(), || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // The stack unwound cleanly: a fresh scope still works.
+        let rec2 = Arc::new(MemoryRecorder::new());
+        with_recorder(rec2.clone(), || emit("after", vec![]));
+        assert_eq!(rec2.count("after"), 1);
+    }
+
+    #[test]
+    fn spans_measure_logical_duration() {
+        let rec = Arc::new(MemoryRecorder::new());
+        with_recorder(rec.clone(), || {
+            let span = span_start("train", vec![field("epochs", 2usize)]);
+            emit("epoch", vec![field("epoch", 0usize)]);
+            emit("epoch", vec![field("epoch", 1usize)]);
+            span.end();
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].name, schema::SPAN_START);
+        assert_eq!(events[3].name, schema::SPAN_END);
+        assert_eq!(events[3].get("events"), Some(&Value::U64(2)));
+        // Wall-clock lives only in the wall sub-object.
+        assert!(events[3].get("ms").is_none());
+        assert!(!events[3].wall.is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_is_marked_non_deterministic() {
+        metrics::counter("test.lib.jobs").add(3);
+        let rec = Arc::new(MemoryRecorder::new());
+        with_recorder(rec.clone(), emit_metrics_snapshot);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].nd);
+        let view = trace::deterministic_view(&rec.to_jsonl()).unwrap();
+        assert!(view.is_empty());
+    }
+
+    #[test]
+    fn memory_recorder_jsonl_validates() {
+        let rec = Arc::new(MemoryRecorder::new());
+        with_recorder(rec.clone(), || {
+            emit("x", vec![field("v", 1.5f64)]);
+            emit("y", vec![field("s", "text")]);
+        });
+        let stats = trace::validate_trace(&rec.to_jsonl()).unwrap();
+        assert_eq!(stats.events, 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! The process-global metrics registry: counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Metrics are the *aggregate* plane of the telemetry layer,
+//! complementing the event stream: worker-pool task counts, steal and
+//! idle counters, and per-kernel dispatch-size histograms accumulate
+//! here from any thread via lock-free atomics. Because their values
+//! legitimately depend on the thread count and on scheduling, metrics
+//! never enter the deterministic event stream directly — a snapshot can
+//! be emitted as a single event explicitly marked non-deterministic
+//! ([`crate::emit_metrics_snapshot`]).
+//!
+//! Handles are interned: [`counter`], [`gauge`] and [`histogram`]
+//! return `&'static` references, so hot call sites can cache them in a
+//! `OnceLock` and pay one atomic add per update. Call sites in hot
+//! kernels should additionally gate on [`crate::enabled`] so a run
+//! without telemetry pays only one relaxed load.
+
+use crate::event::{field, Fields};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of power-of-two buckets in a [`Histogram`] (`2^0 .. 2^63`,
+/// plus a zero bucket at index 0).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram over unsigned sizes, with power-of-two
+/// bucket edges: bucket 0 counts zeros, bucket `i >= 1` counts values
+/// in `[2^(i-1), 2^i)`. Fixed edges keep observation cost at one shift
+/// plus one atomic add and make snapshots machine-independent in
+/// *shape* (the counts may still differ run to run).
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs in ascending
+    /// bucket order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    (lo, n)
+                })
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    C(&'static Counter),
+    G(&'static Gauge),
+    H(&'static Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+/// Interns (or retrieves) the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::C(Box::leak(Box::new(Counter::default()))))
+    {
+        Metric::C(c) => c,
+        _ => panic!("metric {name:?} is not a counter"),
+    }
+}
+
+/// Interns (or retrieves) the gauge named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::G(Box::leak(Box::new(Gauge::default()))))
+    {
+        Metric::G(g) => g,
+        _ => panic!("metric {name:?} is not a gauge"),
+    }
+}
+
+/// Interns (or retrieves) the histogram named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::H(Box::leak(Box::new(Histogram::default()))))
+    {
+        Metric::H(h) => h,
+        _ => panic!("metric {name:?} is not a histogram"),
+    }
+}
+
+/// Snapshot of every registered metric as event fields, in
+/// lexicographic name order. Counters become `<name>`, gauges
+/// `<name>`, histograms `<name>.count`, `<name>.sum` and a compact
+/// `<name>.buckets` string (`"<lower>:<count>"` pairs joined by `,`).
+pub fn snapshot_fields() -> Fields {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Fields::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::C(c) => out.push(field(name, c.get())),
+            Metric::G(g) => out.push(field(name, g.get())),
+            Metric::H(h) => {
+                out.push(field(&format!("{name}.count"), h.count()));
+                out.push(field(&format!("{name}.sum"), h.sum()));
+                let buckets = h
+                    .nonzero_buckets()
+                    .iter()
+                    .map(|(lo, n)| format!("{lo}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push(field(&format!("{name}.buckets"), buckets));
+            }
+        }
+    }
+    out
+}
+
+/// Zeroes every registered metric (counters and histograms to 0,
+/// gauges to 0.0). For tests and benchmark isolation; production code
+/// never needs it.
+pub fn reset_all() {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for metric in reg.values() {
+        match metric {
+            Metric::C(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::G(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+            Metric::H(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let c = counter("test.metrics.counter");
+        c.add(2);
+        c.add(3);
+        assert!(c.get() >= 5);
+        let g = gauge("test.metrics.gauge");
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+        // Interning returns the same handle.
+        assert!(std::ptr::eq(c, counter("test.metrics.counter")));
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let h = histogram("test.metrics.hist");
+        h.reset();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let buckets = h.nonzero_buckets();
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 1024 -> [1024,2048).
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn snapshot_lists_in_name_order() {
+        counter("test.snap.a").add(1);
+        gauge("test.snap.b").set(2.0);
+        let fields = snapshot_fields();
+        let names: Vec<&str> = fields
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| k.starts_with("test.snap."))
+            .collect();
+        assert_eq!(names, vec!["test.snap.a", "test.snap.b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.mismatch");
+        gauge("test.metrics.mismatch");
+    }
+}

@@ -1,0 +1,104 @@
+//! Recorder backends: where emitted events go.
+//!
+//! The facade in [`crate`] routes every emitted [`Event`] to exactly
+//! one recorder: the thread's innermost scoped recorder
+//! ([`crate::with_recorder`]) when one is installed, otherwise the
+//! process-global recorder (the JSONL sink when `DAISY_TRACE` is set).
+//! Each recorder assigns its own sequence numbers starting from 0, so a
+//! trace captured by a fresh recorder is reproducible regardless of
+//! what other recorders saw before.
+
+use crate::event::Event;
+use std::sync::Mutex;
+
+/// A sink for trace events.
+///
+/// `record` is called from whichever thread emitted the event. All
+/// deterministic instrumentation in the workspace emits from the
+/// training driver thread, so a recorder's stream of deterministic
+/// events is ordered and reproducible; implementations must still be
+/// thread-safe because non-deterministic events may come from anywhere.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event, assigning it the recorder's next sequence
+    /// number.
+    fn record(&self, event: Event);
+}
+
+/// A recorder that drops everything (the default when no trace sink is
+/// configured). The facade short-circuits before building events when
+/// telemetry is disabled, so this type mostly exists to make "no-op"
+/// explicit in tests.
+#[derive(Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// An in-memory recorder for tests and the bench harness: stores every
+/// event with its assigned sequence number and can render the exact
+/// JSONL the file sink would have written.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder (sequence numbers start at 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the recorded events, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of recorded events with the given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.name == name)
+            .count()
+    }
+
+    /// Renders the stream as JSONL, byte-identical to what
+    /// [`crate::sink::JsonlSink`] writes for the same events.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().unwrap();
+        let mut out = String::new();
+        for (seq, e) in events.iter().enumerate() {
+            out.push_str(&e.to_json_line(seq as u64));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::field;
+
+    #[test]
+    fn memory_recorder_numbers_sequentially() {
+        let rec = MemoryRecorder::new();
+        rec.record(Event::new("a", vec![]));
+        rec.record(Event::new("b", vec![field("x", 1usize)]));
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.count("a"), 1);
+        assert_eq!(rec.count("missing"), 0);
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].starts_with(r#"{"seq":0,"event":"a""#));
+        assert!(lines[1].starts_with(r#"{"seq":1,"event":"b""#));
+    }
+}

@@ -1,0 +1,243 @@
+//! Run reports: a human-readable digest of a trace file.
+//!
+//! [`RunReport::from_jsonl`] parses a trace (as written under
+//! `DAISY_TRACE`) and [`RunReport::render`] prints the story of the
+//! run: the loss curve per epoch, the recovery timeline (faults, guard
+//! trips, recovery actions, escalations), model selection, bench cells,
+//! and the final pool/kernel utilization snapshot. This is the engine
+//! behind the `daisy report` subcommand.
+
+use crate::json::Json;
+use crate::schema;
+use crate::trace::{parse_trace, validate_trace, TraceStats};
+
+/// A parsed trace plus its validation summary.
+pub struct RunReport {
+    stats: TraceStats,
+    events: Vec<Json>,
+}
+
+fn fval(event: &Json, key: &str) -> String {
+    match event.get(key) {
+        None => "-".to_string(),
+        Some(v) => {
+            let mut s = String::new();
+            v.write(&mut s);
+            s.trim_matches('"').to_string()
+        }
+    }
+}
+
+impl RunReport {
+    /// Validates and parses a JSONL trace. Fails with the validator's
+    /// line-numbered message on a malformed trace.
+    pub fn from_jsonl(jsonl: &str) -> Result<RunReport, String> {
+        let stats = validate_trace(jsonl)?;
+        let events = parse_trace(jsonl)?;
+        Ok(RunReport { stats, events })
+    }
+
+    /// The validation summary for this trace.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Json> {
+        self.events
+            .iter()
+            .filter(move |e| e.get("event").and_then(Json::as_str) == Some(name))
+    }
+
+    fn render_losses(&self, out: &mut String) {
+        let epochs: Vec<&Json> = self.named(schema::EPOCH).collect();
+        if epochs.is_empty() {
+            return;
+        }
+        out.push_str("\nLoss curve\n");
+        out.push_str("  epoch      d_loss      g_loss          kl  |grad G|  |grad D|\n");
+        for e in epochs {
+            out.push_str(&format!(
+                "  {:>5}  {:>10}  {:>10}  {:>10}  {:>8}  {:>8}\n",
+                fval(e, "epoch"),
+                fval(e, "d_loss"),
+                fval(e, "g_loss"),
+                fval(e, "kl"),
+                fval(e, "grad_norm_g"),
+                fval(e, "grad_norm_d"),
+            ));
+        }
+    }
+
+    fn render_recovery(&self, out: &mut String) {
+        let timeline: Vec<&Json> = self
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("event").and_then(Json::as_str),
+                    Some(
+                        schema::FAULT_FIRED
+                            | schema::GUARD_TRIP
+                            | schema::RECOVERY
+                            | schema::ESCALATE_SIMPLIFIED_D
+                    )
+                )
+            })
+            .collect();
+        if timeline.is_empty() {
+            return;
+        }
+        out.push_str("\nRecovery timeline\n");
+        for e in timeline {
+            let name = e.get("event").and_then(Json::as_str).unwrap_or("?");
+            let detail = match name {
+                schema::FAULT_FIRED => format!("kind={}", fval(e, "kind")),
+                schema::GUARD_TRIP => format!("reason={}", fval(e, "reason")),
+                schema::RECOVERY => format!(
+                    "action={} lr_scale={}",
+                    fval(e, "action"),
+                    fval(e, "lr_scale")
+                ),
+                _ => format!("reason={}", fval(e, "reason")),
+            };
+            out.push_str(&format!(
+                "  seq {:>5}  step {:>6}  {:<22} {}\n",
+                fval(e, "seq"),
+                fval(e, "step"),
+                name,
+                detail
+            ));
+        }
+    }
+
+    fn render_selection(&self, out: &mut String) {
+        let scores: Vec<&Json> = self.named(schema::MODEL_SELECTION_SCORE).collect();
+        let chosen: Vec<&Json> = self.named(schema::MODEL_SELECTED).collect();
+        if scores.is_empty() && chosen.is_empty() {
+            return;
+        }
+        out.push_str("\nModel selection\n");
+        for e in &scores {
+            out.push_str(&format!(
+                "  epoch {:>4}  score {}\n",
+                fval(e, "epoch"),
+                fval(e, "score")
+            ));
+        }
+        for e in &chosen {
+            out.push_str(&format!(
+                "  selected epoch {} (score {})\n",
+                fval(e, "epoch"),
+                fval(e, "score")
+            ));
+        }
+    }
+
+    fn render_cells(&self, out: &mut String) {
+        let cells: Vec<&Json> = self.named(schema::CELL_END).collect();
+        if cells.is_empty() {
+            return;
+        }
+        out.push_str("\nBench cells\n");
+        for e in cells {
+            out.push_str(&format!(
+                "  {:<40} attempts={} ok={} rocky={}\n",
+                fval(e, "cell"),
+                fval(e, "attempts"),
+                fval(e, "ok"),
+                fval(e, "rocky"),
+            ));
+        }
+    }
+
+    fn render_metrics(&self, out: &mut String) {
+        // The last metrics snapshot is the end-of-run aggregate state.
+        let Some(snapshot) = self.named(schema::METRICS).last() else {
+            return;
+        };
+        let Some(members) = snapshot.as_obj() else {
+            return;
+        };
+        out.push_str("\nMetrics (last snapshot; non-deterministic)\n");
+        for (key, value) in members {
+            if matches!(key.as_str(), "seq" | "event" | "nd" | "wall") {
+                continue;
+            }
+            let mut rendered = String::new();
+            value.write(&mut rendered);
+            out.push_str(&format!("  {key} = {rendered}\n"));
+        }
+    }
+
+    /// Renders the full report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Trace: {} events ({} non-deterministic), {} event types\n",
+            self.stats.events,
+            self.stats.nd_events,
+            self.stats.names.len()
+        ));
+        out.push_str(&format!("Event types: {}\n", self.stats.names.join(", ")));
+        self.render_losses(&mut out);
+        self.render_recovery(&mut out);
+        self.render_selection(&mut out);
+        self.render_cells(&mut out);
+        self.render_metrics(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{field, Event};
+
+    #[test]
+    fn renders_losses_recovery_and_metrics() {
+        let lines = [
+            Event::new(schema::TRAIN_START, vec![field("iterations", 4usize)]).to_json_line(0),
+            Event::new(
+                schema::EPOCH,
+                vec![
+                    field("epoch", 0usize),
+                    field("d_loss", 0.5f64),
+                    field("g_loss", 0.25f64),
+                    field("kl", 0.125f64),
+                ],
+            )
+            .to_json_line(1),
+            Event::new(
+                schema::GUARD_TRIP,
+                vec![field("step", 3usize), field("reason", "non_finite_loss")],
+            )
+            .to_json_line(2),
+            Event::new(
+                schema::RECOVERY,
+                vec![
+                    field("step", 3usize),
+                    field("action", "rollback"),
+                    field("lr_scale", 0.5f64),
+                ],
+            )
+            .to_json_line(3),
+            Event::new(schema::METRICS, vec![field("pool.jobs", 12u64)])
+                .non_deterministic()
+                .to_json_line(4),
+        ];
+        let jsonl = lines.join("\n") + "\n";
+        let report = RunReport::from_jsonl(&jsonl).unwrap();
+        assert_eq!(report.stats().events, 5);
+        let text = report.render();
+        assert!(text.contains("Loss curve"), "{text}");
+        assert!(text.contains("0.5"), "{text}");
+        assert!(text.contains("Recovery timeline"), "{text}");
+        assert!(text.contains("action=rollback"), "{text}");
+        assert!(text.contains("pool.jobs = 12"), "{text}");
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(RunReport::from_jsonl("garbage\n").is_err());
+    }
+}

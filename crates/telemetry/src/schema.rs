@@ -1,0 +1,67 @@
+//! The event vocabulary: names and field conventions shared by the
+//! emitters (daisy-core, daisy-tensor, the bench harness) and the
+//! consumers (`daisy report`, tests).
+//!
+//! Every constant here names one event type; the field lists below are
+//! the contract `docs/OBSERVABILITY.md` documents. Keeping the names in
+//! one module means an emitter and the report renderer cannot drift
+//! apart silently.
+
+/// Synthesizer fit attempt started. Fields: `network`, `algorithm`,
+/// `rows`, `seed`, `conditional`, `simplified_d`.
+pub const FIT_START: &str = "fit_start";
+/// Synthesizer fit attempt finished. Fields: `completed_epochs`,
+/// `recoveries`, `degraded`, `escalated_wtrain`, `selected_epoch`,
+/// `clean`.
+pub const FIT_END: &str = "fit_end";
+/// The synthesizer rebuilt with the simplified discriminator and
+/// refitted (§5.2 remedy). Fields: `reason`.
+pub const ESCALATE_SIMPLIFIED_D: &str = "escalate_simplified_d";
+/// One epoch snapshot scored during validation-based model selection.
+/// Fields: `epoch`, `score`.
+pub const MODEL_SELECTION_SCORE: &str = "model_selection_score";
+/// Model selection chose a snapshot. Fields: `epoch`, `score`.
+pub const MODEL_SELECTED: &str = "model_selected";
+
+/// Training started. Fields: `algorithm`, `iterations`, `epochs`,
+/// `batch_size`, `d_steps`, `conditional`, `dp`, `pac`.
+pub const TRAIN_START: &str = "train_start";
+/// Training finished. Fields: `completed_epochs`, `recoveries`,
+/// `degraded`, `escalated_wtrain`.
+pub const TRAIN_END: &str = "train_end";
+/// One clean epoch completed. Fields: `epoch`, `step`, `d_loss`,
+/// `g_loss`, `kl`, `grad_norm_g`, `grad_norm_d`.
+pub const EPOCH: &str = "epoch";
+/// An epoch snapshot was captured for model selection / rollback.
+/// Fields: `epoch`, `step`.
+pub const SNAPSHOT: &str = "snapshot";
+/// The guard tripped. Fields: `step`, `epoch`, `reason`, plus
+/// reason-specific detail (`d_loss`/`g_loss`, `loss`/`ema`,
+/// `duplicate_fraction`).
+pub const GUARD_TRIP: &str = "guard_trip";
+/// The recovery policy acted on a trip. Fields: `step`, `epoch`,
+/// `action`, `lr_scale` (rollback/escalation only).
+pub const RECOVERY: &str = "recovery";
+/// A scheduled fault fired. Fields: `kind`, `step`.
+pub const FAULT_FIRED: &str = "fault_fired";
+
+/// A bench-harness cell started. Fields: `cell`, `seed`.
+pub const CELL_START: &str = "cell_start";
+/// A cell attempt failed and will retry with a fresh seed. Fields:
+/// `cell`, `attempt`, `error`.
+pub const CELL_RETRY: &str = "cell_retry";
+/// A cell finished (successfully or not). Fields: `cell`, `attempts`,
+/// `ok`, `rocky`.
+pub const CELL_END: &str = "cell_end";
+
+/// A span opened. Fields: `span`, plus caller fields.
+pub const SPAN_START: &str = "span_start";
+/// A span closed. Fields: `span`, `events` (logical duration: number
+/// of events recorded on this thread while the span was open); wall
+/// fields: `ms`.
+pub const SPAN_END: &str = "span_end";
+
+/// Metrics-registry snapshot (whole event is non-deterministic).
+/// Fields: one per registered metric, see
+/// [`crate::metrics::snapshot_fields`].
+pub const METRICS: &str = "metrics";

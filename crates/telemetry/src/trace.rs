@@ -1,0 +1,175 @@
+//! Trace-level operations: validation and the deterministic view.
+//!
+//! A *trace* is a JSONL file (or string) of events as written by
+//! [`crate::sink::JsonlSink`] / rendered by
+//! [`crate::MemoryRecorder::to_jsonl`]. Two operations matter:
+//!
+//! - [`validate_trace`] enforces the wire contract (every line parses,
+//!   required keys present, sequence numbers strictly increasing) —
+//!   the check `daisy report` and the CI smoke step run.
+//! - [`deterministic_view`] reduces a trace to its deterministic
+//!   content: events marked `"nd":true` are dropped and the `"wall"`
+//!   member is stripped, then each line is re-serialized through the
+//!   byte-stable writer. For a fixed seed, the result is byte-identical
+//!   across runs and across `DAISY_THREADS` settings — the testable
+//!   form of the determinism contract.
+
+use crate::json::Json;
+
+/// Summary returned by [`validate_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total number of events (lines).
+    pub events: usize,
+    /// Number of events carrying the `nd` marker.
+    pub nd_events: usize,
+    /// Distinct event names in first-seen order.
+    pub names: Vec<String>,
+}
+
+/// Validates a JSONL trace: every non-empty line must parse as a JSON
+/// object with a `"seq"` unsigned integer and an `"event"` string, and
+/// the sequence numbers must be strictly increasing. Returns summary
+/// statistics on success and a line-numbered message on the first
+/// violation.
+pub fn validate_trace(jsonl: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats {
+        events: 0,
+        nd_events: 0,
+        names: Vec::new(),
+    };
+    let mut last_seq: Option<u64> = None;
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let value = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {n}: missing or non-integer \"seq\""))?;
+        let name = value
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing \"event\" name"))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!(
+                    "line {n}: sequence number {seq} is not greater than {prev}"
+                ));
+            }
+        }
+        last_seq = Some(seq);
+        stats.events += 1;
+        if value.get("nd") == Some(&Json::Bool(true)) {
+            stats.nd_events += 1;
+        }
+        if !stats.names.iter().any(|existing| existing == name) {
+            stats.names.push(name.to_string());
+        }
+    }
+    Ok(stats)
+}
+
+/// Projects a trace onto its deterministic content: drops events with
+/// `"nd":true`, removes each surviving event's `"wall"` member, and
+/// re-serializes one compact JSON object per line. Fails on any line
+/// that does not parse.
+pub fn deterministic_view(jsonl: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(jsonl.len());
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if value.get("nd") == Some(&Json::Bool(true)) {
+            continue;
+        }
+        let Json::Obj(members) = value else {
+            return Err(format!("line {}: not a JSON object", lineno + 1));
+        };
+        let kept = Json::Obj(
+            members
+                .into_iter()
+                .filter(|(k, _)| k != "wall")
+                .collect(),
+        );
+        kept.write(&mut out);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses every event line of a trace into [`Json`] values, skipping
+/// blank lines. The parsed objects keep their full (deterministic and
+/// wall-clock) content; used by the report renderer.
+pub fn parse_trace(jsonl: &str) -> Result<Vec<Json>, String> {
+    jsonl
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{field, Event};
+
+    fn sample_trace() -> String {
+        let lines = [
+            Event::new("train_start", vec![field("iterations", 10usize)]).to_json_line(0),
+            Event::new("epoch", vec![field("epoch", 0usize), field("d_loss", 0.5f32)])
+                .with_wall(vec![field("ms", 3.25f64)])
+                .to_json_line(1),
+            Event::new("metrics", vec![field("pool.jobs", 7usize)])
+                .non_deterministic()
+                .to_json_line(2),
+        ];
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn validates_a_good_trace() {
+        let stats = validate_trace(&sample_trace()).unwrap();
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.nd_events, 1);
+        assert_eq!(stats.names, vec!["train_start", "epoch", "metrics"]);
+    }
+
+    #[test]
+    fn rejects_decreasing_seq() {
+        let bad = format!(
+            "{}\n{}\n",
+            Event::new("a", vec![]).to_json_line(5),
+            Event::new("b", vec![]).to_json_line(5)
+        );
+        let err = validate_trace(&bad).unwrap_err();
+        assert!(err.contains("not greater"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_keys_and_garbage() {
+        assert!(validate_trace("{\"event\":\"x\"}\n").is_err());
+        assert!(validate_trace("{\"seq\":0}\n").is_err());
+        assert!(validate_trace("not json\n").is_err());
+    }
+
+    #[test]
+    fn deterministic_view_strips_nd_and_wall() {
+        let view = deterministic_view(&sample_trace()).unwrap();
+        assert_eq!(
+            view,
+            "{\"seq\":0,\"event\":\"train_start\",\"iterations\":10}\n\
+             {\"seq\":1,\"event\":\"epoch\",\"epoch\":0,\"d_loss\":0.5}\n"
+        );
+    }
+
+    #[test]
+    fn deterministic_view_is_stable_under_reserialization() {
+        let view = deterministic_view(&sample_trace()).unwrap();
+        assert_eq!(deterministic_view(&view).unwrap(), view);
+    }
+}

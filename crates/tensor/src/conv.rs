@@ -14,8 +14,12 @@
 //! and path selection depends only on shapes, so results are
 //! bit-identical for any thread count (see [`crate::pool`]).
 
+use crate::linalg::observe_kernel_work;
 use crate::pool;
 use crate::tensor::Tensor;
+use std::sync::OnceLock;
+
+static CONV2D_WORK: OnceLock<&'static daisy_telemetry::metrics::Histogram> = OnceLock::new();
 
 /// Upper bound on the materialized im2col patch matrix (in `f32`
 /// elements, 64 MiB); bigger problems fall back to the direct loop,
@@ -65,6 +69,7 @@ pub fn conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let ow = conv_out_dim(wd, kw, stride, pad);
     let macs = b * oc * oh * ow * c * kh * kw;
     let patch_elems = b * oh * ow * c * kh * kw;
+    observe_kernel_work(&CONV2D_WORK, "kernel.conv2d.work", macs);
     // Path choice is a pure function of the shapes — never of the
     // thread count — so it cannot break run-to-run determinism.
     if macs >= pool::PAR_MIN_WORK && patch_elems <= IM2COL_MAX_PATCH_ELEMS {

@@ -15,6 +15,26 @@
 
 use crate::pool;
 use crate::tensor::Tensor;
+use std::sync::OnceLock;
+
+/// Records one kernel dispatch's work size (multiply-adds) into the
+/// named histogram. Interned-handle lookup happens once; afterwards an
+/// observation is a shift plus three relaxed atomic adds, and nothing
+/// at all when telemetry is off.
+pub(crate) fn observe_kernel_work(
+    cell: &OnceLock<&'static daisy_telemetry::metrics::Histogram>,
+    name: &'static str,
+    work: usize,
+) {
+    if daisy_telemetry::enabled() {
+        cell.get_or_init(|| daisy_telemetry::metrics::histogram(name))
+            .observe(work as u64);
+    }
+}
+
+static MATMUL_WORK: OnceLock<&'static daisy_telemetry::metrics::Histogram> = OnceLock::new();
+static MATMUL_TN_WORK: OnceLock<&'static daisy_telemetry::metrics::Histogram> = OnceLock::new();
+static MATMUL_NT_WORK: OnceLock<&'static daisy_telemetry::metrics::Histogram> = OnceLock::new();
 
 /// Tile width over the shared `k` dimension for [`Tensor::matmul`].
 /// Keeps the active panel of `b` (≈ `K_TILE × N` floats) inside L2 for
@@ -70,6 +90,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        observe_kernel_work(&MATMUL_WORK, "kernel.matmul.work", m * k * n);
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
@@ -113,6 +134,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        observe_kernel_work(&MATMUL_TN_WORK, "kernel.matmul_tn.work", m * k * n);
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
@@ -157,6 +179,7 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
+        observe_kernel_work(&MATMUL_NT_WORK, "kernel.matmul_nt.work", m * k * n);
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();

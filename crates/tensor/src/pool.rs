@@ -99,14 +99,49 @@ struct Pool {
 static POOL: OnceLock<Pool> = OnceLock::new();
 
 fn default_threads() -> usize {
+    // Runs once (inside the pool's `OnceLock` init), so a bad value
+    // warns exactly once instead of being silently ignored.
     if let Ok(v) = std::env::var("DAISY_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "warning: ignoring DAISY_THREADS={v:?}: expected a positive integer; \
+                 using available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Interned handles for the pool's telemetry counters. These live in
+/// the aggregate metrics plane — their values legitimately depend on
+/// thread count and scheduling, so they never enter the deterministic
+/// event stream (see `daisy_telemetry::metrics`).
+struct PoolMetrics {
+    /// Data-parallel jobs submitted (serial-path jobs included).
+    jobs: &'static daisy_telemetry::metrics::Counter,
+    /// Jobs that ran inline on the caller (no helpers engaged).
+    serial_jobs: &'static daisy_telemetry::metrics::Counter,
+    /// Total blocks across all jobs.
+    blocks: &'static daisy_telemetry::metrics::Counter,
+    /// Blocks executed by helper workers rather than the submitter —
+    /// the "steal" counter; `helper_blocks / blocks` is pool
+    /// utilization by offloaded work.
+    helper_blocks: &'static daisy_telemetry::metrics::Counter,
+    /// Tickets reclaimed unpopped because every helper was busy or the
+    /// job drained first — the idle/overcommit counter.
+    reclaimed_tickets: &'static daisy_telemetry::metrics::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        jobs: daisy_telemetry::metrics::counter("pool.jobs"),
+        serial_jobs: daisy_telemetry::metrics::counter("pool.serial_jobs"),
+        blocks: daisy_telemetry::metrics::counter("pool.blocks"),
+        helper_blocks: daisy_telemetry::metrics::counter("pool.helper_blocks"),
+        reclaimed_tickets: daisy_telemetry::metrics::counter("pool.reclaimed_tickets"),
+    })
 }
 
 fn pool() -> &'static Pool {
@@ -225,6 +260,12 @@ fn parallel_for_dyn(n_blocks: usize, task: &(dyn Fn(usize) + Sync)) {
     let threads = num_threads();
     let helpers = threads.saturating_sub(1).min(n_blocks - 1);
     if helpers == 0 {
+        if daisy_telemetry::enabled() {
+            let m = pool_metrics();
+            m.jobs.add(1);
+            m.serial_jobs.add(1);
+            m.blocks.add(n_blocks as u64);
+        }
         for i in 0..n_blocks {
             task(i);
         }
@@ -280,6 +321,13 @@ fn parallel_for_dyn(n_blocks: usize, task: &(dyn Fn(usize) + Sync)) {
     }
     let panicked = st.panicked;
     drop(st);
+    if daisy_telemetry::enabled() {
+        let m = pool_metrics();
+        m.jobs.add(1);
+        m.blocks.add(n_blocks as u64);
+        m.helper_blocks.add((n_blocks - done_here) as u64);
+        m.reclaimed_tickets.add(reclaimed as u64);
+    }
     if panicked {
         panic!("a daisy-tensor parallel kernel task panicked on a worker thread");
     }

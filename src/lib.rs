@@ -39,6 +39,7 @@ pub use daisy_data as data;
 pub use daisy_datasets as datasets;
 pub use daisy_eval as eval;
 pub use daisy_nn as nn;
+pub use daisy_telemetry as telemetry;
 pub use daisy_tensor as tensor;
 
 /// The most commonly used types, in one import.

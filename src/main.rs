@@ -23,6 +23,7 @@ USAGE:
     daisy generate <MODEL.daisy> --out <FILE> --rows N [--seed N]
     daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
     daisy describe <TABLE.csv> [--label COL]
+    daisy report <TRACE.jsonl> [--validate]
 
 SYNTH OPTIONS:
     --label COL          label column name (enables conditional training)
@@ -40,9 +41,20 @@ DEMO OPTIONS:
     --dataset NAME       HTRU2|Digits|Adult|CovType|SAT|Anuran|Census|Bing
                          (default: Adult)
     --rows N             rows to generate (default: 3000)
+
+REPORT OPTIONS:
+    --validate           only validate the trace; print the summary line
+
+OBSERVABILITY:
+    Set DAISY_TRACE=<path> to record a JSONL event trace of any command
+    (training epochs, guard trips, recoveries, model selection); render
+    it afterwards with `daisy report`. See docs/OBSERVABILITY.md.
 ";
 
 fn main() -> ExitCode {
+    // Open the DAISY_TRACE sink (if configured) up front so a bad path
+    // warns before any work starts.
+    daisy::telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -86,6 +98,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => evaluate(args),
         "describe" => describe(args),
         "generate" => generate(args),
+        "report" => report(args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -151,6 +164,36 @@ fn describe(mut args: Vec<String>) -> Result<(), String> {
                 "  -> balanced"
             }
         );
+    }
+    Ok(())
+}
+
+/// Validates a `DAISY_TRACE` JSONL file and renders the run report
+/// (loss curve, recovery timeline, model selection, metrics). With
+/// `--validate` it stops after validation, so CI can use it as a trace
+/// linter: any malformed line is a nonzero exit.
+fn report(mut args: Vec<String>) -> Result<(), String> {
+    let validate_only = if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let path = args.first().ok_or("report requires a trace path")?;
+    let jsonl = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = daisy::telemetry::RunReport::from_jsonl(&jsonl)
+        .map_err(|e| format!("invalid trace {path}: {e}"))?;
+    if validate_only {
+        let stats = report.stats();
+        println!(
+            "{path}: valid — {} events ({} non-deterministic), {} event types",
+            stats.events,
+            stats.nd_events,
+            stats.names.len()
+        );
+    } else {
+        print!("{}", report.render());
     }
     Ok(())
 }
@@ -452,6 +495,29 @@ mod tests {
         run(&["generate".into(), model, "--out".into(), out.clone(), "--rows".into(), "50".into()]).unwrap();
         let n = std::fs::read_to_string(out).unwrap().lines().count();
         assert_eq!(n, 51); // header + 50 rows
+    }
+
+    #[test]
+    fn report_validates_and_renders_traces() {
+        use daisy::telemetry::{field, Event};
+        let dir = std::env::temp_dir().join("daisy-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl").to_string_lossy().to_string();
+        let lines = [
+            Event::new("train_start", vec![field("iterations", 2usize)]).to_json_line(0),
+            Event::new(
+                "epoch",
+                vec![field("epoch", 0usize), field("d_loss", 0.5f64)],
+            )
+            .to_json_line(1),
+        ];
+        std::fs::write(&trace, lines.join("\n") + "\n").unwrap();
+        run(&["report".into(), trace.clone()]).unwrap();
+        run(&["report".into(), trace.clone(), "--validate".into()]).unwrap();
+        let bad = dir.join("bad.jsonl").to_string_lossy().to_string();
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(run(&["report".into(), bad]).is_err());
+        assert!(run(&["report".into()]).is_err());
     }
 
     #[test]

@@ -28,6 +28,50 @@ fn fit_and_generate(table: &daisy::data::Table, network: NetworkKind) -> daisy::
     fitted.generate(200, &mut rng)
 }
 
+/// Fits under a scoped in-memory recorder and returns the trace's
+/// deterministic view (non-deterministic events dropped, wall-clock
+/// fields stripped).
+fn trace_fit(table: &daisy::data::Table, threads: usize) -> String {
+    use std::sync::Arc;
+    pool::set_threads(threads);
+    let rec = Arc::new(daisy::telemetry::MemoryRecorder::new());
+    daisy::telemetry::with_recorder(rec.clone(), || {
+        let mut rng = Rng::seed_from_u64(77);
+        let (train, _valid, _test) = table.clone().split_train_valid_test(&mut rng);
+        Synthesizer::try_fit(&train, &quick_config(NetworkKind::Mlp))
+            .expect("fixture table trains");
+    });
+    pool::set_threads(1);
+    daisy::telemetry::trace::deterministic_view(&rec.to_jsonl())
+        .expect("recorded trace validates")
+}
+
+/// The golden-trace extension of the determinism contract: not only the
+/// synthetic data but the *telemetry stream itself* must be
+/// byte-identical across runs and thread counts, once the explicitly
+/// non-deterministic parts (metrics snapshots, wall-clock fields) are
+/// stripped.
+#[test]
+fn fit_trace_deterministic_view_is_byte_identical_across_runs_and_threads() {
+    let table = daisy::datasets::SDataNum {
+        correlation: 0.4,
+        skew: daisy::datasets::Skew::Balanced,
+    }
+    .generate(400, 3);
+    let first = trace_fit(&table, 1);
+    let repeat = trace_fit(&table, 1);
+    let parallel = trace_fit(&table, 6);
+    assert!(!first.is_empty());
+    for name in ["fit_start", "train_start", "epoch", "snapshot", "fit_end"] {
+        assert!(
+            first.contains(&format!("\"event\":\"{name}\"")),
+            "trace is missing {name}:\n{first}"
+        );
+    }
+    assert_eq!(first, repeat, "trace changed between identical runs");
+    assert_eq!(first, parallel, "trace changed with the thread count");
+}
+
 #[test]
 fn synthesizer_output_is_identical_for_1_and_n_threads() {
     let table = daisy::datasets::SDataNum {
