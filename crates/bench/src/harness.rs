@@ -2,9 +2,10 @@
 //! synthesizer construction, per-classifier utility sweeps, and
 //! plain-text table formatting.
 
+use crate::journal::SweepJournal;
 use daisy_core::{
-    DiscriminatorKind, NetworkKind, Synthesizer, SynthesizerConfig, TableSynthesizer, TrainConfig,
-    TrainOutcome,
+    CheckpointPlan, DiscriminatorKind, FaultPlan, GuardConfig, NetworkKind, Synthesizer,
+    SynthesizerConfig, TableSynthesizer, TrainConfig, TrainError, TrainOutcome,
 };
 use daisy_data::{Table, TransformConfig};
 use daisy_datasets::TableSpec;
@@ -12,6 +13,7 @@ use daisy_eval::{classification_utility, classifier_zoo};
 use daisy_telemetry::{field, schema};
 use daisy_tensor::Rng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 
 /// Experiment scale knobs. Quick mode keeps every experiment's *shape*
 /// (datasets, design points, classifiers) while shrinking rows and
@@ -147,6 +149,10 @@ pub struct CellOutcome {
     pub failures: Vec<String>,
     /// The resilience report of the winning attempt.
     pub outcome: Option<TrainOutcome>,
+    /// True when training stopped at a [`CheckpointPlan`] kill point
+    /// (standing in for a crash). Interrupted cells are not retried —
+    /// a rerun resumes them from their checkpoint instead.
+    pub interrupted: bool,
 }
 
 impl CellOutcome {
@@ -164,6 +170,25 @@ impl CellOutcome {
 /// initialization, unlucky minibatch order) rarely repeats under a
 /// different seed.
 pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcome {
+    run_cell_checkpointed(train, cfg, seed, &CheckpointPlan::disabled())
+}
+
+/// [`run_cell`] with crash-safe checkpointing: when `ckpt` names a
+/// path, training state is persisted at epoch boundaries and a rerun of
+/// the same cell resumes from the latest valid checkpoint. Retried
+/// attempts shift the model seed, which changes the configuration
+/// fingerprint, so a retry never resumes the previous attempt's
+/// checkpoint by accident.
+///
+/// A deterministic kill ([`CheckpointPlan::kill_at`], standing in for a
+/// real crash) stops the cell immediately — no retries, no `cell_end`
+/// event, exactly like a process that died mid-cell.
+pub fn run_cell_checkpointed(
+    train: &Table,
+    cfg: &SynthesizerConfig,
+    seed: u64,
+    ckpt: &CheckpointPlan,
+) -> CellOutcome {
     let telemetry = daisy_telemetry::enabled();
     let cell_label = format!("{}/{}", cfg.network.name(), cfg.train.name());
     if telemetry {
@@ -193,7 +218,14 @@ pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcom
         let mut cfg = cfg.clone();
         cfg.seed = cfg.seed.wrapping_add(shift);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            Synthesizer::try_fit(train, &cfg).map(|fitted| {
+            Synthesizer::try_fit_checkpointed(
+                train,
+                &cfg,
+                &GuardConfig::default(),
+                &FaultPlan::none(),
+                ckpt,
+            )
+            .map(|fitted| {
                 let mut rng = Rng::seed_from_u64((seed ^ 0x9e37).wrapping_add(shift));
                 let outcome = fitted.outcome().clone();
                 (fitted.generate(train.n_rows(), &mut rng), outcome)
@@ -206,9 +238,22 @@ pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcom
                     attempts: attempt + 1,
                     failures,
                     outcome: Some(outcome),
+                    interrupted: false,
                 };
                 finish(cell.attempts, true, cell.was_rocky());
                 return cell;
+            }
+            Ok(Err(e @ TrainError::Interrupted { .. })) => {
+                // A simulated crash: stop without retrying and without
+                // a cell_end event, like a process killed mid-cell.
+                failures.push(format!("attempt {}: {e}", attempt + 1));
+                return CellOutcome {
+                    synthetic: None,
+                    attempts: attempt + 1,
+                    failures,
+                    outcome: None,
+                    interrupted: true,
+                };
             }
             Ok(Err(e)) => failures.push(format!("attempt {}: {e}", attempt + 1)),
             Err(payload) => {
@@ -237,7 +282,89 @@ pub fn run_cell(train: &Table, cfg: &SynthesizerConfig, seed: u64) -> CellOutcom
         attempts: CELL_RETRIES + 1,
         failures,
         outcome: None,
+        interrupted: false,
     }
+}
+
+/// Result of one cell of a resumable sweep.
+pub enum SweepCellResult {
+    /// The journal already recorded this cell as done; it was skipped.
+    Skipped,
+    /// The cell ran (or resumed) in this process.
+    Ran(CellOutcome),
+}
+
+/// Derives the per-cell checkpoint filename from its sweep id.
+fn cell_checkpoint_name(id: &str) -> String {
+    let sanitized: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    format!("{sanitized}.ckpt")
+}
+
+/// Runs a sweep of `(id, config)` cells through a crash-safe journal in
+/// `dir`, so an interrupted sweep can be rerun without redoing finished
+/// work:
+///
+/// - `dir/journal.txt` records each cell's `start`/`done`/`failed`
+///   transition durably (see [`SweepJournal`]); cells the journal marks
+///   done are skipped with a `cell_skipped` event.
+/// - Each running cell checkpoints its training state to
+///   `dir/<id>.ckpt`, so the cell that was in flight when the process
+///   died resumes mid-training on the rerun.
+/// - When an existing journal is found, a `sweep_resume` event reports
+///   how many of the sweep's cells are already done.
+///
+/// `ckpt` supplies the checkpoint cadence and (in tests) the
+/// deterministic kill / I/O-fault plan; its path is replaced per cell.
+/// A cell that hits the kill point stops the sweep immediately — its
+/// journal entry stays `start`, exactly as if the process had died —
+/// and the partial results are returned.
+pub fn run_sweep_resumable(
+    train: &Table,
+    cells: &[(String, SynthesizerConfig)],
+    seed: u64,
+    dir: &Path,
+    ckpt: &CheckpointPlan,
+) -> std::io::Result<Vec<(String, SweepCellResult)>> {
+    std::fs::create_dir_all(dir)?;
+    let mut journal = SweepJournal::open(dir.join("journal.txt"))?;
+    let telemetry = daisy_telemetry::enabled();
+    if telemetry && !journal.is_empty() {
+        daisy_telemetry::emit(
+            schema::SWEEP_RESUME,
+            vec![
+                field("done", journal.done_count()),
+                field("total", cells.len()),
+            ],
+        );
+    }
+    let mut results = Vec::new();
+    for (id, cfg) in cells {
+        if journal.is_done(id) {
+            if telemetry {
+                daisy_telemetry::emit(schema::CELL_SKIPPED, vec![field("cell", id.as_str())]);
+            }
+            results.push((id.clone(), SweepCellResult::Skipped));
+            continue;
+        }
+        journal.record_start(id)?;
+        let mut cell_plan = ckpt.clone();
+        cell_plan.path = Some(dir.join(cell_checkpoint_name(id)));
+        let cell = run_cell_checkpointed(train, cfg, seed, &cell_plan);
+        if cell.interrupted {
+            results.push((id.clone(), SweepCellResult::Ran(cell)));
+            return Ok(results);
+        }
+        if cell.synthetic.is_some() {
+            journal.record_done(id)?;
+        } else {
+            journal.record_failed(id)?;
+        }
+        results.push((id.clone(), SweepCellResult::Ran(cell)));
+    }
+    Ok(results)
 }
 
 /// Fits a GAN at a design point and synthesizes a table the size of the
@@ -497,6 +624,68 @@ mod tests {
         assert_eq!(cell.failures.len(), CELL_RETRIES + 1);
         assert!(cell.was_rocky());
         assert!(cell.failures[0].contains("empty table"));
+    }
+
+    #[test]
+    fn resumable_sweep_journals_and_skips_done_cells() {
+        let table = tiny_table(48);
+        let dir = daisy_core::scratch_path("sweep-skip");
+        let cells = vec![
+            ("cell-a".to_string(), tiny_cfg(1)),
+            ("cell-b".to_string(), tiny_cfg(2)),
+        ];
+        let plan = CheckpointPlan::disabled();
+        let first = run_sweep_resumable(&table, &cells, 1, &dir, &plan).unwrap();
+        assert_eq!(first.len(), 2);
+        assert!(first
+            .iter()
+            .all(|(_, r)| matches!(r, SweepCellResult::Ran(c) if c.synthetic.is_some())));
+        // Rerun: every cell is journalled done, so nothing recomputes.
+        let second = run_sweep_resumable(&table, &cells, 1, &dir, &plan).unwrap();
+        assert!(second
+            .iter()
+            .all(|(_, r)| matches!(r, SweepCellResult::Skipped)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_sweep_resumes_the_inflight_cell() {
+        let table = tiny_table(48);
+        let dir = daisy_core::scratch_path("sweep-kill");
+        let cells = vec![
+            ("cell-a".to_string(), tiny_cfg(1)),
+            ("cell-b".to_string(), tiny_cfg(2)),
+        ];
+        // Kill the first cell mid-training (tiny_cfg: 8 iterations over
+        // 2 epochs, so step 4 is past the first checkpoint boundary):
+        // the sweep stops as if the process died, cell-a's journal
+        // entry stays `start`, cell-b never starts.
+        let killed =
+            run_sweep_resumable(&table, &cells, 1, &dir, &CheckpointPlan::disabled().kill_at(4))
+                .unwrap();
+        assert_eq!(killed.len(), 1);
+        assert!(matches!(
+            &killed[0].1,
+            SweepCellResult::Ran(c) if c.interrupted
+        ));
+        let j = SweepJournal::open(dir.join("journal.txt")).unwrap();
+        assert_eq!(
+            j.status("cell-a"),
+            Some(crate::journal::CellStatus::InProgress)
+        );
+        assert_eq!(j.status("cell-b"), None);
+        // Rerun without the kill: cell-a resumes from its checkpoint
+        // and completes, cell-b runs fresh; both end up journalled done.
+        let resumed =
+            run_sweep_resumable(&table, &cells, 1, &dir, &CheckpointPlan::disabled()).unwrap();
+        assert_eq!(resumed.len(), 2);
+        assert!(resumed
+            .iter()
+            .all(|(_, r)| matches!(r, SweepCellResult::Ran(c) if c.synthetic.is_some())));
+        let j = SweepJournal::open(dir.join("journal.txt")).unwrap();
+        assert!(j.is_done("cell-a"));
+        assert!(j.is_done("cell-b"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

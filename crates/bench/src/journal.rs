@@ -1,0 +1,208 @@
+//! Crash-safe sweep journal: an append-only manifest recording which
+//! design-space cells a sweep has started, completed, or failed.
+//!
+//! A sweep that dies mid-cell (OOM kill, power loss, Ctrl-C) leaves the
+//! journal behind; the rerun replays it, skips every cell already
+//! marked `done`, and re-runs only the in-flight and unvisited cells.
+//! Combined with per-cell training checkpoints
+//! ([`daisy_core::CheckpointPlan`]), an interrupted sweep resumes where
+//! it stopped instead of recomputing hours of finished work.
+//!
+//! The format is deliberately dumb: one UTF-8 line per state change,
+//! `start <id>` / `done <id>` / `failed <id>`, appended and fsynced
+//! before the state it records is acted on. Replay is last-wins per
+//! cell id. A torn final line (the crash happened mid-append) parses as
+//! an unknown verb and is ignored — the worst outcome is re-running one
+//! cell that was about to be marked done, never skipping one that
+//! wasn't.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// The journalled state of one sweep cell (last-wins over the log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// A `start` line with no later `done`/`failed`: the sweep died (or
+    /// is dying) inside this cell. A rerun re-runs it, resuming from
+    /// its training checkpoint when one exists.
+    InProgress,
+    /// The cell completed; a rerun skips it.
+    Done,
+    /// The cell exhausted its retries; a rerun tries it again.
+    Failed,
+}
+
+/// An append-only, fsynced journal of sweep-cell state changes.
+pub struct SweepJournal {
+    path: PathBuf,
+    file: File,
+    status: BTreeMap<String, CellStatus>,
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal at `path` and replays any
+    /// existing lines. Malformed lines — including a torn final line
+    /// from a crash mid-append — are ignored.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<SweepJournal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let mut existing = String::new();
+        file.read_to_string(&mut existing)?;
+        // Repair a torn tail: terminate it so the next append starts a
+        // fresh line instead of gluing onto the partial one.
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            file.write_all(b"\n")?;
+            file.sync_data()?;
+        }
+        let mut status = BTreeMap::new();
+        for line in existing.lines() {
+            let Some((verb, id)) = line.split_once(' ') else {
+                continue;
+            };
+            let state = match verb {
+                "start" => CellStatus::InProgress,
+                "done" => CellStatus::Done,
+                "failed" => CellStatus::Failed,
+                _ => continue,
+            };
+            status.insert(id.to_string(), state);
+        }
+        Ok(SweepJournal { path, file, status })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// True when the journal holds no replayed entries (fresh sweep).
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// The journalled state of `id`, if any line mentioned it.
+    pub fn status(&self, id: &str) -> Option<CellStatus> {
+        self.status.get(id).copied()
+    }
+
+    /// True when the journal's last word on `id` is `done`.
+    pub fn is_done(&self, id: &str) -> bool {
+        self.status(id) == Some(CellStatus::Done)
+    }
+
+    /// Number of cells currently recorded as done.
+    pub fn done_count(&self) -> usize {
+        self.status
+            .values()
+            .filter(|s| **s == CellStatus::Done)
+            .count()
+    }
+
+    /// Journals that work on `id` is beginning. Durable before return.
+    pub fn record_start(&mut self, id: &str) -> io::Result<()> {
+        self.append("start", id, CellStatus::InProgress)
+    }
+
+    /// Journals that `id` completed. Durable before return.
+    pub fn record_done(&mut self, id: &str) -> io::Result<()> {
+        self.append("done", id, CellStatus::Done)
+    }
+
+    /// Journals that `id` failed for good. Durable before return.
+    pub fn record_failed(&mut self, id: &str) -> io::Result<()> {
+        self.append("failed", id, CellStatus::Failed)
+    }
+
+    fn append(&mut self, verb: &str, id: &str, state: CellStatus) -> io::Result<()> {
+        if id.contains('\n') || id.contains('\r') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cell id must be a single line, got {id:?}"),
+            ));
+        }
+        self.file.write_all(format!("{verb} {id}\n").as_bytes())?;
+        self.file.sync_data()?;
+        self.status.insert(id.to_string(), state);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_core::scratch_path;
+
+    #[test]
+    fn replay_is_last_wins_per_cell() {
+        let path = scratch_path("journal-replay");
+        {
+            let mut j = SweepJournal::open(&path).unwrap();
+            assert!(j.is_empty());
+            j.record_start("a").unwrap();
+            j.record_done("a").unwrap();
+            j.record_start("b").unwrap();
+            j.record_start("c").unwrap();
+            j.record_failed("c").unwrap();
+        }
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(!j.is_empty());
+        assert!(j.is_done("a"));
+        assert_eq!(j.status("b"), Some(CellStatus::InProgress));
+        assert_eq!(j.status("c"), Some(CellStatus::Failed));
+        assert_eq!(j.status("d"), None);
+        assert_eq!(j.done_count(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let path = scratch_path("journal-torn");
+        {
+            let mut j = SweepJournal::open(&path).unwrap();
+            j.record_done("a").unwrap();
+        }
+        // Simulate a crash mid-append: a prefix of "done b\n" without
+        // the full verb survives on disk.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"don").unwrap();
+        }
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(j.is_done("a"));
+        assert_eq!(j.status("b"), None);
+        // The journal stays appendable after replaying a torn tail.
+        let mut j = j;
+        j.record_done("b").unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(j.is_done("b"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn multiline_ids_are_rejected() {
+        let path = scratch_path("journal-badid");
+        let mut j = SweepJournal::open(&path).unwrap();
+        assert!(j.record_start("evil\ndone x").is_err());
+        assert_eq!(j.status("evil"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ids_with_spaces_roundtrip() {
+        let path = scratch_path("journal-spaces");
+        {
+            let mut j = SweepJournal::open(&path).unwrap();
+            j.record_done("mlp/vtrain lr 0.002").unwrap();
+        }
+        let j = SweepJournal::open(&path).unwrap();
+        assert!(j.is_done("mlp/vtrain lr 0.002"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,815 @@
+//! Durable training checkpoints and crash-safe resume.
+//!
+//! A design-space sweep (the paper runs hundreds of
+//! configuration-cells, §7) can be killed at any moment — an OOM kill,
+//! a preempted spot instance, a plain Ctrl-C. This module makes that
+//! survivable without giving up the repo's determinism contract: a
+//! [`TrainCheckpoint`] captures the *complete* training state at a
+//! clean epoch boundary — model weights, optimizer moments, the main
+//! RNG stream and every dropout stream, the guard's loss envelope, the
+//! fault-plan arming state, loss history, and the epoch-snapshot ring —
+//! so a resumed run replays the remaining steps bit-identically to a
+//! run that was never interrupted.
+//!
+//! Durability comes from the classic write-to-temp → fsync → atomic
+//! rename discipline (`wire::atomic_write`'s protocol, plus a
+//! last-good rotation): the previous checkpoint is renamed to `.prev`
+//! before the new one lands, so at every instant the disk holds at
+//! least one complete, verifiable checkpoint. Every section of the file
+//! is CRC-64 framed; a torn or bit-rotted file is detected at load,
+//! reported as a typed [`CheckpointError`], quarantined as
+//! `.corrupt-N`, and skipped in favour of its predecessor — never a
+//! panic, never a silently-wrong resume.
+//!
+//! The write path is fault-injectable ([`IoFaultPlan`]) with the same
+//! deterministic fire-once semantics as [`crate::fault`]'s training
+//! faults, so the recovery behaviour above is exercised by tests rather
+//! than asserted in comments.
+
+use crate::config::{LossKind, SynthesizerConfig};
+use crate::fault::{ArmedIoFaults, IoFault, IoFaultPlan};
+use crate::guard::{RecoveryAction, RecoveryEvent, TrainOutcome, TripReason};
+use crate::train::EpochStats;
+use crate::wire::{self, Reader, WireError, Writer};
+use daisy_telemetry::{field, schema};
+use daisy_tensor::{RngState, Tensor};
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"DAISYCK1";
+
+/// Why a checkpoint operation failed. All variants are recoverable:
+/// training continues without the failed save, and a corrupt load falls
+/// back to the predecessor checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The underlying write/rename failed (disk full, permissions, an
+    /// injected I/O fault).
+    Io(String),
+    /// The file exists but fails validation — bad magic, torn tail,
+    /// checksum mismatch, or an implausible length.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint i/o failure: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A unique scratch-file path in the system temp directory: tagged,
+/// per-process, per-call. Tests across the workspace use this instead
+/// of fixed filenames so concurrent test binaries (or threads) never
+/// race on the same file.
+pub fn scratch_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("daisy-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Fingerprint of a full synthesizer configuration (CRC-64 of its
+/// canonical byte encoding, [`crate::persist`]'s `write_config`). A
+/// checkpoint records the fingerprint of the configuration that
+/// produced it; resume ignores checkpoints whose fingerprint differs —
+/// a stale file from an earlier sweep must not hijack a new cell.
+pub fn config_fingerprint(cfg: &SynthesizerConfig) -> u64 {
+    wire::crc64(&crate::persist::config_bytes(cfg))
+}
+
+fn every_from_env() -> usize {
+    std::env::var("DAISY_CKPT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Checkpointing policy for one training run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointPlan {
+    /// Checkpoint file path; `None` disables checkpointing entirely.
+    /// The store also uses `<path>.prev` (last-good), `<path>.tmp`
+    /// (in-flight write) and `<path>.corrupt-N` (quarantine).
+    pub path: Option<PathBuf>,
+    /// Write a checkpoint every `every`-th clean epoch boundary
+    /// (default 1 = every epoch; the `DAISY_CKPT_EVERY` environment
+    /// variable sets the default for [`CheckpointPlan::at`]).
+    pub every: usize,
+    /// Abort training with [`crate::TrainError::Interrupted`] *before*
+    /// executing this step — a deterministic stand-in for SIGKILL used
+    /// by the resume tests. `None` in production.
+    pub kill_at_step: Option<usize>,
+    /// Configuration fingerprint stamped into every checkpoint and
+    /// required of every loaded one. Filled in by the synthesizer
+    /// (`config_fingerprint`); leave 0 when driving the trainer
+    /// directly without resume-safety concerns.
+    pub fingerprint: u64,
+    /// Injected I/O faults for the write path (empty in production).
+    pub io_faults: IoFaultPlan,
+}
+
+impl CheckpointPlan {
+    /// No checkpointing, no kill: the plain training path.
+    pub fn disabled() -> Self {
+        CheckpointPlan {
+            every: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Checkpoints to `path`, with the cadence taken from
+    /// `DAISY_CKPT_EVERY` (default: every epoch).
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        CheckpointPlan {
+            path: Some(path.into()),
+            every: every_from_env(),
+            ..Default::default()
+        }
+    }
+
+    /// True when a checkpoint path is configured.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Schedules the deterministic kill at `step`.
+    pub fn kill_at(mut self, step: usize) -> Self {
+        self.kill_at_step = Some(step);
+        self
+    }
+
+    /// Overrides the checkpoint cadence (clamped to ≥ 1).
+    pub fn with_every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Attaches an I/O fault schedule to the write path.
+    pub fn with_io_faults(mut self, faults: IoFaultPlan) -> Self {
+        self.io_faults = faults;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// the checkpoint payload
+// ---------------------------------------------------------------------
+
+/// The complete training state at a clean epoch boundary. Restoring
+/// every field listed here — and nothing less — is what makes resume
+/// bit-exact: weights and optimizer moments alone would replay a
+/// *different* (if plausible) trajectory because the noise stream,
+/// dropout masks, guard envelope and fault arming would restart.
+pub struct TrainCheckpoint {
+    pub(crate) fingerprint: u64,
+    /// Next step to execute (the boundary's `t + 1`).
+    pub(crate) t: usize,
+    pub(crate) epochs_done: usize,
+    /// Loss family the optimizer moments belong to (tracks the WTrain
+    /// escalation).
+    pub(crate) loss: LossKind,
+    pub(crate) d_steps: usize,
+    pub(crate) lr_scale: f32,
+    pub(crate) plain_rollbacks: usize,
+    /// Guard loss envelope `(ema_d, ema_g, steps_seen)`.
+    pub(crate) ema: (f32, f32, usize),
+    /// Main training RNG stream position.
+    pub(crate) rng: RngState,
+    /// Fault-plan arming flags ([`crate::fault::FaultPlan`]).
+    pub(crate) fired: Vec<bool>,
+    pub(crate) outcome: TrainOutcome,
+    pub(crate) g_params: Vec<Tensor>,
+    /// Generator non-parameter state (batch-norm running statistics).
+    pub(crate) g_state: Vec<Tensor>,
+    pub(crate) d_params: Vec<Tensor>,
+    pub(crate) d_state: Vec<Tensor>,
+    /// Discriminator-internal RNG streams (dropout mask generators).
+    pub(crate) d_rng: Vec<RngState>,
+    pub(crate) opt_g: Vec<Tensor>,
+    pub(crate) opt_d: Vec<Tensor>,
+    pub(crate) history: Vec<EpochStats>,
+    /// Per-epoch generator snapshots accumulated so far (model
+    /// selection needs all of them, not just the latest weights).
+    pub(crate) snapshots: Vec<Vec<Tensor>>,
+}
+
+fn write_rng(w: &mut Writer, s: &RngState) {
+    for &word in &s.words {
+        w.u64(word);
+    }
+    match s.gauss_spare {
+        Some(v) => {
+            w.bool(true);
+            w.f64(v);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn read_rng(r: &mut Reader) -> Result<RngState, WireError> {
+    let mut words = [0u64; 4];
+    for word in &mut words {
+        *word = r.u64()?;
+    }
+    let gauss_spare = if r.bool()? { Some(r.f64()?) } else { None };
+    Ok(RngState { words, gauss_spare })
+}
+
+fn write_reason(w: &mut Writer, reason: &TripReason) {
+    match *reason {
+        TripReason::NonFiniteLoss { d_loss, g_loss } => {
+            w.u8(0);
+            w.f32(d_loss);
+            w.f32(g_loss);
+        }
+        TripReason::NonFiniteWeights => w.u8(1),
+        TripReason::Divergence { loss, ema } => {
+            w.u8(2);
+            w.f32(loss);
+            w.f32(ema);
+        }
+        TripReason::ModeCollapse { duplicate_fraction } => {
+            w.u8(3);
+            w.f64(duplicate_fraction);
+        }
+    }
+}
+
+fn read_reason(r: &mut Reader) -> Result<TripReason, WireError> {
+    Ok(match r.u8()? {
+        0 => TripReason::NonFiniteLoss {
+            d_loss: r.f32()?,
+            g_loss: r.f32()?,
+        },
+        1 => TripReason::NonFiniteWeights,
+        2 => TripReason::Divergence {
+            loss: r.f32()?,
+            ema: r.f32()?,
+        },
+        3 => TripReason::ModeCollapse {
+            duplicate_fraction: r.f64()?,
+        },
+        other => return Err(format!("unknown trip-reason tag {other}")),
+    })
+}
+
+fn write_action(w: &mut Writer, action: &RecoveryAction) {
+    match *action {
+        RecoveryAction::Rollback { lr_scale } => {
+            w.u8(0);
+            w.f32(lr_scale);
+        }
+        RecoveryAction::SwitchToWTrain { lr_scale } => {
+            w.u8(1);
+            w.f32(lr_scale);
+        }
+        RecoveryAction::Degrade => w.u8(2),
+    }
+}
+
+fn read_action(r: &mut Reader) -> Result<RecoveryAction, WireError> {
+    Ok(match r.u8()? {
+        0 => RecoveryAction::Rollback { lr_scale: r.f32()? },
+        1 => RecoveryAction::SwitchToWTrain { lr_scale: r.f32()? },
+        2 => RecoveryAction::Degrade,
+        other => return Err(format!("unknown recovery-action tag {other}")),
+    })
+}
+
+fn write_outcome(w: &mut Writer, o: &TrainOutcome) {
+    w.usize(o.recoveries.len());
+    for ev in &o.recoveries {
+        w.usize(ev.step);
+        w.usize(ev.epoch);
+        write_reason(w, &ev.reason);
+        write_action(w, &ev.action);
+    }
+    w.bool(o.degraded);
+    w.usize(o.completed_epochs);
+    w.bool(o.escalated_wtrain);
+    w.bool(o.escalated_simplified_d);
+}
+
+fn read_outcome(r: &mut Reader) -> Result<TrainOutcome, WireError> {
+    let n = r.len()?;
+    let mut recoveries = Vec::with_capacity(n);
+    for _ in 0..n {
+        recoveries.push(RecoveryEvent {
+            step: r.usize()?,
+            epoch: r.usize()?,
+            reason: read_reason(r)?,
+            action: read_action(r)?,
+        });
+    }
+    Ok(TrainOutcome {
+        recoveries,
+        degraded: r.bool()?,
+        completed_epochs: r.usize()?,
+        escalated_wtrain: r.bool()?,
+        escalated_simplified_d: r.bool()?,
+    })
+}
+
+impl TrainCheckpoint {
+    /// Serializes the checkpoint: magic, then four CRC-framed sections
+    /// (meta, model, optimizer, history).
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.buf.extend_from_slice(MAGIC);
+
+        let mut meta = Writer::default();
+        meta.u64(self.fingerprint);
+        meta.usize(self.t);
+        meta.usize(self.epochs_done);
+        meta.u8(match self.loss {
+            LossKind::Vanilla => 0,
+            LossKind::Wasserstein => 1,
+        });
+        meta.usize(self.d_steps);
+        meta.f32(self.lr_scale);
+        meta.usize(self.plain_rollbacks);
+        meta.f32(self.ema.0);
+        meta.f32(self.ema.1);
+        meta.usize(self.ema.2);
+        write_rng(&mut meta, &self.rng);
+        meta.usize(self.fired.len());
+        for &b in &self.fired {
+            meta.bool(b);
+        }
+        write_outcome(&mut meta, &self.outcome);
+        w.section(&meta);
+
+        let mut model = Writer::default();
+        model.tensors(&self.g_params);
+        model.tensors(&self.g_state);
+        model.tensors(&self.d_params);
+        model.tensors(&self.d_state);
+        model.usize(self.d_rng.len());
+        for s in &self.d_rng {
+            write_rng(&mut model, s);
+        }
+        w.section(&model);
+
+        let mut opt = Writer::default();
+        opt.tensors(&self.opt_g);
+        opt.tensors(&self.opt_d);
+        w.section(&opt);
+
+        let mut hist = Writer::default();
+        hist.usize(self.history.len());
+        for e in &self.history {
+            hist.usize(e.epoch);
+            hist.f32(e.d_loss);
+            hist.f32(e.g_loss);
+            hist.f32(e.kl);
+        }
+        hist.usize(self.snapshots.len());
+        for snap in &self.snapshots {
+            hist.tensors(snap);
+        }
+        w.section(&hist);
+
+        w.buf
+    }
+
+    /// Parses and validates checkpoint bytes. Every failure mode —
+    /// foreign file, truncation, any single corrupted byte — yields
+    /// [`CheckpointError::Corrupt`]; this function never panics on
+    /// arbitrary input.
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Result<TrainCheckpoint, CheckpointError> {
+        let bad = CheckpointError::Corrupt;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(bad("not a daisy checkpoint file (bad magic)".to_string()));
+        }
+        let mut r = Reader::new(&bytes[MAGIC.len()..]);
+
+        let mut meta = r.section().map_err(bad)?;
+        let fingerprint = meta.u64().map_err(bad)?;
+        let t = meta.usize().map_err(bad)?;
+        let epochs_done = meta.usize().map_err(bad)?;
+        let loss = match meta.u8().map_err(bad)? {
+            0 => LossKind::Vanilla,
+            1 => LossKind::Wasserstein,
+            other => return Err(bad(format!("unknown loss tag {other}"))),
+        };
+        let d_steps = meta.usize().map_err(bad)?;
+        let lr_scale = meta.f32().map_err(bad)?;
+        let plain_rollbacks = meta.usize().map_err(bad)?;
+        let ema = (
+            meta.f32().map_err(bad)?,
+            meta.f32().map_err(bad)?,
+            meta.usize().map_err(bad)?,
+        );
+        let rng = read_rng(&mut meta).map_err(bad)?;
+        let n_fired = meta.len().map_err(bad)?;
+        let mut fired = Vec::with_capacity(n_fired);
+        for _ in 0..n_fired {
+            fired.push(meta.bool().map_err(bad)?);
+        }
+        let outcome = read_outcome(&mut meta).map_err(bad)?;
+
+        let mut model = r.section().map_err(bad)?;
+        let g_params = model.tensors().map_err(bad)?;
+        let g_state = model.tensors().map_err(bad)?;
+        let d_params = model.tensors().map_err(bad)?;
+        let d_state = model.tensors().map_err(bad)?;
+        let n_rng = model.len().map_err(bad)?;
+        let mut d_rng = Vec::with_capacity(n_rng);
+        for _ in 0..n_rng {
+            d_rng.push(read_rng(&mut model).map_err(bad)?);
+        }
+
+        let mut opt = r.section().map_err(bad)?;
+        let opt_g = opt.tensors().map_err(bad)?;
+        let opt_d = opt.tensors().map_err(bad)?;
+
+        let mut hist = r.section().map_err(bad)?;
+        let n_hist = hist.len().map_err(bad)?;
+        let mut history = Vec::with_capacity(n_hist);
+        for _ in 0..n_hist {
+            history.push(EpochStats {
+                epoch: hist.usize().map_err(bad)?,
+                d_loss: hist.f32().map_err(bad)?,
+                g_loss: hist.f32().map_err(bad)?,
+                kl: hist.f32().map_err(bad)?,
+            });
+        }
+        let n_snap = hist.len().map_err(bad)?;
+        let mut snapshots = Vec::with_capacity(n_snap);
+        for _ in 0..n_snap {
+            snapshots.push(hist.tensors().map_err(bad)?);
+        }
+
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after final section".to_string()));
+        }
+        Ok(TrainCheckpoint {
+            fingerprint,
+            t,
+            epochs_done,
+            loss,
+            d_steps,
+            lr_scale,
+            plain_rollbacks,
+            ema,
+            rng,
+            fired,
+            outcome,
+            g_params,
+            g_state,
+            d_params,
+            d_state,
+            d_rng,
+            opt_g,
+            opt_d,
+            history,
+            snapshots,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// the durable store
+// ---------------------------------------------------------------------
+
+/// Durable checkpoint storage at a fixed path with last-good rotation
+/// and deterministic I/O fault injection.
+pub(crate) struct CheckpointStore {
+    path: PathBuf,
+    armed: ArmedIoFaults,
+    saves: usize,
+}
+
+impl CheckpointStore {
+    pub(crate) fn new(path: PathBuf, faults: &IoFaultPlan) -> Self {
+        CheckpointStore {
+            path,
+            armed: ArmedIoFaults::new(faults),
+            saves: 0,
+        }
+    }
+
+    /// Writes `ckpt` durably: temp file + fsync, rotate the current
+    /// file to `.prev`, atomic rename, fsync the directory. Returns the
+    /// payload size. Scheduled I/O faults fire here (once each, with
+    /// one `fault_fired` telemetry event per firing); on any failure
+    /// the previously-saved checkpoint remains intact and loadable.
+    pub(crate) fn save(&mut self, ckpt: &TrainCheckpoint) -> Result<usize, CheckpointError> {
+        let idx = self.saves;
+        self.saves += 1;
+        let bytes = ckpt.to_bytes();
+
+        let due = self.armed.take(idx);
+        for f in &due {
+            if daisy_telemetry::enabled() {
+                daisy_telemetry::emit(
+                    schema::FAULT_FIRED,
+                    vec![field("kind", f.kind()), field("save", idx)],
+                );
+            }
+        }
+        let mut torn = None;
+        let mut flip = None;
+        let mut rename_fails = false;
+        for f in due {
+            match f {
+                IoFault::DiskFull { .. } => {
+                    return Err(CheckpointError::Io("disk full (injected)".to_string()));
+                }
+                IoFault::TornWrite { offset, .. } => torn = Some(offset),
+                IoFault::RenameFail { .. } => rename_fails = true,
+                IoFault::BitFlip { offset, .. } => flip = Some(offset),
+            }
+        }
+
+        let io = |e: std::io::Error| CheckpointError::Io(e.to_string());
+        let tmp = wire::sibling(&self.path, "tmp");
+        if let Some(offset) = torn {
+            // The crash happens mid-write: a prefix of the temp file
+            // lands, the rename never runs, the main file is untouched.
+            let cut = offset as usize % bytes.len().max(1);
+            let _ = std::fs::write(&tmp, &bytes[..cut]);
+            return Err(CheckpointError::Io(format!(
+                "torn write after {cut} bytes (injected)"
+            )));
+        }
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io)?;
+            f.write_all(&bytes).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+        if rename_fails {
+            return Err(CheckpointError::Io("rename failed (injected)".to_string()));
+        }
+        // Last-good rotation: the current checkpoint survives as
+        // `.prev` until the *next* save rotates it out, so a bit-rotted
+        // primary always has a verified predecessor to fall back to.
+        if self.path.exists() {
+            std::fs::rename(&self.path, wire::sibling(&self.path, "prev")).map_err(io)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io)?;
+        wire::sync_parent_dir(&self.path);
+        if let Some(offset) = flip {
+            // Silent corruption after a successful save: the caller
+            // sees success; only the next load's checksum notices.
+            if let Ok(mut cur) = std::fs::read(&self.path) {
+                if !cur.is_empty() {
+                    let i = offset as usize % cur.len();
+                    cur[i] ^= 0x01;
+                    let _ = std::fs::write(&self.path, cur);
+                }
+            }
+        }
+        Ok(bytes.len())
+    }
+
+    /// Loads the freshest valid checkpoint with the expected
+    /// fingerprint: the primary file first, then `.prev`. A corrupt
+    /// candidate is quarantined (renamed `.corrupt-N`) and reported via
+    /// one `checkpoint_corrupt_skipped` event; a valid checkpoint with
+    /// a foreign fingerprint (stale sweep, different cell) is ignored
+    /// silently. Returns `None` when nothing usable exists — the caller
+    /// trains from scratch.
+    pub(crate) fn load_latest(&self, fingerprint: u64) -> Option<TrainCheckpoint> {
+        let candidates = [
+            ("primary", self.path.clone()),
+            ("previous", wire::sibling(&self.path, "prev")),
+        ];
+        for (slot, path) in candidates {
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            match TrainCheckpoint::from_bytes(&bytes) {
+                Ok(ckpt) if ckpt.fingerprint == fingerprint => return Some(ckpt),
+                Ok(_) => {} // stale configuration: not ours to resume
+                Err(err) => {
+                    quarantine(&path);
+                    if daisy_telemetry::enabled() {
+                        daisy_telemetry::emit(
+                            schema::CHECKPOINT_CORRUPT_SKIPPED,
+                            vec![field("slot", slot), field("error", err.to_string())],
+                        );
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Moves a corrupt checkpoint aside as `<path>.corrupt-N` (first free
+/// N) so it stays available for post-mortem without ever being loaded
+/// again.
+fn quarantine(path: &Path) {
+    for n in 0..10_000u32 {
+        let dest = wire::sibling(path, &format!("corrupt-{n}"));
+        if !dest.exists() {
+            let _ = std::fs::rename(path, dest);
+            return;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daisy_tensor::Rng;
+
+    fn dummy(fingerprint: u64, t: usize) -> TrainCheckpoint {
+        let mut rng = Rng::seed_from_u64(t as u64);
+        let _ = rng.normal(); // populate the Box–Muller spare
+        TrainCheckpoint {
+            fingerprint,
+            t,
+            epochs_done: 1,
+            loss: LossKind::Wasserstein,
+            d_steps: 3,
+            lr_scale: 0.5,
+            plain_rollbacks: 2,
+            ema: (0.25, -1.5, 7),
+            rng: rng.state(),
+            fired: vec![true, false, true],
+            outcome: TrainOutcome {
+                recoveries: vec![RecoveryEvent {
+                    step: 4,
+                    epoch: 0,
+                    reason: TripReason::Divergence { loss: 9.0, ema: 1.0 },
+                    action: RecoveryAction::SwitchToWTrain { lr_scale: 0.5 },
+                }],
+                degraded: false,
+                completed_epochs: 1,
+                escalated_wtrain: true,
+                escalated_simplified_d: false,
+            },
+            g_params: vec![Tensor::from_slice(&[1.0, 2.0, 3.0])],
+            g_state: vec![Tensor::from_slice(&[0.0, 1.0])],
+            d_params: vec![Tensor::from_slice(&[-1.0])],
+            d_state: Vec::new(),
+            d_rng: vec![Rng::seed_from_u64(9).state()],
+            opt_g: vec![Tensor::from_slice(&[0.5])],
+            opt_d: vec![Tensor::from_slice(&[0.1, 0.2])],
+            history: vec![EpochStats {
+                epoch: 0,
+                d_loss: 0.3,
+                g_loss: 0.6,
+                kl: 0.05,
+            }],
+            snapshots: vec![vec![Tensor::from_slice(&[1.0, 2.0, 3.0])]],
+        }
+    }
+
+    fn assert_same(a: &TrainCheckpoint, b: &TrainCheckpoint) {
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.t, b.t);
+        assert_eq!(a.epochs_done, b.epochs_done);
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(a.d_steps, b.d_steps);
+        assert_eq!(a.lr_scale, b.lr_scale);
+        assert_eq!(a.plain_rollbacks, b.plain_rollbacks);
+        assert_eq!(a.ema, b.ema);
+        assert_eq!(a.rng, b.rng);
+        assert_eq!(a.fired, b.fired);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.g_params, b.g_params);
+        assert_eq!(a.g_state, b.g_state);
+        assert_eq!(a.d_params, b.d_params);
+        assert_eq!(a.d_state, b.d_state);
+        assert_eq!(a.d_rng, b.d_rng);
+        assert_eq!(a.opt_g, b.opt_g);
+        assert_eq!(a.opt_d, b.opt_d);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!((x.epoch, x.d_loss, x.g_loss, x.kl), (y.epoch, y.d_loss, y.g_loss, y.kl));
+        }
+        assert_eq!(a.snapshots, b.snapshots);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let ckpt = dummy(0xdead_beef, 12);
+        let loaded = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).expect("roundtrip");
+        assert_same(&ckpt, &loaded);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_a_typed_error() {
+        // The satellite fuzz pass: flipping any byte of a checkpoint
+        // must produce CheckpointError::Corrupt — never a panic, never
+        // a silently accepted altered checkpoint.
+        let bytes = dummy(7, 3).to_bytes();
+        let mut corrupted = bytes.clone();
+        for i in 0..corrupted.len() {
+            for flip in [0x01u8, 0x80] {
+                corrupted[i] ^= flip;
+                match TrainCheckpoint::from_bytes(&corrupted) {
+                    Err(CheckpointError::Corrupt(_)) => {}
+                    Err(other) => panic!("byte {i}: wrong error class {other}"),
+                    Ok(_) => panic!("flip at byte {i} of {} accepted", corrupted.len()),
+                }
+                corrupted[i] ^= flip;
+            }
+        }
+        assert!(TrainCheckpoint::from_bytes(&corrupted).is_ok());
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let bytes = dummy(1, 1).to_bytes();
+        for cut in [0, 4, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                TrainCheckpoint::from_bytes(&bytes[..cut]),
+                Err(CheckpointError::Corrupt(_))
+            ));
+        }
+        assert!(TrainCheckpoint::from_bytes(b"DAISYSY1 not a checkpoint").is_err());
+    }
+
+    #[test]
+    fn store_rotates_and_prefers_the_primary() {
+        let path = scratch_path("ckpt-rotate");
+        let mut store = CheckpointStore::new(path.clone(), &IoFaultPlan::none());
+        store.save(&dummy(42, 3)).unwrap();
+        store.save(&dummy(42, 6)).unwrap();
+        assert!(wire::sibling(&path, "prev").exists());
+        let latest = store.load_latest(42).expect("latest");
+        assert_eq!(latest.t, 6);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_prev_and_quarantines() {
+        let path = scratch_path("ckpt-fallback");
+        let mut store = CheckpointStore::new(path.clone(), &IoFaultPlan::none());
+        store.save(&dummy(42, 3)).unwrap();
+        store.save(&dummy(42, 6)).unwrap();
+        // Rot a byte of the primary.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&path, bytes).unwrap();
+        let recovered = store.load_latest(42).expect("fallback to .prev");
+        assert_eq!(recovered.t, 3, "must resume from the last-good file");
+        assert!(!path.exists(), "corrupt primary must be moved aside");
+        assert!(wire::sibling(&path, "corrupt-0").exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_fingerprint_is_ignored_without_quarantine() {
+        let path = scratch_path("ckpt-stale");
+        let mut store = CheckpointStore::new(path.clone(), &IoFaultPlan::none());
+        store.save(&dummy(1, 3)).unwrap();
+        assert!(store.load_latest(2).is_none());
+        assert!(path.exists(), "a valid foreign checkpoint is left alone");
+        assert!(!wire::sibling(&path, "corrupt-0").exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn io_faults_fail_the_save_but_never_the_last_good_file() {
+        for plan in [
+            IoFaultPlan::torn_write_at(1, 37),
+            IoFaultPlan::rename_fail_at(1),
+            IoFaultPlan::disk_full_at(1),
+        ] {
+            let path = scratch_path("ckpt-iofault");
+            let mut store = CheckpointStore::new(path.clone(), &plan);
+            store.save(&dummy(5, 3)).unwrap();
+            let err = store.save(&dummy(5, 6)).expect_err("fault must fail the save");
+            assert!(matches!(err, CheckpointError::Io(_)), "{plan:?}: {err}");
+            let survivor = store.load_latest(5).expect("last-good checkpoint");
+            assert_eq!(survivor.t, 3, "{plan:?} must leave the old checkpoint");
+            // The fault fired once: the same save index stays quiet now.
+            store.save(&dummy(5, 9)).unwrap();
+            assert_eq!(store.load_latest(5).unwrap().t, 9);
+            cleanup(&path);
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_silent_at_save_and_caught_at_load() {
+        let path = scratch_path("ckpt-bitflip");
+        let mut store = CheckpointStore::new(path.clone(), &IoFaultPlan::bit_flip_at(1, 91));
+        store.save(&dummy(5, 3)).unwrap();
+        store.save(&dummy(5, 6)).expect("bit flip is silent at save time");
+        let recovered = store.load_latest(5).expect("fallback");
+        assert_eq!(recovered.t, 3, "checksum must reject the flipped primary");
+        assert!(wire::sibling(&path, "corrupt-0").exists());
+        cleanup(&path);
+    }
+
+    fn cleanup(path: &Path) {
+        for ext in ["tmp", "prev", "corrupt-0", "corrupt-1"] {
+            let _ = std::fs::remove_file(wire::sibling(path, ext));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -61,6 +61,17 @@ impl Discriminator for CnnDiscriminator {
     fn set_training(&self, training: bool) {
         self.bn.set_training(training);
     }
+
+    fn state(&self) -> Vec<Tensor> {
+        vec![self.bn.inner().running_mean(), self.bn.inner().running_var()]
+    }
+
+    fn set_state(&self, state: &[Tensor]) {
+        assert_eq!(state.len(), 2, "CNN discriminator state is [mean, var]");
+        self.bn
+            .inner()
+            .set_running_stats(state[0].clone(), state[1].clone());
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use crate::discriminator::{attach_condition, Discriminator};
 use daisy_nn::{Activation, Dropout, Linear, Module, Sequential};
-use daisy_tensor::{Param, Rng, Tensor, Var};
+use daisy_tensor::{Param, Rng, RngState, Tensor, Var};
 
 /// Fully-connected discriminator. The "Simplified" mode-collapse remedy
 /// (§5.2) is obtained by constructing it with a single narrow hidden
@@ -58,6 +58,18 @@ impl Discriminator for MlpDiscriminator {
 
     fn set_training(&self, training: bool) {
         self.net.set_training(training);
+    }
+
+    fn rng_states(&self) -> Vec<RngState> {
+        let mut out = Vec::new();
+        self.net.collect_rng_states(&mut out);
+        out
+    }
+
+    fn set_rng_states(&self, states: &[RngState]) {
+        let mut iter = states.iter();
+        self.net.restore_rng_states(&mut iter);
+        assert!(iter.next().is_none(), "rng-state arity mismatch");
     }
 }
 

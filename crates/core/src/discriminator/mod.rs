@@ -13,7 +13,7 @@ pub use cnn::CnnDiscriminator;
 pub use lstm::LstmDiscriminator;
 pub use mlp::MlpDiscriminator;
 
-use daisy_tensor::{Param, Tensor, Var};
+use daisy_tensor::{Param, RngState, Tensor, Var};
 
 /// A discriminator/critic over (flattened) encoded samples.
 pub trait Discriminator {
@@ -26,6 +26,29 @@ pub trait Discriminator {
 
     /// Train/eval mode switch.
     fn set_training(&self, training: bool);
+
+    /// Non-parameter state (batch-norm running statistics), in a stable
+    /// order — mirrors [`crate::generator::Generator::state`] so
+    /// checkpoints capture the discriminator completely.
+    fn state(&self) -> Vec<Tensor> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Discriminator::state`].
+    fn set_state(&self, state: &[Tensor]) {
+        assert!(state.is_empty(), "discriminator carries no state");
+    }
+
+    /// Internal RNG streams (dropout mask generators), in a stable
+    /// order. Empty for discriminators without internal randomness.
+    fn rng_states(&self) -> Vec<RngState> {
+        Vec::new()
+    }
+
+    /// Restores streams captured by [`Discriminator::rng_states`].
+    fn set_rng_states(&self, states: &[RngState]) {
+        assert!(states.is_empty(), "discriminator carries no rng streams");
+    }
 }
 
 pub(crate) fn attach_condition(x: &Var, cond: Option<&Tensor>, cond_dim: usize) -> Var {

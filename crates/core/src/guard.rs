@@ -301,6 +301,17 @@ pub enum TrainError {
         /// The trip that exhausted the budget.
         last: TripReason,
     },
+    /// Training was cut short by a scheduled kill
+    /// ([`crate::checkpoint::CheckpointPlan::kill_at_step`]) — the
+    /// deterministic stand-in for a crash/SIGKILL in resume tests. Not
+    /// a failure of the model: rerunning with the same checkpoint path
+    /// resumes from the last durable checkpoint.
+    Interrupted {
+        /// Step at which training stopped.
+        step: usize,
+        /// Epochs completed (and durably snapshotted) before the kill.
+        epoch: usize,
+    },
 }
 
 impl fmt::Display for TrainError {
@@ -312,6 +323,9 @@ impl fmt::Display for TrainError {
                 "training unrecoverable after {} recovery attempt(s): {last}",
                 trace.len()
             ),
+            TrainError::Interrupted { step, epoch } => {
+                write!(f, "training interrupted at step {step} (epoch {epoch})")
+            }
         }
     }
 }

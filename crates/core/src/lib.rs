@@ -18,6 +18,7 @@
 //! let synthetic = fitted.generate(table.n_rows(), &mut rng);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod diagnostics;
 pub mod discriminator;
@@ -30,13 +31,15 @@ pub mod persist;
 pub mod sampler;
 pub mod synthesizer;
 pub mod train;
+mod wire;
 
+pub use checkpoint::{config_fingerprint, scratch_path, CheckpointError, CheckpointPlan};
 pub use config::{
     DiscriminatorKind, DpConfig, LossKind, NetworkKind, SynthesizerConfig, TrainConfig,
 };
 pub use diagnostics::{duplicate_fraction, encoded_duplicate_fraction, is_collapsed};
 pub use discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, IoFault, IoFaultPlan};
 pub use generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
 pub use guard::{
     GuardConfig, RecoveryAction, RecoveryEvent, TrainError, TrainGuard, TrainOutcome, TripReason,
@@ -45,4 +48,6 @@ pub use model_selection::{default_candidates, random_search, HyperParams, Search
 pub use persist::PersistError;
 pub use sampler::{Minibatch, TrainingData};
 pub use synthesizer::{FittedSynthesizer, SampleCodec, Synthesizer, TableSynthesizer};
-pub use train::{train_gan, train_gan_resilient, EpochStats, ResilientRun, TrainingRun};
+pub use train::{
+    train_gan, train_gan_checkpointed, train_gan_resilient, EpochStats, ResilientRun, TrainingRun,
+};

@@ -2,6 +2,7 @@
 //! train a GAN, select the best epoch snapshot on validation data, and
 //! generate a synthetic table.
 
+use crate::checkpoint::{config_fingerprint, CheckpointPlan};
 use crate::config::{DiscriminatorKind, NetworkKind, SynthesizerConfig};
 use crate::discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
 use crate::fault::FaultPlan;
@@ -9,7 +10,7 @@ use crate::generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
 use crate::guard::{GuardConfig, TrainError, TrainOutcome};
 use crate::output_head::softmax_spans;
 use crate::sampler::TrainingData;
-use crate::train::{train_gan_resilient, EpochStats, TrainingRun};
+use crate::train::{train_gan_checkpointed, EpochStats, TrainingRun};
 use daisy_data::{Column, MatrixCodec, RecordCodec, Schema, Table};
 use daisy_nn::restore;
 use daisy_telemetry::{field, schema};
@@ -259,7 +260,28 @@ impl Synthesizer {
         guard: &GuardConfig,
         faults: &FaultPlan,
     ) -> Result<FittedSynthesizer, TrainError> {
-        Self::try_fit_inner(table, config, guard, faults, None)
+        Self::try_fit_inner(table, config, guard, faults, &CheckpointPlan::disabled(), None)
+    }
+
+    /// [`Synthesizer::try_fit_with`] plus crash-safe checkpoint/resume:
+    /// when `ckpt` names a path, training state is written durably at
+    /// epoch boundaries, and a rerun of the *same configuration* with
+    /// the same path resumes from the latest valid checkpoint instead
+    /// of starting over — bit-identical to an uninterrupted fit. The
+    /// plan's fingerprint is stamped from `config` automatically, so a
+    /// checkpoint left behind by a different configuration is ignored.
+    ///
+    /// An interrupted run (the plan's deterministic kill, standing in
+    /// for a real crash) surfaces as [`TrainError::Interrupted`]; it is
+    /// never escalated to a simplified-discriminator refit.
+    pub fn try_fit_checkpointed(
+        table: &Table,
+        config: &SynthesizerConfig,
+        guard: &GuardConfig,
+        faults: &FaultPlan,
+        ckpt: &CheckpointPlan,
+    ) -> Result<FittedSynthesizer, TrainError> {
+        Self::try_fit_inner(table, config, guard, faults, ckpt, None)
     }
 
     /// Fits a GAN synthesizer with validation-based model selection
@@ -288,6 +310,7 @@ impl Synthesizer {
             config,
             &GuardConfig::default(),
             &FaultPlan::none(),
+            &CheckpointPlan::disabled(),
             Some(Box::new(scorer)),
         )
     }
@@ -298,13 +321,18 @@ impl Synthesizer {
         config: &SynthesizerConfig,
         guard: &GuardConfig,
         faults: &FaultPlan,
+        ckpt: &CheckpointPlan,
         mut scorer: Option<Box<dyn FnMut(&Table) -> f64 + '_>>,
     ) -> Result<FittedSynthesizer, TrainError> {
-        let first = Self::fit_attempt(table, config, guard, faults, scorer.as_deref_mut());
+        let first = Self::fit_attempt(table, config, guard, faults, ckpt, scorer.as_deref_mut());
         let needs_escalation = match &first {
             Ok(f) => f.outcome.degraded,
             Err(TrainError::Unrecoverable { .. }) => true,
             Err(TrainError::InvalidConfig(_)) => false,
+            // A deterministic kill is not a training failure: the rerun
+            // resumes the same configuration, so escalating would both
+            // waste the checkpoint and change the design point.
+            Err(TrainError::Interrupted { .. }) => false,
         };
         if needs_escalation && guard.escalate_simplified_d && !config.simplified_d {
             if daisy_telemetry::enabled() {
@@ -321,7 +349,8 @@ impl Synthesizer {
             // it cannot saturate, and train again from scratch.
             let mut simplified = config.clone();
             simplified.simplified_d = true;
-            match Self::fit_attempt(table, &simplified, guard, faults, scorer.as_deref_mut()) {
+            match Self::fit_attempt(table, &simplified, guard, faults, ckpt, scorer.as_deref_mut())
+            {
                 Ok(mut second) => {
                     second.outcome.escalated_simplified_d = true;
                     // Keep the first attempt's trace so the full story
@@ -352,6 +381,7 @@ impl Synthesizer {
         config: &SynthesizerConfig,
         guard: &GuardConfig,
         faults: &FaultPlan,
+        ckpt: &CheckpointPlan,
         scorer: Option<&mut (dyn FnMut(&Table) -> f64 + '_)>,
     ) -> Result<FittedSynthesizer, TrainError> {
         let invalid = |msg: &str| TrainError::InvalidConfig(msg.to_string());
@@ -494,8 +524,14 @@ impl Synthesizer {
             }
         };
 
-        // Phase II: adversarial training under the resilience layer.
-        let resilient = train_gan_resilient(
+        // Phase II: adversarial training under the resilience layer,
+        // with durable checkpointing when the plan names a path. The
+        // fingerprint ties every checkpoint to this exact configuration
+        // (a simplified-D escalation changes `simplified_d`, hence the
+        // fingerprint — each attempt only ever resumes its own state).
+        let mut ckpt = ckpt.clone();
+        ckpt.fingerprint = config_fingerprint(config);
+        let resilient = train_gan_checkpointed(
             generator.as_ref(),
             discriminator.as_ref(),
             &data,
@@ -503,6 +539,7 @@ impl Synthesizer {
             &config.train,
             guard,
             faults,
+            &ckpt,
             &mut rng,
         )?;
 

@@ -24,6 +24,7 @@
 //! traces and the fixed-seed reproducibility tests below valid on
 //! multi-core machines.
 
+use crate::checkpoint::{CheckpointPlan, CheckpointStore, TrainCheckpoint};
 use crate::config::{LossKind, TrainConfig};
 use crate::discriminator::Discriminator;
 use crate::fault::{ArmedFaults, Fault, FaultPlan};
@@ -201,6 +202,44 @@ pub fn train_gan_resilient(
     plan: &FaultPlan,
     rng: &mut Rng,
 ) -> Result<ResilientRun, TrainError> {
+    train_gan_checkpointed(
+        g,
+        d,
+        data,
+        softmax_spans,
+        cfg,
+        guard_cfg,
+        plan,
+        &CheckpointPlan::disabled(),
+        rng,
+    )
+}
+
+/// [`train_gan_resilient`] plus crash-safe checkpoint/resume: when
+/// `ckpt` names a path, the complete training state is written durably
+/// at every `ckpt.every`-th clean epoch boundary, and a valid
+/// checkpoint found at that path (matching `ckpt.fingerprint`) is
+/// restored before the first step — the resumed run then replays the
+/// remaining steps bit-identically to a run that was never
+/// interrupted. A failed checkpoint *write* never fails training: the
+/// error is counted (`checkpoint.save_failures`) and the run continues
+/// under the protection of the previous checkpoint.
+///
+/// `ckpt.kill_at_step` aborts with [`TrainError::Interrupted`] before
+/// executing that step (and before emitting anything for it), which is
+/// how the resume tests simulate SIGKILL deterministically.
+#[allow(clippy::too_many_arguments)]
+pub fn train_gan_checkpointed(
+    g: &dyn Generator,
+    d: &dyn Discriminator,
+    data: &TrainingData,
+    softmax_spans: &[(usize, usize)],
+    cfg: &TrainConfig,
+    guard_cfg: &GuardConfig,
+    plan: &FaultPlan,
+    ckpt: &CheckpointPlan,
+    rng: &mut Rng,
+) -> Result<ResilientRun, TrainError> {
     validate(cfg, data)?;
     if daisy_telemetry::enabled() {
         daisy_telemetry::emit(
@@ -254,7 +293,76 @@ pub fn train_gan_resilient(
 
     let mut plain_rollbacks = 0usize;
     let mut t = 0usize;
+
+    // ---- resume from a durable checkpoint, when one exists ----
+    let mut store = ckpt
+        .path
+        .as_ref()
+        .map(|p| CheckpointStore::new(p.clone(), &ckpt.io_faults));
+    if let Some(store) = store.as_ref() {
+        if let Some(c) = store.load_latest(ckpt.fingerprint) {
+            // Restore the *complete* state captured at the boundary:
+            // anything short of this list (weights alone, say) would
+            // replay a different trajectory than the uninterrupted run.
+            active.loss = c.loss;
+            active.d_steps = c.d_steps;
+            lr_scale = c.lr_scale;
+            let (og, od) =
+                build_optimizers(active.loss, g, d, cfg.lr_g * lr_scale, cfg.lr_d * lr_scale);
+            opt_g = og;
+            opt_d = od;
+            opt_g.set_state(&c.opt_g);
+            opt_d.set_state(&c.opt_d);
+            restore(&g_params, &c.g_params);
+            g.set_state(&c.g_state);
+            restore(&d_params, &c.d_params);
+            d.set_state(&c.d_state);
+            d.set_rng_states(&c.d_rng);
+            guard.restore_ema(c.ema);
+            armed.restore_fired(&c.fired);
+            *rng = Rng::from_state(c.rng);
+            outcome = c.outcome;
+            run.history = c.history;
+            run.snapshots = c.snapshots;
+            plain_rollbacks = c.plain_rollbacks;
+            t = c.t;
+            healthy = Healthy {
+                g: c.g_params,
+                d: c.d_params,
+                opt_g: c.opt_g,
+                opt_d: c.opt_d,
+                loss: c.loss,
+                t: c.t,
+                epochs_done: c.epochs_done,
+                ema: c.ema,
+            };
+            if daisy_telemetry::enabled() {
+                daisy_telemetry::emit(
+                    schema::CHECKPOINT_RESTORE,
+                    vec![field("step", t), field("epoch", healthy.epochs_done)],
+                );
+            }
+            if run.snapshots.len() >= epochs {
+                // The checkpoint already covers the full run: nothing
+                // left to train.
+                t = active.iterations;
+            }
+        }
+    }
+
     while t < active.iterations {
+        // ---- deterministic kill (crash stand-in for resume tests) ----
+        // Before any emission or mutation for step t, so the killed
+        // run's telemetry is an exact prefix of the uninterrupted one.
+        if ckpt.kill_at_step == Some(t) {
+            g.set_training(false);
+            d.set_training(false);
+            return Err(TrainError::Interrupted {
+                step: t,
+                epoch: run.history.len(),
+            });
+        }
+
         // ---- deterministic fault injection ----
         let mut poison = false;
         for fault in armed.take(t) {
@@ -500,6 +608,55 @@ pub fn train_gan_resilient(
                 epochs_done: run.history.len(),
                 ema: guard.ema_state(),
             };
+            // ---- durable checkpoint of the boundary state ----
+            if let Some(store) = store.as_mut() {
+                if run.history.len().is_multiple_of(ckpt.every.max(1)) {
+                    let payload = TrainCheckpoint {
+                        fingerprint: ckpt.fingerprint,
+                        t: healthy.t,
+                        epochs_done: healthy.epochs_done,
+                        loss: healthy.loss,
+                        d_steps: active.d_steps,
+                        lr_scale,
+                        plain_rollbacks,
+                        ema: healthy.ema,
+                        rng: rng.state(),
+                        fired: armed.fired().to_vec(),
+                        outcome: outcome.clone(),
+                        g_params: healthy.g.clone(),
+                        g_state: g.state(),
+                        d_params: healthy.d.clone(),
+                        d_state: d.state(),
+                        d_rng: d.rng_states(),
+                        opt_g: healthy.opt_g.clone(),
+                        opt_d: healthy.opt_d.clone(),
+                        history: run.history.clone(),
+                        snapshots: run.snapshots.clone(),
+                    };
+                    match store.save(&payload) {
+                        Ok(bytes) => {
+                            if daisy_telemetry::enabled() {
+                                daisy_telemetry::emit(
+                                    schema::CHECKPOINT_WRITE,
+                                    vec![
+                                        field("epoch", run.history.len() - 1),
+                                        field("step", t),
+                                        field("bytes", bytes),
+                                    ],
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            // A failed save must never fail training:
+                            // the previous checkpoint still protects
+                            // the run. Counted, not emitted, so the
+                            // deterministic trace stays comparable to
+                            // a run whose saves all succeeded.
+                            daisy_telemetry::metrics::counter("checkpoint.save_failures").add(1);
+                        }
+                    }
+                }
+            }
             if run.snapshots.len() == epochs {
                 break;
             }

@@ -3,7 +3,7 @@
 //! the paper's simplified-D remedy).
 
 use crate::module::Module;
-use daisy_tensor::{Param, Rng, Tensor, Var};
+use daisy_tensor::{Param, Rng, RngState, Tensor, Var};
 use std::cell::{Cell, RefCell};
 
 /// Inverted dropout: in training mode each activation is zeroed with
@@ -55,6 +55,17 @@ impl Module for Dropout {
     fn set_training(&self, training: bool) {
         self.training.set(training);
     }
+
+    fn collect_rng_states(&self, out: &mut Vec<RngState>) {
+        out.push(self.rng.borrow().state());
+    }
+
+    fn restore_rng_states(&self, states: &mut std::slice::Iter<'_, RngState>) {
+        let state = states
+            .next()
+            .expect("rng-state arity mismatch: dropout layer has no saved state");
+        *self.rng.borrow_mut() = Rng::from_state(*state);
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +109,20 @@ mod tests {
         for (&gv, &yv) in g.data().iter().zip(y.value().data()) {
             assert_eq!(gv, yv);
         }
+    }
+
+    #[test]
+    fn rng_state_roundtrip_replays_masks() {
+        let d = Dropout::new(0.5, 9);
+        let x = Var::constant(Tensor::ones(&[1, 64]));
+        d.forward(&x); // advance the mask stream
+        let mut states = Vec::new();
+        d.collect_rng_states(&mut states);
+        assert_eq!(states.len(), 1);
+        let ahead = d.forward(&x).value().clone();
+        d.restore_rng_states(&mut states.iter());
+        let replay = d.forward(&x).value().clone();
+        assert_eq!(ahead, replay, "restored mask stream diverged");
     }
 
     #[test]

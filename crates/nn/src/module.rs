@@ -1,6 +1,6 @@
 //! The [`Module`] abstraction shared by all layers and networks.
 
-use daisy_tensor::{Param, Tensor, Var};
+use daisy_tensor::{Param, RngState, Tensor, Var};
 
 /// A differentiable transformation with trainable parameters.
 ///
@@ -16,6 +16,16 @@ pub trait Module {
     /// Switches layers with train/eval behaviour (batch norm) between
     /// modes. Default: no-op.
     fn set_training(&self, _training: bool) {}
+
+    /// Appends the state of any internal RNG streams (dropout mask
+    /// generators) to `out`, in a stable order. Layers without internal
+    /// randomness append nothing. Checkpointing captures these so a
+    /// resumed run draws the identical mask sequence.
+    fn collect_rng_states(&self, _out: &mut Vec<RngState>) {}
+
+    /// Restores RNG streams captured by [`Module::collect_rng_states`],
+    /// consuming from the front of `states` in the same stable order.
+    fn restore_rng_states(&self, _states: &mut std::slice::Iter<'_, RngState>) {}
 }
 
 /// Zeroes the gradient of every parameter.
@@ -115,6 +125,18 @@ impl Module for Sequential {
     fn set_training(&self, training: bool) {
         for layer in &self.layers {
             layer.set_training(training);
+        }
+    }
+
+    fn collect_rng_states(&self, out: &mut Vec<RngState>) {
+        for layer in &self.layers {
+            layer.collect_rng_states(out);
+        }
+    }
+
+    fn restore_rng_states(&self, states: &mut std::slice::Iter<'_, RngState>) {
+        for layer in &self.layers {
+            layer.restore_rng_states(states);
         }
     }
 }

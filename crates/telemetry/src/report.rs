@@ -80,6 +80,11 @@ impl RunReport {
                             | schema::GUARD_TRIP
                             | schema::RECOVERY
                             | schema::ESCALATE_SIMPLIFIED_D
+                            | schema::CHECKPOINT_WRITE
+                            | schema::CHECKPOINT_RESTORE
+                            | schema::CHECKPOINT_CORRUPT_SKIPPED
+                            | schema::CELL_SKIPPED
+                            | schema::SWEEP_RESUME
                     )
                 )
             })
@@ -98,6 +103,17 @@ impl RunReport {
                     fval(e, "action"),
                     fval(e, "lr_scale")
                 ),
+                schema::CHECKPOINT_WRITE => {
+                    format!("epoch={} bytes={}", fval(e, "epoch"), fval(e, "bytes"))
+                }
+                schema::CHECKPOINT_RESTORE => format!("epoch={}", fval(e, "epoch")),
+                schema::CHECKPOINT_CORRUPT_SKIPPED => {
+                    format!("slot={} error={}", fval(e, "slot"), fval(e, "error"))
+                }
+                schema::CELL_SKIPPED => format!("cell={}", fval(e, "cell")),
+                schema::SWEEP_RESUME => {
+                    format!("done={} total={}", fval(e, "done"), fval(e, "total"))
+                }
                 _ => format!("reason={}", fval(e, "reason")),
             };
             out.push_str(&format!(
@@ -234,6 +250,47 @@ mod tests {
         assert!(text.contains("Recovery timeline"), "{text}");
         assert!(text.contains("action=rollback"), "{text}");
         assert!(text.contains("pool.jobs = 12"), "{text}");
+    }
+
+    #[test]
+    fn renders_checkpoint_and_sweep_events_in_the_timeline() {
+        let lines = [
+            Event::new(
+                schema::SWEEP_RESUME,
+                vec![field("done", 2usize), field("total", 4usize)],
+            )
+            .to_json_line(0),
+            Event::new(schema::CELL_SKIPPED, vec![field("cell", "mlp/vtrain")]).to_json_line(1),
+            Event::new(
+                schema::CHECKPOINT_WRITE,
+                vec![
+                    field("epoch", 1usize),
+                    field("step", 6usize),
+                    field("bytes", 1024usize),
+                ],
+            )
+            .to_json_line(2),
+            Event::new(
+                schema::CHECKPOINT_CORRUPT_SKIPPED,
+                vec![field("slot", "primary"), field("error", "bad crc")],
+            )
+            .to_json_line(3),
+            Event::new(
+                schema::CHECKPOINT_RESTORE,
+                vec![field("step", 6usize), field("epoch", 1usize)],
+            )
+            .to_json_line(4),
+        ];
+        let jsonl = lines.join("\n") + "\n";
+        let report = RunReport::from_jsonl(&jsonl).unwrap();
+        let text = report.render();
+        assert!(text.contains("Recovery timeline"), "{text}");
+        assert!(text.contains("done=2 total=4"), "{text}");
+        assert!(text.contains("cell=mlp/vtrain"), "{text}");
+        assert!(text.contains("checkpoint_write"), "{text}");
+        assert!(text.contains("epoch=1 bytes=1024"), "{text}");
+        assert!(text.contains("slot=primary"), "{text}");
+        assert!(text.contains("checkpoint_restore"), "{text}");
     }
 
     #[test]

@@ -42,8 +42,20 @@ pub const GUARD_TRIP: &str = "guard_trip";
 /// The recovery policy acted on a trip. Fields: `step`, `epoch`,
 /// `action`, `lr_scale` (rollback/escalation only).
 pub const RECOVERY: &str = "recovery";
-/// A scheduled fault fired. Fields: `kind`, `step`.
+/// A scheduled fault fired. Fields: `kind`, `step` (training faults)
+/// or `kind`, `save` (checkpoint I/O faults).
 pub const FAULT_FIRED: &str = "fault_fired";
+
+/// A training checkpoint was written durably. Fields: `epoch`, `step`,
+/// `bytes` (logical fields only — no paths, so deterministic views
+/// compare across machines).
+pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+/// Training resumed from a durable checkpoint. Fields: `step`, `epoch`.
+pub const CHECKPOINT_RESTORE: &str = "checkpoint_restore";
+/// A corrupt checkpoint was detected, quarantined, and skipped in
+/// favour of its predecessor. Fields: `slot` (`primary`/`previous`),
+/// `error`.
+pub const CHECKPOINT_CORRUPT_SKIPPED: &str = "checkpoint_corrupt_skipped";
 
 /// A bench-harness cell started. Fields: `cell`, `seed`.
 pub const CELL_START: &str = "cell_start";
@@ -53,6 +65,12 @@ pub const CELL_RETRY: &str = "cell_retry";
 /// A cell finished (successfully or not). Fields: `cell`, `attempts`,
 /// `ok`, `rocky`.
 pub const CELL_END: &str = "cell_end";
+/// A resumed sweep skipped a cell its journal marks done. Fields:
+/// `cell`.
+pub const CELL_SKIPPED: &str = "cell_skipped";
+/// A sweep found an existing journal and resumed. Fields: `done`
+/// (completed cells on record), `total`.
+pub const SWEEP_RESUME: &str = "sweep_resume";
 
 /// A span opened. Fields: `span`, plus caller fields.
 pub const SPAN_START: &str = "span_start";

@@ -45,5 +45,5 @@ pub mod rng;
 pub mod tensor;
 
 pub use autodiff::{Param, Var};
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use tensor::Tensor;

@@ -1,0 +1,115 @@
+//! Crash-safe design-space sweep: every cell journals its progress and
+//! checkpoints its training state, so killing this process mid-sweep
+//! (Ctrl-C, SIGKILL, power loss) loses almost nothing — rerun the same
+//! command and it skips finished cells and resumes the interrupted one
+//! from its last epoch boundary.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_sweep   # start the sweep
+//! # ... kill it mid-cell, then simply run it again:
+//! cargo run --release --example checkpoint_sweep   # resumes
+//! ```
+//!
+//! Knobs: `DAISY_SWEEP_DIR` (journal + checkpoint directory, default
+//! `daisy-sweep`), `DAISY_SWEEP_ITERS` (iterations for the long cells,
+//! default 1500), `DAISY_SWEEP_KILL_AT` (simulate a crash at that
+//! training step of the first unfinished cell), `DAISY_CKPT_EVERY`
+//! (checkpoint cadence in epochs, default 1).
+
+use daisy::prelude::*;
+use daisy_bench::harness::{run_sweep_resumable, SweepCellResult};
+use daisy_bench::journal::SweepJournal;
+use std::path::PathBuf;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn cell(network: NetworkKind, tc: TrainConfig, label: &str) -> (String, SynthesizerConfig) {
+    let mut cfg = SynthesizerConfig::new(network, tc);
+    cfg.g_hidden = vec![32];
+    cfg.d_hidden = vec![32];
+    cfg.noise_dim = 8;
+    cfg.seed = 7;
+    (label.to_string(), cfg)
+}
+
+fn main() {
+    let dir = PathBuf::from(
+        std::env::var("DAISY_SWEEP_DIR").unwrap_or_else(|_| "daisy-sweep".to_string()),
+    );
+    let iters = env_usize("DAISY_SWEEP_ITERS", 1500);
+
+    let table = daisy::datasets::SDataNum {
+        correlation: 0.5,
+        skew: daisy::datasets::Skew::Balanced,
+    }
+    .generate(900, 5);
+    let mut rng = Rng::seed_from_u64(1);
+    let (train, _valid, _test) = table.split_train_valid_test(&mut rng);
+
+    // First cell small on purpose: even a very early kill leaves at
+    // least one journalled `done` for the rerun to skip.
+    let mut tiny = TrainConfig::vtrain(120);
+    tiny.epochs = 3;
+    let mut long_v = TrainConfig::vtrain(iters);
+    long_v.epochs = 3;
+    let mut long_c = TrainConfig::ctrain(iters);
+    long_c.epochs = 3;
+    let mut long_w = TrainConfig::wtrain(iters);
+    long_w.epochs = 3;
+    let cells = vec![
+        cell(NetworkKind::Mlp, tiny, "mlp-vtrain-tiny"),
+        cell(NetworkKind::Mlp, long_v, "mlp-vtrain"),
+        cell(NetworkKind::Mlp, long_c, "mlp-ctrain"),
+        cell(NetworkKind::Lstm, long_w, "lstm-wtrain"),
+    ];
+
+    if let Ok(journal) = SweepJournal::open(dir.join("journal.txt")) {
+        if !journal.is_empty() {
+            println!(
+                "resuming: {}/{} cells already done (journal: {})",
+                journal.done_count(),
+                cells.len(),
+                journal.path().display()
+            );
+        }
+    }
+
+    let mut plan = CheckpointPlan::at(dir.join("cell"));
+    if let Ok(step) = std::env::var("DAISY_SWEEP_KILL_AT") {
+        plan = plan.kill_at(step.parse().expect("DAISY_SWEEP_KILL_AT must be a step"));
+    }
+
+    let results = run_sweep_resumable(&train, &cells, 7, &dir, &plan).expect("journal I/O");
+
+    let mut skipped = 0;
+    let mut failed = 0;
+    for (id, result) in &results {
+        match result {
+            SweepCellResult::Skipped => {
+                skipped += 1;
+                println!("  {id:<18} skipped (journalled done)");
+            }
+            SweepCellResult::Ran(c) if c.interrupted => {
+                println!("  {id:<18} interrupted mid-training (simulated crash)");
+                println!("rerun this command to resume the sweep");
+                std::process::exit(3);
+            }
+            SweepCellResult::Ran(c) if c.synthetic.is_some() => {
+                println!("  {id:<18} done ({} attempt(s))", c.attempts);
+            }
+            SweepCellResult::Ran(c) => {
+                failed += 1;
+                println!("  {id:<18} FAILED: {}", c.failures.join("; "));
+            }
+        }
+    }
+    println!(
+        "sweep complete: {} cells, {skipped} skipped, {failed} failed",
+        results.len()
+    );
+}

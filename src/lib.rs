@@ -46,9 +46,9 @@ pub use daisy_tensor as tensor;
 pub mod prelude {
     pub use daisy_baselines::{IndependentMarginals, PrivBayes, PrivBayesConfig, Vae, VaeConfig};
     pub use daisy_core::{
-        DiscriminatorKind, DpConfig, FaultPlan, FittedSynthesizer, GuardConfig, LossKind,
-        NetworkKind, Synthesizer, SynthesizerConfig, TableSynthesizer, TrainConfig, TrainError,
-        TrainOutcome,
+        CheckpointError, CheckpointPlan, DiscriminatorKind, DpConfig, FaultPlan,
+        FittedSynthesizer, GuardConfig, IoFaultPlan, LossKind, NetworkKind, Synthesizer,
+        SynthesizerConfig, TableSynthesizer, TrainConfig, TrainError, TrainOutcome,
     };
     pub use daisy_data::{
         Attribute, Column, DataError, RecordCodec, Schema, Table, TransformConfig, Value,
