@@ -6,6 +6,9 @@
 //! with its ε-differential-privacy knob, and an independent-marginals
 //! floor baseline.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod independent;
 pub mod privbayes;
 pub mod vae;

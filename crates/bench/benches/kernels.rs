@@ -21,6 +21,7 @@ use daisy_telemetry::MemoryRecorder;
 use daisy_tensor::{pool, Rng, Tensor};
 use std::hint::black_box;
 use std::sync::{Arc, Mutex};
+// daisy-lint: allow(D002) -- benchmarks measure wall time by design
 use std::time::Instant;
 
 /// One recorded measurement, mirrored into the JSON report.
@@ -39,6 +40,7 @@ fn bench(name: &str, samples: usize, mut f: impl FnMut()) {
     f(); // warm-up
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
+        // daisy-lint: allow(D002) -- benchmark timing loop
         let start = Instant::now();
         f();
         times.push(start.elapsed().as_secs_f64() * 1e3);

@@ -11,6 +11,7 @@ use daisy_data::TransformConfig;
 use daisy_datasets::{SDataCat, SDataNum, Skew};
 use daisy_eval::classification_utility;
 use daisy_tensor::Rng;
+// daisy-lint: allow(D002) -- benchmarks measure wall time by design
 use std::time::Instant;
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
                 TransformConfig::gn_ht()
             };
             let cfg = gan_config(network, transform, TrainConfig::vtrain(0), 81);
+            // daisy-lint: allow(D002) -- benchmark timing loop
             let t0 = Instant::now();
             let synthetic = fit_and_generate(&train, &cfg, 5);
             times.push(t0.elapsed().as_secs_f64());

@@ -111,13 +111,26 @@ impl GuardConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TripReason {
     /// A discriminator or generator loss came back NaN/inf.
-    NonFiniteLoss { d_loss: f32, g_loss: f32 },
+    NonFiniteLoss {
+        /// Discriminator loss at the offending step.
+        d_loss: f32,
+        /// Generator loss at the offending step.
+        g_loss: f32,
+    },
     /// A network weight went NaN/inf (e.g. after a poisoned gradient).
     NonFiniteWeights,
     /// Loss magnitude blew past the EMA envelope.
-    Divergence { loss: f32, ema: f32 },
+    Divergence {
+        /// Absolute loss magnitude that tripped the envelope.
+        loss: f32,
+        /// The exponential moving average it was compared against.
+        ema: f32,
+    },
     /// The collapse probe found near-duplicate generator output.
-    ModeCollapse { duplicate_fraction: f64 },
+    ModeCollapse {
+        /// Fraction of probe samples that were near-duplicates.
+        duplicate_fraction: f64,
+    },
 }
 
 impl fmt::Display for TripReason {
@@ -175,9 +188,15 @@ impl TripReason {
 pub enum RecoveryAction {
     /// Rolled back to the last healthy snapshot, decayed the learning
     /// rate by `lr_scale` (cumulative), re-seeded the noise stream.
-    Rollback { lr_scale: f32 },
+    Rollback {
+        /// Cumulative learning-rate decay applied after the rollback.
+        lr_scale: f32,
+    },
     /// Rollback plus escalation to Wasserstein training (WTrain).
-    SwitchToWTrain { lr_scale: f32 },
+    SwitchToWTrain {
+        /// Cumulative learning-rate decay carried into WTrain.
+        lr_scale: f32,
+    },
     /// Budget exhausted: training stopped at the best healthy snapshot.
     Degrade,
 }

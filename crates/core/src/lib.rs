@@ -18,6 +18,9 @@
 //! let synthetic = fitted.generate(table.n_rows(), &mut rng);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod config;
 pub mod diagnostics;

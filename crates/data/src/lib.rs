@@ -24,6 +24,9 @@
 //! assert_eq!(restored.n_rows(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod csv;
 pub mod error;
 pub mod gmm;

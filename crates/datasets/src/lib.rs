@@ -6,6 +6,9 @@
 //! datasets of Table 2 (HTRU2, Digits, Adult, CovType, SAT, Anuran,
 //! Census, Bing).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod real;
 pub mod registry;
 pub mod sdata;

@@ -9,7 +9,7 @@
 //! them.
 
 use daisy_data::{AttrType, Column, Table};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An approximate functional dependency `lhs → rhs` between two
 /// categorical attributes, with its confidence on the mining table.
@@ -22,26 +22,40 @@ pub struct FunctionalDependency {
     /// Fraction of rows whose `rhs` value equals the majority `rhs`
     /// value of their `lhs` group (1.0 = exact FD).
     pub confidence: f64,
-    /// The majority mapping `lhs code → rhs code` observed.
-    pub mapping: HashMap<u32, u32>,
+    /// The majority mapping `lhs code → rhs code` observed. Sorted by
+    /// `lhs` code so iteration (and `Debug` output) is deterministic.
+    pub mapping: BTreeMap<u32, u32>,
 }
 
 /// Confidence of `lhs → rhs` on a table, together with the majority
 /// mapping: for each `lhs` value, the most frequent `rhs` value; the
 /// confidence is the fraction of rows following that mapping.
-pub fn fd_confidence(table: &Table, lhs: usize, rhs: usize) -> (f64, HashMap<u32, u32>) {
+///
+/// Deterministic by construction: the counting maps are `BTreeMap`s
+/// (fixed iteration order) and majority ties break toward the
+/// *smallest* `rhs` code — so the result is a pure function of the
+/// table's contents, independent of hash seeds or row insertion order.
+pub fn fd_confidence(table: &Table, lhs: usize, rhs: usize) -> (f64, BTreeMap<u32, u32>) {
     let a = table.column(lhs).as_cat();
     let b = table.column(rhs).as_cat();
-    let mut counts: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    let mut counts: BTreeMap<u32, BTreeMap<u32, usize>> = BTreeMap::new();
     for (&x, &y) in a.iter().zip(b) {
         *counts.entry(x).or_default().entry(y).or_insert(0) += 1;
     }
-    let mut mapping = HashMap::new();
+    let mut mapping = BTreeMap::new();
     let mut majority_total = 0usize;
     for (x, ys) in &counts {
-        let (&best_y, &n) = ys.iter().max_by_key(|(_, &n)| n).unwrap();
+        // First strictly-greater count wins: ascending key order makes
+        // the smallest rhs code the deterministic tie-break.
+        let (mut best_y, mut best_n) = (0u32, 0usize);
+        for (&y, &n) in ys {
+            if n > best_n {
+                best_y = y;
+                best_n = n;
+            }
+        }
         mapping.insert(*x, best_y);
-        majority_total += n;
+        majority_total += best_n;
     }
     let confidence = majority_total as f64 / a.len().max(1) as f64;
     (confidence, mapping)
@@ -62,7 +76,7 @@ pub fn mine_fds(table: &Table, min_confidence: f64) -> Vec<FunctionalDependency>
                 continue;
             }
             let (confidence, mapping) = fd_confidence(table, lhs, rhs);
-            let distinct_rhs: std::collections::HashSet<u32> =
+            let distinct_rhs: std::collections::BTreeSet<u32> =
                 mapping.values().copied().collect();
             if confidence >= min_confidence && distinct_rhs.len() >= 2 {
                 fds.push(FunctionalDependency {
@@ -228,6 +242,47 @@ mod tests {
             ],
         );
         assert!(mine_fds(&t, 0.9).is_empty());
+    }
+
+    /// Regression for the hash-ordered bug this module shipped with:
+    /// `fd_confidence` used nested `HashMap`s, so majority *ties* broke
+    /// in hash-seed order and the mined mapping could differ between
+    /// processes. Feeding the same rows in different orders stands in
+    /// for different hash states (it permutes every map's insertion
+    /// order); the output must be identical — and ties must
+    /// deterministically pick the smallest rhs code.
+    #[test]
+    fn confidence_and_mapping_are_insertion_order_independent() {
+        // city 0 maps to states 1 and 2 with EQUAL counts (a tie);
+        // city 1 is unambiguous.
+        let city = [0, 0, 0, 0, 1, 1];
+        let state = [2, 1, 2, 1, 0, 0];
+        let build = |order: &[usize]| {
+            let c: Vec<u32> = order.iter().map(|&i| city[i]).collect();
+            let s: Vec<u32> = order.iter().map(|&i| state[i]).collect();
+            Table::new(
+                Schema::new(vec![
+                    Attribute::categorical("city"),
+                    Attribute::categorical("state"),
+                ]),
+                vec![Column::cat_with_domain(c, 2), Column::cat_with_domain(s, 3)],
+            )
+        };
+        let forward = build(&[0, 1, 2, 3, 4, 5]);
+        let reversed = build(&[5, 4, 3, 2, 1, 0]);
+        let shuffled = build(&[3, 0, 5, 2, 4, 1]);
+        let (conf_f, map_f) = fd_confidence(&forward, 0, 1);
+        let (conf_r, map_r) = fd_confidence(&reversed, 0, 1);
+        let (conf_s, map_s) = fd_confidence(&shuffled, 0, 1);
+        assert_eq!(conf_f.to_bits(), conf_r.to_bits());
+        assert_eq!(conf_f.to_bits(), conf_s.to_bits());
+        assert_eq!(map_f, map_r);
+        assert_eq!(map_f, map_s);
+        // The tie on city 0 resolves to the smallest rhs code.
+        assert_eq!(map_f[&0], 1);
+        assert_eq!(map_f[&1], 0);
+        // Byte-identical Debug rendering (what goes into reports).
+        assert_eq!(format!("{map_f:?}"), format!("{map_r:?}"));
     }
 
     #[test]

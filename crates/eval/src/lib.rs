@@ -6,6 +6,9 @@
 //! relative-error differences), privacy risk (hitting rate, DCR), and
 //! per-attribute distribution fidelity.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod aqp;
 pub mod classifiers;
 pub mod cluster;

@@ -1,0 +1,133 @@
+//! The command-line front end shared by the `daisy-lint` binary and
+//! the `daisy lint` subcommand.
+
+use crate::findings::{render_human, render_json, RULES};
+use std::path::PathBuf;
+
+const HELP: &str = "\
+daisy-lint — determinism & invariant linter for the daisy workspace
+
+USAGE:
+    daisy-lint [--root DIR] [--json] [--list-rules]
+    daisy lint [--root DIR] [--json] [--list-rules]
+
+OPTIONS:
+    --root DIR     workspace root (default: walk up from the current
+                   directory to the nearest [workspace] Cargo.toml)
+    --json         machine-readable findings on stdout
+    --list-rules   print the rule catalogue and exit
+
+EXIT CODE:
+    0  clean          1  findings          2  usage or I/O error
+
+Suppress an intentional violation with a comment on (or directly
+above) the offending line:
+
+    // daisy-lint: allow(D002) — bench wall timing feeds the nd plane
+
+See docs/LINTS.md for the rule catalogue.
+";
+
+/// Runs the linter CLI. Prints to stdout/stderr; returns the process
+/// exit code (0 clean, 1 findings, 2 usage or I/O error).
+pub fn cli(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match iter.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory");
+                    return 2;
+                }
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<6} {:<8} {}", r.id, r.severity.to_string(), r.summary);
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return 0;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!("{HELP}");
+                return 2;
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot read the current directory: {e}");
+                    return 2;
+                }
+            };
+            match crate::workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no [workspace] Cargo.toml above {}; pass --root",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("error: {} is not a workspace root (no Cargo.toml)", root.display());
+        return 2;
+    }
+    let report = match crate::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot lint {}: {e}", root.display());
+            return 2;
+        }
+    };
+    if json {
+        println!("{}", render_json(&report.findings, report.files_scanned));
+    } else {
+        print!("{}", render_human(&report.findings, report.files_scanned));
+    }
+    // Both severities gate: a warning is still a finding.
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_rules_and_help_exit_zero() {
+        assert_eq!(cli(&["--list-rules".into()]), 0);
+        assert_eq!(cli(&["--help".into()]), 0);
+    }
+
+    #[test]
+    fn unknown_flag_is_usage_error() {
+        assert_eq!(cli(&["--frobnicate".into()]), 2);
+        assert_eq!(cli(&["--root".into()]), 2);
+    }
+
+    #[test]
+    fn missing_root_is_an_io_error() {
+        assert_eq!(
+            cli(&["--root".into(), "/nonexistent/daisy".into(), "--json".into()]),
+            2
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! A minimal, hand-rolled Rust lexer — just enough fidelity for lint
+//! rules: identifiers, punctuation, string/char literals, numbers and
+//! lifetimes come out as tokens; comments (line, doc, nested block) are
+//! collected separately so suppression directives can be read from them
+//! without ever confusing a `HashMap` inside a doc comment or a string
+//! literal with real code.
+//!
+//! The lexer is intentionally *not* a full Rust grammar: rules operate
+//! on token shapes (`ident . ident (`), never on parse trees. That
+//! keeps the crate dependency-free (no `syn`, no `regex`) and fast
+//! enough to lex the whole workspace in a test.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `spawn`, ...).
+    Ident,
+    /// String literal (`"..."`, raw and byte variants); `text` is the
+    /// *contents* without quotes, escapes left as written.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'static`), without the leading quote.
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `(`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// True when this token is exactly the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A comment with the 1-based line it starts on. Doc comments are
+/// included; block comments keep their full text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: unterminated constructs simply run
+/// to end of input (the compiler, not the linter, owns error quality).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Counts newlines in b[from..to] into `line`.
+    fn advance_lines(b: &[char], from: usize, to: usize, line: &mut u32) {
+        for c in &b[from..to] {
+            if *c == '\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. /// and //!).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..end].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#", br", b" (and rb is not
+        // a Rust prefix, so it is not handled).
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (prefix_len, is_raw) = raw_string_prefix(&b[i..]);
+            if prefix_len > 0 {
+                let start_line = line;
+                let mut j = i + prefix_len; // positioned after opening quote
+                let hashes = b[i..i + prefix_len].iter().filter(|&&x| x == '#').count();
+                let content_start = j;
+                if is_raw {
+                    // Scan for `"` followed by `hashes` #s.
+                    'outer: while j < n {
+                        if b[j] == '"' {
+                            let mut k = 1;
+                            while k <= hashes {
+                                if j + k >= n || b[j + k] != '#' {
+                                    break;
+                                }
+                                k += 1;
+                            }
+                            if k == hashes + 1 {
+                                break 'outer;
+                            }
+                        }
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: b[content_start..j.min(n)].iter().collect(),
+                        line: start_line,
+                    });
+                    i = (j + 1 + hashes).min(n);
+                } else {
+                    // b"..." — ordinary escapes.
+                    let (text, end) = scan_quoted(&b, j, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line: start_line,
+                    });
+                    i = end;
+                }
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let (text, end) = scan_quoted(&b, i + 1, &mut line);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote right after.
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            } else {
+                // Char literal: handle '\'' and '\\'.
+                let mut j = i + 1;
+                while j < n {
+                    if b[j] == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == '\'' {
+                        j += 1;
+                        break;
+                    }
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i + 1..j.saturating_sub(1).max(i + 1)].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Identifier (incl. raw idents r#ident).
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            // r#ident: the `r` branch above only fires for string
+            // prefixes, so `r#for` arrives here as `r` — stitch it.
+            if j == i + 1 && (b[i] == 'r') && j < n && b[j] == '#' {
+                let mut k = j + 1;
+                while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[j + 1..k].iter().collect(),
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            // Fractional part — but not the `..` range operator.
+            if j < n && b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Single punctuation char.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        advance_lines(&b, i, i + 1, &mut line);
+        i += 1;
+    }
+    out
+}
+
+/// Length of a raw/byte string prefix at `b[0..]` *including* the
+/// opening quote, and whether it is raw (no escapes). 0 when `b` does
+/// not start a string prefix.
+fn raw_string_prefix(b: &[char]) -> (usize, bool) {
+    let mut i = 0;
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    if !raw && i == 0 {
+        return (0, false);
+    }
+    let mut hashes = 0;
+    while raw && i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == '"' {
+        if raw || hashes == 0 {
+            (i + 1, raw)
+        } else {
+            (0, false)
+        }
+    } else {
+        (0, false)
+    }
+}
+
+/// Scans an escaped string body starting *after* the opening quote;
+/// returns (contents, index after closing quote).
+fn scan_quoted(b: &[char], start: usize, line: &mut u32) -> (String, usize) {
+    let n = b.len();
+    let mut j = start;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => break,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+        }
+    }
+    let text: String = b[start..j.min(n)].iter().collect();
+    (text, (j + 1).min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in a block /* nested */ comment */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "only the real HashMap should tokenize: {ids:?}"
+        );
+        assert!(!ids.iter().any(|s| s == "Instant" || s == "SystemTime"));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// daisy-lint: allow(D001)\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(D001)"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let a = \"first\nsecond\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn range_does_not_merge_into_number() {
+        let lexed = lex("for i in 0..10 {}");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let lexed = lex(r#"let s = "a \" HashMap"; let t = 1;"#);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("t")));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("HashMap")));
+    }
+}

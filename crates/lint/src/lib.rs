@@ -1,0 +1,70 @@
+//! # daisy-lint
+//!
+//! A zero-dependency static-analysis pass over the workspace's own
+//! Rust sources, promoting the determinism contract (bit-exact results
+//! and trace bytes at any thread count — see `DESIGN.md` §2b/§6d) from
+//! test-time luck to a build-time gate.
+//!
+//! The linter lexes every workspace `.rs` file with a small hand-rolled
+//! comment/string-aware lexer (no `syn`, no `regex` — consistent with
+//! the repo's no-external-deps discipline) and checks three rule
+//! families:
+//!
+//! * **D-series (determinism)**: no hash-ordered iteration, wall-clock
+//!   reads, rogue thread spawns, or entropy-seeded RNG construction in
+//!   deterministic code.
+//! * **S-series (schema)**: telemetry event names must exist in
+//!   `telemetry::schema`, every schema constant must document its
+//!   `Fields:` contract, and deterministic-plane events carry logical
+//!   time only.
+//! * **H-series (hygiene)**: crate-root `#![forbid(unsafe_code)]` +
+//!   `#![warn(missing_docs)]`, per-crate unwrap/expect budgets, and
+//!   dimension-carrying kernel panic messages.
+//!
+//! Run it as `cargo run -p daisy-lint` or `daisy lint`; add `--json`
+//! for machine-readable findings. Suppress an intentional violation
+//! with a `// daisy-lint: allow(<RULE>)` comment on (or directly
+//! above) the offending line. The full catalogue lives in
+//! `docs/LINTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod schema;
+pub mod workspace;
+
+pub use findings::{render_human, render_json, Finding, RuleInfo, Severity, RULES};
+pub use rules::{lint_files, LintReport};
+
+use std::io;
+use std::path::Path;
+
+/// Path of the event vocabulary inside a workspace.
+pub const SCHEMA_REL: &str = "crates/telemetry/src/schema.rs";
+
+/// Lints the workspace rooted at `root`: collects every covered `.rs`
+/// file, parses the telemetry event vocabulary, and runs all rules.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let files = workspace::collect(root)?;
+    let event_schema = files
+        .iter()
+        .find(|f| f.rel == SCHEMA_REL)
+        .map(|f| schema::parse(&f.src))
+        .unwrap_or_default();
+    Ok(rules::lint_files(&files, &event_schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rel_matches_the_live_workspace() {
+        let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        assert!(root.join(SCHEMA_REL).is_file());
+    }
+}

@@ -1,0 +1,9 @@
+//! `daisy-lint` — standalone entry point (`cargo run -p daisy-lint`).
+//! The same front end is mounted as `daisy lint`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(daisy_lint::cli::cli(&args) as u8)
+}

@@ -1,0 +1,628 @@
+//! The rule implementations.
+//!
+//! Three families, mirroring `docs/LINTS.md`:
+//!
+//! * **D — determinism**: the bit-exact-at-any-thread-count contract
+//!   (PR 2–4) must not be eroded by hash-ordered iteration, wall-clock
+//!   reads, rogue threads, or entropy-seeded RNGs.
+//! * **S — schema**: telemetry emitters and the event vocabulary in
+//!   `telemetry::schema` must not drift apart.
+//! * **H — hygiene**: crate-root attributes, unwrap/expect budgets,
+//!   dimension-carrying kernel panics.
+//!
+//! Every rule is lexical (token shapes over the [`crate::lexer`]
+//! stream), which buys zero dependencies at the price of known
+//! heuristics; the catalogue documents each rule's blind spots.
+
+use crate::findings::{rule, Finding};
+use crate::lexer::{self, Lexed, Tok, TokKind};
+use crate::schema::EventSchema;
+use crate::workspace::{FileKind, SourceFile, Suppressions};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-crate unwrap()/expect() budgets for H003, counted over non-test
+/// `src/` code. This is a **ratchet baseline**: lowering a number is
+/// always welcome; raising one is a conscious, reviewed decision.
+pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
+    ("baselines", 2),
+    ("bench", 1),
+    ("core", 14),
+    ("daisy", 0),
+    ("data", 3),
+    ("datasets", 0),
+    ("eval", 10),
+    ("lint", 0),
+    ("nn", 1),
+    ("telemetry", 10),
+    ("tensor", 9),
+];
+
+/// Files exempt from D002: the telemetry crate is the workspace's one
+/// sanctioned wall-clock plane (its events mark themselves `nd`).
+const TIME_EXEMPT_PREFIX: &str = "crates/telemetry/";
+/// The one file allowed to spawn threads (D003).
+const POOL_FILE: &str = "crates/tensor/src/pool.rs";
+/// The one file allowed to construct entropy/hasher randomness (D004).
+const RNG_FILE: &str = "crates/tensor/src/rng.rs";
+/// Kernel files whose assertions must carry dimensions (H004).
+const KERNEL_FILES: &[&str] = &["crates/tensor/src/linalg.rs", "crates/tensor/src/conv.rs"];
+
+/// Map/set methods whose iteration order is hash-seed-dependent.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Field names that denote wall-clock measurements (S003).
+const WALL_FIELDS: &[&str] = &[
+    "ms",
+    "wall",
+    "wall_ms",
+    "elapsed",
+    "elapsed_ms",
+    "duration",
+    "duration_ms",
+    "nanos",
+    "micros",
+    "secs",
+    "seconds",
+];
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints a set of in-memory source files against a parsed event
+/// schema. This is the engine behind [`crate::lint_workspace`]; tests
+/// call it directly with fixture files.
+pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
+    let mut all: Vec<Finding> = Vec::new();
+    let mut lexed_files: Vec<(usize, Lexed, Suppressions, u32)> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        let lexed = lexer::lex(&file.src);
+        let suppressions = Suppressions::parse(&lexed.comments);
+        let cut = test_cut_line(&lexed.toks);
+        lexed_files.push((idx, lexed, suppressions, cut));
+    }
+
+    for (idx, lexed, _, cut) in &lexed_files {
+        let file = &files[*idx];
+        check_d001_hash_iteration(file, lexed, &mut all);
+        check_d002_wall_clock(file, lexed, &mut all);
+        check_d003_thread_spawn(file, lexed, &mut all);
+        check_d004_rng_construction(file, lexed, &mut all);
+        if file.kind == FileKind::Src && !file.rel.starts_with(TIME_EXEMPT_PREFIX) {
+            check_s001_s003_event_calls(file, lexed, *cut, schema, &mut all);
+        }
+        if file.rel == "crates/telemetry/src/schema.rs" {
+            check_s002_schema_docs(file, &mut all);
+        }
+        if file.is_crate_root() {
+            check_h001_h002_root_attrs(file, lexed, &mut all);
+        }
+        if KERNEL_FILES.contains(&file.rel.as_str()) {
+            check_h004_kernel_panics(file, lexed, *cut, &mut all);
+        }
+    }
+
+    check_h003_unwrap_budget(files, &lexed_files, &mut all);
+
+    // Apply suppressions, dedupe (several patterns can fire on one
+    // line, e.g. `use std::time::Instant`), and sort.
+    let mut seen: BTreeSet<(String, u32, &'static str)> = BTreeSet::new();
+    let mut kept = Vec::new();
+    for f in all {
+        let file_scoped = rule(f.rule).is_some_and(|r| r.file_scoped);
+        let suppressed = lexed_files.iter().any(|(idx, _, sup, _)| {
+            files[*idx].rel == f.file && sup.allows(f.rule, f.line, file_scoped)
+        });
+        if suppressed {
+            continue;
+        }
+        if seen.insert((f.file.clone(), f.line, f.rule)) {
+            kept.push(f);
+        }
+    }
+    crate::findings::sort(&mut kept);
+    LintReport {
+        findings: kept,
+        files_scanned: files.len(),
+    }
+}
+
+/// Line of the first `#[cfg(test)]` attribute, or `u32::MAX` when the
+/// file has none. By workspace convention test modules close out a
+/// file, so "every line at or after the first `#[cfg(test)]`" is the
+/// test region for the rules that exempt tests (S001, H003).
+fn test_cut_line(toks: &[Tok]) -> u32 {
+    for w in toks.windows(7) {
+        if w[0].is_punct('#')
+            && w[1].is_punct('[')
+            && w[2].is_ident("cfg")
+            && w[3].is_punct('(')
+            && w[4].is_ident("test")
+            && w[5].is_punct(')')
+            && w[6].is_punct(']')
+        {
+            return w[0].line;
+        }
+    }
+    u32::MAX
+}
+
+// ----- D001: HashMap/HashSet iteration -----
+
+fn check_d001_hash_iteration(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.toks;
+    // Pass 1: names bound to hash-ordered collections, via type
+    // annotations (`name: HashMap<..>`, incl. `std::collections::`
+    // paths and struct fields) and constructor bindings
+    // (`let name = HashMap::new()`).
+    let mut hash_names: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path segments / references to the annotation.
+        let mut j = i;
+        while j > 0 {
+            let prev = &toks[j - 1];
+            if prev.is_punct(':')
+                || prev.is_punct('&')
+                || prev.is_ident("std")
+                || prev.is_ident("collections")
+                || prev.is_ident("mut")
+                || prev.kind == TokKind::Lifetime
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let crossed_colon = j < i && toks[j..i].iter().any(|t| t.is_punct(':'));
+        if crossed_colon && j > 0 && toks[j - 1].kind == TokKind::Ident {
+            hash_names.insert(toks[j - 1].text.clone());
+        }
+        // `name = HashMap::new(...)` / `HashSet::with_capacity(...)`.
+        if i >= 2 && toks[i - 1].is_punct('=') && toks[i - 2].kind == TokKind::Ident {
+            hash_names.insert(toks[i - 2].text.clone());
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    // Pass 2: flag hash-ordered iteration over tracked names.
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !hash_names.contains(&toks[i].text) {
+            continue;
+        }
+        // name.iter() / .keys() / ... — anything order-dependent.
+        if i + 3 < toks.len()
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct('(')
+        {
+            out.push(Finding::new(
+                "D001",
+                &file.rel,
+                toks[i + 2].line,
+                format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in hash-seed order; use \
+                     BTreeMap/BTreeSet or collect-and-sort before iterating",
+                    toks[i].text, toks[i + 2].text
+                ),
+            ));
+        }
+        // for pat in [&[mut]] name { ... }
+        if i + 1 < toks.len() && toks[i + 1].is_punct('{') {
+            let mut j = i;
+            while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_ident("in") {
+                out.push(Finding::new(
+                    "D001",
+                    &file.rel,
+                    toks[i].line,
+                    format!(
+                        "`for .. in {}` iterates a HashMap/HashSet in hash-seed order; use \
+                         BTreeMap/BTreeSet or collect-and-sort before iterating",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ----- D002: wall-clock reads -----
+
+fn check_d002_wall_clock(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if file.rel.starts_with(TIME_EXEMPT_PREFIX) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        let flagged = if toks[i].is_ident("Instant") || toks[i].is_ident("SystemTime") {
+            Some(toks[i].text.as_str())
+        } else if toks[i].is_ident("std")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("time")
+        {
+            Some("std::time")
+        } else {
+            None
+        };
+        if let Some(what) = flagged {
+            out.push(Finding::new(
+                "D002",
+                &file.rel,
+                toks[i].line,
+                format!(
+                    "`{what}` reads the wall clock in deterministic code; wall time may only \
+                     enter telemetry's nd-marked plane (crates/telemetry)"
+                ),
+            ));
+        }
+    }
+}
+
+// ----- D003: thread spawning -----
+
+fn check_d003_thread_spawn(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if file.rel == POOL_FILE {
+        return;
+    }
+    let toks = &lexed.toks;
+    for i in 1..toks.len() {
+        if toks[i].is_ident("spawn")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+        {
+            out.push(Finding::new(
+                "D003",
+                &file.rel,
+                toks[i].line,
+                "thread spawning outside tensor::pool breaks the deterministic scheduling \
+                 contract; dispatch work through the worker pool instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ----- D004: RNG construction -----
+
+fn check_d004_rng_construction(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    if file.rel == RNG_FILE {
+        return;
+    }
+    const BANNED: &[&str] = &[
+        "RandomState",
+        "DefaultHasher",
+        "thread_rng",
+        "from_entropy",
+        "getrandom",
+    ];
+    for t in &lexed.toks {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            out.push(Finding::new(
+                "D004",
+                &file.rel,
+                t.line,
+                format!(
+                    "`{}` constructs nondeterministic randomness; all RNG streams must come \
+                     from tensor::rng's seeded generator",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ----- S001 / S003: event emission call sites -----
+
+/// Finds `emit(...)`, `span_start(...)`, and `Event::new(...)` calls;
+/// checks the event-name argument against the vocabulary (S001) and
+/// field-name literals against the wall-clock blocklist (S003). Both
+/// rules skip the file's test region.
+fn check_s001_s003_event_calls(
+    file: &SourceFile,
+    lexed: &Lexed,
+    test_cut: u32,
+    schema: &EventSchema,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if toks[i].line >= test_cut {
+            break;
+        }
+        let is_emit_like = (toks[i].is_ident("emit") || toks[i].is_ident("span_start"))
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(');
+        let is_event_new = toks[i].is_ident("Event")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(');
+        if !is_emit_like && !is_event_new {
+            continue;
+        }
+        let open = if is_emit_like { i + 1 } else { i + 4 };
+        let close = match matching_paren(toks, open) {
+            Some(c) => c,
+            None => continue,
+        };
+        // --- S001: the event-name argument ---
+        let arg = &toks[open + 1..close];
+        let first_comma = top_level_comma(arg);
+        let name_arg = &arg[..first_comma.unwrap_or(arg.len())];
+        if name_arg.len() == 1 && name_arg[0].kind == TokKind::Str {
+            if !schema.has_name(&name_arg[0].text) {
+                out.push(Finding::new(
+                    "S001",
+                    &file.rel,
+                    name_arg[0].line,
+                    format!(
+                        "event name \"{}\" is not in telemetry::schema; add it to \
+                         crates/telemetry/src/schema.rs (with a `Fields:` doc) or use an \
+                         existing constant",
+                        name_arg[0].text
+                    ),
+                ));
+            }
+        } else if let Some(ident) = schema_const_ref(name_arg) {
+            if !schema.has_const(&ident) {
+                out.push(Finding::new(
+                    "S001",
+                    &file.rel,
+                    name_arg.first().map(|t| t.line).unwrap_or(toks[i].line),
+                    format!("`schema::{ident}` does not exist in crates/telemetry/src/schema.rs"),
+                ));
+            }
+        }
+        // --- S003: wall-clock field names anywhere in the call ---
+        for k in 0..arg.len().saturating_sub(2) {
+            if arg[k].is_ident("field")
+                && arg[k + 1].is_punct('(')
+                && arg[k + 2].kind == TokKind::Str
+                && WALL_FIELDS.contains(&arg[k + 2].text.as_str())
+            {
+                out.push(Finding::new(
+                    "S003",
+                    &file.rel,
+                    arg[k + 2].line,
+                    format!(
+                        "field \"{}\" smells like wall-clock time on the deterministic event \
+                         plane; deterministic events carry logical time only (epoch/step/seq) — \
+                         wall measurements belong in telemetry's nd-marked events",
+                        arg[k + 2].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Index of the matching `)` for the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the first comma at bracket depth 0 in `toks`.
+fn top_level_comma(toks: &[Tok]) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts `IDENT` from a `[path ::] schema :: IDENT` argument.
+fn schema_const_ref(arg: &[Tok]) -> Option<String> {
+    for k in 0..arg.len().saturating_sub(3) {
+        if arg[k].is_ident("schema")
+            && arg[k + 1].is_punct(':')
+            && arg[k + 2].is_punct(':')
+            && arg[k + 3].kind == TokKind::Ident
+        {
+            return Some(arg[k + 3].text.clone());
+        }
+    }
+    None
+}
+
+// ----- S002: schema doc contracts -----
+
+fn check_s002_schema_docs(file: &SourceFile, out: &mut Vec<Finding>) {
+    let schema = crate::schema::parse(&file.src);
+    for (ident, doc) in &schema.docs {
+        if !doc.contains("Fields:") {
+            out.push(Finding::new(
+                "S002",
+                &file.rel,
+                schema.lines.get(ident).copied().unwrap_or(1),
+                format!(
+                    "schema constant `{ident}` does not document its `Fields:` contract; \
+                     emitters and the report renderer drift apart without it"
+                ),
+            ));
+        }
+    }
+}
+
+// ----- H001 / H002: crate-root attributes -----
+
+fn check_h001_h002_root_attrs(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.toks;
+    let has_attr = |lint_name: &str, levels: &[&str]| {
+        toks.windows(4).any(|w| {
+            w[0].kind == TokKind::Ident
+                && levels.contains(&w[0].text.as_str())
+                && w[1].is_punct('(')
+                && w[2].is_ident(lint_name)
+                && w[3].is_punct(')')
+        })
+    };
+    if !has_attr("unsafe_code", &["forbid", "deny"]) {
+        out.push(Finding::new(
+            "H001",
+            &file.rel,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has_attr("missing_docs", &["warn", "deny"]) {
+        out.push(Finding::new(
+            "H002",
+            &file.rel,
+            1,
+            "crate root is missing `#![warn(missing_docs)]`".to_string(),
+        ));
+    }
+}
+
+// ----- H003: unwrap/expect budget -----
+
+fn check_h003_unwrap_budget(
+    files: &[SourceFile],
+    lexed_files: &[(usize, Lexed, Suppressions, u32)],
+    out: &mut Vec<Finding>,
+) {
+    let budgets: BTreeMap<&str, usize> = UNWRAP_BUDGETS.iter().copied().collect();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, lexed, _, cut) in lexed_files {
+        let file = &files[*idx];
+        if file.kind != FileKind::Src {
+            continue;
+        }
+        let mut n = 0usize;
+        let toks = &lexed.toks;
+        for i in 1..toks.len() {
+            if toks[i].line >= *cut {
+                break;
+            }
+            if (toks[i].is_ident("unwrap") || toks[i].is_ident("expect"))
+                && toks[i - 1].is_punct('.')
+                && i + 1 < toks.len()
+                && toks[i + 1].is_punct('(')
+            {
+                n += 1;
+            }
+        }
+        *counts.entry(file.crate_key.clone()).or_insert(0) += n;
+    }
+    for (crate_key, count) in &counts {
+        let budget = budgets.get(crate_key.as_str()).copied();
+        let root_rel = if crate_key == "daisy" {
+            "src/lib.rs".to_string()
+        } else {
+            format!("crates/{crate_key}/src/lib.rs")
+        };
+        match budget {
+            Some(budget) if *count > budget => out.push(Finding::new(
+                "H003",
+                &root_rel,
+                1,
+                format!(
+                    "crate `{crate_key}` has {count} unwrap()/expect() calls in non-test code, \
+                     over its budget of {budget}; handle the error (and keep the budget) or \
+                     consciously raise the baseline in crates/lint/src/rules.rs"
+                ),
+            )),
+            None if *count > 0 => out.push(Finding::new(
+                "H003",
+                &root_rel,
+                1,
+                format!(
+                    "crate `{crate_key}` has no unwrap()/expect() budget; add a baseline entry \
+                     to UNWRAP_BUDGETS in crates/lint/src/rules.rs"
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+// ----- H004: dimension-carrying kernel panics -----
+
+fn check_h004_kernel_panics(
+    file: &SourceFile,
+    lexed: &Lexed,
+    test_cut: u32,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.toks;
+    const MACROS: &[&str] = &["assert", "assert_eq", "assert_ne", "panic"];
+    for i in 0..toks.len() {
+        if toks[i].line >= test_cut {
+            break;
+        }
+        if toks[i].kind != TokKind::Ident || !MACROS.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        if !(i + 2 < toks.len() && toks[i + 1].is_punct('!') && toks[i + 2].is_punct('(')) {
+            continue;
+        }
+        let Some(close) = matching_paren(toks, i + 2) else {
+            continue;
+        };
+        let has_dimension_message = toks[i + 3..close]
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains('{'));
+        if !has_dimension_message {
+            out.push(Finding::new(
+                "H004",
+                &file.rel,
+                toks[i].line,
+                format!(
+                    "kernel `{}!` without a dimension-carrying message; panic text must \
+                     interpolate the offending shapes (e.g. \"matmul {{m}}x{{k}} · {{k2}}x{{n}}\")",
+                    toks[i].text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Parses the telemetry event vocabulary out of
+//! `crates/telemetry/src/schema.rs` — the source of truth the S-series
+//! rules check emitters against.
+
+use crate::lexer::{self, TokKind};
+use std::collections::BTreeMap;
+
+/// The parsed vocabulary: constant ident → event-name string, plus the
+/// doc text attached to each constant.
+#[derive(Debug, Default)]
+pub struct EventSchema {
+    /// `EPOCH` → `"epoch"`, in declaration order of the source.
+    pub consts: BTreeMap<String, String>,
+    /// Constant ident → concatenated doc-comment text.
+    pub docs: BTreeMap<String, String>,
+    /// Constant ident → 1-based declaration line.
+    pub lines: BTreeMap<String, u32>,
+}
+
+impl EventSchema {
+    /// True when a literal event name is in the vocabulary.
+    pub fn has_name(&self, name: &str) -> bool {
+        self.consts.values().any(|v| v == name)
+    }
+
+    /// True when a `schema::IDENT` reference resolves.
+    pub fn has_const(&self, ident: &str) -> bool {
+        self.consts.contains_key(ident)
+    }
+}
+
+/// Parses `pub const IDENT: &str = "name";` declarations and their doc
+/// comments from the schema module's source text.
+pub fn parse(src: &str) -> EventSchema {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut schema = EventSchema::default();
+    let mut i = 0;
+    while i + 7 < toks.len() {
+        // pub const IDENT : & str = "value" ;
+        if toks[i].is_ident("pub")
+            && toks[i + 1].is_ident("const")
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].is_punct(':')
+            && toks[i + 4].is_punct('&')
+            && toks[i + 5].is_ident("str")
+            && toks[i + 6].is_punct('=')
+            && toks[i + 7].kind == TokKind::Str
+        {
+            let ident = toks[i + 2].text.clone();
+            let value = toks[i + 7].text.clone();
+            let decl_line = toks[i].line;
+            // Doc comments: the contiguous run of comments directly
+            // above the declaration line.
+            let mut doc = String::new();
+            let mut expect = decl_line;
+            for c in lexed.comments.iter().rev() {
+                if c.line >= decl_line {
+                    continue;
+                }
+                if c.line + 1 == expect || c.line == expect {
+                    doc.insert_str(0, &format!("{}\n", c.text));
+                    expect = c.line;
+                } else if c.line < expect {
+                    break;
+                }
+            }
+            schema.docs.insert(ident.clone(), doc);
+            schema.lines.insert(ident.clone(), decl_line);
+            schema.consts.insert(ident, value);
+            i += 8;
+        } else {
+            i += 1;
+        }
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_consts_and_docs() {
+        let src = "\
+/// Training started. Fields: `algorithm`, `epochs`.
+pub const TRAIN_START: &str = \"train_start\";
+
+/// No fields doc here.
+pub const ODD: &str = \"odd\";
+";
+        let s = parse(src);
+        assert_eq!(s.consts.len(), 2);
+        assert!(s.has_name("train_start"));
+        assert!(s.has_const("TRAIN_START"));
+        assert!(!s.has_name("nope"));
+        assert!(s.docs["TRAIN_START"].contains("Fields:"));
+        assert!(!s.docs["ODD"].contains("Fields:"));
+    }
+
+    #[test]
+    fn parses_the_live_schema() {
+        let root = crate::workspace::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let src = std::fs::read_to_string(root.join("crates/telemetry/src/schema.rs"))
+            .expect("schema module readable");
+        let s = parse(&src);
+        assert!(s.has_name("epoch"), "live schema should define `epoch`");
+        assert!(s.has_const("GUARD_TRIP"));
+        assert!(s.consts.len() >= 20, "vocabulary shrank? {:?}", s.consts);
+    }
+}

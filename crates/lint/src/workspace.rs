@@ -1,0 +1,238 @@
+//! Workspace discovery: which files to lint, which crate each belongs
+//! to, and where the workspace root is.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where a source file lives, which decides rule applicability (e.g.
+/// the schema-vocabulary rules only apply to `src/` code, not to
+/// integration tests or benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library / binary source under a `src/` directory.
+    Src,
+    /// Integration tests under a `tests/` directory.
+    Test,
+    /// Benchmarks under a `benches/` directory.
+    Bench,
+    /// Examples under an `examples/` directory.
+    Example,
+}
+
+/// One workspace source file, read into memory.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms; this is what findings report).
+    pub rel: String,
+    /// Short crate key: the directory name under `crates/` (`core`,
+    /// `tensor`, ...) or `daisy` for the root package.
+    pub crate_key: String,
+    /// Directory class.
+    pub kind: FileKind,
+    /// File contents.
+    pub src: String,
+}
+
+impl SourceFile {
+    /// True for the crate-root library file (`src/lib.rs`).
+    pub fn is_crate_root(&self) -> bool {
+        self.rel == "src/lib.rs" || (self.rel.starts_with("crates/") && self.rel.ends_with("/src/lib.rs"))
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects every `.rs` file the linter covers: the root package's
+/// `src/`, `tests/`, `examples/`, and each member crate's `src/`,
+/// `tests/`, `benches/`, `examples/`. Returned sorted by relative path
+/// so every pass over the workspace is deterministic.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let dirs: [(&str, FileKind); 3] =
+        [("src", FileKind::Src), ("tests", FileKind::Test), ("examples", FileKind::Example)];
+    for (sub, kind) in dirs {
+        walk(root, &root.join(sub), "daisy", kind, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let key = member
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("unknown")
+                .to_string();
+            for (sub, kind) in [
+                ("src", FileKind::Src),
+                ("tests", FileKind::Test),
+                ("benches", FileKind::Bench),
+                ("examples", FileKind::Example),
+            ] {
+                walk(root, &member.join(sub), &key, kind, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    crate_key: &str,
+    kind: FileKind,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(root, &path, crate_key, kind, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(&path)?;
+            out.push(SourceFile {
+                path,
+                rel,
+                crate_key: crate_key.to_string(),
+                kind,
+                src,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Per-line suppressions parsed from `// daisy-lint: allow(RULE, ...)`
+/// comments. A suppression covers the comment's own line and the line
+/// directly below it (so both trailing and standalone styles work);
+/// file-scoped rules accept an allow anywhere in the file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    by_line: BTreeMap<u32, Vec<String>>,
+    whole_file: Vec<String>,
+}
+
+impl Suppressions {
+    /// Parses suppressions out of a file's comments.
+    pub fn parse(comments: &[crate::lexer::Comment]) -> Suppressions {
+        let mut s = Suppressions::default();
+        for c in comments {
+            let Some(idx) = c.text.find("daisy-lint:") else {
+                continue;
+            };
+            let rest = &c.text[idx + "daisy-lint:".len()..];
+            let rest = rest.trim_start();
+            let Some(args) = rest.strip_prefix("allow") else {
+                continue;
+            };
+            let Some(open) = args.find('(') else { continue };
+            let Some(close) = args[open..].find(')') else {
+                continue;
+            };
+            for rule_id in args[open + 1..open + close].split(',') {
+                let rule_id = rule_id.trim().to_string();
+                if rule_id.is_empty() {
+                    continue;
+                }
+                s.whole_file.push(rule_id.clone());
+                s.by_line.entry(c.line).or_default().push(rule_id.clone());
+                s.by_line.entry(c.line + 1).or_default().push(rule_id);
+            }
+        }
+        s
+    }
+
+    /// Is `rule_id` suppressed at `line` (or file-wide, when the rule
+    /// is file-scoped)?
+    pub fn allows(&self, rule_id: &str, line: u32, file_scoped: bool) -> bool {
+        if file_scoped && self.whole_file.iter().any(|r| r == rule_id) {
+            return true;
+        }
+        self.by_line
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    #[test]
+    fn suppression_covers_own_and_next_line() {
+        let src = "\
+// daisy-lint: allow(D001)
+let x = 1; // daisy-lint: allow(D002, H004)
+let y = 2;
+";
+        let lexed = lexer::lex(src);
+        let s = Suppressions::parse(&lexed.comments);
+        assert!(s.allows("D001", 1, false));
+        assert!(s.allows("D001", 2, false));
+        assert!(!s.allows("D001", 3, false));
+        assert!(s.allows("D002", 2, false));
+        assert!(s.allows("H004", 2, false));
+        assert!(s.allows("H004", 3, false));
+        assert!(!s.allows("D003", 2, false));
+        // File-scoped rules match anywhere.
+        assert!(s.allows("D002", 999, true));
+    }
+
+    #[test]
+    fn find_root_walks_up() {
+        let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn crate_root_detection() {
+        let mk = |rel: &str| SourceFile {
+            path: PathBuf::new(),
+            rel: rel.to_string(),
+            crate_key: String::new(),
+            kind: FileKind::Src,
+            src: String::new(),
+        };
+        assert!(mk("src/lib.rs").is_crate_root());
+        assert!(mk("crates/core/src/lib.rs").is_crate_root());
+        assert!(!mk("crates/core/src/train.rs").is_crate_root());
+        assert!(!mk("src/main.rs").is_crate_root());
+    }
+}

@@ -1,0 +1,388 @@
+//! One bad and one good fixture per rule: the bad snippet must produce
+//! exactly the expected finding, the good twin must lint clean. This is
+//! the rule catalogue's executable specification — a rule change that
+//! widens or narrows a pattern shows up here first.
+
+use daisy_lint::workspace::{FileKind, SourceFile};
+use daisy_lint::{lint_files, schema, Finding};
+use std::path::PathBuf;
+
+/// The event vocabulary the fixtures lint against: one documented
+/// constant, so S-rules can see both a known and an unknown name.
+const SCHEMA_FIXTURE: &str = r#"
+/// Start of a training run.
+///
+/// Fields: `epoch`, `step`.
+pub const TRAIN_START: &str = "train_start";
+"#;
+
+fn file(rel: &str, kind: FileKind, src: &str) -> SourceFile {
+    let crate_key = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("daisy")
+        .to_string();
+    SourceFile {
+        path: PathBuf::new(),
+        rel: rel.to_string(),
+        crate_key,
+        kind,
+        src: src.to_string(),
+    }
+}
+
+/// Lints a single fixture file and returns its findings.
+fn lint_one(rel: &str, kind: FileKind, src: &str) -> Vec<Finding> {
+    lint_files(&[file(rel, kind, src)], &schema::parse(SCHEMA_FIXTURE)).findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ----- D001: hash-ordered iteration -----
+
+#[test]
+fn d001_flags_hashmap_iteration() {
+    let bad = "
+use std::collections::HashMap;
+fn f() {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    counts.insert(1, 2);
+    for (k, v) in &counts {
+        println!(\"{k} {v}\");
+    }
+    let _ = counts.iter().count();
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["D001", "D001"]);
+    assert_eq!(findings[0].line, 6, "the `for .. in &counts` loop");
+    assert_eq!(findings[1].line, 9, "the `.iter()` call");
+    assert!(findings[0].message.contains("hash-seed order"));
+}
+
+#[test]
+fn d001_allows_btreemap_iteration_and_hash_membership() {
+    let good = "
+use std::collections::{BTreeMap, HashSet};
+fn f() {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    counts.insert(1, 2);
+    for (k, v) in &counts {
+        println!(\"{k} {v}\");
+    }
+    // Membership-only HashSet use is order-independent and fine.
+    let seen: HashSet<u32> = HashSet::new();
+    assert!(!seen.contains(&3), \"seen {seen:?}\");
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());
+}
+
+// ----- D002: wall-clock reads -----
+
+#[test]
+fn d002_flags_instant_outside_telemetry() {
+    let bad = "
+use std::time::Instant;
+fn f() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["D002", "D002"]);
+    assert!(findings[0].message.contains("wall clock"));
+}
+
+#[test]
+fn d002_exempts_the_telemetry_plane() {
+    let same_code = "
+use std::time::Instant;
+fn f() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+";
+    assert!(lint_one("crates/telemetry/src/x.rs", FileKind::Src, same_code).is_empty());
+}
+
+// ----- D003: thread spawning -----
+
+#[test]
+fn d003_flags_thread_spawn_outside_the_pool() {
+    let bad = "
+fn f() {
+    std::thread::spawn(|| {});
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["D003"]);
+    assert!(findings[0].message.contains("tensor::pool"));
+}
+
+#[test]
+fn d003_exempts_the_pool_itself() {
+    let same_code = "
+fn f() {
+    std::thread::Builder::new().spawn(|| {}).ok();
+}
+";
+    assert!(lint_one("crates/tensor/src/pool.rs", FileKind::Src, same_code).is_empty());
+}
+
+// ----- D004: RNG construction -----
+
+#[test]
+fn d004_flags_entropy_seeded_randomness() {
+    let bad = "
+use std::collections::hash_map::RandomState;
+fn f() -> RandomState {
+    RandomState::new()
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["D004", "D004", "D004"]);
+    assert!(findings[0].message.contains("seeded"));
+}
+
+#[test]
+fn d004_allows_seeded_rng_and_exempts_rng_rs() {
+    let good = "
+fn f() {
+    let mut rng = Rng::seed_from_u64(7);
+    let _ = rng.next_u64();
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());
+    let rng_impl = "
+fn f() {
+    // rng.rs may talk about DefaultHasher in its seeding docs/impl.
+    use std::collections::hash_map::DefaultHasher;
+    let _ = DefaultHasher::new();
+}
+";
+    assert!(lint_one("crates/tensor/src/rng.rs", FileKind::Src, rng_impl).is_empty());
+}
+
+// ----- S001: event names must be in the vocabulary -----
+
+#[test]
+fn s001_flags_unknown_event_names_and_consts() {
+    let bad = "
+fn f(rec: &Recorder) {
+    rec.emit(\"bogus_event\", &[]);
+    rec.emit(schema::NOPE, &[]);
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["S001", "S001"]);
+    assert!(findings[0].message.contains("bogus_event"));
+    assert!(findings[1].message.contains("NOPE"));
+}
+
+#[test]
+fn s001_accepts_vocabulary_names_and_skips_tests() {
+    let good = "
+fn f(rec: &Recorder) {
+    rec.emit(\"train_start\", &[]);
+    rec.emit(schema::TRAIN_START, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    fn g(rec: &Recorder) {
+        rec.emit(\"test_only_event\", &[]);
+    }
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());
+}
+
+// ----- S002: schema constants document their fields -----
+
+#[test]
+fn s002_flags_schema_consts_without_a_fields_contract() {
+    let bad = "
+/// Start of a training run, but no field list.
+pub const TRAIN_START: &str = \"train_start\";
+";
+    let findings = lint_one("crates/telemetry/src/schema.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["S002"]);
+    assert!(findings[0].message.contains("TRAIN_START"));
+}
+
+#[test]
+fn s002_accepts_documented_schema_consts() {
+    let findings = lint_one("crates/telemetry/src/schema.rs", FileKind::Src, SCHEMA_FIXTURE);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ----- S003: no wall-clock fields on the deterministic plane -----
+
+#[test]
+fn s003_flags_wall_clock_field_names() {
+    let bad = "
+fn f(rec: &Recorder) {
+    rec.emit(\"train_start\", &[field(\"elapsed_ms\", 3.0)]);
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["S003"]);
+    assert!(findings[0].message.contains("elapsed_ms"));
+}
+
+#[test]
+fn s003_accepts_logical_time_fields() {
+    let good = "
+fn f(rec: &Recorder) {
+    rec.emit(\"train_start\", &[field(\"epoch\", 3), field(\"step\", 40)]);
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());
+}
+
+// ----- H001 / H002: crate-root attributes -----
+
+#[test]
+fn h001_h002_flag_a_bare_crate_root() {
+    let bad = "//! A crate with no hygiene attributes.\npub fn f() {}\n";
+    let findings = lint_one("crates/foo/src/lib.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["H001", "H002"]);
+}
+
+#[test]
+fn h001_h002_accept_forbid_or_deny_plus_warn() {
+    let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+    assert!(lint_one("crates/foo/src/lib.rs", FileKind::Src, good).is_empty());
+    // `deny(unsafe_code)` (tensor's pool carve-out) also satisfies H001.
+    let deny = "//! Docs.\n#![deny(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+    assert!(lint_one("crates/foo/src/lib.rs", FileKind::Src, deny).is_empty());
+}
+
+// ----- H003: unwrap/expect budget -----
+
+#[test]
+fn h003_flags_a_crate_over_its_budget() {
+    // `datasets` has a budget of zero.
+    let bad = "
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+    let findings = lint_one("crates/datasets/src/gen.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["H003"]);
+    assert_eq!(findings[0].file, "crates/datasets/src/lib.rs");
+    assert!(findings[0].message.contains("over its budget of 0"));
+}
+
+#[test]
+fn h003_flags_a_crate_with_no_baseline_and_skips_tests() {
+    let bad = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let findings = lint_one("crates/mystery/src/gen.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["H003"]);
+    assert!(findings[0].message.contains("no unwrap()/expect() budget"));
+
+    let test_only = "
+pub fn f() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+    assert!(lint_one("crates/datasets/src/gen.rs", FileKind::Src, test_only).is_empty());
+}
+
+// ----- H004: dimension-carrying kernel panics -----
+
+#[test]
+fn h004_flags_bare_kernel_asserts() {
+    let bad = "
+pub fn matmul(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.cols(), b.rows(), \"inner dimensions differ\");
+}
+";
+    let findings = lint_one("crates/tensor/src/linalg.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["H004"]);
+    assert!(findings[0].message.contains("dimension-carrying"));
+}
+
+#[test]
+fn h004_accepts_shape_interpolating_messages_and_is_kernel_scoped() {
+    let good = "
+pub fn matmul(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.cols(), b.rows(), \"matmul {:?} x {:?}\", a.shape(), b.shape());
+}
+";
+    assert!(lint_one("crates/tensor/src/linalg.rs", FileKind::Src, good).is_empty());
+    // The same bare assert outside the kernel files is not H004's business.
+    let elsewhere = "
+pub fn f(n: usize) {
+    assert!(n > 0, \"need at least one row\");
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, elsewhere).is_empty());
+}
+
+// ----- Suppressions -----
+
+#[test]
+fn line_suppression_silences_exactly_its_rule_and_line() {
+    let suppressed = "
+// daisy-lint: allow(D002) -- fixture
+use std::time::Instant;
+fn f() {
+    let _ = Instant::now(); // daisy-lint: allow(D002)
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, suppressed).is_empty());
+    // The wrong rule id does not suppress.
+    let wrong_rule = "
+// daisy-lint: allow(D001)
+use std::time::Instant;
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, wrong_rule);
+    assert_eq!(rules_of(&findings), ["D002"]);
+}
+
+#[test]
+fn file_scoped_rules_accept_an_allow_anywhere_in_the_file() {
+    let src = "//! Deliberately attribute-free.\n\npub fn f() {}\n\n// daisy-lint: allow(H001, H002)\n";
+    assert!(lint_one("crates/foo/src/lib.rs", FileKind::Src, src).is_empty());
+}
+
+// ----- Cross-file behaviour -----
+
+#[test]
+fn findings_are_sorted_and_deduped_across_files() {
+    let a = file(
+        "crates/core/src/b.rs",
+        FileKind::Src,
+        "use std::time::Instant;\n",
+    );
+    let b = file(
+        "crates/core/src/a.rs",
+        FileKind::Src,
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    let report = lint_files(&[a, b], &schema::parse(SCHEMA_FIXTURE));
+    let got: Vec<(&str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.rule))
+        .collect();
+    assert_eq!(
+        got,
+        [
+            ("crates/core/src/a.rs", "D003"),
+            ("crates/core/src/b.rs", "D002"),
+        ],
+        "sorted by file, one finding per (file, line, rule)"
+    );
+    assert_eq!(report.files_scanned, 2);
+}

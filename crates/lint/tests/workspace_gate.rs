@@ -1,0 +1,136 @@
+//! The linter against real workspaces: the repo's own sources must be
+//! clean (this is the CI gate), the JSON rendering must match its
+//! documented shape, and a seeded violation in a scratch workspace must
+//! fail the binary with a finding that names the rule, file, and line.
+
+use daisy_lint::{lint_workspace, render_json, workspace};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("the lint crate lives inside the daisy workspace")
+}
+
+/// The tentpole acceptance check: `daisy lint` has nothing to say about
+/// the workspace that ships it. Every historical violation is either
+/// fixed or carries an explicit `daisy-lint: allow` with a reason.
+#[test]
+fn the_workspace_lints_clean() {
+    let report = lint_workspace(&repo_root()).expect("workspace is readable");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; found:\n{}",
+        daisy_lint::render_human(&report.findings, report.files_scanned)
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}); did workspace discovery break?",
+        report.files_scanned
+    );
+}
+
+/// `--json` output shape, pinned: tool/version header, a summary with
+/// counts, and per-finding rule/severity/file/line/message keys.
+#[test]
+fn json_rendering_matches_the_documented_shape() {
+    use daisy_lint::Finding;
+    let findings = vec![
+        Finding::new("D001", "crates/core/src/x.rs", 12, "it \"iterates\"".to_string()),
+        Finding::new("H003", "src/lib.rs", 1, "over budget".to_string()),
+    ];
+    let json = render_json(&findings, 7);
+    assert!(json.starts_with("{\"tool\":\"daisy-lint\",\"version\":1,"));
+    assert!(json.contains("\"summary\":{\"files\":7,\"errors\":1,\"warnings\":1}"));
+    assert!(json.contains(
+        "{\"rule\":\"D001\",\"severity\":\"error\",\"file\":\"crates/core/src/x.rs\",\
+         \"line\":12,\"message\":\"it \\\"iterates\\\"\"}"
+    ));
+    assert!(json.contains("\"rule\":\"H003\",\"severity\":\"warning\""));
+    // Exactly one top-level object, no trailing junk.
+    assert!(json.trim_end().ends_with("]}"));
+}
+
+/// Builds a minimal scratch workspace with one seeded D001 violation
+/// (a `for` loop over a HashMap in crates/core).
+fn write_seeded_workspace(dir: &Path) {
+    fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/core\"]\n").unwrap();
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        "//! Seeded-violation fixture crate.\n\
+         #![forbid(unsafe_code)]\n\
+         #![warn(missing_docs)]\n\
+         use std::collections::HashMap;\n\
+         /// Iterates a hash map — the seeded determinism violation.\n\
+         pub fn f(m: &HashMap<u32, u32>) -> u32 {\n\
+             let mut total = 0;\n\
+             for (_, v) in m {\n\
+                 total += v;\n\
+             }\n\
+             total\n\
+         }\n",
+    )
+    .unwrap();
+}
+
+/// End-to-end through the real binary: a seeded violation makes
+/// `daisy-lint --json` exit non-zero and report rule, file, and line.
+#[test]
+fn seeded_violation_fails_the_binary_with_rule_file_and_line() {
+    let dir = std::env::temp_dir().join(format!("daisy-lint-seeded-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    write_seeded_workspace(&dir);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy-lint"))
+        .args(["--root", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("daisy-lint binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings must exit 1; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"rule\":\"D001\""), "{stdout}");
+    assert!(stdout.contains("\"file\":\"crates/core/src/lib.rs\""), "{stdout}");
+    assert!(stdout.contains("\"line\":8"), "{stdout}");
+
+    // Fixing the seeded file flips the exit code back to 0.
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        "//! Seeded-violation fixture crate, fixed.\n\
+         #![forbid(unsafe_code)]\n\
+         #![warn(missing_docs)]\n\
+         use std::collections::BTreeMap;\n\
+         /// Iterates an ordered map — clean.\n\
+         pub fn f(m: &BTreeMap<u32, u32>) -> u32 {\n\
+             m.values().sum()\n\
+         }\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy-lint"))
+        .args(["--root", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("daisy-lint binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean workspace must exit 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"errors\":0,\"warnings\":0"), "{stdout}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The binary's human mode on the repo itself: exit 0 and a one-line
+/// all-clear (this is exactly what CI runs, minus `--json`).
+#[test]
+fn binary_is_clean_on_the_repo_workspace() {
+    let root = repo_root();
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy-lint"))
+        .args(["--root", root.to_str().unwrap()])
+        .output()
+        .expect("daisy-lint binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}

@@ -20,6 +20,9 @@
 //! assert_eq!(y.shape(), &[4, 1]);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod activation;
 pub mod batchnorm;
 pub mod conv;

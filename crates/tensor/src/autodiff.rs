@@ -28,7 +28,7 @@ use crate::conv::{
 };
 use crate::tensor::Tensor;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -296,7 +296,8 @@ impl Var {
     pub fn leaky_relu(&self, alpha: f32) -> Var {
         let x = self.value().clone();
         self.unary(
-            self.value().map(move |v| if v > 0.0 { v } else { alpha * v }),
+            self.value()
+                .map(move |v| if v > 0.0 { v } else { alpha * v }),
             move |g| g.zip(&x, move |gi, xi| if xi > 0.0 { gi } else { alpha * gi }),
         )
     }
@@ -354,9 +355,7 @@ impl Var {
         let v = self.value().mul_row(row.value());
         let x = self.value().clone();
         let r = row.value().clone();
-        self.binary(row, v, move |g| {
-            (g.mul_row(&r), g.mul(&x).sum_axis0())
-        })
+        self.binary(row, v, move |g| (g.mul_row(&r), g.mul(&x).sum_axis0()))
     }
 
     /// `[B, D] / [D]` (per-column division).
@@ -366,10 +365,7 @@ impl Var {
         let r = row.value().clone();
         self.binary(row, v, move |g| {
             let gx = g.div_row(&r);
-            let gr = g
-                .mul(&x)
-                .sum_axis0()
-                .zip(&r, |num, ri| -num / (ri * ri));
+            let gr = g.mul(&x).sum_axis0().zip(&r, |num, ri| -num / (ri * ri));
             (gx, gr)
         })
     }
@@ -595,12 +591,17 @@ impl Var {
     /// Runs backpropagation with an explicit output gradient.
     pub fn backward_with(&self, grad: Tensor) {
         assert_eq!(grad.shape(), self.shape(), "seed gradient shape mismatch");
-        // Collect reachable nodes.
+        // Collect reachable nodes. `seen` and `grads` are ordered
+        // (BTree) collections keyed by node id: gradient accumulation
+        // must be a pure function of the graph, never of a hash seed,
+        // so that backward passes are bit-identical across processes —
+        // the same contract the forward kernels keep across thread
+        // counts (see `tests/thread_determinism.rs`).
         let mut stack = vec![self.clone()];
         let mut order: Vec<Var> = Vec::new();
-        let mut seen: HashMap<u64, ()> = HashMap::new();
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         while let Some(v) = stack.pop() {
-            if seen.insert(v.node.id, ()).is_some() {
+            if !seen.insert(v.node.id) {
                 continue;
             }
             for p in &v.node.parents {
@@ -611,7 +612,7 @@ impl Var {
         // Reverse topological order = descending construction id.
         order.sort_by_key(|v| std::cmp::Reverse(v.node.id));
 
-        let mut grads: HashMap<u64, Tensor> = HashMap::new();
+        let mut grads: BTreeMap<u64, Tensor> = BTreeMap::new();
         grads.insert(self.node.id, grad);
         for v in order {
             let Some(g) = grads.remove(&v.node.id) else {
@@ -776,11 +777,7 @@ mod tests {
     fn grad_losses() {
         let targets = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0], &[3, 2]);
         let t2 = targets.clone();
-        grad_check(
-            randn(&[3, 2], 19),
-            move |x| x.bce_with_logits(&t2),
-            1e-2,
-        );
+        grad_check(randn(&[3, 2], 19), move |x| x.bce_with_logits(&t2), 1e-2);
         let t3 = randn(&[3, 2], 20);
         grad_check(randn(&[3, 2], 21), move |x| x.mse(&t3), 1e-2);
     }
@@ -806,12 +803,7 @@ mod tests {
         let x = randn(&[1, 2, 5, 5], 25);
         grad_check(
             randn(&[3, 2, 3, 3], 26).mul_scalar(0.5),
-            move |w| {
-                Var::constant(x.clone())
-                    .conv2d(w, 2, 1)
-                    .sqr()
-                    .sum()
-            },
+            move |w| Var::constant(x.clone()).conv2d(w, 2, 1).sqr().sum(),
             8e-2,
         );
         // Transposed conv wrt both operands.

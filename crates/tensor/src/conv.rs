@@ -81,7 +81,13 @@ pub fn conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
 
 /// Direct-loop forward path, parallel over the batch (each sample's
 /// output slice is disjoint, accumulation order unchanged).
-fn conv2d_direct(x: &Tensor, w: &Tensor, stride: usize, pad: usize, out_hw: (usize, usize)) -> Tensor {
+fn conv2d_direct(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    out_hw: (usize, usize),
+) -> Tensor {
     let (b, c, h, wd) = check4(x, "conv2d input");
     let (oc, _, kh, kw) = check4(w, "conv2d weight");
     let (oh, ow) = out_hw;
@@ -90,36 +96,42 @@ fn conv2d_direct(x: &Tensor, w: &Tensor, stride: usize, pad: usize, out_hw: (usi
     let wdat = w.data();
     let per_b = oc * oh * ow;
     let macs = b * per_b * c * kh * kw;
-    pool::for_each_row_chunk(&mut out, per_b, pool::rows_per_block(b, macs), |b0, chunk| {
-        for (i, obuf) in chunk.chunks_mut(per_b).enumerate() {
-            let bi = b0 + i;
-            for o in 0..oc {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ci in 0..c {
-                            for ky in 0..kh {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix >= wd as isize {
+    pool::for_each_row_chunk(
+        &mut out,
+        per_b,
+        pool::rows_per_block(b, macs),
+        |b0, chunk| {
+            for (i, obuf) in chunk.chunks_mut(per_b).enumerate() {
+                let bi = b0 + i;
+                for o in 0..oc {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = 0.0f32;
+                            for ci in 0..c {
+                                for ky in 0..kh {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
                                         continue;
                                     }
-                                    let xi = ((bi * c + ci) * h + iy as usize) * wd + ix as usize;
-                                    let wi = ((o * c + ci) * kh + ky) * kw + kx;
-                                    acc += xd[xi] * wdat[wi];
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let xi =
+                                            ((bi * c + ci) * h + iy as usize) * wd + ix as usize;
+                                        let wi = ((o * c + ci) * kh + ky) * kw + kx;
+                                        acc += xd[xi] * wdat[wi];
+                                    }
                                 }
                             }
+                            obuf[(o * oh + oy) * ow + ox] = acc;
                         }
-                        obuf[(o * oh + oy) * ow + ox] = acc;
                     }
                 }
             }
-        }
-    });
+        },
+    );
     Tensor::from_vec(out, &[b, oc, oh, ow])
 }
 
@@ -127,7 +139,13 @@ fn conv2d_direct(x: &Tensor, w: &Tensor, stride: usize, pad: usize, out_hw: (usi
 /// the direct loop's `[ci][ky][kx]` order), multiply by the `[OC,
 /// C*KH*KW]` weight view with the parallel `matmul_nt`, and permute the
 /// result back to `[B, OC, OH, OW]`.
-fn conv2d_im2col(x: &Tensor, w: &Tensor, stride: usize, pad: usize, out_hw: (usize, usize)) -> Tensor {
+fn conv2d_im2col(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    out_hw: (usize, usize),
+) -> Tensor {
     let (b, c, h, wd) = check4(x, "conv2d input");
     let (oc, _, kh, kw) = check4(w, "conv2d weight");
     let (oh, ow) = out_hw;
@@ -169,16 +187,21 @@ fn conv2d_im2col(x: &Tensor, w: &Tensor, stride: usize, pad: usize, out_hw: (usi
     let mut out = vec![0.0f32; b * oc * oh * ow];
     let per_b = oc * oh * ow;
     let ohw = oh * ow;
-    pool::for_each_row_chunk(&mut out, per_b, pool::rows_per_block(b, b * per_b), |b0, chunk| {
-        for (i, obuf) in chunk.chunks_mut(per_b).enumerate() {
-            let base = (b0 + i) * ohw;
-            for o in 0..oc {
-                for p in 0..ohw {
-                    obuf[o * ohw + p] = fd[(base + p) * oc + o];
+    pool::for_each_row_chunk(
+        &mut out,
+        per_b,
+        pool::rows_per_block(b, b * per_b),
+        |b0, chunk| {
+            for (i, obuf) in chunk.chunks_mut(per_b).enumerate() {
+                let base = (b0 + i) * ohw;
+                for o in 0..oc {
+                    for p in 0..ohw {
+                        obuf[o * ohw + p] = fd[(base + p) * oc + o];
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     Tensor::from_vec(out, &[b, oc, oh, ow])
 }
 
@@ -201,45 +224,56 @@ pub fn conv2d_grad_input(
 ) -> Tensor {
     let (b, oc, oh, ow) = check4(gy, "conv2d_grad_input upstream");
     let (ocw, c, kh, kw) = check4(w, "conv2d_grad_input weight");
-    assert_eq!(oc, ocw, "output channel mismatch");
+    assert_eq!(
+        oc,
+        ocw,
+        "output channel mismatch: upstream {:?} vs weight {:?}",
+        gy.shape(),
+        w.shape()
+    );
     let (h, wd) = input_hw;
     let mut gx = vec![0.0f32; b * c * h * wd];
     let gyd = gy.data();
     let wdat = w.data();
     let per_b = c * h * wd;
     let macs = b * oc * oh * ow * c * kh * kw;
-    pool::for_each_row_chunk(&mut gx, per_b, pool::rows_per_block(b, macs), |b0, chunk| {
-        for (i, gbuf) in chunk.chunks_mut(per_b).enumerate() {
-            let bi = b0 + i;
-            for o in 0..oc {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let g = gyd[((bi * oc + o) * oh + oy) * ow + ox];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..c {
-                            for ky in 0..kh {
-                                let iy = (oy * stride + ky) as isize - pad as isize;
-                                if iy < 0 || iy >= h as isize {
-                                    continue;
-                                }
-                                for kx in 0..kw {
-                                    let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if ix < 0 || ix >= wd as isize {
+    pool::for_each_row_chunk(
+        &mut gx,
+        per_b,
+        pool::rows_per_block(b, macs),
+        |b0, chunk| {
+            for (i, gbuf) in chunk.chunks_mut(per_b).enumerate() {
+                let bi = b0 + i;
+                for o in 0..oc {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = gyd[((bi * oc + o) * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..c {
+                                for ky in 0..kh {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize {
                                         continue;
                                     }
-                                    let xi = (ci * h + iy as usize) * wd + ix as usize;
-                                    let wi = ((o * c + ci) * kh + ky) * kw + kx;
-                                    gbuf[xi] += g * wdat[wi];
+                                    for kx in 0..kw {
+                                        let ix = (ox * stride + kx) as isize - pad as isize;
+                                        if ix < 0 || ix >= wd as isize {
+                                            continue;
+                                        }
+                                        let xi = (ci * h + iy as usize) * wd + ix as usize;
+                                        let wi = ((o * c + ci) * kh + ky) * kw + kx;
+                                        gbuf[xi] += g * wdat[wi];
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-        }
-    });
+        },
+    );
     Tensor::from_vec(gx, &[b, c, h, wd])
 }
 
@@ -262,7 +296,13 @@ pub fn conv2d_grad_weight(
 ) -> Tensor {
     let (b, c, h, wd) = check4(x, "conv2d_grad_weight input");
     let (b2, oc, oh, ow) = check4(gy, "conv2d_grad_weight upstream");
-    assert_eq!(b, b2, "batch mismatch");
+    assert_eq!(
+        b,
+        b2,
+        "batch mismatch: input {:?} vs upstream {:?}",
+        x.shape(),
+        gy.shape()
+    );
     let (kh, kw) = kernel_hw;
     let xd = x.data();
     let gyd = gy.data();
@@ -327,7 +367,10 @@ mod tests {
         assert_eq!(conv_out_dim(8, 3, 1, 1), 8);
         assert_eq!(conv_transpose_out_dim(8, 4, 2, 1), 16);
         // The two are inverses for the DCGAN geometry.
-        assert_eq!(conv_transpose_out_dim(conv_out_dim(16, 4, 2, 1), 4, 2, 1), 16);
+        assert_eq!(
+            conv_transpose_out_dim(conv_out_dim(16, 4, 2, 1), 4, 2, 1),
+            16
+        );
     }
 
     #[test]

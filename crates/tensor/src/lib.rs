@@ -34,6 +34,10 @@
 //! assert_eq!(w.grad().shape(), &[4, 2]);
 //! ```
 
+// `deny` (not `forbid`) so the worker pool alone can opt back in: its
+// scoped-task dispatch needs two audited unsafe blocks (see
+// `pool.rs`). Every other module is unsafe-free, machine-enforced.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod autodiff;

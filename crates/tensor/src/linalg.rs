@@ -80,12 +80,23 @@ impl Tensor {
     /// If either operand is not 2-D, or the inner dimensions differ
     /// (the message carries both shapes).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D");
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D");
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape()
+        );
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimensions differ: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -103,7 +114,12 @@ impl Tensor {
 
     /// Transpose of a 2-D tensor.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.ndim(), 2, "transpose requires a 2-D tensor");
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose requires a 2-D tensor, got {:?}",
+            self.shape()
+        );
         let (m, n) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -124,12 +140,23 @@ impl Tensor {
     /// If either operand is not 2-D, or the inner (shared `K`)
     /// dimensions differ (the message carries both shapes).
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D");
-        assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D");
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul_tn lhs must be 2-D, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul_tn rhs must be 2-D, got {:?}",
+            other.shape()
+        );
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_tn inner dimensions differ: {:?}^T x {:?}",
             self.shape(),
             other.shape()
@@ -169,12 +196,23 @@ impl Tensor {
     /// If either operand is not 2-D, or the inner (shared `K`)
     /// dimensions differ (the message carries both shapes).
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D");
-        assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D");
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul_nt lhs must be 2-D, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul_nt rhs must be 2-D, got {:?}",
+            other.shape()
+        );
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_nt inner dimensions differ: {:?} x {:?}^T",
             self.shape(),
             other.shape()
@@ -204,8 +242,18 @@ impl Tensor {
 
     /// Outer product of two 1-D tensors: `[M] ⊗ [N] -> [M, N]`.
     pub fn outer(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 1, "outer lhs must be 1-D");
-        assert_eq!(other.ndim(), 1, "outer rhs must be 1-D");
+        assert_eq!(
+            self.ndim(),
+            1,
+            "outer lhs must be 1-D, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            1,
+            "outer rhs must be 1-D, got {:?}",
+            other.shape()
+        );
         let (m, n) = (self.numel(), other.numel());
         let mut out = Vec::with_capacity(m * n);
         for &a in self.data() {
@@ -338,7 +386,11 @@ mod tests {
             let want = reference(&a, &b);
             for threads in [1, 4] {
                 crate::pool::set_threads(threads);
-                assert_eq!(a.matmul(&b).data(), want.data(), "m={m} k={k} n={n} threads={threads}");
+                assert_eq!(
+                    a.matmul(&b).data(),
+                    want.data(),
+                    "m={m} k={k} n={n} threads={threads}"
+                );
                 // tn/nt checked against their own 1-thread runs below.
             }
             crate::pool::set_threads(1);

@@ -47,6 +47,12 @@
 //! `parallel_for` does not return until all workers are done touching
 //! the job, which is what makes the lifetime erasure sound.
 
+// The crate root denies `unsafe_code`; this module is the sanctioned
+// exception — the lifetime-erased job pointer above is exactly the
+// unsafety being opted back in, audited against the contract in the
+// module docs.
+#![allow(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -277,8 +283,9 @@ fn parallel_for_dyn(n_blocks: usize, task: &(dyn Fn(usize) + Sync)) {
     // SAFETY: we erase the task's lifetime to store it in the job. The
     // pointer is only dereferenced by workers holding a ticket, and this
     // function does not return until every ticket is accounted for.
-    let task_ptr: *const (dyn Fn(usize) + Sync) =
-        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task) };
+    let task_ptr: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+    };
     let job = Job {
         task: task_ptr,
         next: AtomicUsize::new(0),
@@ -385,7 +392,10 @@ where
         // SAFETY: blocks are disjoint row ranges of `out`, each block
         // index runs exactly once, and `out` outlives the call.
         let chunk = unsafe {
-            std::slice::from_raw_parts_mut((base as *mut f32).add(r0 * row_width), (r1 - r0) * row_width)
+            std::slice::from_raw_parts_mut(
+                (base as *mut f32).add(r0 * row_width),
+                (r1 - r0) * row_width,
+            )
         };
         f(r0, chunk);
     });

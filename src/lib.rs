@@ -33,6 +33,9 @@
 //! assert_eq!(synthetic.n_rows(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use daisy_baselines as baselines;
 pub use daisy_core as core;
 pub use daisy_data as data;

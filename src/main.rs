@@ -4,6 +4,7 @@
 //! daisy demo --out real.csv                         # write a demo table
 //! daisy synth real.csv --label income --out fake.csv
 //! daisy evaluate real.csv fake.csv --label income   # utility + privacy
+//! daisy lint --json                                 # workspace static analysis
 //! ```
 //!
 //! Argument parsing is deliberately hand-rolled (no CLI dependency);
@@ -24,6 +25,7 @@ USAGE:
     daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
     daisy describe <TABLE.csv> [--label COL]
     daisy report <TRACE.jsonl> [--validate]
+    daisy lint [--json] [--root DIR] [--list-rules]
 
 SYNTH OPTIONS:
     --label COL          label column name (enables conditional training)
@@ -45,6 +47,11 @@ DEMO OPTIONS:
 REPORT OPTIONS:
     --validate           only validate the trace; print the summary line
 
+LINT:
+    Statically checks the workspace's own sources against the
+    determinism/schema/hygiene rule catalogue (docs/LINTS.md). Exit 0
+    when clean, 1 on findings, 2 on usage or I/O errors.
+
 OBSERVABILITY:
     Set DAISY_TRACE=<path> to record a JSONL event trace of any command
     (training epochs, guard trips, recoveries, model selection); render
@@ -56,6 +63,12 @@ fn main() -> ExitCode {
     // warns before any work starts.
     daisy::telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `lint` owns its own exit-code contract (0 clean, 1 findings,
+    // 2 usage/IO) and must not print the synthesis HELP on findings,
+    // so it bypasses the Result-based dispatch below.
+    if args.first().map(String::as_str) == Some("lint") {
+        return ExitCode::from(daisy_lint::cli::cli(&args[1..]) as u8);
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -1,0 +1,42 @@
+//! The `daisy lint` subcommand, end to end through the real binary:
+//! same engine, same exit-code contract as the standalone `daisy-lint`
+//! bin, wired into the main CLI.
+
+use std::process::Command;
+
+#[test]
+fn daisy_lint_is_clean_on_the_repo_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .arg("lint")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("daisy binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn daisy_lint_json_emits_the_machine_report() {
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .args(["lint", "--json"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("daisy binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"tool\":\"daisy-lint\",\"version\":1,"), "{stdout}");
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+}
+
+#[test]
+fn daisy_lint_usage_errors_exit_2_without_the_synth_help() {
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .args(["lint", "--no-such-flag"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("daisy binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("SYNTH OPTIONS"), "lint must not print the synthesis help");
+}

@@ -72,6 +72,54 @@ fn fit_trace_deterministic_view_is_byte_identical_across_runs_and_threads() {
     assert_eq!(first, parallel, "trace changed with the thread count");
 }
 
+/// Runs a backward pass through a graph that exercises every
+/// accumulation path the autodiff engine has — shared subexpressions
+/// (diamond fan-in), matmul on both operands, conv, row broadcasts —
+/// and returns every parameter gradient as raw bits.
+///
+/// Gradient accumulation is keyed by node id; this pins down that the
+/// traversal is a pure function of the graph (ordered collections, not
+/// hash-seed-ordered maps) and that the parallel kernels inside each
+/// backward closure stay bit-exact at any thread count.
+fn backward_grad_bits(threads: usize) -> Vec<Vec<u32>> {
+    use daisy::tensor::{Param, Tensor, Var};
+    pool::set_threads(threads);
+    let mut rng = Rng::seed_from_u64(42);
+    let w1 = Param::new(Tensor::randn(&[8, 16], &mut rng));
+    let b1 = Param::new(Tensor::randn(&[16], &mut rng));
+    let w2 = Param::new(Tensor::randn(&[16, 4], &mut rng));
+    let k = Param::new(Tensor::randn(&[2, 1, 3, 3], &mut rng).mul_scalar(0.5));
+    let x = Var::constant(Tensor::randn(&[6, 8], &mut rng));
+    let img = Var::constant(Tensor::randn(&[2, 1, 6, 6], &mut rng));
+
+    // Diamond: `h` feeds both branches, so its gradient accumulates
+    // from two parents; before PR 5 this walked a HashMap.
+    let h = x.matmul(&w1.var()).add_row(&b1.var()).tanh();
+    let branch_a = h.matmul(&w2.var()).sigmoid().sum();
+    let branch_b = h.sqr().mean();
+    let conv_loss = img.conv2d(&k.var(), 1, 1).sqr().mean();
+    branch_a.add(&branch_b).add(&conv_loss).backward();
+
+    let grads = [w1, b1, w2, k]
+        .iter()
+        .map(|p| p.grad().data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    pool::set_threads(1);
+    grads
+}
+
+/// Golden assertion for the backward pass: gradients are byte-identical
+/// across repeated runs and across thread counts.
+#[test]
+fn backward_pass_gradients_are_bit_identical_across_runs_and_threads() {
+    let serial = backward_grad_bits(1);
+    let repeat = backward_grad_bits(1);
+    let parallel = backward_grad_bits(6);
+    assert!(serial.iter().map(|g| g.len()).sum::<usize>() > 0);
+    assert_eq!(serial, repeat, "backward pass changed between identical runs");
+    assert_eq!(serial, parallel, "backward pass changed with the thread count");
+}
+
 #[test]
 fn synthesizer_output_is_identical_for_1_and_n_threads() {
     let table = daisy::datasets::SDataNum {
