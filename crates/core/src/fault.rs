@@ -15,6 +15,12 @@
 //! healthy prefix would re-inject the fault forever and no recovery
 //! could ever succeed. A refit (e.g. the simplified-D escalation in
 //! [`crate::Synthesizer::try_fit`]) is a new attempt: the plan re-arms.
+//!
+//! Data-plane faults (torn chunk writes, bit rot on read, full disks,
+//! mid-ingest kills) live in `daisy-data` and are re-exported here so
+//! one import path covers the whole fault surface.
+
+pub use daisy_data::{DataFault, DataFaultPlan};
 
 /// One scheduled fault. `step` counts generator iterations (the
 /// trainer's `t`), starting at 0.

@@ -331,6 +331,12 @@ pub enum TrainError {
         /// Epochs completed (and durably snapshotted) before the kill.
         epoch: usize,
     },
+    /// The batch source failed mid-training — an out-of-core store hit
+    /// corruption or I/O failure after construction-time validation.
+    /// Not guard-recoverable: rolling back weights cannot repair the
+    /// data underneath, so the typed error propagates immediately.
+    /// Carries the rendered [`daisy_data::DataError`].
+    Data(String),
 }
 
 impl fmt::Display for TrainError {
@@ -345,6 +351,7 @@ impl fmt::Display for TrainError {
             TrainError::Interrupted { step, epoch } => {
                 write!(f, "training interrupted at step {step} (epoch {epoch})")
             }
+            TrainError::Data(msg) => write!(f, "batch source failed: {msg}"),
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod model_selection;
 pub mod output_head;
 pub mod persist;
 pub mod sampler;
+pub mod stream_data;
 pub mod synthesizer;
 pub mod train;
 mod wire;
@@ -42,14 +43,15 @@ pub use config::{
 };
 pub use diagnostics::{duplicate_fraction, encoded_duplicate_fraction, is_collapsed};
 pub use discriminator::{CnnDiscriminator, Discriminator, LstmDiscriminator, MlpDiscriminator};
-pub use fault::{Fault, FaultPlan, IoFault, IoFaultPlan};
+pub use fault::{DataFault, DataFaultPlan, Fault, FaultPlan, IoFault, IoFaultPlan};
 pub use generator::{CnnGenerator, Generator, LstmGenerator, MlpGenerator};
 pub use guard::{
     GuardConfig, RecoveryAction, RecoveryEvent, TrainError, TrainGuard, TrainOutcome, TripReason,
 };
 pub use model_selection::{default_candidates, random_search, HyperParams, SearchResult};
 pub use persist::PersistError;
-pub use sampler::{Minibatch, TrainingData};
+pub use sampler::{BatchSource, Minibatch, TrainingData};
+pub use stream_data::ChunkedTrainingData;
 pub use synthesizer::{FittedSynthesizer, SampleCodec, Synthesizer, TableSynthesizer};
 pub use train::{
     train_gan, train_gan_checkpointed, train_gan_resilient, EpochStats, ResilientRun, TrainingRun,

@@ -3,8 +3,45 @@
 //! gets dedicated minibatches — the CTrain remedy for skewed label
 //! distributions, §5.3).
 
-use daisy_data::{one_hot_labels, RecordCodec, Table};
+use daisy_data::{one_hot_labels, DataError, RecordCodec, Table};
 use daisy_tensor::{Rng, Tensor};
+
+/// What the training algorithms need from real data: batch sampling
+/// plus label metadata. Implemented by the fully-resident
+/// [`TrainingData`] and by the out-of-core
+/// [`ChunkedTrainingData`](crate::stream_data::ChunkedTrainingData);
+/// the trainer takes `&dyn BatchSource`, so switching backends never
+/// changes the training code path (or, with matching sources, the
+/// arithmetic).
+///
+/// Sampling is fallible because a disk-backed source can hit
+/// corruption mid-training; in-memory sources simply never return
+/// `Err`.
+pub trait BatchSource {
+    /// Number of records.
+    fn n_rows(&self) -> usize;
+    /// Encoded sample width.
+    fn width(&self) -> usize;
+    /// Label domain size (0 when unlabeled).
+    fn n_classes(&self) -> usize;
+    /// Empirical label distribution (probabilities by label code).
+    fn label_distribution(&self) -> Vec<f64>;
+    /// Uniformly random minibatch (the `random` sampling strategy).
+    fn sample_random(
+        &self,
+        batch: usize,
+        with_conditions: bool,
+        rng: &mut Rng,
+    ) -> Result<Minibatch, DataError>;
+    /// Label-aware minibatch: all rows share the target label
+    /// (Algorithm 3).
+    fn sample_with_label(
+        &self,
+        label: u32,
+        batch: usize,
+        rng: &mut Rng,
+    ) -> Result<Minibatch, DataError>;
+}
 
 /// Encoded training data plus label metadata, shared by the training
 /// algorithms.
@@ -129,6 +166,42 @@ impl TrainingData {
             conditions,
             labels,
         }
+    }
+}
+
+impl BatchSource for TrainingData {
+    fn n_rows(&self) -> usize {
+        TrainingData::n_rows(self)
+    }
+
+    fn width(&self) -> usize {
+        TrainingData::width(self)
+    }
+
+    fn n_classes(&self) -> usize {
+        TrainingData::n_classes(self)
+    }
+
+    fn label_distribution(&self) -> Vec<f64> {
+        TrainingData::label_distribution(self)
+    }
+
+    fn sample_random(
+        &self,
+        batch: usize,
+        with_conditions: bool,
+        rng: &mut Rng,
+    ) -> Result<Minibatch, DataError> {
+        Ok(TrainingData::sample_random(self, batch, with_conditions, rng))
+    }
+
+    fn sample_with_label(
+        &self,
+        label: u32,
+        batch: usize,
+        rng: &mut Rng,
+    ) -> Result<Minibatch, DataError> {
+        Ok(TrainingData::sample_with_label(self, label, batch, rng))
     }
 }
 

@@ -333,6 +333,9 @@ impl Synthesizer {
             // resumes the same configuration, so escalating would both
             // waste the checkpoint and change the design point.
             Err(TrainError::Interrupted { .. }) => false,
+            // Corrupt data underneath the trainer: retraining on the
+            // same source would hit the same error.
+            Err(TrainError::Data(_)) => false,
         };
         if needs_escalation && guard.escalate_simplified_d && !config.simplified_d {
             if daisy_telemetry::enabled() {

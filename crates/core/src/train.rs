@@ -32,7 +32,7 @@ use crate::generator::Generator;
 use crate::guard::{
     GuardConfig, RecoveryAction, RecoveryEvent, TrainError, TrainGuard, TrainOutcome, TripReason,
 };
-use crate::sampler::{Minibatch, TrainingData};
+use crate::sampler::{BatchSource, Minibatch};
 use daisy_nn::loss::{batch_distribution, empirical_distribution, kl_divergence};
 use daisy_nn::{
     add_grad_noise, clip_grad_norm, clip_weights, grad_norm, params_non_finite, restore, snapshot,
@@ -105,7 +105,7 @@ struct Healthy {
 pub fn train_gan(
     g: &dyn Generator,
     d: &dyn Discriminator,
-    data: &TrainingData,
+    data: &dyn BatchSource,
     softmax_spans: &[(usize, usize)],
     cfg: &TrainConfig,
     rng: &mut Rng,
@@ -123,7 +123,7 @@ pub fn train_gan(
     .map(|r| r.run)
 }
 
-fn validate(cfg: &TrainConfig, data: &TrainingData) -> Result<(), TrainError> {
+fn validate(cfg: &TrainConfig, data: &dyn BatchSource) -> Result<(), TrainError> {
     let err = |msg: &str| Err(TrainError::InvalidConfig(msg.to_string()));
     if cfg.iterations == 0 {
         return err("need at least one iteration");
@@ -166,7 +166,7 @@ fn build_optimizers(
 /// models get labels cycled over the domain so every class is probed.
 fn collapse_probe(
     g: &dyn Generator,
-    data: &TrainingData,
+    data: &dyn BatchSource,
     cfg: &TrainConfig,
     rows: usize,
     rng: &mut Rng,
@@ -195,7 +195,7 @@ fn collapse_probe(
 pub fn train_gan_resilient(
     g: &dyn Generator,
     d: &dyn Discriminator,
-    data: &TrainingData,
+    data: &dyn BatchSource,
     softmax_spans: &[(usize, usize)],
     cfg: &TrainConfig,
     guard_cfg: &GuardConfig,
@@ -232,7 +232,7 @@ pub fn train_gan_resilient(
 pub fn train_gan_checkpointed(
     g: &dyn Generator,
     d: &dyn Discriminator,
-    data: &TrainingData,
+    data: &dyn BatchSource,
     softmax_spans: &[(usize, usize)],
     cfg: &TrainConfig,
     guard_cfg: &GuardConfig,
@@ -413,7 +413,7 @@ pub fn train_gan_checkpointed(
             if active.conditional && active.label_aware {
                 // Algorithm 3: iterate every label in the domain.
                 for y in 0..data.n_classes() as u32 {
-                    let (dl, gl, kl) = step(
+                    let (dl, gl, kl) = match step(
                         g,
                         d,
                         data,
@@ -424,12 +424,19 @@ pub fn train_gan_checkpointed(
                         &mut *opt_g,
                         &mut *opt_d,
                         rng,
-                    );
+                    ) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            g.set_training(false);
+                            d.set_training(false);
+                            return Err(e);
+                        }
+                    };
                     acc = (acc.0 + dl as f64, acc.1 + gl as f64, acc.2 + kl as f64, acc.3 + 1);
                     losses.push((dl, gl));
                 }
             } else {
-                let (dl, gl, kl) = step(
+                let (dl, gl, kl) = match step(
                     g,
                     d,
                     data,
@@ -440,7 +447,14 @@ pub fn train_gan_checkpointed(
                     &mut *opt_g,
                     &mut *opt_d,
                     rng,
-                );
+                ) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        g.set_training(false);
+                        d.set_training(false);
+                        return Err(e);
+                    }
+                };
                 acc = (acc.0 + dl as f64, acc.1 + gl as f64, acc.2 + kl as f64, acc.3 + 1);
                 losses.push((dl, gl));
             }
@@ -688,7 +702,7 @@ pub fn train_gan_checkpointed(
 fn step(
     g: &dyn Generator,
     d: &dyn Discriminator,
-    data: &TrainingData,
+    data: &dyn BatchSource,
     softmax_spans: &[(usize, usize)],
     cfg: &TrainConfig,
     target_label: Option<u32>,
@@ -696,7 +710,7 @@ fn step(
     opt_g: &mut dyn Optimizer,
     opt_d: &mut dyn Optimizer,
     rng: &mut Rng,
-) -> (f32, f32, f32) {
+) -> Result<(f32, f32, f32), TrainError> {
     let m = cfg.batch_size;
     let g_params = g.params();
     let d_params = d.params();
@@ -709,7 +723,7 @@ fn step(
     let groups = m / pac;
     let mut d_loss_last = 0.0;
     for _ in 0..cfg.d_steps.max(1) {
-        let mut real = sample(data, cfg, target_label, m, rng);
+        let mut real = sample(data, cfg, target_label, m, rng)?;
         if poison {
             real.samples = Tensor::full(real.samples.shape(), f32::NAN);
         }
@@ -759,7 +773,7 @@ fn step(
     }
 
     // ---- generator phase ----
-    let real = sample(data, cfg, target_label, m, rng);
+    let real = sample(data, cfg, target_label, m, rng)?;
     let cond = real.conditions.clone();
     let z = g.sample_noise(m, rng);
     zero_grads(&g_params);
@@ -793,7 +807,7 @@ fn step(
     g_loss.backward();
     opt_g.step();
 
-    (d_loss_last, g_loss_value, kl_value)
+    Ok((d_loss_last, g_loss_value, kl_value))
 }
 
 /// PacGAN packing: `[m, d] -> [m/pac, pac*d]` by concatenating groups
@@ -808,16 +822,17 @@ fn pack(x: &Var, pac: usize) -> Var {
 }
 
 fn sample(
-    data: &TrainingData,
+    data: &dyn BatchSource,
     cfg: &TrainConfig,
     target_label: Option<u32>,
     m: usize,
     rng: &mut Rng,
-) -> Minibatch {
+) -> Result<Minibatch, TrainError> {
     match target_label {
         Some(y) => data.sample_with_label(y, m, rng),
         None => data.sample_random(m, cfg.conditional, rng),
     }
+    .map_err(|e| TrainError::Data(e.to_string()))
 }
 
 /// `Σ_j KL(T[j] ‖ T'[j])` over the probability blocks of the layout.
@@ -843,6 +858,7 @@ mod tests {
     use crate::generator::test_support::tiny_table;
     use crate::generator::MlpGenerator;
     use crate::output_head::softmax_spans;
+    use crate::sampler::TrainingData;
     use daisy_data::{RecordCodec, TransformConfig};
 
     fn setup(

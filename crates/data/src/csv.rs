@@ -1,10 +1,14 @@
 //! Minimal CSV import/export for tables.
 //!
 //! Intended for moving synthetic tables in and out of the library (the
-//! datasets themselves are generated in-process). Quoting is not
-//! supported; category names containing commas are rejected on write.
-//! All malformed-input conditions surface as typed [`DataError`]s so
-//! callers (notably the CLI) can report them instead of panicking.
+//! datasets themselves are generated in-process). A minimal RFC-4180
+//! subset is supported: fields containing commas or double quotes are
+//! quoted on write (with `"` escaped as `""`) and unquoted on read, so
+//! category names like `"Craft-repair, other"` round-trip. Embedded
+//! line breaks are *not* supported — the reader is line-oriented — and
+//! are rejected on write. All malformed-input conditions surface as
+//! typed [`DataError`]s so callers (notably the CLI) can report them
+//! instead of panicking.
 
 use crate::error::DataError;
 use crate::schema::Schema;
@@ -12,17 +16,91 @@ use crate::table::{Column, Table};
 use crate::value::Attribute;
 use std::io::{BufRead, Write};
 
+/// Escapes one cell for CSV output. Returns `None` if the cell cannot
+/// be written at all (embedded line break); otherwise the cell, quoted
+/// if it contains a comma or a double quote.
+pub(crate) fn escape_cell(cell: &str) -> Option<String> {
+    if cell.contains('\n') || cell.contains('\r') {
+        return None;
+    }
+    if cell.contains(',') || cell.contains('"') {
+        Some(format!("\"{}\"", cell.replace('"', "\"\"")))
+    } else {
+        Some(cell.to_string())
+    }
+}
+
+/// Splits one CSV line into cells, honoring double-quoted fields with
+/// `""` escapes. Unquoted cells are trimmed; quoted cells are preserved
+/// verbatim. `line_no` is the one-based input line number used in
+/// errors.
+pub(crate) fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>, DataError> {
+    let mut cells = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut was_quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                // An opening quote only starts a quoted field at the
+                // beginning of the cell (ignoring leading whitespace);
+                // a quote in the middle of a bare cell is literal.
+                '"' if !was_quoted && field.trim().is_empty() => {
+                    in_quotes = true;
+                    was_quoted = true;
+                    field.clear();
+                }
+                ',' => {
+                    let cell = if was_quoted {
+                        std::mem::take(&mut field)
+                    } else {
+                        field.trim().to_string()
+                    };
+                    cells.push(cell);
+                    field.clear();
+                    was_quoted = false;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataError::UnterminatedQuote { line: line_no });
+    }
+    let cell = if was_quoted {
+        field
+    } else {
+        field.trim().to_string()
+    };
+    cells.push(cell);
+    Ok(cells)
+}
+
 /// Serializes a table as CSV with a header row.
 ///
-/// Fails with [`DataError::UnwritableCategory`] if a category name
-/// contains a comma (the writer does not quote).
+/// Fields containing commas or quotes are quoted per RFC-4180. Fails
+/// with [`DataError::UnwritableCategory`] if a category name contains a
+/// line break (the line-oriented reader could not round-trip it).
 pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<(), DataError> {
-    let names: Vec<&str> = table
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| a.name.as_str())
-        .collect();
+    let mut names = Vec::with_capacity(table.n_attrs());
+    for a in table.schema().attrs() {
+        let cell = escape_cell(&a.name).ok_or_else(|| DataError::UnwritableCategory {
+            name: a.name.clone(),
+        })?;
+        names.push(cell);
+    }
     writeln!(out, "{}", names.join(","))?;
     for i in 0..table.n_rows() {
         let mut cells = Vec::with_capacity(table.n_attrs());
@@ -31,10 +109,9 @@ pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<(), DataError> {
                 Column::Num(v) => cells.push(format!("{}", v[i])),
                 Column::Cat { codes, categories } => {
                     let name = &categories[codes[i] as usize];
-                    if name.contains(',') {
-                        return Err(DataError::UnwritableCategory { name: name.clone() });
-                    }
-                    cells.push(name.clone());
+                    let cell = escape_cell(name)
+                        .ok_or_else(|| DataError::UnwritableCategory { name: name.clone() })?;
+                    cells.push(cell);
                 }
             }
         }
@@ -43,15 +120,18 @@ pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<(), DataError> {
     Ok(())
 }
 
-/// Parses CSV produced by [`write_csv`] (or any unquoted CSV with a
-/// header). Column types are inferred: a column is numerical when every
-/// cell parses as `f64`, categorical otherwise. `label` optionally
+/// Parses CSV produced by [`write_csv`] (or any CSV with a header and
+/// at most RFC-4180 quoting, no embedded newlines). Column types are
+/// inferred: a column is numerical when every cell parses as a *finite*
+/// `f64`, categorical otherwise — except that a fully-parseable column
+/// containing NaN or an infinity is a [`DataError::NonFiniteNumber`]
+/// rather than a silently poisoned numeric column. `label` optionally
 /// names the label column; naming a column that is not in the header is
 /// a [`DataError::UnknownLabel`].
 pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> Result<Table, DataError> {
     let mut lines = input.lines();
     let header = lines.next().ok_or(DataError::EmptyCsv)??;
-    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let names = parse_record(&header, 1)?;
     let n = names.len();
     for (j, name) in names.iter().enumerate() {
         if name.is_empty() {
@@ -68,21 +148,24 @@ pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> Result<Table, Data
     }
 
     let mut cells: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut line_nos: Vec<usize> = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let row: Vec<&str> = line.split(',').collect();
+        let line_no = i + 2; // one-based; the header is line 1
+        let row = parse_record(&line, line_no)?;
         if row.len() != n {
             return Err(DataError::RaggedRow {
-                line: i + 2, // one-based; the header is line 1
+                line: line_no,
                 got: row.len(),
                 expected: n,
             });
         }
+        line_nos.push(line_no);
         for (c, v) in cells.iter_mut().zip(row) {
-            c.push(v.trim().to_string());
+            c.push(v);
         }
     }
 
@@ -101,6 +184,13 @@ pub fn read_csv<R: BufRead>(input: R, label: Option<&str>) -> Result<Table, Data
         let all_numeric = !col.is_empty() && parsed.len() == col.len();
         let force_categorical = label == Some(name.as_str());
         if all_numeric && !force_categorical {
+            if let Some(bad) = parsed.iter().position(|x| !x.is_finite()) {
+                return Err(DataError::NonFiniteNumber {
+                    line: line_nos[bad],
+                    column: name.clone(),
+                    value: col[bad].clone(),
+                });
+            }
             attrs.push(Attribute::numerical(name.clone()));
             columns.push(Column::Num(parsed));
         } else {
@@ -223,18 +313,81 @@ mod tests {
     }
 
     #[test]
-    fn comma_category_rejected_on_write() {
+    fn comma_category_roundtrips_quoted() {
+        let schema = Schema::new(vec![Attribute::categorical("c")]);
+        let t = Table::new(
+            schema,
+            vec![Column::Cat {
+                codes: vec![0, 1],
+                categories: vec!["Craft-repair, other".into(), "say \"hi\"".into()],
+            }],
+        );
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("\"Craft-repair, other\""));
+        assert!(text.contains("\"say \"\"hi\"\"\""));
+        let back = read_csv(&buf[..], None).unwrap();
+        let Column::Cat { categories, .. } = back.column(0) else {
+            panic!("expected categorical column");
+        };
+        assert_eq!(
+            categories,
+            &["Craft-repair, other".to_string(), "say \"hi\"".to_string()]
+        );
+    }
+
+    #[test]
+    fn quoted_header_roundtrips() {
+        let csv = "\"a,b\",c\n1,2\n";
+        let t = read_csv(csv.as_bytes(), None).unwrap();
+        assert_eq!(t.schema().attr(0).name, "a,b");
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&buf[..], None).unwrap();
+        assert_eq!(back.schema().attr(0).name, "a,b");
+    }
+
+    #[test]
+    fn newline_category_rejected_on_write() {
         let schema = Schema::new(vec![Attribute::categorical("c")]);
         let t = Table::new(
             schema,
             vec![Column::Cat {
                 codes: vec![0],
-                categories: vec!["a,b".into()],
+                categories: vec!["a\nb".into()],
             }],
         );
         let Err(e) = write_csv(&t, Vec::new()) else {
-            panic!("comma category must be rejected");
+            panic!("newline category must be rejected");
         };
-        assert!(matches!(e, DataError::UnwritableCategory { name } if name == "a,b"));
+        assert!(matches!(e, DataError::UnwritableCategory { name } if name == "a\nb"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "a,b\n\"oops,2\n";
+        let Err(e) = read_csv(csv.as_bytes(), None) else {
+            panic!("unterminated quote must be rejected");
+        };
+        assert!(matches!(e, DataError::UnterminatedQuote { line: 2 }));
+    }
+
+    #[test]
+    fn non_finite_numeric_cell_rejected() {
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let csv = format!("x\n1.0\n{bad}\n3.0\n");
+            let Err(e) = read_csv(csv.as_bytes(), None) else {
+                panic!("non-finite cell {bad} must be rejected");
+            };
+            assert!(
+                matches!(e, DataError::NonFiniteNumber { line: 3, ref column, .. } if column == "x"),
+                "unexpected error for {bad}: {e}"
+            );
+        }
+        // A categorical column may legitimately contain the *string*
+        // "NaN" among non-numeric values; that stays a category.
+        let t = read_csv("x\napple\nNaN\n".as_bytes(), None).unwrap();
+        assert_eq!(t.schema().attr(0).ty, AttrType::Categorical);
     }
 }

@@ -86,6 +86,130 @@ impl Gmm1d {
         gmm
     }
 
+    /// Fits a mixture over data that is only reachable pass-by-pass —
+    /// the out-of-core analogue of [`Gmm1d::fit`] for chunked stores
+    /// that do not fit in memory. `for_each` must stream every value
+    /// (in a fixed order) to the callback each time it is called; it
+    /// is invoked `2 + iterations` times: one pass for count/range/
+    /// variance, one histogram pass for quantile initialization, and
+    /// one per EM iteration.
+    ///
+    /// The EM arithmetic is identical (same accumulation order) to the
+    /// in-memory fit, but initialization is intentionally different:
+    /// exact sorted quantiles would require materializing the column,
+    /// so component means start at approximate quantiles from a
+    /// 1024-bin histogram. Both are deterministic; a streaming fit is
+    /// bit-identical across chunk backends and thread counts, but not
+    /// to [`Gmm1d::fit`] on the same data.
+    pub fn fit_streaming<F>(
+        mut for_each: F,
+        s: usize,
+        iterations: usize,
+    ) -> Result<Gmm1d, crate::error::DataError>
+    where
+        F: FnMut(&mut dyn FnMut(f64)) -> Result<(), crate::error::DataError>,
+    {
+        assert!(s > 0, "need at least one component");
+
+        // Pass 1: count, range, and global variance (Welford).
+        let mut n = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for_each(&mut |x| {
+            n += 1;
+            min = min.min(x);
+            max = max.max(x);
+            let d = x - mean;
+            mean += d / n as f64;
+            m2 += d * (x - mean);
+        })?;
+        assert!(n > 0, "cannot fit a GMM on no data");
+        let global_std = (m2 / n as f64).sqrt().max(STD_FLOOR);
+
+        // Pass 2: histogram → approximate quantile initialization.
+        const BINS: usize = 1024;
+        let width = (max - min) / BINS as f64;
+        let mut hist = vec![0u64; BINS];
+        for_each(&mut |x| {
+            let b = if width > 0.0 {
+                (((x - min) / width) as usize).min(BINS - 1)
+            } else {
+                0
+            };
+            hist[b] += 1;
+        })?;
+        let mut means = Vec::with_capacity(s);
+        {
+            let mut bin = 0usize;
+            let mut cum = hist[0];
+            for i in 0..s {
+                let rank = ((i * (n - 1)) / s) as u64;
+                while cum <= rank && bin + 1 < BINS {
+                    bin += 1;
+                    cum += hist[bin];
+                }
+                means.push(min + (bin as f64 + 0.5) * width);
+            }
+        }
+        let mut stds = vec![global_std; s];
+        let mut weights = vec![1.0 / s as f64; s];
+
+        // EM: one streaming pass per iteration, accumulating in the
+        // same order as the in-memory fit.
+        let mut resp = vec![0.0f64; s];
+        for _ in 0..iterations {
+            let mut wsum = vec![0.0f64; s];
+            let mut msum = vec![0.0f64; s];
+            let mut vsum = vec![0.0f64; s];
+            {
+                let means = &means;
+                let stds = &stds;
+                let weights = &weights;
+                let resp = &mut resp;
+                for_each(&mut |x| {
+                    let mut total = 0.0;
+                    for k in 0..s {
+                        resp[k] = weights[k] * gauss_pdf(x, means[k], stds[k]);
+                        total += resp[k];
+                    }
+                    if total <= 0.0 {
+                        let k = nearest(means, x);
+                        resp.fill(0.0);
+                        resp[k] = 1.0;
+                        total = 1.0;
+                    }
+                    for k in 0..s {
+                        let r = resp[k] / total;
+                        wsum[k] += r;
+                        msum[k] += r * x;
+                        vsum[k] += r * x * x;
+                    }
+                })?;
+            }
+            for k in 0..s {
+                if wsum[k] < 1e-10 {
+                    weights[k] = 0.0;
+                    continue;
+                }
+                weights[k] = wsum[k] / n as f64;
+                means[k] = msum[k] / wsum[k];
+                let var = (vsum[k] / wsum[k] - means[k] * means[k]).max(STD_FLOOR * STD_FLOOR);
+                stds[k] = var.sqrt();
+            }
+        }
+
+        let alive: Vec<usize> = (0..s).filter(|&k| weights[k] > 1e-9).collect();
+        let gmm = Gmm1d {
+            weights: alive.iter().map(|&k| weights[k]).collect(),
+            means: alive.iter().map(|&k| means[k]).collect(),
+            stds: alive.iter().map(|&k| stds[k]).collect(),
+        };
+        assert!(!gmm.means.is_empty(), "EM lost all components");
+        Ok(gmm)
+    }
+
     /// Reassembles a fitted mixture from its parameters (for model
     /// persistence). Panics on inconsistent arities or non-positive
     /// standard deviations.
@@ -258,6 +382,57 @@ mod tests {
         let gmm = Gmm1d::fit(&data, 4, 30);
         let total: f64 = gmm.weights().iter().sum();
         assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Drives `fit_streaming` from an in-memory slice split into
+    /// chunks, mimicking how a chunk source feeds it.
+    fn stream_fit(values: &[f64], chunk: usize, s: usize, iters: usize) -> Gmm1d {
+        Gmm1d::fit_streaming(
+            |f| {
+                for part in values.chunks(chunk) {
+                    for &x in part {
+                        f(x);
+                    }
+                }
+                Ok(())
+            },
+            s,
+            iters,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_fit_recovers_two_modes() {
+        let data = bimodal_sample(4000, 5);
+        let gmm = stream_fit(&data, 64, 2, 50);
+        let mut means = gmm.means().to_vec();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 20.0).abs() < 2.0, "means = {means:?}");
+        assert!((means[1] - 50.0).abs() < 2.0, "means = {means:?}");
+    }
+
+    #[test]
+    fn streaming_fit_is_chunking_invariant() {
+        // The fit must depend only on the value sequence, not on how it
+        // is cut into chunks — the guarantee that makes in-memory and
+        // store-backed sources interchangeable.
+        let data = bimodal_sample(1000, 6);
+        let a = stream_fit(&data, 7, 3, 25);
+        let b = stream_fit(&data, 1000, 3, 25);
+        assert_eq!(a.means(), b.means());
+        assert_eq!(a.stds(), b.stds());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn streaming_fit_constant_column() {
+        let data = vec![7.0; 64];
+        let gmm = stream_fit(&data, 16, 3, 20);
+        assert!(gmm.n_components() >= 1);
+        let (v, k) = gmm.normalize(7.0);
+        assert!(v.abs() < 1e-6);
+        assert!((gmm.denormalize(v, k) - 7.0).abs() < 1e-6);
     }
 
     #[test]

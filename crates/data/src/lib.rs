@@ -30,14 +30,20 @@
 pub mod csv;
 pub mod error;
 pub mod gmm;
+pub mod ingest;
 pub mod schema;
+pub mod source;
+pub mod store;
 pub mod table;
 pub mod transform;
 pub mod value;
 
 pub use error::DataError;
 pub use gmm::Gmm1d;
+pub use ingest::{ingest_csv, IngestConfig, IngestReport, RowErrorPolicy};
 pub use schema::Schema;
+pub use source::{ChunkSource, TableChunks};
+pub use store::{ChunkStore, DataFault, DataFaultPlan};
 pub use table::{Column, Table, TableBuilder};
 pub use transform::{
     one_hot_labels, AttributeCodec, CategoricalEncoding, MatrixCellParam, MatrixCodec,

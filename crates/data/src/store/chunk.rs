@@ -1,0 +1,290 @@
+//! The sealed `DAISYCH1` chunk file format and the schema codec shared
+//! by the store manifest and the ingest journal.
+//!
+//! A chunk file is:
+//!
+//! ```text
+//! [magic "DAISYCH1"]
+//! [section: header  = chunk_index, n_rows, n_cols]
+//! [section: column 0]
+//! [section: column 1]
+//! ...
+//! ```
+//!
+//! Every section is a `[len][crc64][bytes]` frame from [`daisy_wire`],
+//! so any single-byte flip anywhere in the file is detected at read
+//! time. Categorical columns store codes only; the category
+//! dictionaries live once in the store manifest (and journal), keeping
+//! chunks compact and guaranteeing one dictionary across the table.
+
+use crate::schema::Schema;
+use crate::table::Column;
+use crate::value::{AttrType, Attribute};
+use daisy_wire::{Reader, WireError, Writer};
+
+/// Chunk file magic, version 1.
+pub const CHUNK_MAGIC: &[u8; 8] = b"DAISYCH1";
+
+/// File name of chunk `k` inside a store directory.
+pub fn chunk_file_name(k: usize) -> String {
+    format!("chunk-{k:06}.dch")
+}
+
+/// Encodes a schema plus per-column category dictionaries (empty for
+/// numerical columns) into `w`.
+pub(crate) fn encode_schema(w: &mut Writer, schema: &Schema, dicts: &[Vec<String>]) {
+    w.usize(schema.n_attrs());
+    for (a, dict) in schema.attrs().iter().zip(dicts) {
+        w.str(&a.name);
+        w.u8(match a.ty {
+            AttrType::Numerical => 0,
+            AttrType::Categorical => 1,
+        });
+        w.usize(dict.len());
+        for c in dict {
+            w.str(c);
+        }
+    }
+    match schema.label() {
+        Some(j) => {
+            w.bool(true);
+            w.usize(j);
+        }
+        None => w.bool(false),
+    }
+}
+
+/// Decodes a schema and dictionaries written by [`encode_schema`].
+pub(crate) fn decode_schema(r: &mut Reader<'_>) -> Result<(Schema, Vec<Vec<String>>), WireError> {
+    let n = r.len()?;
+    if n == 0 {
+        return Err("schema with zero attributes".to_string());
+    }
+    let mut attrs = Vec::with_capacity(n);
+    let mut dicts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let ty = r.u8()?;
+        let k = r.len()?;
+        let mut dict = Vec::with_capacity(k);
+        for _ in 0..k {
+            dict.push(r.str()?);
+        }
+        let attr = match ty {
+            0 => {
+                if !dict.is_empty() {
+                    return Err("numerical attribute with a dictionary".to_string());
+                }
+                Attribute::numerical(name)
+            }
+            // An empty dictionary is legal: a header-only input infers
+            // every column categorical with no categories yet.
+            1 => Attribute::categorical(name),
+            t => return Err(format!("unknown attribute type tag {t}")),
+        };
+        attrs.push(attr);
+        dicts.push(dict);
+    }
+    let schema = if r.bool()? {
+        let j = r.usize()?;
+        if j >= attrs.len() {
+            return Err(format!("label index {j} out of bounds"));
+        }
+        if attrs[j].ty != AttrType::Categorical {
+            return Err("label column is not categorical".to_string());
+        }
+        Schema::with_label(attrs, j)
+    } else {
+        Schema::new(attrs)
+    };
+    Ok((schema, dicts))
+}
+
+/// Encodes chunk `index` holding `columns` into the sealed file bytes.
+/// Categorical columns are stored as codes only.
+pub(crate) fn encode_chunk(index: usize, columns: &[Column]) -> Vec<u8> {
+    let n_rows = columns.first().map_or(0, Column::len);
+    let mut out = Writer::default();
+    out.buf.extend_from_slice(CHUNK_MAGIC);
+    let mut header = Writer::default();
+    header.usize(index);
+    header.usize(n_rows);
+    header.usize(columns.len());
+    out.section(&header);
+    for col in columns {
+        let mut body = Writer::default();
+        match col {
+            Column::Num(v) => {
+                body.u8(0);
+                body.f64s(v);
+            }
+            Column::Cat { codes, .. } => {
+                body.u8(1);
+                body.u32s(codes);
+            }
+        }
+        out.section(&body);
+    }
+    out.buf
+}
+
+/// Decodes and fully validates a chunk file: magic, per-section
+/// checksums, the expected chunk index, column arity/type agreement
+/// with `schema`, and category codes within `dicts` domains. Returns
+/// columns whose categorical entries carry the store dictionaries.
+pub(crate) fn decode_chunk(
+    bytes: &[u8],
+    expected_index: usize,
+    schema: &Schema,
+    dicts: &[Vec<String>],
+) -> Result<Vec<Column>, WireError> {
+    if bytes.len() < CHUNK_MAGIC.len() || &bytes[..CHUNK_MAGIC.len()] != CHUNK_MAGIC {
+        return Err("bad chunk magic".to_string());
+    }
+    let mut r = Reader::new(&bytes[CHUNK_MAGIC.len()..]);
+    let mut header = r.section()?;
+    let index = header.usize()?;
+    if index != expected_index {
+        return Err(format!("chunk claims index {index}, expected {expected_index}"));
+    }
+    let n_rows = header.usize()?;
+    let n_cols = header.usize()?;
+    if n_cols != schema.n_attrs() {
+        return Err(format!(
+            "chunk has {n_cols} columns, schema has {}",
+            schema.n_attrs()
+        ));
+    }
+    let mut columns = Vec::with_capacity(n_cols);
+    #[allow(clippy::needless_range_loop)] // j co-indexes schema attrs, dicts, and wire sections
+    for j in 0..n_cols {
+        let mut body = r.section()?;
+        let tag = body.u8()?;
+        let col = match (tag, schema.attr(j).ty) {
+            (0, AttrType::Numerical) => {
+                let v = body.f64s()?;
+                if v.len() != n_rows {
+                    return Err(format!("column {j} has {} rows, expected {n_rows}", v.len()));
+                }
+                Column::Num(v)
+            }
+            (1, AttrType::Categorical) => {
+                let codes = body.u32s()?;
+                if codes.len() != n_rows {
+                    return Err(format!(
+                        "column {j} has {} rows, expected {n_rows}",
+                        codes.len()
+                    ));
+                }
+                let k = dicts[j].len();
+                if let Some(&c) = codes.iter().find(|&&c| c as usize >= k) {
+                    return Err(format!("column {j} code {c} outside domain {k}"));
+                }
+                Column::Cat {
+                    codes,
+                    categories: dicts[j].clone(),
+                }
+            }
+            (t, ty) => return Err(format!("column {j} tag {t} does not match schema {ty:?}")),
+        };
+        if !body.is_empty() {
+            return Err(format!("column {j} section has trailing bytes"));
+        }
+        columns.push(col);
+    }
+    if !r.is_empty() {
+        return Err("chunk file has trailing bytes".to_string());
+    }
+    Ok(columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> (Schema, Vec<Vec<String>>) {
+        let schema = Schema::with_label(
+            vec![
+                Attribute::numerical("age"),
+                Attribute::categorical("income"),
+            ],
+            1,
+        );
+        let dicts = vec![vec![], vec!["<=50K".into(), ">50K".into()]];
+        (schema, dicts)
+    }
+
+    fn demo_columns() -> Vec<Column> {
+        vec![
+            Column::Num(vec![38.0, 51.5, 27.25]),
+            Column::Cat {
+                codes: vec![0, 1, 0],
+                categories: vec!["<=50K".into(), ">50K".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let (schema, dicts) = demo_schema();
+        let cols = demo_columns();
+        let bytes = encode_chunk(7, &cols);
+        let back = decode_chunk(&bytes, 7, &schema, &dicts).unwrap();
+        assert_eq!(back, cols);
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let (schema, dicts) = demo_schema();
+        let bytes = encode_chunk(7, &demo_columns());
+        assert!(decode_chunk(&bytes, 8, &schema, &dicts).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_detected() {
+        let (schema, dicts) = demo_schema();
+        let bytes = encode_chunk(0, &demo_columns());
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                assert!(
+                    decode_chunk(&bad, 0, &schema, &dicts).is_err(),
+                    "flip {flip:#04x} at byte {i}/{} undetected",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_detected() {
+        let (schema, dicts) = demo_schema();
+        let bytes = encode_chunk(0, &demo_columns());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_chunk(&bytes[..cut], 0, &schema, &dicts).is_err(),
+                "truncation to {cut} bytes undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let (schema, dicts) = demo_schema();
+        let mut w = Writer::default();
+        encode_schema(&mut w, &schema, &dicts);
+        let mut r = Reader::new(&w.buf);
+        let (s2, d2) = decode_schema(&mut r).unwrap();
+        assert_eq!(s2, schema);
+        assert_eq!(d2, dicts);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn chunk_file_names_sort_lexicographically() {
+        assert_eq!(chunk_file_name(3), "chunk-000003.dch");
+        assert!(chunk_file_name(9) < chunk_file_name(10));
+        assert!(chunk_file_name(99) < chunk_file_name(100));
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic fault injection for the data plane.
+//!
+//! The analogue of `daisy-core`'s training/checkpoint fault plans, aimed
+//! at the chunk store and the streaming ingestion pipeline: every
+//! fault is scheduled at a logical index (chunk seal count, accepted row
+//! count), never wall-clock, so an injected failure and its recovery
+//! replay bit-for-bit. Each models a real storage failure:
+//!
+//! - [`DataFault::TornChunkWrite`]: the process dies mid chunk write —
+//!   a truncated chunk file lands at the final path and the journal
+//!   never records the seal. Resume must overwrite it.
+//! - [`DataFault::BitFlipOnRead`]: a sealed chunk rots on disk; the
+//!   flip is only discoverable by checksum when the chunk is next read,
+//!   at which point the store quarantines the file.
+//! - [`DataFault::DiskFull`]: the chunk write is refused outright; the
+//!   ingest surfaces a typed I/O error with the journal intact.
+//! - [`DataFault::KillAtRow`]: ingestion stops dead after accepting a
+//!   given row — the in-memory partial chunk is lost, exactly as
+//!   SIGKILL would lose it, and a rerun must resume from the journal.
+
+/// One scheduled data-plane fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataFault {
+    /// Truncates the write of chunk `chunk` (half its encoded bytes
+    /// land at the final path) and stops ingestion as interrupted.
+    TornChunkWrite {
+        /// Chunk seal index to tear, starting at 0.
+        chunk: usize,
+    },
+    /// Flips one bit of chunk `chunk`'s bytes as they are read from
+    /// disk, forcing the checksum mismatch → quarantine path.
+    BitFlipOnRead {
+        /// Chunk index whose read is corrupted.
+        chunk: usize,
+        /// Byte offset of the flip (taken modulo the chunk length).
+        byte: u64,
+    },
+    /// Refuses the write of chunk `chunk` before any byte lands.
+    DiskFull {
+        /// Chunk seal index that is refused.
+        chunk: usize,
+    },
+    /// Stops ingestion immediately after accepting row `row` (0-based
+    /// over accepted rows), losing any unsealed chunk.
+    KillAtRow {
+        /// Accepted-row index after which ingestion dies.
+        row: usize,
+    },
+}
+
+impl DataFault {
+    /// Machine-readable tag used in `fault_fired` telemetry events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DataFault::TornChunkWrite { .. } => "data_torn_chunk_write",
+            DataFault::BitFlipOnRead { .. } => "data_bit_flip_on_read",
+            DataFault::DiskFull { .. } => "data_disk_full",
+            DataFault::KillAtRow { .. } => "data_kill_at_row",
+        }
+    }
+}
+
+/// A deterministic schedule of data-plane faults for one ingest run or
+/// one opened store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DataFaultPlan {
+    faults: Vec<DataFault>,
+}
+
+impl DataFaultPlan {
+    /// The empty plan: no injected faults (production setting).
+    pub fn none() -> Self {
+        DataFaultPlan::default()
+    }
+
+    /// A plan firing the given faults.
+    pub fn new(faults: Vec<DataFault>) -> Self {
+        DataFaultPlan { faults }
+    }
+
+    /// Convenience: tear the write of chunk `chunk`.
+    pub fn torn_chunk_write_at(chunk: usize) -> Self {
+        Self::new(vec![DataFault::TornChunkWrite { chunk }])
+    }
+
+    /// Convenience: flip a bit of chunk `chunk` at read time.
+    pub fn bit_flip_on_read(chunk: usize, byte: u64) -> Self {
+        Self::new(vec![DataFault::BitFlipOnRead { chunk, byte }])
+    }
+
+    /// Convenience: refuse the write of chunk `chunk`.
+    pub fn disk_full_at(chunk: usize) -> Self {
+        Self::new(vec![DataFault::DiskFull { chunk }])
+    }
+
+    /// Convenience: kill ingestion after accepted row `row`.
+    pub fn kill_at_row(row: usize) -> Self {
+        Self::new(vec![DataFault::KillAtRow { row }])
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[DataFault] {
+        &self.faults
+    }
+}
+
+/// Per-run arming state: each scheduled fault fires at most once, so a
+/// resumed ingest that replays a chunk index does not re-inject.
+#[derive(Debug, Clone)]
+pub(crate) struct ArmedDataFaults {
+    plan: DataFaultPlan,
+    fired: Vec<bool>,
+}
+
+impl ArmedDataFaults {
+    /// Arms every fault of `plan`.
+    pub(crate) fn new(plan: &DataFaultPlan) -> Self {
+        ArmedDataFaults {
+            fired: vec![false; plan.faults().len()],
+            plan: plan.clone(),
+        }
+    }
+
+    /// Fires and returns the first unfired fault matching `select`.
+    pub(crate) fn take<F>(&mut self, select: F) -> Option<DataFault>
+    where
+        F: Fn(&DataFault) -> bool,
+    {
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            if !self.fired[i] && select(f) {
+                self.fired[i] = true;
+                return Some(*f);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once() {
+        let plan = DataFaultPlan::new(vec![
+            DataFault::DiskFull { chunk: 2 },
+            DataFault::KillAtRow { row: 9 },
+        ]);
+        let mut armed = ArmedDataFaults::new(&plan);
+        assert!(armed
+            .take(|f| matches!(f, DataFault::DiskFull { chunk: 1 }))
+            .is_none());
+        assert_eq!(
+            armed.take(|f| matches!(f, DataFault::DiskFull { chunk: 2 })),
+            Some(DataFault::DiskFull { chunk: 2 })
+        );
+        // Replaying the same index does not re-fire.
+        assert!(armed
+            .take(|f| matches!(f, DataFault::DiskFull { chunk: 2 }))
+            .is_none());
+        assert_eq!(
+            armed.take(|f| matches!(f, DataFault::KillAtRow { row: 9 })),
+            Some(DataFault::KillAtRow { row: 9 })
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        assert!(DataFaultPlan::none().is_empty());
+        let mut armed = ArmedDataFaults::new(&DataFaultPlan::none());
+        assert!(armed.take(|_| true).is_none());
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(
+            DataFault::TornChunkWrite { chunk: 0 }.kind(),
+            "data_torn_chunk_write"
+        );
+        assert_eq!(
+            DataFault::BitFlipOnRead { chunk: 0, byte: 0 }.kind(),
+            "data_bit_flip_on_read"
+        );
+        assert_eq!(DataFault::DiskFull { chunk: 0 }.kind(), "data_disk_full");
+        assert_eq!(DataFault::KillAtRow { row: 0 }.kind(), "data_kill_at_row");
+    }
+}

@@ -49,6 +49,80 @@ impl RecordCodec {
         }
     }
 
+    /// Fits one codec per column by streaming over a chunk source —
+    /// the out-of-core counterpart of [`RecordCodec::fit`], usable
+    /// when the table only exists as a sealed chunk store.
+    ///
+    /// Categorical codecs come straight from the store dictionaries;
+    /// simple normalization takes one pass over each numerical column;
+    /// GMM normalization uses [`crate::Gmm1d::fit_streaming`], whose
+    /// result is deterministic and chunking-invariant (identical for
+    /// an in-memory [`crate::TableChunks`] and an on-disk store over
+    /// the same rows) but intentionally differs from the in-memory
+    /// sorted-quantile initialization of [`RecordCodec::fit`].
+    pub fn fit_chunks(
+        source: &dyn crate::source::ChunkSource,
+        config: &TransformConfig,
+    ) -> Result<RecordCodec, crate::error::DataError> {
+        use crate::transform::{CategoricalEncoding, NumericalNormalization};
+        use crate::value::AttrType;
+        assert!(source.n_rows() > 0, "cannot fit a codec on an empty table");
+        let schema = source.schema().clone();
+        let first = source.chunk(0)?;
+        let categories: Vec<Vec<String>> = first
+            .columns()
+            .iter()
+            .map(|c| match c {
+                Column::Cat { categories, .. } => categories.clone(),
+                Column::Num(_) => Vec::new(),
+            })
+            .collect();
+        let mut codecs = Vec::with_capacity(schema.n_attrs());
+        #[allow(clippy::needless_range_loop)] // j co-indexes schema, categories, and chunk columns
+        for j in 0..schema.n_attrs() {
+            let codec = match schema.attr(j).ty {
+                AttrType::Categorical => {
+                    let k = categories[j].len();
+                    match config.categorical {
+                        CategoricalEncoding::Ordinal => AttributeCodec::Ordinal { k },
+                        CategoricalEncoding::OneHot => AttributeCodec::OneHot { k },
+                    }
+                }
+                AttrType::Numerical => match config.numerical {
+                    NumericalNormalization::Simple => {
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        for k in 0..source.n_chunks() {
+                            for &x in source.chunk(k)?.column(j).as_num() {
+                                min = min.min(x);
+                                max = max.max(x);
+                            }
+                        }
+                        AttributeCodec::SimpleNorm { min, max }
+                    }
+                    NumericalNormalization::Gmm => {
+                        let gmm = crate::Gmm1d::fit_streaming(
+                            |f| {
+                                for k in 0..source.n_chunks() {
+                                    let t = source.chunk(k)?;
+                                    for &x in t.column(j).as_num() {
+                                        f(x);
+                                    }
+                                }
+                                Ok(())
+                            },
+                            config.gmm_components,
+                            config.gmm_iterations,
+                        )?;
+                        AttributeCodec::Gmm { gmm }
+                    }
+                },
+            };
+            codecs.push(codec);
+        }
+        Ok(RecordCodec::from_parts(schema, categories, codecs))
+    }
+
     /// Width `d` of the encoded sample vector.
     pub fn width(&self) -> usize {
         self.width
@@ -281,6 +355,37 @@ mod tests {
             }
             _ => panic!("expected categorical"),
         }
+    }
+
+    #[test]
+    fn fit_chunks_is_chunking_invariant() {
+        let t = demo_table(120, 5);
+        for config in TransformConfig::all() {
+            let small = crate::source::TableChunks::new(t.clone(), 13);
+            let big = crate::source::TableChunks::new(t.clone(), 1000);
+            let a = RecordCodec::fit_chunks(&small, &config).unwrap();
+            let b = RecordCodec::fit_chunks(&big, &config).unwrap();
+            assert_eq!(a.width(), b.width(), "{config:?}");
+            let ea = a.encode_table(&t);
+            let eb = b.encode_table(&t);
+            assert_eq!(ea.data(), eb.data(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn fit_chunks_simple_norm_matches_in_memory() {
+        // Simple normalization has no initialization freedom: the
+        // streaming fit must agree exactly with the in-memory fit.
+        let t = demo_table(80, 6);
+        let config = TransformConfig::sn_ht();
+        let mem = RecordCodec::fit(&t, &config);
+        let chunked =
+            RecordCodec::fit_chunks(&crate::source::TableChunks::new(t.clone(), 7), &config)
+                .unwrap();
+        assert_eq!(
+            mem.encode_table(&t).data(),
+            chunked.encode_table(&t).data()
+        );
     }
 
     #[test]

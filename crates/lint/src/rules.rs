@@ -35,6 +35,7 @@ pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
     ("nn", 1),
     ("telemetry", 10),
     ("tensor", 9),
+    ("wire", 4),
 ];
 
 /// Files exempt from D002: the telemetry crate is the workspace's one

@@ -48,6 +48,39 @@ impl RunReport {
             .filter(move |e| e.get("event").and_then(Json::as_str) == Some(name))
     }
 
+    fn render_ingest(&self, out: &mut String) {
+        let starts: Vec<&Json> = self.named(schema::INGEST_START).collect();
+        let sealed: Vec<&Json> = self.named(schema::CHUNK_SEALED).collect();
+        let ends: Vec<&Json> = self.named(schema::INGEST_END).collect();
+        if starts.is_empty() && sealed.is_empty() && ends.is_empty() {
+            return;
+        }
+        out.push_str("\nIngestion\n");
+        for e in &starts {
+            out.push_str(&format!(
+                "  start       resumed={} chunk_rows={}\n",
+                fval(e, "resumed"),
+                fval(e, "chunk_rows")
+            ));
+        }
+        for e in &sealed {
+            out.push_str(&format!(
+                "  chunk {:>5}  rows={} bytes={}\n",
+                fval(e, "chunk"),
+                fval(e, "rows"),
+                fval(e, "bytes")
+            ));
+        }
+        for e in &ends {
+            out.push_str(&format!(
+                "  end         rows={} rejected={} chunks={}\n",
+                fval(e, "rows"),
+                fval(e, "rejected"),
+                fval(e, "chunks")
+            ));
+        }
+    }
+
     fn render_losses(&self, out: &mut String) {
         let epochs: Vec<&Json> = self.named(schema::EPOCH).collect();
         if epochs.is_empty() {
@@ -85,6 +118,9 @@ impl RunReport {
                             | schema::CHECKPOINT_CORRUPT_SKIPPED
                             | schema::CELL_SKIPPED
                             | schema::SWEEP_RESUME
+                            | schema::INGEST_RESUME
+                            | schema::INGEST_ROW_REJECTED
+                            | schema::CHUNK_QUARANTINED
                     )
                 )
             })
@@ -113,6 +149,17 @@ impl RunReport {
                 schema::CELL_SKIPPED => format!("cell={}", fval(e, "cell")),
                 schema::SWEEP_RESUME => {
                     format!("done={} total={}", fval(e, "done"), fval(e, "total"))
+                }
+                schema::INGEST_RESUME => format!(
+                    "from_chunk={} skip_lines={}",
+                    fval(e, "from_chunk"),
+                    fval(e, "skip_lines")
+                ),
+                schema::INGEST_ROW_REJECTED => {
+                    format!("line={} reason={}", fval(e, "line"), fval(e, "reason"))
+                }
+                schema::CHUNK_QUARANTINED => {
+                    format!("chunk={} error={}", fval(e, "chunk"), fval(e, "error"))
                 }
                 _ => format!("reason={}", fval(e, "reason")),
             };
@@ -195,6 +242,7 @@ impl RunReport {
             self.stats.names.len()
         ));
         out.push_str(&format!("Event types: {}\n", self.stats.names.join(", ")));
+        self.render_ingest(&mut out);
         self.render_losses(&mut out);
         self.render_recovery(&mut out);
         self.render_selection(&mut out);
@@ -291,6 +339,61 @@ mod tests {
         assert!(text.contains("epoch=1 bytes=1024"), "{text}");
         assert!(text.contains("slot=primary"), "{text}");
         assert!(text.contains("checkpoint_restore"), "{text}");
+    }
+
+    #[test]
+    fn renders_ingest_events() {
+        let lines = [
+            Event::new(
+                schema::INGEST_START,
+                vec![field("resumed", false), field("chunk_rows", 4096usize)],
+            )
+            .to_json_line(0),
+            Event::new(
+                schema::CHUNK_SEALED,
+                vec![
+                    field("chunk", 0usize),
+                    field("rows", 4096usize),
+                    field("bytes", 99000usize),
+                ],
+            )
+            .to_json_line(1),
+            Event::new(
+                schema::INGEST_ROW_REJECTED,
+                vec![field("line", 4100usize), field("reason", "non_finite")],
+            )
+            .to_json_line(2),
+            Event::new(
+                schema::INGEST_RESUME,
+                vec![field("from_chunk", 1usize), field("skip_lines", 4096usize)],
+            )
+            .to_json_line(3),
+            Event::new(
+                schema::CHUNK_QUARANTINED,
+                vec![field("chunk", 1usize), field("error", "bad crc")],
+            )
+            .to_json_line(4),
+            Event::new(
+                schema::INGEST_END,
+                vec![
+                    field("rows", 5000usize),
+                    field("rejected", 1usize),
+                    field("chunks", 2usize),
+                ],
+            )
+            .to_json_line(5),
+        ];
+        let jsonl = lines.join("\n") + "\n";
+        let report = RunReport::from_jsonl(&jsonl).unwrap();
+        let text = report.render();
+        assert!(text.contains("Ingestion"), "{text}");
+        assert!(text.contains("resumed=false chunk_rows=4096"), "{text}");
+        assert!(text.contains("rows=4096 bytes=99000"), "{text}");
+        assert!(text.contains("rows=5000 rejected=1 chunks=2"), "{text}");
+        assert!(text.contains("Recovery timeline"), "{text}");
+        assert!(text.contains("line=4100 reason=non_finite"), "{text}");
+        assert!(text.contains("from_chunk=1 skip_lines=4096"), "{text}");
+        assert!(text.contains("chunk=1 error=bad crc"), "{text}");
     }
 
     #[test]

@@ -42,9 +42,30 @@ pub const GUARD_TRIP: &str = "guard_trip";
 /// The recovery policy acted on a trip. Fields: `step`, `epoch`,
 /// `action`, `lr_scale` (rollback/escalation only).
 pub const RECOVERY: &str = "recovery";
-/// A scheduled fault fired. Fields: `kind`, `step` (training faults)
-/// or `kind`, `save` (checkpoint I/O faults).
+/// A scheduled fault fired. Fields: `kind`, plus `step` (training
+/// faults), `save` (checkpoint I/O faults), or `chunk`/`row`
+/// (data-plane faults).
 pub const FAULT_FIRED: &str = "fault_fired";
+
+/// Streaming ingestion started (fresh or resumed). Fields: `resumed`,
+/// `chunk_rows`.
+pub const INGEST_START: &str = "ingest_start";
+/// A rerun found a usable ingest journal and resumed. Fields:
+/// `from_chunk` (first chunk to re-ingest), `skip_lines` (input lines
+/// already consumed by sealed chunks).
+pub const INGEST_RESUME: &str = "ingest_resume";
+/// The skip error policy rejected one input row into the quarantine
+/// file. Fields: `line`, `reason`.
+pub const INGEST_ROW_REJECTED: &str = "ingest_row_rejected";
+/// Streaming ingestion finished and the manifest was sealed. Fields:
+/// `rows`, `rejected`, `chunks`.
+pub const INGEST_END: &str = "ingest_end";
+/// A columnar chunk was written durably and journaled. Fields:
+/// `chunk`, `rows`, `bytes`.
+pub const CHUNK_SEALED: &str = "chunk_sealed";
+/// A chunk (or journal tail) failed validation and was moved aside as
+/// `*.corrupt-N`. Fields: `chunk`, `error`.
+pub const CHUNK_QUARANTINED: &str = "chunk_quarantined";
 
 /// A training checkpoint was written durably. Fields: `epoch`, `step`,
 /// `bytes` (logical fields only — no paths, so deterministic views

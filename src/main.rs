@@ -24,6 +24,7 @@ USAGE:
     daisy generate <MODEL.daisy> --out <FILE> --rows N [--seed N]
     daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
     daisy describe <TABLE.csv> [--label COL]
+    daisy ingest <INPUT.csv> --out <DIR> [OPTIONS]
     daisy report <TRACE.jsonl> [--validate]
     daisy lint [--json] [--root DIR] [--list-rules]
 
@@ -43,6 +44,18 @@ DEMO OPTIONS:
     --dataset NAME       HTRU2|Digits|Adult|CovType|SAT|Anuran|Census|Bing
                          (default: Adult)
     --rows N             rows to generate (default: 3000)
+
+INGEST OPTIONS:
+    --out DIR            store directory to create/resume (required)
+    --label COL          label column name (stored in the manifest)
+    --chunk-rows N       accepted rows per sealed chunk (default: 4096)
+    --skip-budget N      skip up to N bad rows into DIR/rejected.txt
+                         (default: strict — first bad row is a hard error)
+    Ingestion is crash-safe: rerunning the same command after an
+    interruption resumes from the journal and produces a byte-identical
+    store. Corrupt chunks found on resume are set aside as *.corrupt-N.
+    DAISY_MEM_BUDGET caps the decoded-chunk cache when training from
+    the store (bytes, default 256 MiB).
 
 REPORT OPTIONS:
     --validate           only validate the trace; print the summary line
@@ -111,6 +124,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => evaluate(args),
         "describe" => describe(args),
         "generate" => generate(args),
+        "ingest" => ingest(args),
         "report" => report(args),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -177,6 +191,58 @@ fn describe(mut args: Vec<String>) -> Result<(), String> {
                 "  -> balanced"
             }
         );
+    }
+    Ok(())
+}
+
+/// Streams a CSV into a crash-safe chunked columnar store. Rerunning
+/// after an interruption resumes from the append-only journal; the
+/// finished store is byte-identical to an uninterrupted run.
+fn ingest(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?.ok_or("ingest requires --out")?;
+    let label = take_flag(&mut args, "--label")?;
+    let chunk_rows = match take_flag(&mut args, "--chunk-rows")? {
+        Some(v) => parse_usize(&v, "--chunk-rows")?,
+        None => 4096,
+    };
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be positive".into());
+    }
+    let policy = match take_flag(&mut args, "--skip-budget")? {
+        Some(v) => daisy::data::RowErrorPolicy::SkipWithBudget {
+            budget: parse_usize(&v, "--skip-budget")?,
+        },
+        None => daisy::data::RowErrorPolicy::Strict,
+    };
+    let input = args.first().ok_or("ingest requires an input CSV path")?;
+    let cfg = daisy::data::IngestConfig {
+        chunk_rows,
+        label,
+        policy,
+        ..Default::default()
+    };
+    let report = daisy::data::ingest_csv(
+        std::path::Path::new(input),
+        std::path::Path::new(&out),
+        &cfg,
+    )
+    .map_err(|e| format!("ingest failed: {e}"))?;
+    if report.already_complete {
+        println!(
+            "{out}: already complete — {} rows in {} chunks (journal verified)",
+            report.rows, report.chunks
+        );
+        return Ok(());
+    }
+    if let Some(k) = report.resumed_from_chunk {
+        println!("resumed from chunk {k} (journal replay)");
+    }
+    println!(
+        "ingested {} rows into {} chunks at {out} ({} rejected)",
+        report.rows, report.chunks, report.rejected
+    );
+    if report.rejected > 0 {
+        println!("rejected rows are quarantined with line numbers in {out}/rejected.txt");
     }
     Ok(())
 }
@@ -508,6 +574,53 @@ mod tests {
         run(&["generate".into(), model, "--out".into(), out.clone(), "--rows".into(), "50".into()]).unwrap();
         let n = std::fs::read_to_string(out).unwrap().lines().count();
         assert_eq!(n, 51); // header + 50 rows
+    }
+
+    #[test]
+    fn ingest_builds_a_store_and_is_idempotent() {
+        let dir = std::env::temp_dir().join("daisy-cli-ingest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let real = dir.join("real.csv").to_string_lossy().to_string();
+        let store = dir.join("store").to_string_lossy().to_string();
+        run(&[
+            "demo".into(),
+            "--out".into(),
+            real.clone(),
+            "--rows".into(),
+            "500".into(),
+            "--dataset".into(),
+            "HTRU2".into(),
+        ])
+        .unwrap();
+        run(&[
+            "ingest".into(),
+            real.clone(),
+            "--out".into(),
+            store.clone(),
+            "--label".into(),
+            "label".into(),
+            "--chunk-rows".into(),
+            "128".into(),
+        ])
+        .unwrap();
+        let opened = daisy::data::ChunkStore::open(std::path::Path::new(&store)).unwrap();
+        assert_eq!(opened.n_rows(), 500);
+        assert_eq!(opened.n_chunks(), 4);
+        // A second run finds the Done record and changes nothing.
+        run(&[
+            "ingest".into(),
+            real,
+            "--out".into(),
+            store,
+            "--label".into(),
+            "label".into(),
+            "--chunk-rows".into(),
+            "128".into(),
+        ])
+        .unwrap();
+        // Missing input / missing --out are usage errors.
+        assert!(run(&["ingest".into()]).is_err());
     }
 
     #[test]
