@@ -31,6 +31,7 @@ pub mod guard;
 pub mod model_selection;
 pub mod output_head;
 pub mod persist;
+pub mod row_stream;
 pub mod sampler;
 pub mod stream_data;
 pub mod synthesizer;
@@ -50,6 +51,7 @@ pub use guard::{
 };
 pub use model_selection::{default_candidates, random_search, HyperParams, SearchResult};
 pub use persist::PersistError;
+pub use row_stream::RowStream;
 pub use sampler::{BatchSource, Minibatch, TrainingData};
 pub use stream_data::ChunkedTrainingData;
 pub use synthesizer::{FittedSynthesizer, SampleCodec, Synthesizer, TableSynthesizer};

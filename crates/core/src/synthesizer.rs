@@ -165,44 +165,13 @@ impl FittedSynthesizer {
     /// the RNG draw order — is a constant, never a function of the
     /// parallelism).
     pub fn generate(&self, n: usize, rng: &mut Rng) -> Table {
-        let g = self.generator.as_ref();
-        g.set_training(false);
-        let width = self.codec.width();
-        let mut all = Tensor::zeros(&[n, width]);
-        let mut all_labels: Vec<u32> = Vec::with_capacity(n);
-        let conditional = self.config.train.conditional;
-        let mut row = 0;
-        while row < n {
-            let batch = (n - row).min(GENERATION_BATCH);
-            let z = g.sample_noise(batch, rng);
-            let cond = if conditional {
-                let labels: Vec<u32> = (0..batch)
-                    .map(|_| rng.weighted(&self.label_dist) as u32)
-                    .collect();
-                let c = daisy_data::one_hot_labels(&labels, self.label_dist.len());
-                all_labels.extend(labels);
-                Some(c)
-            } else {
-                None
-            };
-            let fake = g.forward(&z, cond.as_ref(), rng);
-            for b in 0..batch {
-                all.row_mut(row + b).copy_from_slice(fake.value().row(b));
-            }
-            row += batch;
-        }
-        let table = self.codec.decode_table(&all);
-        if conditional {
-            // Re-attach the conditioned label as a column.
-            let j = self.label_col.expect("conditional models have a label");
-            let label_column = Column::Cat {
-                codes: all_labels,
-                categories: self.label_categories.clone(),
-            };
-            table.insert_column(j, label_column, self.output_schema.clone())
-        } else {
-            table
-        }
+        // Implemented over the pull-based row stream so the batch API
+        // and the serving plane cannot drift: a streamed request with
+        // this RNG yields these rows, bit for bit.
+        let stream = crate::row_stream::RowStream::new(self, n, Rng::from_state(rng.state()), None);
+        let (table, state) = self.collect_stream(stream);
+        *rng = Rng::from_state(state);
+        table
     }
 
     /// Generates from a specific snapshot without changing the loaded

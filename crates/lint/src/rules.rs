@@ -33,6 +33,7 @@ pub const UNWRAP_BUDGETS: &[(&str, usize)] = &[
     ("eval", 10),
     ("lint", 0),
     ("nn", 1),
+    ("serve", 0),
     ("telemetry", 10),
     ("tensor", 9),
     ("wire", 4),

@@ -40,6 +40,15 @@ pub fn num_params(params: &[Param]) -> usize {
     params.iter().map(Param::numel).sum()
 }
 
+/// Resident bytes of the parameter values (`f32` scalars). The serving
+/// plane decodes one model replica per connection — this is the number
+/// its per-replica memory accounting multiplies by, and what
+/// `serve_start` reports so operators can size `DAISY_SERVE_MAX_CONN`.
+pub fn params_bytes(params: &[Param]) -> usize {
+    num_params(params) * std::mem::size_of::<f32>()
+}
+
+
 /// Snapshot of all parameter values (for epoch-based model selection).
 pub fn snapshot(params: &[Param]) -> Vec<Tensor> {
     params.iter().map(Param::value).collect()

@@ -1,0 +1,173 @@
+//! The client side: send one request, validate and decode the
+//! response stream.
+
+use crate::proto::{
+    read_frame, write_frame, ColumnSpec, Header, Request, MAGIC_DATA, MAGIC_END, MAGIC_HEADER,
+    MAX_RESPONSE_FRAME,
+};
+use crate::ServeError;
+use daisy_data::Value;
+use daisy_wire::{Crc64, Reader};
+use std::io::Read;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+/// A fully decoded, CRC-verified response to one accepted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request seed.
+    pub seed: u64,
+    /// Echo of the request condition.
+    pub condition: Option<String>,
+    /// The column contract the rows follow.
+    pub columns: Vec<ColumnSpec>,
+    /// Every streamed row, in order. Numerical cells are
+    /// [`Value::Num`], categorical cells are [`Value::Cat`] codes into
+    /// the matching [`ColumnSpec::Cat`] category list.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Response {
+    /// Renders one cell for display/CSV: numerical cells as their
+    /// shortest roundtrip form, categorical cells as their category
+    /// name.
+    pub fn render_cell(&self, col: usize, value: &Value) -> String {
+        match (value, &self.columns[col]) {
+            (Value::Num(x), _) => format!("{x}"),
+            (Value::Cat(code), ColumnSpec::Cat { categories, .. }) => categories
+                .get(*code as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<code {code}>")),
+            (Value::Cat(code), ColumnSpec::Num { .. }) => format!("<code {code}>"),
+        }
+    }
+}
+
+/// Sends `request` to a `daisy serve` endpoint and returns the raw
+/// response bytes, unparsed. The byte-identity tests and the
+/// reproducibility smoke compare these buffers directly; [`fetch`]
+/// layers decoding on top.
+pub fn fetch_raw(addr: impl ToSocketAddrs, request: &Request) -> Result<Vec<u8>, ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &request.encode())?;
+    // Half-close: the server's request loop sees EOF after this
+    // request and ends the connection once the response is flushed.
+    stream.shutdown(Shutdown::Write)?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Sends `request` and decodes the response. A server-side rejection
+/// surfaces as [`ServeError::Rejected`].
+pub fn fetch(addr: impl ToSocketAddrs, request: &Request) -> Result<Response, ServeError> {
+    decode_response(&fetch_raw(addr, request)?)
+}
+
+/// Decodes and verifies one complete response byte stream: header,
+/// data frames (contiguous `first_row` ordering, cell-exact sizes),
+/// and the end frame whose row total and payload CRC must match what
+/// was streamed.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, ServeError> {
+    let mut input = bytes;
+    let header_body = read_frame(&mut input, MAX_RESPONSE_FRAME)?
+        .ok_or_else(|| ServeError::Protocol("empty response".to_string()))?;
+    if !header_body.starts_with(MAGIC_HEADER) {
+        return Err(ServeError::Protocol(
+            "response does not start with a header frame".to_string(),
+        ));
+    }
+    let (seed, n_rows, condition, columns) = match Header::decode(&header_body)? {
+        Header::Rejected { reason } => return Err(ServeError::Rejected(reason)),
+        Header::Accepted {
+            seed,
+            n_rows,
+            condition,
+            columns,
+        } => (seed, n_rows, condition, columns),
+    };
+    let row_bytes: usize = columns.iter().map(ColumnSpec::cell_bytes).sum();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut payload_crc = Crc64::new();
+    let mut sealed = false;
+    while let Some(body) = read_frame(&mut input, MAX_RESPONSE_FRAME)? {
+        if body.starts_with(MAGIC_END) {
+            let mut r = Reader::new(&body[4..]);
+            let total = r.u64().map_err(ServeError::Protocol)?;
+            let stored_crc = r.u64().map_err(ServeError::Protocol)?;
+            if total != rows.len() as u64 {
+                return Err(ServeError::Protocol(format!(
+                    "end frame declares {total} rows but {} were streamed",
+                    rows.len()
+                )));
+            }
+            let actual = payload_crc.finish();
+            if stored_crc != actual {
+                return Err(ServeError::Protocol(format!(
+                    "stream checksum mismatch (stored {stored_crc:016x}, computed {actual:016x})"
+                )));
+            }
+            sealed = true;
+            continue;
+        }
+        if sealed {
+            return Err(ServeError::Protocol(
+                "data after the end frame".to_string(),
+            ));
+        }
+        if !body.starts_with(MAGIC_DATA) {
+            return Err(ServeError::Protocol(
+                "expected a data or end frame".to_string(),
+            ));
+        }
+        let mut r = Reader::new(&body[4..]);
+        let first_row = r.u64().map_err(ServeError::Protocol)?;
+        let n = r.u64().map_err(ServeError::Protocol)? as usize;
+        if first_row != rows.len() as u64 {
+            return Err(ServeError::Protocol(format!(
+                "data frame starts at row {first_row}, expected {}",
+                rows.len()
+            )));
+        }
+        let payload = r
+            .take(n * row_bytes)
+            .map_err(|e| ServeError::Protocol(format!("short data frame: {e}")))?;
+        if !r.is_empty() {
+            return Err(ServeError::Protocol(
+                "trailing bytes after data frame payload".to_string(),
+            ));
+        }
+        payload_crc.update(payload);
+        let mut cells = Reader::new(payload);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(columns.len());
+            for col in &columns {
+                match col {
+                    ColumnSpec::Num { .. } => {
+                        row.push(Value::Num(cells.f64().map_err(ServeError::Protocol)?))
+                    }
+                    ColumnSpec::Cat { .. } => {
+                        row.push(Value::Cat(cells.u32().map_err(ServeError::Protocol)?))
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+    if !sealed {
+        return Err(ServeError::Protocol(
+            "response ended without an end frame".to_string(),
+        ));
+    }
+    if rows.len() as u64 != n_rows {
+        return Err(ServeError::Protocol(format!(
+            "header promised {n_rows} rows, stream delivered {}",
+            rows.len()
+        )));
+    }
+    Ok(Response {
+        seed,
+        condition,
+        columns,
+        rows,
+    })
+}

@@ -1,0 +1,98 @@
+//! # daisy-serve
+//!
+//! The serving plane: a long-lived process that loads one sealed model
+//! file (`core::persist`) and streams synthetic rows to concurrent
+//! clients over a length-prefixed binary protocol (TCP or stdio),
+//! using [`daisy_core::RowStream`] so memory stays bounded by one
+//! generation batch per connection no matter how many rows a request
+//! asks for.
+//!
+//! Three contracts define the plane (see `docs/SERVING.md` for the
+//! full runbook):
+//!
+//! - **Reproducibility.** A request is `{seed, n_rows, condition?}`
+//!   and every response byte is a pure function of the request and the
+//!   model file: replaying a request — against the same server, a
+//!   restarted server, or a server under any `DAISY_THREADS` setting —
+//!   yields the identical byte stream. No timestamps, connection ids,
+//!   or negotiated parameters ever enter the response.
+//! - **Bounded memory.** The server never materializes a table. Each
+//!   connection holds one decoded model replica plus one
+//!   `GENERATION_BATCH`-row frame; concurrency is capped by
+//!   `DAISY_SERVE_MAX_CONN` slots acquired *before* `accept`, so
+//!   excess clients queue in the TCP backlog instead of growing the
+//!   heap.
+//! - **Typed failure.** A corrupt model file is quarantined
+//!   (`*.corrupt-N`) and reported as [`ServeError::CorruptModel`];
+//!   an invalid request is answered with an error header on the wire,
+//!   never a panic, and the connection stays usable.
+//!
+//! ```no_run
+//! use daisy_serve::{Request, Server, ServeConfig};
+//!
+//! let server = Server::bind("model.daisy", "127.0.0.1:0", ServeConfig::from_env())?;
+//! let addr = server.local_addr()?;
+//! std::thread::spawn(move || server.run());
+//! let response = daisy_serve::fetch(&addr.to_string(), &Request::new(42, 1000))?;
+//! assert_eq!(response.rows.len(), 1000);
+//! # Ok::<(), daisy_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod proto;
+mod server;
+
+pub use client::{decode_response, fetch, fetch_raw, Response};
+pub use proto::{
+    read_frame, write_frame, ColumnSpec, Header, Request, MAX_REQUEST_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{load_model, serve_connection, serve_stdio, ServeConfig, Server};
+
+/// Everything that can go wrong on the serving plane.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// The peer violated the wire protocol (bad magic, bad CRC,
+    /// oversized frame, truncated stream).
+    Protocol(String),
+    /// The model file failed validation and was quarantined.
+    CorruptModel {
+        /// The persistence layer's diagnosis.
+        error: String,
+        /// Where the bad file was moved (`None` if the rename failed).
+        quarantined: Option<std::path::PathBuf>,
+    },
+    /// The server rejected a well-formed request (row cap exceeded,
+    /// unknown condition, condition on a non-conditional model).
+    Rejected(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::CorruptModel { error, quarantined } => match quarantined {
+                Some(path) => write!(
+                    f,
+                    "corrupt model file ({error}); quarantined as {}",
+                    path.display()
+                ),
+                None => write!(f, "corrupt model file ({error}); quarantine failed"),
+            },
+            ServeError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,396 @@
+//! The server side: model loading with quarantine, the per-connection
+//! request loop, and the TCP accept loop with slot-based backpressure.
+
+use crate::proto::{
+    read_frame, write_frame, ColumnSpec, Header, Request, FRAME_ROWS, MAGIC_DATA, MAGIC_END,
+    MAX_REQUEST_FRAME,
+};
+use crate::ServeError;
+use daisy_core::FittedSynthesizer;
+use daisy_data::Column;
+use daisy_telemetry::{emit_event, enabled, field, metrics, schema, Event, Stopwatch};
+use daisy_wire::{quarantine, Crc64, Writer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Serving knobs, all overridable from the environment (see
+/// `docs/SERVING.md`).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent connection slots (`DAISY_SERVE_MAX_CONN`, default 4).
+    /// Each slot costs one decoded model replica plus one generation
+    /// batch of buffers; slots are acquired before `accept`, so excess
+    /// clients wait in the TCP backlog.
+    pub max_conn: usize,
+    /// Per-request row cap (`DAISY_SERVE_MAX_ROWS`, default 100
+    /// million). Requests above it are rejected with a typed error
+    /// header; streaming keeps memory flat regardless, the cap only
+    /// bounds how long one request can monopolize a slot.
+    pub max_rows: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_conn: 4,
+            max_rows: 100_000_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults overridden by `DAISY_SERVE_MAX_CONN` /
+    /// `DAISY_SERVE_MAX_ROWS`. Malformed or zero values warn on stderr
+    /// and keep the default, matching the `DAISY_THREADS` convention.
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = parse_env("DAISY_SERVE_MAX_CONN") {
+            cfg.max_conn = v as usize;
+        }
+        if let Some(v) = parse_env("DAISY_SERVE_MAX_ROWS") {
+            cfg.max_rows = v;
+        }
+        cfg
+    }
+}
+
+/// Parses a positive integer from the environment; warns and returns
+/// `None` on anything else.
+fn parse_env(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse::<u64>() {
+        Ok(v) if v > 0 => Some(v),
+        _ => {
+            eprintln!("warning: {name}={raw} is not a positive integer; using the default");
+            None
+        }
+    }
+}
+
+/// Reads and validates a sealed model file. On any validation failure
+/// the file is quarantined (renamed `*.corrupt-N`, bytes preserved for
+/// forensics) and the error is returned typed — a serve process never
+/// starts on, or panics over, a rotten model.
+///
+/// Returns the raw validated bytes alongside the decoded synthesizer:
+/// the accept loop shares the bytes (`Arc<Vec<u8>>`) across
+/// connections and each connection decodes its own replica, because
+/// decoded models hold `Rc`-based parameters that must stay
+/// thread-local.
+pub fn load_model(path: &Path) -> Result<(Vec<u8>, FittedSynthesizer), ServeError> {
+    let bytes = std::fs::read(path)?;
+    match FittedSynthesizer::from_bytes(&bytes) {
+        Ok(model) => Ok((bytes, model)),
+        Err(error) => Err(ServeError::CorruptModel {
+            error,
+            quarantined: quarantine(path),
+        }),
+    }
+}
+
+/// The column contract of `model`'s output, in wire form.
+fn column_specs(model: &FittedSynthesizer) -> Vec<ColumnSpec> {
+    let template = model.output_template();
+    template
+        .schema()
+        .attrs()
+        .iter()
+        .zip(template.columns())
+        .map(|(attr, col)| match col {
+            Column::Num(_) => ColumnSpec::Num {
+                name: attr.name.clone(),
+            },
+            Column::Cat { categories, .. } => ColumnSpec::Cat {
+                name: attr.name.clone(),
+                categories: categories.clone(),
+            },
+        })
+        .collect()
+}
+
+/// Serves one connection: a loop of `request frame → response frames`
+/// until the peer closes its write half. Returns the total rows
+/// streamed over the connection's lifetime.
+///
+/// This is the whole data path — the TCP accept loop, the stdio mode,
+/// and the in-memory tests all call it, so every transport shares one
+/// byte-exact implementation. `conn` only labels telemetry; nothing
+/// connection-specific enters the response bytes.
+pub fn serve_connection(
+    model: &FittedSynthesizer,
+    conn: u64,
+    cfg: &ServeConfig,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> Result<u64, ServeError> {
+    let mut total_rows = 0u64;
+    while let Some(body) = read_frame(input, MAX_REQUEST_FRAME)? {
+        let request = Request::decode(&body)?;
+        let watch = Stopwatch::start();
+        if enabled() {
+            emit_event(
+                Event::new(
+                    schema::SERVE_REQUEST_START,
+                    vec![
+                        field("conn", conn),
+                        field("seed", request.seed),
+                        field("n_rows", request.n_rows),
+                        field(
+                            "condition",
+                            request.condition.as_deref().unwrap_or("-").to_string(),
+                        ),
+                    ],
+                )
+                .non_deterministic(),
+            );
+        }
+        let streamed = answer_request(model, cfg, &request, output);
+        metrics::counter("serve.requests").add(1);
+        if let Ok(rows) = &streamed {
+            metrics::counter("serve.rows").add(*rows);
+            metrics::histogram("serve.rows_per_request").observe(*rows);
+            total_rows += *rows;
+        }
+        if enabled() {
+            emit_event(
+                Event::new(
+                    schema::SERVE_REQUEST_END,
+                    vec![
+                        field("conn", conn),
+                        field("rows", *streamed.as_ref().unwrap_or(&0)),
+                        field("ok", streamed.is_ok()),
+                    ],
+                )
+                .non_deterministic()
+                .with_wall(vec![field("ms", watch.elapsed_ms())]),
+            );
+            // The server runs until it is terminated, so there is no
+            // end-of-run flush: snapshot the serve.* metrics after every
+            // request to keep the trace's last snapshot current.
+            daisy_telemetry::emit_metrics_snapshot();
+        }
+        streamed?;
+        output.flush()?;
+    }
+    Ok(total_rows)
+}
+
+/// Answers one decoded request: a rejection header, or an accepted
+/// header followed by data frames and the sealing end frame. Returns
+/// the rows streamed (0 for rejections).
+fn answer_request(
+    model: &FittedSynthesizer,
+    cfg: &ServeConfig,
+    request: &Request,
+    output: &mut impl Write,
+) -> Result<u64, ServeError> {
+    if request.n_rows > cfg.max_rows {
+        let reason = format!(
+            "{} rows exceeds the per-request cap of {} (DAISY_SERVE_MAX_ROWS)",
+            request.n_rows, cfg.max_rows
+        );
+        write_frame(output, &Header::Rejected { reason }.encode())?;
+        output.flush()?;
+        return Ok(0);
+    }
+    let mut stream = match model.try_stream_rows(
+        request.n_rows as usize,
+        request.seed,
+        request.condition.as_deref(),
+    ) {
+        Ok(stream) => stream,
+        Err(reason) => {
+            write_frame(output, &Header::Rejected { reason }.encode())?;
+            output.flush()?;
+            return Ok(0);
+        }
+    };
+    let header = Header::Accepted {
+        seed: request.seed,
+        n_rows: request.n_rows,
+        condition: request.condition.clone(),
+        columns: column_specs(model),
+    };
+    write_frame(output, &header.encode())?;
+
+    // Data frames: one per generation batch, never a whole table. The
+    // incremental CRC seals the concatenated row payloads so the
+    // client can verify the stream end to end without buffering it.
+    let mut payload_crc = Crc64::new();
+    let mut first_row = 0u64;
+    while let Some(batch) = stream.next_batch() {
+        let n = batch.n_rows();
+        debug_assert!(n <= FRAME_ROWS);
+        let mut w = Writer::default();
+        w.buf.extend_from_slice(MAGIC_DATA);
+        w.u64(first_row);
+        w.u64(n as u64);
+        let payload_start = w.buf.len();
+        for i in 0..n {
+            for col in batch.columns() {
+                match col {
+                    Column::Num(v) => w.f64(v[i]),
+                    Column::Cat { codes, .. } => w.u32(codes[i]),
+                }
+            }
+        }
+        payload_crc.update(&w.buf[payload_start..]);
+        write_frame(output, &w.buf)?;
+        first_row += n as u64;
+    }
+    let mut end = Writer::default();
+    end.buf.extend_from_slice(MAGIC_END);
+    end.u64(first_row);
+    end.u64(payload_crc.finish());
+    write_frame(output, &end.buf)?;
+    output.flush()?;
+    Ok(first_row)
+}
+
+/// A long-lived TCP serving process over one sealed model file.
+pub struct Server {
+    listener: TcpListener,
+    model_bytes: Arc<Vec<u8>>,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Loads and validates the model (corrupt files are quarantined,
+    /// see [`load_model`]), binds `addr` (use port 0 for an ephemeral
+    /// port) and reports readiness via a [`schema::SERVE_START`]
+    /// event. The server does not accept connections until
+    /// [`Server::run`].
+    pub fn bind(
+        model_path: impl AsRef<Path>,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        let (bytes, model) = load_model(model_path.as_ref())?;
+        let listener = TcpListener::bind(addr)?;
+        if enabled() {
+            emit_event(
+                Event::new(
+                    schema::SERVE_START,
+                    vec![
+                        field("params", model.param_count()),
+                        field("bytes", model.param_bytes()),
+                        field("columns", model.output_template().n_attrs()),
+                        field("conditional", model.is_conditional()),
+                        field("max_conn", cfg.max_conn),
+                        field("max_rows", cfg.max_rows),
+                    ],
+                )
+                .non_deterministic(),
+            );
+        }
+        Ok(Server {
+            listener,
+            model_bytes: Arc::new(bytes),
+            cfg,
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves connections forever (until the process is
+    /// terminated or the listener fails).
+    ///
+    /// Backpressure: a connection slot is acquired *before* `accept`,
+    /// so at most `max_conn` connections are ever live — each holding
+    /// one decoded model replica — and excess clients queue in the
+    /// kernel's TCP backlog at zero heap cost. A slot is released when
+    /// its connection thread finishes, including on client disconnect
+    /// or protocol error.
+    pub fn run(&self) -> Result<(), ServeError> {
+        let slots = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let mut conn_id = 0u64;
+        loop {
+            {
+                let (lock, cvar) = &*slots;
+                let mut held = lock.lock().unwrap_or_else(|e| e.into_inner());
+                while *held >= self.cfg.max_conn {
+                    held = cvar.wait(held).unwrap_or_else(|e| e.into_inner());
+                }
+                *held += 1;
+                metrics::gauge("serve.active_conns").set(*held as f64);
+            }
+            let guard = SlotGuard {
+                slots: Arc::clone(&slots),
+            };
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) => {
+                    drop(guard);
+                    return Err(ServeError::Io(e));
+                }
+            };
+            let model_bytes = Arc::clone(&self.model_bytes);
+            let cfg = self.cfg.clone();
+            let conn = conn_id;
+            conn_id += 1;
+            // The serving plane is explicitly off the deterministic
+            // compute path: responses are per-request reproducible by
+            // seeding, not by scheduling.
+            // daisy-lint: allow(D003) -- connection threads; responses are reproducible by per-request seeding, not scheduling
+            std::thread::spawn(move || {
+                let _guard = guard;
+                serve_tcp_connection(&model_bytes, conn, &cfg, stream);
+            });
+        }
+    }
+}
+
+/// Releases a connection slot (and updates the active-connections
+/// gauge) when the connection thread exits for any reason — normal
+/// completion, client disconnect, protocol error, or panic.
+struct SlotGuard {
+    slots: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.slots;
+        let mut held = lock.lock().unwrap_or_else(|e| e.into_inner());
+        *held = held.saturating_sub(1);
+        metrics::gauge("serve.active_conns").set(*held as f64);
+        cvar.notify_one();
+    }
+}
+
+/// Decodes a thread-local model replica and runs the request loop on
+/// one TCP connection. Errors end the connection (the slot frees via
+/// the caller's guard), never the server.
+fn serve_tcp_connection(model_bytes: &[u8], conn: u64, cfg: &ServeConfig, stream: TcpStream) {
+    let model = match FittedSynthesizer::from_bytes(model_bytes) {
+        Ok(model) => model,
+        // Unreachable in practice: the bytes were validated at bind.
+        Err(e) => {
+            eprintln!("connection {conn}: model replica decode failed: {e}");
+            return;
+        }
+    };
+    let mut reader = &stream;
+    let mut writer = &stream;
+    if let Err(e) = serve_connection(&model, conn, cfg, &mut reader, &mut writer) {
+        // A vanished client is normal churn; anything else is logged.
+        if !matches!(&e, ServeError::Io(io) if io.kind() == std::io::ErrorKind::BrokenPipe) {
+            eprintln!("connection {conn}: {e}");
+        }
+    }
+}
+
+/// Serves exactly one connection over stdin/stdout — the `daisy serve
+/// --stdio` mode for pipeline use (one process per client, no socket).
+pub fn serve_stdio(model_path: impl AsRef<Path>, cfg: &ServeConfig) -> Result<u64, ServeError> {
+    let (_bytes, model) = load_model(model_path.as_ref())?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    serve_connection(&model, 0, cfg, &mut input, &mut output)
+}

@@ -208,6 +208,33 @@ impl Span {
     }
 }
 
+/// A wall-clock stopwatch for instrumented call sites *outside* this
+/// crate.
+///
+/// The workspace lint (rule D002) confines `std::time` to
+/// `crates/telemetry/` so wall-clock can never leak onto the
+/// deterministic event plane by accident. Code that legitimately needs
+/// a wall measurement for a `wall` sub-object or an `"nd":true` event —
+/// the serving plane timing a request, say — goes through this type,
+/// keeping `Instant` itself inside the fence.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+}
+
 /// Emits the current state of every registered metric as one
 /// [`schema::METRICS`] event marked non-deterministic (metrics values
 /// depend on thread count and scheduling, so the deterministic view

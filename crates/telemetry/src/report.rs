@@ -213,6 +213,84 @@ impl RunReport {
         }
     }
 
+    /// Percentile estimate from a pow2-bucket string as rendered by
+    /// [`crate::metrics::snapshot_fields`] (`"<lower>:<count>"` pairs
+    /// joined by `,`): the lower bound of the bucket where the
+    /// cumulative count first reaches `p` percent of the total.
+    fn bucket_percentile(buckets: &str, p: f64) -> Option<u64> {
+        let pairs: Vec<(u64, u64)> = buckets
+            .split(',')
+            .filter_map(|pair| {
+                let (lo, n) = pair.split_once(':')?;
+                Some((lo.parse().ok()?, n.parse().ok()?))
+            })
+            .collect();
+        let total: u64 = pairs.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(lo, n) in &pairs {
+            seen += n;
+            if seen >= target {
+                return Some(lo);
+            }
+        }
+        pairs.last().map(|&(lo, _)| lo)
+    }
+
+    fn render_serving(&self, out: &mut String) {
+        let starts: Vec<&Json> = self.named(schema::SERVE_START).collect();
+        let reqs: Vec<&Json> = self.named(schema::SERVE_REQUEST_END).collect();
+        if starts.is_empty() && reqs.is_empty() {
+            return;
+        }
+        out.push_str("\nServing (non-deterministic)\n");
+        for e in &starts {
+            out.push_str(&format!(
+                "  model       params={} bytes={} columns={} conditional={} max_conn={}\n",
+                fval(e, "params"),
+                fval(e, "bytes"),
+                fval(e, "columns"),
+                fval(e, "conditional"),
+                fval(e, "max_conn"),
+            ));
+        }
+        let done = reqs.len();
+        let ok = reqs.iter().filter(|e| fval(e, "ok") == "true").count();
+        let rows: u64 = reqs.iter().filter_map(|e| e.get("rows")?.as_u64()).sum();
+        let ms: f64 = reqs
+            .iter()
+            .filter_map(|e| e.get("wall")?.get("ms")?.as_f64())
+            .sum();
+        out.push_str(&format!(
+            "  requests    total={done} ok={ok} rows={rows}\n"
+        ));
+        if ms > 0.0 {
+            out.push_str(&format!(
+                "  throughput  {:.0} rows/sec (summed request wall time {:.1} ms)\n",
+                rows as f64 / (ms / 1000.0),
+                ms
+            ));
+        }
+        // Rows-per-request distribution from the last metrics snapshot.
+        if let Some(snapshot) = self.named(schema::METRICS).last() {
+            if let Some(buckets) = snapshot
+                .get("serve.rows_per_request.buckets")
+                .and_then(Json::as_str)
+            {
+                let p50 = Self::bucket_percentile(buckets, 50.0);
+                let p99 = Self::bucket_percentile(buckets, 99.0);
+                if let (Some(p50), Some(p99)) = (p50, p99) {
+                    out.push_str(&format!(
+                        "  rows/request  p50>={p50} p99>={p99} (pow2 bucket lower bounds)\n"
+                    ));
+                }
+            }
+        }
+    }
+
     fn render_metrics(&self, out: &mut String) {
         // The last metrics snapshot is the end-of-run aggregate state.
         let Some(snapshot) = self.named(schema::METRICS).last() else {
@@ -247,6 +325,7 @@ impl RunReport {
         self.render_recovery(&mut out);
         self.render_selection(&mut out);
         self.render_cells(&mut out);
+        self.render_serving(&mut out);
         self.render_metrics(&mut out);
         out
     }
@@ -394,6 +473,67 @@ mod tests {
         assert!(text.contains("line=4100 reason=non_finite"), "{text}");
         assert!(text.contains("from_chunk=1 skip_lines=4096"), "{text}");
         assert!(text.contains("chunk=1 error=bad crc"), "{text}");
+    }
+
+    #[test]
+    fn renders_serving_section() {
+        let lines = [
+            Event::new(
+                schema::SERVE_START,
+                vec![
+                    field("params", 1234usize),
+                    field("bytes", 4936usize),
+                    field("columns", 9usize),
+                    field("conditional", true),
+                    field("max_conn", 4usize),
+                    field("max_rows", 1_000_000usize),
+                ],
+            )
+            .non_deterministic()
+            .to_json_line(0),
+            Event::new(
+                schema::SERVE_REQUEST_END,
+                vec![field("conn", 0usize), field("rows", 500usize), field("ok", true)],
+            )
+            .non_deterministic()
+            .with_wall(vec![field("ms", 20.0f64)])
+            .to_json_line(1),
+            Event::new(
+                schema::SERVE_REQUEST_END,
+                vec![field("conn", 1usize), field("rows", 1500usize), field("ok", true)],
+            )
+            .non_deterministic()
+            .with_wall(vec![field("ms", 80.0f64)])
+            .to_json_line(2),
+            Event::new(
+                schema::METRICS,
+                vec![
+                    field("serve.rows_per_request.count", 2u64),
+                    field("serve.rows_per_request.sum", 2000u64),
+                    field("serve.rows_per_request.buckets", "256:1,1024:1"),
+                ],
+            )
+            .non_deterministic()
+            .to_json_line(3),
+        ];
+        let jsonl = lines.join("\n") + "\n";
+        let report = RunReport::from_jsonl(&jsonl).unwrap();
+        let text = report.render();
+        assert!(text.contains("Serving"), "{text}");
+        assert!(text.contains("params=1234"), "{text}");
+        assert!(text.contains("total=2 ok=2 rows=2000"), "{text}");
+        // 2000 rows over 100 ms of summed request wall time.
+        assert!(text.contains("20000 rows/sec"), "{text}");
+        assert!(text.contains("p50>=256 p99>=1024"), "{text}");
+    }
+
+    #[test]
+    fn bucket_percentiles_follow_cumulative_counts() {
+        // 10 requests: 9 in the 0-bucket, 1 in the 1024-bucket.
+        let buckets = "0:9,1024:1";
+        assert_eq!(RunReport::bucket_percentile(buckets, 50.0), Some(0));
+        assert_eq!(RunReport::bucket_percentile(buckets, 99.0), Some(1024));
+        assert_eq!(RunReport::bucket_percentile("", 50.0), None);
     }
 
     #[test]

@@ -93,6 +93,20 @@ pub const CELL_SKIPPED: &str = "cell_skipped";
 /// (completed cells on record), `total`.
 pub const SWEEP_RESUME: &str = "sweep_resume";
 
+/// The serving plane validated its model and is accepting requests
+/// (whole event is non-deterministic: serving is wall-clock territory).
+/// Fields: `params`, `bytes`, `columns`, `conditional`, `max_conn`,
+/// `max_rows`.
+pub const SERVE_START: &str = "serve_start";
+/// A generation request was accepted and its header sent (whole event
+/// is non-deterministic). Fields: `conn`, `seed`, `n_rows`,
+/// `condition`.
+pub const SERVE_REQUEST_START: &str = "serve_request_start";
+/// A generation request finished, cleanly or not (whole event is
+/// non-deterministic). Fields: `conn`, `rows`, `ok`; wall fields:
+/// `ms`.
+pub const SERVE_REQUEST_END: &str = "serve_request_end";
+
 /// A span opened. Fields: `span`, plus caller fields.
 pub const SPAN_START: &str = "span_start";
 /// A span closed. Fields: `span`, `events` (logical duration: number

@@ -58,16 +58,51 @@ const CRC64_TABLE: [u64; 256] = {
     table
 };
 
+/// Incremental CRC-64 over a byte stream: feed chunks with
+/// [`Crc64::update`] and read the checksum with [`Crc64::finish`].
+/// `Crc64` over concatenated chunks equals [`crc64`] over the
+/// concatenation, so a producer that never materializes its full
+/// payload (the serving plane's row stream) can still seal it with the
+/// same whole-payload checksum a buffering producer would write.
+#[derive(Debug, Clone)]
+pub struct Crc64 {
+    state: u64,
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64 {
+    /// A fresh checksum accumulator.
+    pub fn new() -> Self {
+        Crc64 { state: !0u64 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC64_TABLE[((self.state ^ b as u64) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The checksum of every byte fed so far. Does not consume the
+    /// accumulator; further updates continue from the same state.
+    pub fn finish(&self) -> u64 {
+        !self.state
+    }
+}
+
 /// CRC-64 checksum of `bytes`. Any single-byte (indeed any ≤ 64-bit
 /// burst) corruption changes the checksum, which is what the persist,
 /// checkpoint, and chunk-store formats rely on to turn silent bit rot
 /// into a typed error.
 pub fn crc64(bytes: &[u8]) -> u64 {
-    let mut crc = !0u64;
-    for &b in bytes {
-        crc = CRC64_TABLE[((crc ^ b as u64) & 0xff) as usize] ^ (crc >> 8);
-    }
-    !crc
+    let mut crc = Crc64::new();
+    crc.update(bytes);
+    crc.finish()
 }
 
 // ---------------------------------------------------------------------

@@ -42,6 +42,7 @@ pub use daisy_data as data;
 pub use daisy_datasets as datasets;
 pub use daisy_eval as eval;
 pub use daisy_nn as nn;
+pub use daisy_serve as serve;
 pub use daisy_telemetry as telemetry;
 pub use daisy_tensor as tensor;
 
@@ -57,5 +58,6 @@ pub mod prelude {
         Attribute, Column, DataError, RecordCodec, Schema, Table, TransformConfig, Value,
     };
     pub use daisy_eval::{classifier_zoo, classification_utility, clustering_utility};
+    pub use daisy_serve::{Request, ServeConfig, ServeError, Server};
     pub use daisy_tensor::{Rng, Tensor};
 }

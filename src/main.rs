@@ -25,6 +25,8 @@ USAGE:
     daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
     daisy describe <TABLE.csv> [--label COL]
     daisy ingest <INPUT.csv> --out <DIR> [OPTIONS]
+    daisy serve <MODEL.daisy> [--addr HOST:PORT] [--stdio]
+    daisy rows <ADDR> --rows N [--seed N] [--condition CAT] [--out FILE]
     daisy report <TRACE.jsonl> [--validate]
     daisy lint [--json] [--root DIR] [--list-rules]
 
@@ -56,6 +58,24 @@ INGEST OPTIONS:
     store. Corrupt chunks found on resume are set aside as *.corrupt-N.
     DAISY_MEM_BUDGET caps the decoded-chunk cache when training from
     the store (bytes, default 256 MiB).
+
+SERVE OPTIONS:
+    --addr HOST:PORT     listen address (default 127.0.0.1:7764; port 0
+                         picks an ephemeral port, printed at startup)
+    --stdio              serve exactly one connection over stdin/stdout
+                         instead of TCP (for pipelines; one process per
+                         client)
+    The server streams rows with bounded memory and answers any request
+    {seed, rows, condition?} with byte-identical output on replay.
+    DAISY_SERVE_MAX_CONN caps concurrent connections (default 4);
+    DAISY_SERVE_MAX_ROWS caps rows per request (default 100000000).
+    See docs/SERVING.md for the protocol and runbook.
+
+ROWS OPTIONS (scripted client for a running `daisy serve`):
+    --rows N             rows to request (required)
+    --seed N             request seed (default: 7); same seed, same rows
+    --condition CAT      condition every row on this label category
+    --out FILE           write CSV there instead of stdout
 
 REPORT OPTIONS:
     --validate           only validate the trace; print the summary line
@@ -125,6 +145,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "describe" => describe(args),
         "generate" => generate(args),
         "ingest" => ingest(args),
+        "serve" => serve(args),
+        "rows" => rows(args),
         "report" => report(args),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -273,6 +295,73 @@ fn report(mut args: Vec<String>) -> Result<(), String> {
         );
     } else {
         print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// Runs the streaming generation service over a sealed model file.
+/// TCP by default; `--stdio` serves one connection over stdin/stdout.
+fn serve(mut args: Vec<String>) -> Result<(), String> {
+    let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7764".into());
+    let stdio = if let Some(pos) = args.iter().position(|a| a == "--stdio") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let model_path = args.first().ok_or("serve requires a model path")?;
+    let cfg = ServeConfig::from_env();
+    if stdio {
+        let rows = daisy::serve::serve_stdio(model_path, &cfg).map_err(|e| e.to_string())?;
+        eprintln!("served {rows} rows over stdio");
+        return Ok(());
+    }
+    let server =
+        Server::bind(model_path, addr.as_str(), cfg.clone()).map_err(|e| e.to_string())?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {model_path} on {local} (max {} connections, {} rows/request)",
+        cfg.max_conn, cfg.max_rows
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Scripted client: requests one reproducible row stream from a
+/// running `daisy serve` and writes it as CSV.
+fn rows(mut args: Vec<String>) -> Result<(), String> {
+    let n = take_flag(&mut args, "--rows")?.ok_or("rows requires --rows")?;
+    let n = parse_usize(&n, "--rows")? as u64;
+    let seed = match take_flag(&mut args, "--seed")? {
+        Some(v) => parse_usize(&v, "--seed")? as u64,
+        None => 7,
+    };
+    let condition = take_flag(&mut args, "--condition")?;
+    let out = take_flag(&mut args, "--out")?;
+    let addr = args.first().ok_or("rows requires a server address")?;
+    let request = match &condition {
+        Some(c) => Request::conditioned(seed, n, c),
+        None => Request::new(seed, n),
+    };
+    let response = daisy::serve::fetch(addr.as_str(), &request).map_err(|e| e.to_string())?;
+    let mut csv = String::new();
+    let names: Vec<&str> = response.columns.iter().map(|c| c.name()).collect();
+    csv.push_str(&names.join(","));
+    csv.push('\n');
+    for row in &response.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| response.render_cell(j, v))
+            .collect();
+        csv.push_str(&cells.join(","));
+        csv.push('\n');
+    }
+    match out {
+        Some(path) => {
+            std::fs::write(&path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} rows from {addr} to {path}", response.rows.len());
+        }
+        None => print!("{csv}"),
     }
     Ok(())
 }

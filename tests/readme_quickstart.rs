@@ -46,3 +46,33 @@ fn readme_quickstart() -> Result<(), TrainError> {
 fn quickstart_snippet_runs() {
     readme_quickstart().expect("README quick-start pipeline trains");
 }
+
+/// Mirrors the `## Serving` code block in `README.md` line for line
+/// (only the model provenance differs: the README assumes a saved
+/// `model.daisy`, the test trains and saves a tiny stand-in first).
+fn readme_serving(model_daisy: &std::path::Path) -> Result<(), ServeError> {
+    // Serve a saved model and stream rows to a client, byte-reproducibly.
+    let server = Server::bind(model_daisy, "127.0.0.1:0", ServeConfig::default())?;
+    let addr = server.local_addr()?;
+    // daisy-lint: allow(D003) -- README snippet; responses are seed-reproducible
+    std::thread::spawn(move || server.run());
+    let response = daisy::serve::fetch(addr, &Request::new(7, 1000))?;
+    assert_eq!(response.rows.len(), 1000);
+    Ok(())
+}
+
+#[test]
+fn serving_snippet_runs() {
+    let table: Table = daisy::datasets::by_name("HTRU2").unwrap().generate(300, 1);
+    let mut tc = TrainConfig::vtrain(10);
+    tc.batch_size = 32;
+    tc.epochs = 1;
+    let mut cfg = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+    cfg.g_hidden = vec![16];
+    cfg.d_hidden = vec![16];
+    let fitted = Synthesizer::fit(&table, &cfg);
+    let path = std::env::temp_dir().join("daisy-readme-serving-model.bin");
+    fitted.save(&path).expect("stand-in model saves");
+    readme_serving(&path).expect("README serving pipeline streams");
+    std::fs::remove_file(&path).ok();
+}
