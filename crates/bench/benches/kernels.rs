@@ -313,6 +313,16 @@ fn bench_telemetry_overhead() {
     daisy_telemetry::with_recorder(rec, || {
         bench("gan_epoch_mlp_telemetry_on", 10, epoch);
     });
+
+    // Phase-profiler overhead (PR 8 acceptance): the same epoch with
+    // profiling disabled (one relaxed atomic load per scope) and
+    // enabled (two Instant reads + a BTreeMap update per scope).
+    daisy_telemetry::profile::set_enabled(false);
+    bench("gan_epoch_mlp_profile_off", 10, epoch);
+    daisy_telemetry::profile::set_enabled(true);
+    bench("gan_epoch_mlp_profile_on", 10, epoch);
+    daisy_telemetry::profile::set_enabled(false);
+    daisy_telemetry::profile::reset();
 }
 
 fn main() {

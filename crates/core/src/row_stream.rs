@@ -92,6 +92,7 @@ impl<'a> RowStream<'a> {
         if self.generated >= self.total {
             return None;
         }
+        daisy_telemetry::phase_scope!("generate");
         let batch = (self.total - self.generated).min(GENERATION_BATCH);
         let g = self.synth.generator.as_ref();
         let z = g.sample_noise(batch, &mut self.rng);

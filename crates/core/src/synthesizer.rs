@@ -356,6 +356,7 @@ impl Synthesizer {
         ckpt: &CheckpointPlan,
         scorer: Option<&mut (dyn FnMut(&Table) -> f64 + '_)>,
     ) -> Result<FittedSynthesizer, TrainError> {
+        daisy_telemetry::phase_scope!("fit");
         let invalid = |msg: &str| TrainError::InvalidConfig(msg.to_string());
         if table.n_rows() == 0 {
             return Err(invalid("cannot fit on an empty table"));
@@ -573,6 +574,9 @@ impl Synthesizer {
             // marked non-deterministic (counters depend on the thread
             // count), so `deterministic_view` drops it wholesale.
             daisy_telemetry::emit_metrics_snapshot();
+            // Phase profile (wall time per fit/epoch/... path) rides the
+            // same nd plane; a no-op unless DAISY_PROFILE is on.
+            daisy_telemetry::emit_profile_snapshot();
         }
         Ok(fitted)
     }

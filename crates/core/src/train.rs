@@ -350,7 +350,15 @@ pub fn train_gan_checkpointed(
         }
     }
 
+    // Phase profiling: one "epoch" scope spans every step of an epoch so
+    // the kernel phases underneath aggregate as fit/epoch/... paths. The
+    // scope is closed at each clean boundary and reopened on the next
+    // step; a no-op unless profiling is enabled.
+    let mut epoch_scope: Option<daisy_telemetry::profile::PhaseScope> = None;
     while t < active.iterations {
+        if epoch_scope.is_none() {
+            epoch_scope = Some(daisy_telemetry::profile::scope("epoch"));
+        }
         // ---- deterministic kill (crash stand-in for resume tests) ----
         // Before any emission or mutation for step t, so the killed
         // run's telemetry is an exact prefix of the uninterrupted one.
@@ -671,12 +679,14 @@ pub fn train_gan_checkpointed(
                     }
                 }
             }
+            epoch_scope = None;
             if run.snapshots.len() == epochs {
                 break;
             }
         }
         t += 1;
     }
+    drop(epoch_scope);
     g.set_training(false);
     d.set_training(false);
     outcome.completed_epochs = run.history.len();
@@ -766,7 +776,10 @@ fn step(
                 rng,
             );
         }
-        opt_d.step();
+        {
+            daisy_telemetry::phase_scope!("optim");
+            opt_d.step();
+        }
         if matches!(cfg.loss, LossKind::Wasserstein) {
             clip_weights(&d_params, cfg.weight_clip);
         }
@@ -805,7 +818,10 @@ fn step(
     };
     let g_loss_value = g_loss.value().data()[0];
     g_loss.backward();
-    opt_g.step();
+    {
+        daisy_telemetry::phase_scope!("optim");
+        opt_g.step();
+    }
 
     Ok((d_loss_last, g_loss_value, kl_value))
 }

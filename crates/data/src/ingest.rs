@@ -824,6 +824,7 @@ pub fn ingest_csv(
     store_dir: &Path,
     cfg: &IngestConfig,
 ) -> Result<IngestReport, DataError> {
+    daisy_telemetry::phase_scope!("ingest");
     assert!(cfg.chunk_rows > 0, "chunk_rows must be positive");
     std::fs::create_dir_all(store_dir)?;
     let journal_path = store_dir.join(JOURNAL_FILE);

@@ -87,6 +87,13 @@ pub const RULES: &[RuleInfo] = &[
         file_scoped: false,
     },
     RuleInfo {
+        id: "S004",
+        severity: Severity::Error,
+        summary: "profiler phase names must come from telemetry::schema::PHASES so traces, \
+                  /metrics labels, and `daisy top` agree on one vocabulary",
+        file_scoped: false,
+    },
+    RuleInfo {
         id: "H001",
         severity: Severity::Error,
         summary: "crate roots must carry #![forbid(unsafe_code)]",

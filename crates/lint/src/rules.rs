@@ -115,6 +115,7 @@ pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
         check_d004_rng_construction(file, lexed, &mut all);
         if file.kind == FileKind::Src && !file.rel.starts_with(TIME_EXEMPT_PREFIX) {
             check_s001_s003_event_calls(file, lexed, *cut, schema, &mut all);
+            check_s004_phase_literals(file, lexed, *cut, schema, &mut all);
         }
         if file.rel == "crates/telemetry/src/schema.rs" {
             check_s002_schema_docs(file, &mut all);
@@ -474,6 +475,57 @@ fn schema_const_ref(arg: &[Tok]) -> Option<String> {
         }
     }
     None
+}
+
+// ----- S004: profiler phase names -----
+
+/// Finds `phase_scope!("...")` and `profile::scope("...")` call sites
+/// and checks the literal against the `PHASES` vocabulary, so traces,
+/// `/metrics` labels, and `daisy top` never drift apart. Skips the
+/// file's test region (tests profile synthetic phase trees).
+fn check_s004_phase_literals(
+    file: &SourceFile,
+    lexed: &Lexed,
+    test_cut: u32,
+    schema: &EventSchema,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if toks[i].line >= test_cut {
+            break;
+        }
+        // phase_scope ! ( "lit" )
+        let macro_lit = (toks[i].is_ident("phase_scope")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('(')
+            && toks[i + 3].kind == TokKind::Str)
+            .then(|| &toks[i + 3]);
+        // profile :: scope ( "lit" )
+        let fn_lit = (toks[i].is_ident("profile")
+            && i + 5 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("scope")
+            && toks[i + 4].is_punct('(')
+            && toks[i + 5].kind == TokKind::Str)
+            .then(|| &toks[i + 5]);
+        if let Some(lit) = macro_lit.or(fn_lit) {
+            if !schema.has_phase(&lit.text) {
+                out.push(Finding::new(
+                    "S004",
+                    &file.rel,
+                    lit.line,
+                    format!(
+                        "phase \"{}\" is not in telemetry::schema::PHASES; add it there so the \
+                         profile event schema, /metrics labels, and `daisy top` stay in sync",
+                        lit.text
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 // ----- S002: schema doc contracts -----

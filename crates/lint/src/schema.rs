@@ -15,6 +15,8 @@ pub struct EventSchema {
     pub docs: BTreeMap<String, String>,
     /// Constant ident → 1-based declaration line.
     pub lines: BTreeMap<String, u32>,
+    /// The profiler phase vocabulary (`PHASES`), in declaration order.
+    pub phases: Vec<String>,
 }
 
 impl EventSchema {
@@ -26,6 +28,11 @@ impl EventSchema {
     /// True when a `schema::IDENT` reference resolves.
     pub fn has_const(&self, ident: &str) -> bool {
         self.consts.contains_key(ident)
+    }
+
+    /// True when a literal phase name is in the `PHASES` vocabulary.
+    pub fn has_phase(&self, name: &str) -> bool {
+        self.phases.iter().any(|p| p == name)
     }
 }
 
@@ -69,6 +76,21 @@ pub fn parse(src: &str) -> EventSchema {
             schema.lines.insert(ident.clone(), decl_line);
             schema.consts.insert(ident, value);
             i += 8;
+        } else if toks[i].is_ident("pub")
+            && toks[i + 1].is_ident("const")
+            && toks[i + 2].is_ident("PHASES")
+            && toks[i + 3].is_punct(':')
+        {
+            // pub const PHASES : & [ & str ] = & [ "a" , "b" , ... ] ;
+            // Collect every string literal up to the closing `;`.
+            let mut j = i + 4;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                if toks[j].kind == TokKind::Str {
+                    schema.phases.push(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
         } else {
             i += 1;
         }
@@ -88,6 +110,9 @@ pub const TRAIN_START: &str = \"train_start\";
 
 /// No fields doc here.
 pub const ODD: &str = \"odd\";
+
+/// Phase vocabulary.
+pub const PHASES: &[&str] = &[\"fit\", \"epoch\"];
 ";
         let s = parse(src);
         assert_eq!(s.consts.len(), 2);
@@ -96,6 +121,9 @@ pub const ODD: &str = \"odd\";
         assert!(!s.has_name("nope"));
         assert!(s.docs["TRAIN_START"].contains("Fields:"));
         assert!(!s.docs["ODD"].contains("Fields:"));
+        assert_eq!(s.phases, vec!["fit", "epoch"]);
+        assert!(s.has_phase("epoch"));
+        assert!(!s.has_phase("nope"));
     }
 
     #[test]
@@ -108,5 +136,10 @@ pub const ODD: &str = \"odd\";
         assert!(s.has_name("epoch"), "live schema should define `epoch`");
         assert!(s.has_const("GUARD_TRIP"));
         assert!(s.consts.len() >= 20, "vocabulary shrank? {:?}", s.consts);
+        assert!(
+            s.has_phase("serve_request"),
+            "live schema should define the phase vocabulary: {:?}",
+            s.phases
+        );
     }
 }

@@ -14,6 +14,11 @@ const SCHEMA_FIXTURE: &str = r#"
 ///
 /// Fields: `epoch`, `step`.
 pub const TRAIN_START: &str = "train_start";
+
+/// The profiler phase vocabulary (S004).
+///
+/// Fields: none (a vocabulary, not an event).
+pub const PHASES: &[&str] = &["fit", "epoch"];
 "#;
 
 fn file(rel: &str, kind: FileKind, src: &str) -> SourceFile {
@@ -238,6 +243,40 @@ fn s003_accepts_logical_time_fields() {
     let good = "
 fn f(rec: &Recorder) {
     rec.emit(\"train_start\", &[field(\"epoch\", 3), field(\"step\", 40)]);
+}
+";
+    assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());
+}
+
+// ----- S004: profiler phase names must be in PHASES -----
+
+#[test]
+fn s004_flags_unknown_phase_literals() {
+    let bad = "
+fn f() {
+    daisy_telemetry::phase_scope!(\"warp_drive\");
+    let _guard = daisy_telemetry::profile::scope(\"bogus_phase\");
+}
+";
+    let findings = lint_one("crates/core/src/x.rs", FileKind::Src, bad);
+    assert_eq!(rules_of(&findings), ["S004", "S004"]);
+    assert!(findings[0].message.contains("warp_drive"));
+    assert!(findings[1].message.contains("bogus_phase"));
+}
+
+#[test]
+fn s004_accepts_vocabulary_phases_and_skips_tests() {
+    let good = "
+fn f() {
+    daisy_telemetry::phase_scope!(\"fit\");
+    let _guard = daisy_telemetry::profile::scope(\"epoch\");
+}
+
+#[cfg(test)]
+mod tests {
+    fn g() {
+        daisy_telemetry::phase_scope!(\"test_only_phase\");
+    }
 }
 ";
     assert!(lint_one("crates/core/src/x.rs", FileKind::Src, good).is_empty());

@@ -1,0 +1,261 @@
+//! The admin plane: a read-only introspection listener beside the
+//! serving listener.
+//!
+//! When `DAISY_SERVE_ADMIN=<addr>` is set, [`crate::Server::bind`]
+//! opens a second TCP listener that answers plain-text HTTP `GET`s:
+//!
+//! - `/healthz` — model fingerprint (CRC-64 of the sealed file),
+//!   uptime in logical terms (requests and rows served) and wall
+//!   terms, and active connections against the slot cap.
+//! - `/metrics` — Prometheus-style text exposition of the metrics
+//!   registry plus the phase profiler
+//!   ([`daisy_telemetry::expose::render`]).
+//! - `/profile` — the hottest phases by self time, human-ordered.
+//!
+//! The plane is deliberately inert: it never touches the model, takes
+//! no connection slot, and only *reads* atomics — so it stays
+//! responsive when every serving slot is busy, and it cannot perturb
+//! the reproducibility contract. It speaks just enough HTTP/1.0 for
+//! `curl` and `daisy top`: one request per connection, then close.
+
+use crate::ServeError;
+use daisy_telemetry::{expose, metrics, profile, Stopwatch};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Largest admin request we will buffer before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How many phases `/profile` lists.
+const PROFILE_TOP_N: usize = 20;
+
+/// Immutable facts about the serving process, captured at bind time
+/// for `/healthz`.
+#[derive(Debug)]
+pub struct AdminInfo {
+    /// CRC-64 of the sealed model file's bytes — the model identity a
+    /// fleet operator compares across replicas.
+    pub fingerprint: u64,
+    /// Trainable parameter count of the served model.
+    pub params: usize,
+    /// Parameter bytes of the served model.
+    pub bytes: usize,
+    /// Output columns of the served model.
+    pub columns: usize,
+    /// Whether the model accepts conditioned requests.
+    pub conditional: bool,
+    /// The connection-slot cap ([`crate::ServeConfig::max_conn`]).
+    pub max_conn: usize,
+    started: Stopwatch,
+}
+
+impl AdminInfo {
+    /// Captures the facts, starting the uptime clock now.
+    pub fn new(
+        fingerprint: u64,
+        params: usize,
+        bytes: usize,
+        columns: usize,
+        conditional: bool,
+        max_conn: usize,
+    ) -> AdminInfo {
+        AdminInfo {
+            fingerprint,
+            params,
+            bytes,
+            columns,
+            conditional,
+            max_conn,
+            started: Stopwatch::start(),
+        }
+    }
+}
+
+/// The admin listener. Created by [`AdminServer::bind`]; serves until
+/// the process exits once [`AdminServer::spawn`] detaches it.
+pub struct AdminServer {
+    listener: TcpListener,
+    info: Arc<AdminInfo>,
+}
+
+impl AdminServer {
+    /// Binds the admin address (port 0 for ephemeral).
+    pub fn bind(addr: impl ToSocketAddrs, info: AdminInfo) -> std::io::Result<AdminServer> {
+        Ok(AdminServer {
+            listener: TcpListener::bind(addr)?,
+            info: Arc::new(info),
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Detaches the accept loop onto its own thread and returns the
+    /// bound address. Requests are answered serially — admin traffic
+    /// is a human or a scraper, not a fleet — so a slow reader can
+    /// never pile up introspection threads.
+    pub fn spawn(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        // daisy-lint: allow(D003) -- admin listener thread; read-only introspection off the serving path
+        std::thread::spawn(move || {
+            for stream in self.listener.incoming() {
+                match stream {
+                    Ok(stream) => handle(stream, &self.info),
+                    Err(_) => continue,
+                }
+            }
+        });
+        Ok(addr)
+    }
+}
+
+/// Answers one admin connection: read one request, write one response,
+/// close. All errors are swallowed — a broken scraper must never touch
+/// the serving process.
+fn handle(mut stream: TcpStream, info: &AdminInfo) {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let path = loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_REQUEST_BYTES {
+                    break None;
+                }
+                // Headers complete. A bare "GET /x\n" with a closed
+                // write half instead ends at Ok(0) and is parsed from
+                // whatever arrived.
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break parse_request_path(&buf);
+                }
+            }
+            Err(_) => break None,
+        }
+    }
+    .or_else(|| parse_request_path(&buf));
+    let (status, body) = match path.as_deref() {
+        Some(path) => respond(path, info),
+        None => (400, "bad request\n".to_string()),
+    };
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Bad Request",
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Extracts the request path from raw request bytes; `None` until a
+/// full request line is present or when the method is not `GET`.
+fn parse_request_path(buf: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(buf).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return Some(String::new()); // answered as 405 below
+    }
+    let path = parts.next()?;
+    // Strip any query string; the endpoints take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+/// Routes one admin path to its `(status, body)`. Pure except for
+/// reading live metrics/profiler atomics — the testable core of the
+/// endpoint.
+pub fn respond(path: &str, info: &AdminInfo) -> (u16, String) {
+    match path {
+        "/healthz" => (200, healthz_body(info)),
+        "/metrics" => (200, expose::render()),
+        "/profile" => (200, profile_body()),
+        "" => (405, "only GET is supported\n".to_string()),
+        _ => (
+            404,
+            "not found; try /healthz, /metrics, or /profile\n".to_string(),
+        ),
+    }
+}
+
+/// The `/healthz` body: identity, uptime (logical and wall), and load.
+fn healthz_body(info: &AdminInfo) -> String {
+    let requests = metrics::counter("serve.requests").get();
+    let rows = metrics::counter("serve.rows").get();
+    let active = metrics::gauge("serve.active_conns").get();
+    format!(
+        "ok\n\
+         fingerprint 0x{:016x}\n\
+         model params={} bytes={} columns={} conditional={}\n\
+         uptime_ms {:.0}\n\
+         logical requests={} rows={}\n\
+         active_conns {:.0}/{}\n",
+        info.fingerprint,
+        info.params,
+        info.bytes,
+        info.columns,
+        info.conditional,
+        info.started.elapsed_ms(),
+        requests,
+        rows,
+        active,
+        info.max_conn,
+    )
+}
+
+/// The `/profile` body: hottest phases by self time.
+fn profile_body() -> String {
+    let mut out = format!(
+        "phases by self time (profiling {})\n",
+        if profile::profiling_enabled() {
+            "on"
+        } else {
+            "off — set DAISY_PROFILE=1"
+        }
+    );
+    let top = profile::top_by_self_time(PROFILE_TOP_N);
+    if top.is_empty() {
+        out.push_str("no phases recorded\n");
+        return out;
+    }
+    out.push_str("     self_ms     total_ms      calls  phase\n");
+    for p in top {
+        out.push_str(&format!(
+            "{:>12.1} {:>12.1} {:>10}  {}\n",
+            p.self_ns as f64 / 1e6,
+            p.total_ns as f64 / 1e6,
+            p.calls,
+            p.path
+        ));
+    }
+    out
+}
+
+/// Fetches one admin endpoint as `daisy top`, tests, and scripts do:
+/// connect, send a minimal `GET`, return the body of a 200 response.
+/// Non-200 statuses are [`ServeError::Rejected`] with the status line.
+pub fn fetch_admin(addr: impl ToSocketAddrs, path: &str) -> Result<String, ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| ServeError::Protocol("admin response has no header/body split".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if status_line.split_whitespace().nth(1) != Some("200") {
+        return Err(ServeError::Rejected(format!(
+            "admin request {path} failed: {status_line}"
+        )));
+    }
+    Ok(body.to_string())
+}

@@ -41,10 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 mod client;
 mod proto;
 mod server;
 
+pub use admin::fetch_admin;
 pub use client::{decode_response, fetch, fetch_raw, Response};
 pub use proto::{
     read_frame, write_frame, ColumnSpec, Header, Request, MAX_REQUEST_FRAME, PROTOCOL_VERSION,

@@ -5,11 +5,12 @@ use crate::proto::{
     read_frame, write_frame, ColumnSpec, Header, Request, FRAME_ROWS, MAGIC_DATA, MAGIC_END,
     MAX_REQUEST_FRAME,
 };
+use crate::admin::{AdminInfo, AdminServer};
 use crate::ServeError;
 use daisy_core::FittedSynthesizer;
 use daisy_data::Column;
-use daisy_telemetry::{emit_event, enabled, field, metrics, schema, Event, Stopwatch};
-use daisy_wire::{quarantine, Crc64, Writer};
+use daisy_telemetry::{emit_event, enabled, field, metrics, profile, schema, Event, Stopwatch};
+use daisy_wire::{crc64, quarantine, Crc64, Writer};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -29,6 +30,11 @@ pub struct ServeConfig {
     /// header; streaming keeps memory flat regardless, the cap only
     /// bounds how long one request can monopolize a slot.
     pub max_rows: u64,
+    /// Address for the read-only admin listener (`DAISY_SERVE_ADMIN`,
+    /// default none). When set, [`Server::bind`] opens a second
+    /// listener answering `/healthz`, `/metrics`, and `/profile` —
+    /// see [`crate::admin`].
+    pub admin_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -36,14 +42,16 @@ impl Default for ServeConfig {
         ServeConfig {
             max_conn: 4,
             max_rows: 100_000_000,
+            admin_addr: None,
         }
     }
 }
 
 impl ServeConfig {
     /// The defaults overridden by `DAISY_SERVE_MAX_CONN` /
-    /// `DAISY_SERVE_MAX_ROWS`. Malformed or zero values warn on stderr
-    /// and keep the default, matching the `DAISY_THREADS` convention.
+    /// `DAISY_SERVE_MAX_ROWS` / `DAISY_SERVE_ADMIN`. Malformed or zero
+    /// numeric values warn on stderr and keep the default, matching
+    /// the `DAISY_THREADS` convention.
     pub fn from_env() -> ServeConfig {
         let mut cfg = ServeConfig::default();
         if let Some(v) = parse_env("DAISY_SERVE_MAX_CONN") {
@@ -51,6 +59,11 @@ impl ServeConfig {
         }
         if let Some(v) = parse_env("DAISY_SERVE_MAX_ROWS") {
             cfg.max_rows = v;
+        }
+        if let Ok(addr) = std::env::var("DAISY_SERVE_ADMIN") {
+            if !addr.is_empty() {
+                cfg.admin_addr = Some(addr);
+            }
         }
         cfg
     }
@@ -125,9 +138,12 @@ pub fn serve_connection(
     input: &mut impl Read,
     output: &mut impl Write,
 ) -> Result<u64, ServeError> {
+    register_serve_metrics();
+    let mut tally = ConnTally { requests: 0 };
     let mut total_rows = 0u64;
     while let Some(body) = read_frame(input, MAX_REQUEST_FRAME)? {
         let request = Request::decode(&body)?;
+        tally.requests += 1;
         let watch = Stopwatch::start();
         if enabled() {
             emit_event(
@@ -146,8 +162,12 @@ pub fn serve_connection(
                 .non_deterministic(),
             );
         }
-        let streamed = answer_request(model, cfg, &request, output);
+        let streamed = {
+            daisy_telemetry::phase_scope!("serve_request");
+            answer_request(model, cfg, &request, output)
+        };
         metrics::counter("serve.requests").add(1);
+        metrics::histogram("serve.request_us").observe((watch.elapsed_ms() * 1000.0) as u64);
         if let Ok(rows) = &streamed {
             metrics::counter("serve.rows").add(*rows);
             metrics::histogram("serve.rows_per_request").observe(*rows);
@@ -170,11 +190,42 @@ pub fn serve_connection(
             // end-of-run flush: snapshot the serve.* metrics after every
             // request to keep the trace's last snapshot current.
             daisy_telemetry::emit_metrics_snapshot();
+            if profile::profiling_enabled() {
+                daisy_telemetry::emit_profile_snapshot();
+            }
         }
         streamed?;
         output.flush()?;
     }
     Ok(total_rows)
+}
+
+/// Interns every `serve.*` metric so snapshots and the `/metrics`
+/// exposition list them (at zero) from the first request on, whichever
+/// transport — TCP, stdio, or in-memory — touched the data path first.
+fn register_serve_metrics() {
+    metrics::counter("serve.requests");
+    metrics::counter("serve.rows");
+    metrics::gauge("serve.active_conns");
+    metrics::histogram("serve.rows_per_request");
+    metrics::histogram("serve.request_us");
+    metrics::histogram("serve.requests_per_conn");
+}
+
+/// Observes the request-pipelining depth — how many requests one
+/// client issued over its connection's lifetime — when the connection
+/// ends for any reason, including protocol errors and disconnects.
+struct ConnTally {
+    requests: u64,
+}
+
+impl Drop for ConnTally {
+    fn drop(&mut self) {
+        metrics::histogram("serve.requests_per_conn").observe(self.requests);
+        if enabled() {
+            daisy_telemetry::emit_metrics_snapshot();
+        }
+    }
 }
 
 /// Answers one decoded request: a rejection header, or an accepted
@@ -254,14 +305,18 @@ pub struct Server {
     listener: TcpListener,
     model_bytes: Arc<Vec<u8>>,
     cfg: ServeConfig,
+    admin_addr: Option<SocketAddr>,
 }
 
 impl Server {
     /// Loads and validates the model (corrupt files are quarantined,
     /// see [`load_model`]), binds `addr` (use port 0 for an ephemeral
     /// port) and reports readiness via a [`schema::SERVE_START`]
-    /// event. The server does not accept connections until
-    /// [`Server::run`].
+    /// event. When [`ServeConfig::admin_addr`] is set, the read-only
+    /// admin listener ([`crate::admin`]) is bound and spawned here too,
+    /// so `/healthz` answers even before [`Server::run`] accepts
+    /// serving traffic. The server does not accept serving connections
+    /// until [`Server::run`].
     pub fn bind(
         model_path: impl AsRef<Path>,
         addr: impl ToSocketAddrs,
@@ -269,6 +324,22 @@ impl Server {
     ) -> Result<Server, ServeError> {
         let (bytes, model) = load_model(model_path.as_ref())?;
         let listener = TcpListener::bind(addr)?;
+        register_serve_metrics();
+        let admin_addr = match &cfg.admin_addr {
+            Some(admin) => {
+                let info = AdminInfo::new(
+                    crc64(&bytes),
+                    model.param_count(),
+                    model.param_bytes(),
+                    model.output_template().n_attrs(),
+                    model.is_conditional(),
+                    cfg.max_conn,
+                );
+                // daisy-lint: allow(D003) -- admin listener thread; read-only introspection off the serving path
+                Some(AdminServer::bind(admin.as_str(), info)?.spawn()?)
+            }
+            None => None,
+        };
         if enabled() {
             emit_event(
                 Event::new(
@@ -289,12 +360,19 @@ impl Server {
             listener,
             model_bytes: Arc::new(bytes),
             cfg,
+            admin_addr,
         })
     }
 
     /// The bound address (the real port when bound with port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound admin address, when [`ServeConfig::admin_addr`] was
+    /// set (the real port when bound with port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Accepts and serves connections forever (until the process is

@@ -48,8 +48,10 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod expose;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod schema;
@@ -64,7 +66,7 @@ pub use sink::JsonlSink;
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The process-global sink, created on first use from `DAISY_TRACE`.
 /// `None` when the variable is unset, empty, or names an unwritable
@@ -217,6 +219,7 @@ impl Span {
 /// a wall measurement for a `wall` sub-object or an `"nd":true` event —
 /// the serving plane timing a request, say — goes through this type,
 /// keeping `Instant` itself inside the fence.
+#[derive(Debug)]
 pub struct Stopwatch {
     start: Instant,
 }
@@ -235,6 +238,14 @@ impl Stopwatch {
     }
 }
 
+/// Sleeps the calling thread for `ms` milliseconds. Lives here because
+/// this crate is the workspace's one sanctioned wall-clock plane (lint
+/// D002): pollers like `daisy top` borrow it instead of reaching for
+/// `std::time` themselves.
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
 /// Emits the current state of every registered metric as one
 /// [`schema::METRICS`] event marked non-deterministic (metrics values
 /// depend on thread count and scheduling, so the deterministic view
@@ -244,6 +255,55 @@ pub fn emit_metrics_snapshot() {
         return;
     }
     emit_event(Event::new(schema::METRICS, metrics::snapshot_fields()).non_deterministic());
+}
+
+/// Emits the phase-profiler registry as one [`schema::PROFILE`] event
+/// marked non-deterministic (the profiler measures wall time, which
+/// the deterministic trace view must never see). Per phase path the
+/// event carries `<path>.calls`, `<path>.total_ms`, `<path>.self_ms`.
+/// A no-op when tracing is off or no phase has been recorded.
+pub fn emit_profile_snapshot() {
+    if !enabled() {
+        return;
+    }
+    let stats = profile::snapshot();
+    if stats.is_empty() {
+        return;
+    }
+    let mut fields = Fields::new();
+    for s in &stats {
+        fields.push(field(&format!("{}.calls", s.path), s.calls));
+        fields.push(field(
+            &format!("{}.total_ms", s.path),
+            s.total_ns as f64 / 1e6,
+        ));
+        fields.push(field(
+            &format!("{}.self_ms", s.path),
+            s.self_ns as f64 / 1e6,
+        ));
+    }
+    emit_event(Event::new(schema::PROFILE, fields).non_deterministic());
+}
+
+/// Opens a phase scope for the rest of the enclosing block: the named
+/// phase is recorded into [`profile`]'s registry when the block exits.
+/// The argument must be a string literal naming a segment in
+/// [`schema::PHASES`] — the workspace lint (rule S004) enforces this,
+/// which is why call sites should prefer the macro over
+/// [`profile::scope`].
+///
+/// ```
+/// # daisy_telemetry::profile::set_enabled(false);
+/// {
+///     daisy_telemetry::phase_scope!("fit");
+///     // ... work attributed to the `fit` phase ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! phase_scope {
+    ($name:literal) => {
+        let _daisy_phase_scope = $crate::profile::scope($name);
+    };
 }
 
 #[cfg(test)]

@@ -208,6 +208,88 @@ pub fn snapshot_fields() -> Fields {
     out
 }
 
+/// A point-in-time reading of one registered metric, in structured
+/// form. [`snapshot_fields`] flattens the same data into event fields;
+/// this shape feeds consumers that need the numbers back — the
+/// Prometheus-style exposition writer ([`crate::expose`]) and
+/// percentile estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricReading {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state: non-empty `(bucket_lower_bound, count)` pairs
+    /// in ascending order, plus total count and sum.
+    Histogram {
+        /// Non-empty `(lower_bound, count)` pairs, ascending.
+        buckets: Vec<(u64, u64)>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+    },
+}
+
+/// Reads every registered metric, in lexicographic name order.
+pub fn readings() -> Vec<(&'static str, MetricReading)> {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .map(|(name, metric)| {
+            let reading = match metric {
+                Metric::C(c) => MetricReading::Counter(c.get()),
+                Metric::G(g) => MetricReading::Gauge(g.get()),
+                Metric::H(h) => MetricReading::Histogram {
+                    buckets: h.nonzero_buckets(),
+                    count: h.count(),
+                    sum: h.sum(),
+                },
+            };
+            (*name, reading)
+        })
+        .collect()
+}
+
+/// Inclusive upper bound of the pow2 bucket whose lower bound is `lo`:
+/// the zero bucket holds only 0, bucket `[lo, 2lo)` tops out at
+/// `2lo - 1`. This is the `le` label the exposition format uses.
+pub fn bucket_le(lo: u64) -> u64 {
+    if lo == 0 {
+        0
+    } else {
+        lo.saturating_mul(2).saturating_sub(1)
+    }
+}
+
+/// Estimates the `p`-th percentile (0–100) from pow2
+/// `(lower_bound, count)` bucket pairs by **linear interpolation
+/// within the target bucket** — the standard Prometheus-style
+/// estimate. Exact only when observations are uniform inside the
+/// bucket; callers should label the value as an estimate. Returns
+/// `None` for an empty histogram.
+pub fn bucket_percentile(pairs: &[(u64, u64)], p: f64) -> Option<f64> {
+    let total: u64 = pairs.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return None;
+    }
+    // Rank in (0, total]: the observation index the percentile names.
+    let target = (p / 100.0 * total as f64).clamp(f64::MIN_POSITIVE, total as f64);
+    let mut seen = 0f64;
+    for &(lo, n) in pairs {
+        let here = n as f64;
+        if seen + here >= target {
+            if lo == 0 {
+                return Some(0.0); // the zero bucket holds only zeros
+            }
+            let hi = lo.saturating_mul(2);
+            let frac = ((target - seen) / here).clamp(0.0, 1.0);
+            return Some(lo as f64 + frac * (hi - lo) as f64);
+        }
+        seen += here;
+    }
+    pairs.last().map(|&(lo, _)| bucket_le(lo) as f64)
+}
+
 /// Zeroes every registered metric (counters and histograms to 0,
 /// gauges to 0.0). For tests and benchmark isolation; production code
 /// never needs it.
@@ -273,5 +355,52 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.mismatch");
         gauge("test.metrics.mismatch");
+    }
+
+    #[test]
+    fn readings_mirror_snapshot_fields() {
+        counter("test.readings.c").add(7);
+        let h = histogram("test.readings.h");
+        h.reset();
+        h.observe(5);
+        let all = readings();
+        let c = all.iter().find(|(n, _)| *n == "test.readings.c");
+        assert!(matches!(c, Some((_, MetricReading::Counter(v))) if *v >= 7));
+        let hist = all.iter().find(|(n, _)| *n == "test.readings.h");
+        let Some((_, MetricReading::Histogram { buckets, count, sum })) = hist else {
+            panic!("histogram reading present");
+        };
+        assert_eq!(*count, 1);
+        assert_eq!(*sum, 5);
+        assert_eq!(buckets, &vec![(4, 1)]);
+    }
+
+    #[test]
+    fn bucket_percentile_interpolates_within_the_bucket() {
+        // 10 observations in [256, 512): p50 names the 5th, estimated
+        // halfway through the bucket.
+        let pairs = vec![(256u64, 10u64)];
+        let p50 = bucket_percentile(&pairs, 50.0).expect("non-empty");
+        assert_eq!(p50, 256.0 + 0.5 * 256.0);
+        // p100 reaches the bucket's top edge.
+        let p100 = bucket_percentile(&pairs, 100.0).expect("non-empty");
+        assert_eq!(p100, 512.0);
+        // Mixed buckets: 3 in [2,4), 1 in [1024,2048); p75 still lands
+        // in the first, p99 in the last.
+        let mixed = vec![(2u64, 3u64), (1024u64, 1u64)];
+        let p75 = bucket_percentile(&mixed, 75.0).expect("non-empty");
+        assert!((2.0..=4.0).contains(&p75), "got {p75}");
+        let p99 = bucket_percentile(&mixed, 99.0).expect("non-empty");
+        assert!((1024.0..=2048.0).contains(&p99), "got {p99}");
+        // Zeros stay exactly zero, and empty histograms have no answer.
+        assert_eq!(bucket_percentile(&[(0, 4)], 50.0), Some(0.0));
+        assert_eq!(bucket_percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn bucket_le_is_the_inclusive_upper_bound() {
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(1), 1);
+        assert_eq!(bucket_le(256), 511);
     }
 }

@@ -213,11 +213,13 @@ impl RunReport {
         }
     }
 
-    /// Percentile estimate from a pow2-bucket string as rendered by
-    /// [`crate::metrics::snapshot_fields`] (`"<lower>:<count>"` pairs
-    /// joined by `,`): the lower bound of the bucket where the
-    /// cumulative count first reaches `p` percent of the total.
-    fn bucket_percentile(buckets: &str, p: f64) -> Option<u64> {
+    /// Percentile **estimate** from a pow2-bucket string as rendered
+    /// by [`crate::metrics::snapshot_fields`] (`"<lower>:<count>"`
+    /// pairs joined by `,`): linear interpolation within the target
+    /// bucket via [`crate::metrics::bucket_percentile`]. The bucket
+    /// edges are powers of two, so the value is exact only for uniform
+    /// in-bucket distributions — renderers label it with `≈`.
+    fn bucket_percentile(buckets: &str, p: f64) -> Option<f64> {
         let pairs: Vec<(u64, u64)> = buckets
             .split(',')
             .filter_map(|pair| {
@@ -225,19 +227,19 @@ impl RunReport {
                 Some((lo.parse().ok()?, n.parse().ok()?))
             })
             .collect();
-        let total: u64 = pairs.iter().map(|&(_, n)| n).sum();
-        if total == 0 {
-            return None;
-        }
-        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for &(lo, n) in &pairs {
-            seen += n;
-            if seen >= target {
-                return Some(lo);
-            }
-        }
-        pairs.last().map(|&(lo, _)| lo)
+        crate::metrics::bucket_percentile(&pairs, p)
+    }
+
+    /// Renders `p50≈A p99≈B` for one `<name>.buckets` field of the
+    /// last metrics snapshot, or `None` when the histogram is absent
+    /// or empty.
+    fn snapshot_p50_p99(snapshot: &Json, name: &str) -> Option<(f64, f64)> {
+        let buckets = snapshot
+            .get(&format!("{name}.buckets"))
+            .and_then(Json::as_str)?;
+        let p50 = Self::bucket_percentile(buckets, 50.0)?;
+        let p99 = Self::bucket_percentile(buckets, 99.0)?;
+        Some((p50, p99))
     }
 
     fn render_serving(&self, out: &mut String) {
@@ -274,20 +276,65 @@ impl RunReport {
                 ms
             ));
         }
-        // Rows-per-request distribution from the last metrics snapshot.
+        // Distributions from the last metrics snapshot. Percentiles
+        // are linear-interpolation estimates inside pow2 buckets.
         if let Some(snapshot) = self.named(schema::METRICS).last() {
-            if let Some(buckets) = snapshot
-                .get("serve.rows_per_request.buckets")
-                .and_then(Json::as_str)
-            {
-                let p50 = Self::bucket_percentile(buckets, 50.0);
-                let p99 = Self::bucket_percentile(buckets, 99.0);
-                if let (Some(p50), Some(p99)) = (p50, p99) {
-                    out.push_str(&format!(
-                        "  rows/request  p50>={p50} p99>={p99} (pow2 bucket lower bounds)\n"
-                    ));
-                }
+            if let Some((p50, p99)) = Self::snapshot_p50_p99(snapshot, "serve.rows_per_request") {
+                out.push_str(&format!(
+                    "  rows/request  p50≈{p50:.0} p99≈{p99:.0} (pow2-bucket interpolation estimate)\n"
+                ));
             }
+            if let Some((p50, p99)) = Self::snapshot_p50_p99(snapshot, "serve.request_us") {
+                out.push_str(&format!(
+                    "  latency       p50≈{:.1}ms p99≈{:.1}ms (pow2-bucket interpolation estimate)\n",
+                    p50 / 1000.0,
+                    p99 / 1000.0
+                ));
+            }
+            if let Some((p50, p99)) = Self::snapshot_p50_p99(snapshot, "serve.requests_per_conn") {
+                out.push_str(&format!(
+                    "  pipelining    requests/conn p50≈{p50:.0} p99≈{p99:.0} (pow2-bucket interpolation estimate)\n"
+                ));
+            }
+        }
+    }
+
+    fn render_profile(&self, out: &mut String) {
+        // The last profile snapshot is the end-of-run aggregate.
+        let Some(snapshot) = self.named(schema::PROFILE).last() else {
+            return;
+        };
+        let Some(members) = snapshot.as_obj() else {
+            return;
+        };
+        // Re-group the flattened `<path>.calls/.total_ms/.self_ms`
+        // fields by path, then rank hottest-first by self time.
+        let mut phases: Vec<(String, f64, f64, f64)> = Vec::new();
+        for (key, value) in members {
+            let Some(path) = key.strip_suffix(".calls") else {
+                continue;
+            };
+            let calls = value.as_f64().unwrap_or(0.0);
+            let total_ms = snapshot
+                .get(&format!("{path}.total_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let self_ms = snapshot
+                .get(&format!("{path}.self_ms"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            phases.push((path.to_string(), calls, total_ms, self_ms));
+        }
+        if phases.is_empty() {
+            return;
+        }
+        phases.sort_by(|a, b| b.3.total_cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+        out.push_str("\nProfile (wall-time phases, hottest self time first; non-deterministic)\n");
+        out.push_str("  phase                                calls    total ms     self ms\n");
+        for (path, calls, total_ms, self_ms) in &phases {
+            out.push_str(&format!(
+                "  {path:<35} {calls:>7.0} {total_ms:>11.1} {self_ms:>11.1}\n"
+            ));
         }
     }
 
@@ -326,7 +373,20 @@ impl RunReport {
         self.render_selection(&mut out);
         self.render_cells(&mut out);
         self.render_serving(&mut out);
+        self.render_profile(&mut out);
         self.render_metrics(&mut out);
+        out
+    }
+
+    /// Renders only the live-introspection sections (serving and
+    /// phase profile) — the offline backend of `daisy top --trace`.
+    pub fn render_top(&self) -> String {
+        let mut out = String::new();
+        self.render_serving(&mut out);
+        self.render_profile(&mut out);
+        if out.is_empty() {
+            out.push_str("no serving or profile events in this trace\n");
+        }
         out
     }
 }
@@ -524,16 +584,84 @@ mod tests {
         assert!(text.contains("total=2 ok=2 rows=2000"), "{text}");
         // 2000 rows over 100 ms of summed request wall time.
         assert!(text.contains("20000 rows/sec"), "{text}");
-        assert!(text.contains("p50>=256 p99>=1024"), "{text}");
+        // One row count in [256,512), one in [1024,2048): p50 lands at
+        // the top of the first bucket, p99 interpolates 98% into the
+        // second — estimates, and labelled as such.
+        assert!(text.contains("p50≈512 p99≈2028"), "{text}");
+        assert!(text.contains("interpolation estimate"), "{text}");
     }
 
     #[test]
-    fn bucket_percentiles_follow_cumulative_counts() {
+    fn bucket_percentiles_interpolate_within_buckets() {
         // 10 requests: 9 in the 0-bucket, 1 in the 1024-bucket.
         let buckets = "0:9,1024:1";
-        assert_eq!(RunReport::bucket_percentile(buckets, 50.0), Some(0));
-        assert_eq!(RunReport::bucket_percentile(buckets, 99.0), Some(1024));
+        assert_eq!(RunReport::bucket_percentile(buckets, 50.0), Some(0.0));
+        let p99 = RunReport::bucket_percentile(buckets, 99.0).expect("non-empty");
+        // Target rank 9.9 is 90% through the [1024,2048) bucket.
+        assert!((1945.0..1946.0).contains(&p99), "got {p99}");
         assert_eq!(RunReport::bucket_percentile("", 50.0), None);
+    }
+
+    #[test]
+    fn renders_latency_pipelining_and_profile_sections() {
+        let lines = [
+            Event::new(
+                schema::SERVE_REQUEST_END,
+                vec![field("conn", 0usize), field("rows", 64usize), field("ok", true)],
+            )
+            .non_deterministic()
+            .with_wall(vec![field("ms", 4.0f64)])
+            .to_json_line(0),
+            Event::new(
+                schema::METRICS,
+                vec![
+                    field("serve.request_us.count", 4u64),
+                    field("serve.request_us.sum", 16000u64),
+                    field("serve.request_us.buckets", "4096:4"),
+                    field("serve.requests_per_conn.count", 2u64),
+                    field("serve.requests_per_conn.sum", 4u64),
+                    field("serve.requests_per_conn.buckets", "2:2"),
+                ],
+            )
+            .non_deterministic()
+            .to_json_line(1),
+            Event::new(
+                schema::PROFILE,
+                vec![
+                    field("serve_request.calls", 4u64),
+                    field("serve_request.total_ms", 16.0f64),
+                    field("serve_request.self_ms", 6.0f64),
+                    field("serve_request/generate.calls", 4u64),
+                    field("serve_request/generate.total_ms", 10.0f64),
+                    field("serve_request/generate.self_ms", 10.0f64),
+                ],
+            )
+            .non_deterministic()
+            .to_json_line(2),
+        ];
+        let jsonl = lines.join("\n") + "\n";
+        let report = RunReport::from_jsonl(&jsonl).unwrap();
+        let text = report.render();
+        assert!(text.contains("latency"), "{text}");
+        // 4 observations in [4096,8192) µs: p50 interpolates to 6.1ms.
+        assert!(text.contains("p50≈6.1ms"), "{text}");
+        assert!(text.contains("pipelining"), "{text}");
+        // 2 observations in [2,4): p50 interpolates to the midpoint.
+        assert!(text.contains("requests/conn p50≈3"), "{text}");
+        assert!(text.contains("Profile"), "{text}");
+        // Hottest self time first: the generate child outranks its
+        // parent's self share.
+        let generate_at = text.find("serve_request/generate").expect("child phase listed");
+        let parent_at = text
+            .find("serve_request ")
+            .or_else(|| {
+                // Column-padded table: find the parent row, not the child.
+                text.match_indices("serve_request")
+                    .map(|(i, _)| i)
+                    .find(|&i| !text[i..].starts_with("serve_request/"))
+            })
+            .expect("parent phase listed");
+        assert!(generate_at < parent_at, "{text}");
     }
 
     #[test]

@@ -118,3 +118,29 @@ pub const SPAN_END: &str = "span_end";
 /// Fields: one per registered metric, see
 /// [`crate::metrics::snapshot_fields`].
 pub const METRICS: &str = "metrics";
+
+/// Phase-profiler snapshot (whole event is non-deterministic: the
+/// profiler measures wall time). Fields: `<path>.calls`,
+/// `<path>.total_ms`, `<path>.self_ms` per recorded phase path, see
+/// [`crate::emit_profile_snapshot`].
+pub const PROFILE: &str = "profile";
+
+/// The closed vocabulary of phase-path *segments* accepted by
+/// [`crate::profile::scope`] / `phase_scope!`. The workspace lint
+/// (rule S004) checks every phase literal at an instrumentation site
+/// against this list, the same way S001 pins event names, so the
+/// profiler, `/profile`, `daisy top`, and `docs/OBSERVABILITY.md`
+/// share one vocabulary. Paths seen in snapshots are `/`-joins of
+/// these segments (e.g. `fit/epoch/matmul_nt`).
+pub const PHASES: &[&str] = &[
+    "fit",
+    "epoch",
+    "generate",
+    "ingest",
+    "serve_request",
+    "matmul",
+    "matmul_tn",
+    "matmul_nt",
+    "conv2d",
+    "optim",
+];

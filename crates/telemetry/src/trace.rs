@@ -101,6 +101,28 @@ pub fn deterministic_view(jsonl: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Splits a trace whose **final** line may be torn by a crash
+/// mid-write. A tear is an *unterminated* final line that does not
+/// parse: the recorder writes each event as `<json>\n`, so a line
+/// that ends with a newline was written completely and stays subject
+/// to normal validation even when malformed. Returns the prefix up to
+/// the last line boundary plus the torn fragment (if any) for the
+/// caller's warning. Only the unterminated tail is eligible: garbage
+/// in the middle of a trace is still a validation error, not a tear,
+/// so this cannot hide real corruption.
+pub fn split_torn_tail(jsonl: &str) -> (&str, Option<&str>) {
+    if jsonl.is_empty() || jsonl.ends_with('\n') {
+        return (jsonl, None);
+    }
+    let start = jsonl.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let last = &jsonl[start..];
+    if Json::parse(last).is_ok() {
+        (jsonl, None)
+    } else {
+        (&jsonl[..start], Some(last))
+    }
+}
+
 /// Parses every event line of a trace into [`Json`] values, skipping
 /// blank lines. The parsed objects keep their full (deterministic and
 /// wall-clock) content; used by the report renderer.
@@ -171,5 +193,44 @@ mod tests {
     fn deterministic_view_is_stable_under_reserialization() {
         let view = deterministic_view(&sample_trace()).unwrap();
         assert_eq!(deterministic_view(&view).unwrap(), view);
+    }
+
+    #[test]
+    fn torn_final_line_is_split_off() {
+        let whole = sample_trace();
+        // Tear the trace mid-way through its final line, as a crash
+        // during a buffered write would.
+        let torn_at = whole.len() - 10;
+        let torn = &whole[..torn_at];
+        let (prefix, tail) = split_torn_tail(torn);
+        let fragment = tail.expect("the cut line is reported as torn");
+        assert!(!fragment.is_empty());
+        assert!(torn.ends_with(fragment));
+        // The surviving prefix is exactly the intact lines.
+        let stats = validate_trace(prefix).expect("prefix validates");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn intact_traces_have_no_torn_tail() {
+        let whole = sample_trace();
+        let (prefix, tail) = split_torn_tail(&whole);
+        assert_eq!(prefix, whole);
+        assert!(tail.is_none());
+        assert_eq!(split_torn_tail(""), ("", None));
+        assert_eq!(split_torn_tail("\n\n"), ("\n\n", None));
+    }
+
+    #[test]
+    fn mid_file_garbage_is_not_treated_as_a_tear() {
+        let bad = format!(
+            "{}\ngarbage-line\n{}\n",
+            Event::new("a", vec![]).to_json_line(0),
+            Event::new("b", vec![]).to_json_line(1)
+        );
+        let (prefix, tail) = split_torn_tail(&bad);
+        assert_eq!(prefix, bad, "a parseable final line means no tear");
+        assert!(tail.is_none());
+        assert!(validate_trace(prefix).is_err(), "corruption still errors");
     }
 }

@@ -70,6 +70,9 @@ pub fn conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let macs = b * oc * oh * ow * c * kh * kw;
     let patch_elems = b * oh * ow * c * kh * kw;
     observe_kernel_work(&CONV2D_WORK, "kernel.conv2d.work", macs);
+    // The im2col path lowers onto matmul, so profiles show that share
+    // as a conv2d/matmul child phase.
+    daisy_telemetry::phase_scope!("conv2d");
     // Path choice is a pure function of the shapes — never of the
     // thread count — so it cannot break run-to-run determinism.
     if macs >= pool::PAR_MIN_WORK && patch_elems <= IM2COL_MAX_PATCH_ELEMS {

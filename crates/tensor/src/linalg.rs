@@ -102,6 +102,7 @@ impl Tensor {
             other.shape()
         );
         observe_kernel_work(&MATMUL_WORK, "kernel.matmul.work", m * k * n);
+        daisy_telemetry::phase_scope!("matmul");
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
@@ -162,6 +163,7 @@ impl Tensor {
             other.shape()
         );
         observe_kernel_work(&MATMUL_TN_WORK, "kernel.matmul_tn.work", m * k * n);
+        daisy_telemetry::phase_scope!("matmul_tn");
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();
@@ -218,6 +220,7 @@ impl Tensor {
             other.shape()
         );
         observe_kernel_work(&MATMUL_NT_WORK, "kernel.matmul_nt.work", m * k * n);
+        daisy_telemetry::phase_scope!("matmul_nt");
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = other.data();

@@ -15,6 +15,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+mod top;
+
 const HELP: &str = "\
 daisy — GAN-based relational data synthesis (Fan et al., PVLDB 2020, in Rust)
 
@@ -27,6 +29,8 @@ USAGE:
     daisy ingest <INPUT.csv> --out <DIR> [OPTIONS]
     daisy serve <MODEL.daisy> [--addr HOST:PORT] [--stdio]
     daisy rows <ADDR> --rows N [--seed N] [--condition CAT] [--out FILE]
+    daisy top <ADMIN_ADDR> [--interval SECS] [--once]
+    daisy top --trace <TRACE.jsonl>
     daisy report <TRACE.jsonl> [--validate]
     daisy lint [--json] [--root DIR] [--list-rules]
 
@@ -71,6 +75,17 @@ SERVE OPTIONS:
     DAISY_SERVE_MAX_ROWS caps rows per request (default 100000000).
     See docs/SERVING.md for the protocol and runbook.
 
+TOP OPTIONS (live viewer for a running `daisy serve`):
+    <ADMIN_ADDR>         the server's admin address — start the server
+                         with DAISY_SERVE_ADMIN=HOST:PORT to enable it
+    --interval SECS      seconds between refreshes (default: 2)
+    --once               print one frame and exit (for scripts)
+    --trace FILE         render a recorded DAISY_TRACE file offline
+                         instead of polling a server
+    Shows requests/sec, rows/sec, interpolated p50/p99 request latency,
+    connection occupancy, and the hottest profiled phases (run the
+    server with DAISY_PROFILE=1 to populate the phase table).
+
 ROWS OPTIONS (scripted client for a running `daisy serve`):
     --rows N             rows to request (required)
     --seed N             request seed (default: 7); same seed, same rows
@@ -93,8 +108,10 @@ OBSERVABILITY:
 
 fn main() -> ExitCode {
     // Open the DAISY_TRACE sink (if configured) up front so a bad path
-    // warns before any work starts.
+    // warns before any work starts; arm the phase profiler when
+    // DAISY_PROFILE is set.
     daisy::telemetry::init_from_env();
+    daisy::telemetry::profile::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `lint` owns its own exit-code contract (0 clean, 1 findings,
     // 2 usage/IO) and must not print the synthesis HELP on findings,
@@ -147,6 +164,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ingest" => ingest(args),
         "serve" => serve(args),
         "rows" => rows(args),
+        "top" => top::top(args),
         "report" => report(args),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -283,7 +301,18 @@ fn report(mut args: Vec<String>) -> Result<(), String> {
     let path = args.first().ok_or("report requires a trace path")?;
     let jsonl = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = daisy::telemetry::RunReport::from_jsonl(&jsonl)
+    // A crashed or killed recorder can leave a half-written final
+    // line; that must not make the rest of the run unreadable. Only
+    // the last line is forgiven — garbage anywhere else still fails.
+    let (intact, torn) = daisy::telemetry::trace::split_torn_tail(&jsonl);
+    if let Some(line) = torn {
+        eprintln!(
+            "warning: {path}: ignoring torn final line ({} bytes) — the recorder was \
+             likely interrupted mid-write",
+            line.len()
+        );
+    }
+    let report = daisy::telemetry::RunReport::from_jsonl(intact)
         .map_err(|e| format!("invalid trace {path}: {e}"))?;
     if validate_only {
         let stats = report.stats();
@@ -323,6 +352,9 @@ fn serve(mut args: Vec<String>) -> Result<(), String> {
         "serving {model_path} on {local} (max {} connections, {} rows/request)",
         cfg.max_conn, cfg.max_rows
     );
+    if let Some(admin) = server.admin_addr() {
+        println!("admin endpoint on {admin} (healthz, metrics, profile — `daisy top {admin}`)");
+    }
     server.run().map_err(|e| e.to_string())
 }
 
@@ -733,6 +765,40 @@ mod tests {
         std::fs::write(&bad, "not json\n").unwrap();
         assert!(run(&["report".into(), bad]).is_err());
         assert!(run(&["report".into()]).is_err());
+    }
+
+    #[test]
+    fn report_tolerates_a_torn_final_line() {
+        use daisy::telemetry::{field, Event};
+        let dir = std::env::temp_dir().join("daisy-cli-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("torn.jsonl").to_string_lossy().to_string();
+        let whole = Event::new("train_start", vec![field("iterations", 2usize)]).to_json_line(0);
+        // A crash mid-write leaves a prefix of the second line.
+        let torn = &whole[..whole.len() / 2];
+        std::fs::write(&trace, format!("{whole}\n{torn}")).unwrap();
+        run(&["report".into(), trace.clone()]).unwrap();
+        run(&["report".into(), trace, "--validate".into()]).unwrap();
+        // Garbage before the final line is still a hard error.
+        let bad = dir.join("midfile.jsonl").to_string_lossy().to_string();
+        std::fs::write(&bad, format!("{torn}\n{whole}\n")).unwrap();
+        assert!(run(&["report".into(), bad]).is_err());
+    }
+
+    #[test]
+    fn top_renders_a_trace_offline() {
+        use daisy::telemetry::{field, Event};
+        let dir = std::env::temp_dir().join("daisy-cli-top-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl").to_string_lossy().to_string();
+        let line = Event::new("profile", vec![field("fit.calls", 1.0f64)])
+            .non_deterministic()
+            .to_json_line(0);
+        std::fs::write(&trace, line + "\n").unwrap();
+        run(&["top".into(), "--trace".into(), trace]).unwrap();
+        // Live mode needs an address; a missing one is a usage error.
+        assert!(run(&["top".into()]).is_err());
+        assert!(run(&["top".into(), "--interval".into(), "0".into(), "x".into()]).is_err());
     }
 
     #[test]

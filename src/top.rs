@@ -1,0 +1,263 @@
+//! `daisy top` — a refreshing terminal view of a serving process.
+//!
+//! Polls the read-only admin endpoint of a running `daisy serve`
+//! (enabled with `DAISY_SERVE_ADMIN=HOST:PORT`) and renders request
+//! and row throughput, interpolated latency percentiles, connection
+//! occupancy, and the hottest profiled phases. With `--trace FILE` it
+//! renders the same sections offline from a recorded `DAISY_TRACE`
+//! file instead of polling anything.
+
+use daisy::telemetry::{expose, metrics};
+
+/// Phases shown in the hottest-phases table.
+const TOP_PHASES: usize = 8;
+
+/// One polled view of the admin plane, reduced to what the display
+/// needs. Rates come from differencing two snapshots.
+struct Snapshot {
+    /// Milliseconds since `daisy top` started, at capture time.
+    at_ms: f64,
+    requests: f64,
+    rows: f64,
+    active_conns: f64,
+    /// `(lower_bound_us, count)` pairs of the request latency histogram.
+    latency_us: Vec<(u64, u64)>,
+    /// `(path, calls, total_secs, self_secs)` sorted by self time.
+    phases: Vec<(String, f64, f64, f64)>,
+}
+
+impl Snapshot {
+    fn from_samples(samples: &[expose::Sample], at_ms: f64) -> Snapshot {
+        let mut phases: Vec<(String, f64, f64, f64)> = Vec::new();
+        for s in samples.iter().filter(|s| s.name == "daisy_phase_calls_total") {
+            if let Some(path) = s.label("phase") {
+                let total = labeled(samples, "daisy_phase_seconds_total", path);
+                let own = labeled(samples, "daisy_phase_self_seconds_total", path);
+                phases.push((path.to_string(), s.value, total, own));
+            }
+        }
+        phases.sort_by(|a, b| b.3.total_cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+        Snapshot {
+            at_ms,
+            requests: expose::sample_value(samples, "daisy_serve_requests").unwrap_or(0.0),
+            rows: expose::sample_value(samples, "daisy_serve_rows").unwrap_or(0.0),
+            active_conns: expose::sample_value(samples, "daisy_serve_active_conns").unwrap_or(0.0),
+            latency_us: expose::histogram_pairs(samples, "daisy_serve_request_us"),
+            phases,
+        }
+    }
+}
+
+/// The value of `name{phase="path"}`, or 0 when absent.
+fn labeled(samples: &[expose::Sample], name: &str, path: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label("phase") == Some(path))
+        .map(|s| s.value)
+        .unwrap_or(0.0)
+}
+
+/// Entry point for `daisy top`.
+pub fn top(mut args: Vec<String>) -> Result<(), String> {
+    let trace = crate::take_flag(&mut args, "--trace")?;
+    let interval_ms = match crate::take_flag(&mut args, "--interval")? {
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid --interval: {v:?}"))?;
+            if secs <= 0.0 || secs.is_nan() {
+                return Err("--interval must be positive".into());
+            }
+            (secs * 1000.0) as u64
+        }
+        None => 2000,
+    };
+    let once = if let Some(pos) = args.iter().position(|a| a == "--once") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+
+    if let Some(path) = trace {
+        return top_trace(&path);
+    }
+
+    let addr = args
+        .first()
+        .ok_or("top requires an admin address (or --trace FILE)")?
+        .clone();
+    let watch = daisy::telemetry::Stopwatch::start();
+    let mut prev: Option<Snapshot> = None;
+    loop {
+        let health = daisy::serve::fetch_admin(&addr, "/healthz")
+            .map_err(|e| format!("cannot reach admin endpoint {addr}: {e}"))?;
+        let text = daisy::serve::fetch_admin(&addr, "/metrics")
+            .map_err(|e| format!("cannot reach admin endpoint {addr}: {e}"))?;
+        let samples =
+            expose::parse(&text).map_err(|e| format!("bad /metrics exposition: {e}"))?;
+        let snap = Snapshot::from_samples(&samples, watch.elapsed_ms());
+        if !once {
+            // Clear and home, so each frame overwrites the last.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_frame(&addr, &health, &snap, prev.as_ref()));
+        if once {
+            return Ok(());
+        }
+        prev = Some(snap);
+        daisy::telemetry::sleep_ms(interval_ms);
+    }
+}
+
+/// Offline mode: render the serving + profile sections of a recorded
+/// trace, tolerating a torn final line the same way `daisy report`
+/// does.
+fn top_trace(path: &str) -> Result<(), String> {
+    let jsonl =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (intact, torn) = daisy::telemetry::trace::split_torn_tail(&jsonl);
+    if let Some(line) = torn {
+        eprintln!(
+            "warning: {path}: ignoring torn final line ({} bytes) — the recorder was \
+             likely interrupted mid-write",
+            line.len()
+        );
+    }
+    let report = daisy::telemetry::RunReport::from_jsonl(intact)
+        .map_err(|e| format!("invalid trace {path}: {e}"))?;
+    print!("{}", report.render_top());
+    Ok(())
+}
+
+fn render_frame(
+    addr: &str,
+    health: &str,
+    snap: &Snapshot,
+    prev: Option<&Snapshot>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("daisy top — {addr}\n"));
+    for line in health.lines() {
+        // Surface the identity lines verbatim; counters are shown as
+        // rates below.
+        if line.starts_with("fingerprint") || line.starts_with("model") || line.starts_with("uptime_ms")
+        {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    match prev {
+        Some(p) if snap.at_ms > p.at_ms => {
+            let dt = (snap.at_ms - p.at_ms) / 1000.0;
+            out.push_str(&format!(
+                "  requests/sec {:>10.1}    rows/sec {:>12.0}\n",
+                (snap.requests - p.requests) / dt,
+                (snap.rows - p.rows) / dt,
+            ));
+        }
+        _ => out.push_str("  requests/sec        n/a    rows/sec          n/a  (first sample)\n"),
+    }
+    out.push_str(&format!(
+        "  requests {:>14.0}    rows {:>16.0}    active conns {:.0}\n",
+        snap.requests, snap.rows, snap.active_conns
+    ));
+    let p50 = metrics::bucket_percentile(&snap.latency_us, 50.0);
+    let p99 = metrics::bucket_percentile(&snap.latency_us, 99.0);
+    if let (Some(p50), Some(p99)) = (p50, p99) {
+        out.push_str(&format!(
+            "  latency p50≈{:.1}ms p99≈{:.1}ms (pow2-bucket interpolation estimate)\n",
+            p50 / 1000.0,
+            p99 / 1000.0
+        ));
+    }
+    if snap.phases.is_empty() {
+        out.push_str("  no phase profile (start the server with DAISY_PROFILE=1)\n");
+    } else {
+        out.push_str("  hottest phases (self time):\n");
+        for (path, calls, total, own) in snap.phases.iter().take(TOP_PHASES) {
+            out.push_str(&format!(
+                "    {path:<35} calls {calls:>9.0}  total {total:>8.3}s  self {own:>8.3}s\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, phase: Option<&str>, value: f64) -> expose::Sample {
+        expose::Sample {
+            name: name.to_string(),
+            labels: phase
+                .map(|p| vec![("phase".to_string(), p.to_string())])
+                .unwrap_or_default(),
+            value,
+        }
+    }
+
+    #[test]
+    fn snapshot_reduces_samples_and_ranks_phases() {
+        let samples = vec![
+            sample("daisy_serve_requests", None, 10.0),
+            sample("daisy_serve_rows", None, 5000.0),
+            sample("daisy_serve_active_conns", None, 2.0),
+            sample("daisy_phase_calls_total", Some("fit"), 1.0),
+            sample("daisy_phase_seconds_total", Some("fit"), 3.0),
+            sample("daisy_phase_self_seconds_total", Some("fit"), 0.5),
+            sample("daisy_phase_calls_total", Some("fit/epoch"), 4.0),
+            sample("daisy_phase_seconds_total", Some("fit/epoch"), 2.5),
+            sample("daisy_phase_self_seconds_total", Some("fit/epoch"), 2.0),
+        ];
+        let snap = Snapshot::from_samples(&samples, 100.0);
+        assert_eq!(snap.requests, 10.0);
+        assert_eq!(snap.rows, 5000.0);
+        assert_eq!(snap.active_conns, 2.0);
+        // Ranked by self time: the epoch body beats the fit shell.
+        assert_eq!(snap.phases[0].0, "fit/epoch");
+        assert_eq!(snap.phases[1].0, "fit");
+    }
+
+    #[test]
+    fn frame_shows_rates_from_two_snapshots() {
+        let old = Snapshot {
+            at_ms: 0.0,
+            requests: 10.0,
+            rows: 1000.0,
+            active_conns: 1.0,
+            latency_us: vec![],
+            phases: vec![],
+        };
+        let new = Snapshot {
+            at_ms: 2000.0,
+            requests: 30.0,
+            rows: 9000.0,
+            active_conns: 1.0,
+            latency_us: vec![(4096, 4)],
+            phases: vec![("serve_request".into(), 30.0, 1.2, 1.0)],
+        };
+        let frame = render_frame("127.0.0.1:1", "ok\nfingerprint 0xab\n", &new, Some(&old));
+        assert!(frame.contains("requests/sec       10.0"), "{frame}");
+        assert!(frame.contains("rows/sec         4000"), "{frame}");
+        assert!(frame.contains("fingerprint 0xab"), "{frame}");
+        assert!(frame.contains("latency p50≈6.1ms"), "{frame}");
+        assert!(frame.contains("serve_request"), "{frame}");
+        let first = render_frame("127.0.0.1:1", "ok\n", &new, None);
+        assert!(first.contains("first sample"), "{first}");
+    }
+
+    #[test]
+    fn frame_hints_when_profiling_is_off() {
+        let snap = Snapshot {
+            at_ms: 0.0,
+            requests: 0.0,
+            rows: 0.0,
+            active_conns: 0.0,
+            latency_us: vec![],
+            phases: vec![],
+        };
+        let frame = render_frame("a", "", &snap, None);
+        assert!(frame.contains("DAISY_PROFILE=1"), "{frame}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the read-only admin plane: a second listener
+//! (`DAISY_SERVE_ADMIN`) that answers `/healthz`, `/metrics`
+//! (Prometheus-style exposition), and `/profile` without ever touching
+//! the serving data path — no slot is consumed, no response byte
+//! changes, and scraping works before, during, and after traffic.
+
+use daisy::prelude::*;
+use daisy::serve::{fetch, fetch_admin};
+use daisy::telemetry::expose;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Trains one small conditional model and saves it once for the whole
+/// test binary (same fixture shape as `serve_stream.rs`).
+fn model_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let spec = daisy::datasets::by_name("Adult").unwrap();
+        let table = spec.generate(500, 3);
+        let mut tc = TrainConfig::ctrain(60);
+        tc.batch_size = 32;
+        tc.epochs = 1;
+        let mut cfg = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+        cfg.g_hidden = vec![16];
+        cfg.d_hidden = vec![16];
+        let fitted = Synthesizer::fit(&table, &cfg);
+        let path = std::env::temp_dir().join("daisy-admin-endpoint-model.bin");
+        fitted.save(&path).expect("test model saves");
+        path
+    })
+}
+
+#[test]
+fn admin_endpoint_answers_healthz_metrics_and_profile() {
+    let cfg = ServeConfig {
+        admin_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(model_path(), "127.0.0.1:0", cfg).expect("server binds");
+    let addr = server.local_addr().expect("server has an address");
+    let admin = server.admin_addr().expect("admin listener is on").to_string();
+    // daisy-lint: allow(D003) -- test server thread; responses are seed-reproducible
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    // The admin plane answers before any client traffic arrives.
+    let health = fetch_admin(&admin, "/healthz").expect("healthz answers");
+    assert!(health.starts_with("ok\n"), "{health}");
+    assert!(health.contains("fingerprint 0x"), "{health}");
+    assert!(health.contains("active_conns"), "{health}");
+
+    // Serve one real request; the scrape must reflect it.
+    let response = fetch(addr, &Request::new(5, 64)).expect("rows stream");
+    assert_eq!(response.rows.len(), 64);
+
+    let text = fetch_admin(&admin, "/metrics").expect("metrics answers");
+    let samples = expose::parse(&text).expect("exposition parses");
+    let requests =
+        expose::sample_value(&samples, "daisy_serve_requests").expect("serve.requests exposed");
+    assert!(requests >= 1.0, "at least the request above:\n{text}");
+    let rows = expose::sample_value(&samples, "daisy_serve_rows").expect("serve.rows exposed");
+    assert!(rows >= 64.0, "{text}");
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "daisy_serve_request_us_bucket"),
+        "request latency histogram exposed:\n{text}"
+    );
+
+    let profile = fetch_admin(&admin, "/profile").expect("profile answers");
+    assert!(profile.contains("phase"), "{profile}");
+
+    // Unknown paths are a typed rejection, not a panic or a hang.
+    assert!(fetch_admin(&admin, "/nope").is_err());
+}
+
+#[test]
+fn admin_listener_is_off_by_default() {
+    let server = Server::bind(model_path(), "127.0.0.1:0", ServeConfig::default())
+        .expect("server binds");
+    assert!(server.admin_addr().is_none());
+}

@@ -46,6 +46,25 @@ fn trace_fit(table: &daisy::data::Table, threads: usize) -> String {
         .expect("recorded trace validates")
 }
 
+/// Like [`trace_fit`], but also returns the raw (unstripped) trace so
+/// profiling tests can assert what the nd plane carries.
+fn trace_fit_raw(table: &daisy::data::Table, threads: usize) -> (String, String) {
+    use std::sync::Arc;
+    pool::set_threads(threads);
+    let rec = Arc::new(daisy::telemetry::MemoryRecorder::new());
+    daisy::telemetry::with_recorder(rec.clone(), || {
+        let mut rng = Rng::seed_from_u64(77);
+        let (train, _valid, _test) = table.clone().split_train_valid_test(&mut rng);
+        Synthesizer::try_fit(&train, &quick_config(NetworkKind::Mlp))
+            .expect("fixture table trains");
+    });
+    pool::set_threads(1);
+    let raw = rec.to_jsonl();
+    let view = daisy::telemetry::trace::deterministic_view(&raw)
+        .expect("recorded trace validates");
+    (raw, view)
+}
+
 /// The golden-trace extension of the determinism contract: not only the
 /// synthetic data but the *telemetry stream itself* must be
 /// byte-identical across runs and thread counts, once the explicitly
@@ -70,6 +89,43 @@ fn fit_trace_deterministic_view_is_byte_identical_across_runs_and_threads() {
     }
     assert_eq!(first, repeat, "trace changed between identical runs");
     assert_eq!(first, parallel, "trace changed with the thread count");
+}
+
+/// The observability plane's determinism contract: enabling the phase
+/// profiler must not perturb the deterministic trace view. Profile
+/// snapshots carry wall time, so they ride the nd plane — present in
+/// the raw trace, stripped from the deterministic view — and the view
+/// stays byte-identical across thread counts and against an unprofiled
+/// run.
+#[test]
+fn deterministic_view_is_byte_identical_with_profiling_enabled() {
+    use daisy::telemetry::profile;
+    let table = daisy::datasets::SDataNum {
+        correlation: 0.4,
+        skew: daisy::datasets::Skew::Balanced,
+    }
+    .generate(400, 3);
+    let unprofiled = trace_fit(&table, 1);
+
+    profile::set_enabled(true);
+    let (raw_1, view_1) = trace_fit_raw(&table, 1);
+    let (_raw_4, view_4) = trace_fit_raw(&table, 4);
+    profile::set_enabled(false);
+
+    assert!(
+        raw_1.contains("\"event\":\"profile\""),
+        "profiled run should emit a profile snapshot:\n{raw_1}"
+    );
+    assert!(
+        raw_1.contains("fit/epoch"),
+        "profile paths should nest under fit/epoch:\n{raw_1}"
+    );
+    assert!(
+        !view_1.contains("\"event\":\"profile\""),
+        "the deterministic view must drop the (nd) profile snapshot"
+    );
+    assert_eq!(unprofiled, view_1, "profiling changed the deterministic view");
+    assert_eq!(view_1, view_4, "profiled view changed with the thread count");
 }
 
 /// Runs a backward pass through a graph that exercises every
