@@ -26,12 +26,17 @@ const ROWS_PER_REQUEST: u64 = 4096;
 struct Rec {
     name: String,
     clients: usize,
+    start_row: u64,
     median_ms: f64,
     rows_per_sec: f64,
     samples: usize,
 }
 
 static RECORDS: Mutex<Vec<Rec>> = Mutex::new(Vec::new());
+
+/// Relative cost of the hardened path (deadlines armed) over a server
+/// with deadlines disabled, single client: `(t_on - t_off) / t_off`.
+static DEADLINE_OVERHEAD: Mutex<Option<f64>> = Mutex::new(None);
 
 /// Trains a small model on the Adult stand-in and saves it where the
 /// server can load it. Training cost is irrelevant here — only the
@@ -49,15 +54,17 @@ fn train_model(path: &std::path::Path) {
     fitted.save(path).expect("bench model saves");
 }
 
-/// One round: `clients` threads each fetch `ROWS_PER_REQUEST` rows
-/// concurrently (distinct seeds, so responses are independent byte
-/// streams); returns once every response has fully arrived.
-fn round(addr: SocketAddr, clients: usize) {
+/// One round: `clients` threads each fetch rows
+/// `start_row..ROWS_PER_REQUEST` of their stream concurrently
+/// (distinct seeds, so responses are independent byte streams);
+/// returns once every response has fully arrived.
+fn round(addr: SocketAddr, clients: usize, start_row: u64) {
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             // daisy-lint: allow(D003) -- bench client threads; responses are seed-reproducible
             std::thread::spawn(move || {
-                let req = Request::new(0xBE5C + c as u64, ROWS_PER_REQUEST);
+                let req = Request::new(0xBE5C + c as u64, ROWS_PER_REQUEST)
+                    .resuming_at(start_row);
                 let bytes = fetch_raw(addr, &req).expect("bench fetch succeeds");
                 assert!(!bytes.is_empty());
                 black_box(bytes.len())
@@ -70,31 +77,39 @@ fn round(addr: SocketAddr, clients: usize) {
 }
 
 /// Runs `samples` timed rounds (after one warm-up round) and records
-/// the median round time plus the implied throughput.
-fn bench_concurrency(addr: SocketAddr, clients: usize, samples: usize) {
-    round(addr, clients); // warm-up
+/// the median round time plus the implied throughput. Returns the
+/// median for derived comparisons.
+fn bench_case(
+    addr: SocketAddr,
+    name: String,
+    clients: usize,
+    start_row: u64,
+    samples: usize,
+) -> f64 {
+    round(addr, clients, start_row); // warm-up
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         // daisy-lint: allow(D002) -- benchmark timing loop
         let start = Instant::now();
-        round(addr, clients);
+        round(addr, clients, start_row);
         times.push(start.elapsed().as_secs_f64() * 1e3);
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = times[times.len() / 2];
-    let rows = (clients as u64 * ROWS_PER_REQUEST) as f64;
+    let rows = (clients as u64 * (ROWS_PER_REQUEST - start_row)) as f64;
     let rows_per_sec = rows / (median / 1e3);
-    let name = format!("serve_{ROWS_PER_REQUEST}rows_c{clients}");
     println!(
         "{name:<40} {median:>10.3} ms/round  {rows_per_sec:>12.0} rows/sec  ({samples} samples)"
     );
     RECORDS.lock().unwrap().push(Rec {
         name,
         clients,
+        start_row,
         median_ms: median,
         rows_per_sec,
         samples,
     });
+    median
 }
 
 /// Builds the JSON report through the shared telemetry [`Json`] writer,
@@ -133,12 +148,19 @@ host to observe scaling"
             )),
         ));
     }
+    if let Some(overhead) = *DEADLINE_OVERHEAD.lock().unwrap() {
+        root.push((
+            "deadline_overhead_pct".to_string(),
+            Json::Num((overhead * 1e4).round() / 1e2),
+        ));
+    }
     let entries = recs
         .iter()
         .map(|r| {
             Json::Obj(vec![
                 ("name".to_string(), Json::Str(r.name.clone())),
                 ("clients".to_string(), Json::Num(r.clients as f64)),
+                ("start_row".to_string(), Json::Num(r.start_row as f64)),
                 (
                     "median_ms".to_string(),
                     Json::Num((r.median_ms * 1e3).round() / 1e3),
@@ -183,9 +205,56 @@ fn main() {
     std::thread::spawn(move || {
         let _ = server.run();
     });
+    let mut hardened_c1 = 0.0;
     for clients in [1usize, 2, 4] {
-        bench_concurrency(addr, clients, 10);
+        let median = bench_case(
+            addr,
+            format!("serve_{ROWS_PER_REQUEST}rows_c{clients}"),
+            clients,
+            0,
+            10,
+        );
+        if clients == 1 {
+            hardened_c1 = median;
+        }
     }
+    // Resumed fetch: the server fast-forwards the seeded stream to the
+    // midpoint, then serves the back half — the row measures resume
+    // cost relative to plain fetches of the same volume.
+    bench_case(
+        addr,
+        format!("serve_{ROWS_PER_REQUEST}rows_c1_resume_half"),
+        1,
+        ROWS_PER_REQUEST / 2,
+        10,
+    );
+    // Overhead of the hardened path: the same single-client round
+    // against a server with per-connection deadlines disabled.
+    let cfg_off = ServeConfig {
+        max_conn: 8,
+        timeout_ms: 0,
+        ..ServeConfig::default()
+    };
+    let server_off =
+        Server::bind(&model_path, "127.0.0.1:0", cfg_off).expect("bench server binds");
+    let addr_off = server_off.local_addr().expect("bench server has an address");
+    // daisy-lint: allow(D003) -- accept loop thread; responses are seed-reproducible
+    std::thread::spawn(move || {
+        let _ = server_off.run();
+    });
+    let off_c1 = bench_case(
+        addr_off,
+        format!("serve_{ROWS_PER_REQUEST}rows_c1_deadlines_off"),
+        1,
+        0,
+        10,
+    );
+    let overhead = (hardened_c1 - off_c1) / off_c1;
+    println!(
+        "deadline overhead (c1, armed vs off): {:+.2}% of round time",
+        overhead * 1e2
+    );
+    *DEADLINE_OVERHEAD.lock().unwrap() = Some(overhead);
     std::fs::remove_file(&model_path).ok();
     if let Ok(path) = std::env::var("DAISY_BENCH_JSON") {
         let path = if path == "1" || path.is_empty() {

@@ -169,6 +169,13 @@ impl Generator for LstmGenerator {
     }
 
     fn set_training(&self, _training: bool) {}
+
+    fn skip_forward_rng(&self, batch: usize, rng: &mut Rng) {
+        // Mirror the draws of `forward` exactly: h0/c0 via the cell's
+        // own constructor, then the f0 feature seed.
+        let _ = self.cell.random_state(batch, rng);
+        let _ = Tensor::randn(&[batch, self.f_dim], rng);
+    }
 }
 
 #[cfg(test)]

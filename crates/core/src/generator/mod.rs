@@ -42,6 +42,16 @@ pub trait Generator {
         Tensor::randn(&[batch, self.noise_dim()], rng)
     }
 
+    /// Advances `rng` past exactly the draws one [`Generator::forward`]
+    /// call on a `batch`-row input would consume, without building the
+    /// graph — the cheap half of resuming a seeded row stream at an
+    /// offset. The default is a no-op because the MLP and CNN families
+    /// never touch the stream RNG in `forward`; the LSTM family (random
+    /// initial state, paper A.1.3) overrides it to mirror its draws.
+    fn skip_forward_rng(&self, batch: usize, rng: &mut Rng) {
+        let _ = (batch, rng);
+    }
+
     /// Non-parameter state (batch-norm running statistics), in a stable
     /// order — captured by model persistence alongside the parameters.
     fn state(&self) -> Vec<Tensor> {

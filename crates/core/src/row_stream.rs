@@ -37,6 +37,12 @@ pub struct RowStream<'a> {
     /// Fixed condition code; `None` samples conditions from the
     /// training label distribution (conditional models only).
     condition: Option<u32>,
+    /// Tail of a batch that [`RowStream::fast_forward`] landed inside:
+    /// the containing batch is generated in full (to keep the RNG and
+    /// batch grid aligned with an uninterrupted stream) and the rows at
+    /// and past the offset are parked here for the next
+    /// [`RowStream::next_batch`] call.
+    pending: Option<Table>,
     /// Current decoded batch for the row-at-a-time iterator.
     batch: Option<Table>,
     cursor: usize,
@@ -56,6 +62,7 @@ impl<'a> RowStream<'a> {
             total,
             generated: 0,
             condition,
+            pending: None,
             batch: None,
             cursor: 0,
         }
@@ -89,6 +96,9 @@ impl<'a> RowStream<'a> {
     /// [`FittedSynthesizer::generate`] call with the same RNG, at any
     /// thread count.
     pub fn next_batch(&mut self) -> Option<Table> {
+        if let Some(tail) = self.pending.take() {
+            return Some(tail);
+        }
         if self.generated >= self.total {
             return None;
         }
@@ -123,6 +133,55 @@ impl<'a> RowStream<'a> {
         };
         self.generated += batch;
         Some(table)
+    }
+
+    /// Fast-forwards the stream to row `n` without emitting rows
+    /// `[0, n)` — the server side of a resumed (`start_row`) fetch.
+    ///
+    /// Batch boundaries stay on the [`GENERATION_BATCH`] grid anchored
+    /// at row 0: full batches before the offset are skipped RNG-only
+    /// (every draw `next_batch` would make is mirrored, no forward
+    /// pass), and when `n` lands inside a batch the containing batch is
+    /// generated in full with its first `n % GENERATION_BATCH` rows
+    /// discarded. The rows this stream then produces are therefore
+    /// bit-identical to rows `[n, total)` of an uninterrupted stream —
+    /// the property that makes resumed serve fetches byte-exact.
+    ///
+    /// Call before the first [`RowStream::next_batch`]; fast-forwarding
+    /// a partially consumed stream would double-count the batches
+    /// already emitted.
+    pub fn fast_forward(&mut self, n: usize) {
+        let n = n.min(self.total);
+        daisy_telemetry::phase_scope!("generate");
+        while self.generated + GENERATION_BATCH <= n {
+            let batch = (self.total - self.generated).min(GENERATION_BATCH);
+            self.skip_batch_rng(batch);
+            self.generated += batch;
+        }
+        let within = n - self.generated;
+        if within > 0 {
+            if let Some(table) = self.next_batch() {
+                let keep: Vec<usize> = (within..table.n_rows()).collect();
+                if !keep.is_empty() {
+                    self.pending = Some(table.select_rows(&keep));
+                }
+            }
+        }
+    }
+
+    /// Advances the stream RNG past exactly the draws one
+    /// [`RowStream::next_batch`] of `batch` rows would make — noise,
+    /// then sampled condition labels, then any in-forward draws — in
+    /// the same order.
+    fn skip_batch_rng(&mut self, batch: usize) {
+        let g = self.synth.generator.as_ref();
+        let _ = g.sample_noise(batch, &mut self.rng);
+        if self.synth.config.train.conditional && self.condition.is_none() {
+            for _ in 0..batch {
+                let _ = self.rng.weighted(&self.synth.label_dist);
+            }
+        }
+        g.skip_forward_rng(batch, &mut self.rng);
     }
 }
 
@@ -270,14 +329,62 @@ mod tests {
     use daisy_tensor::Rng;
 
     fn tiny_fitted(conditional: bool) -> crate::FittedSynthesizer {
+        tiny_fitted_kind(NetworkKind::Mlp, conditional)
+    }
+
+    fn tiny_fitted_kind(kind: NetworkKind, conditional: bool) -> crate::FittedSynthesizer {
         let table = tiny_table(120, 7);
         let train = if conditional {
             TrainConfig::ctrain(30)
         } else {
             TrainConfig::vtrain(30)
         };
-        let config = SynthesizerConfig::new(NetworkKind::Mlp, train);
+        let config = SynthesizerConfig::new(kind, train);
         Synthesizer::fit(&table, &config)
+    }
+
+    /// Rows `[k, n)` of a fast-forwarded stream must equal rows
+    /// `[k, n)` of an uninterrupted stream, bit for bit.
+    fn assert_resume_parity(
+        fitted: &crate::FittedSynthesizer,
+        n: usize,
+        seed: u64,
+        condition: Option<&str>,
+    ) {
+        let full: Vec<Vec<daisy_data::Value>> = fitted
+            .try_stream_rows(n, seed, condition)
+            .expect("full stream")
+            .collect();
+        for k in [0, 1, GENERATION_BATCH - 1, GENERATION_BATCH, GENERATION_BATCH + 37, n] {
+            let mut resumed = fitted
+                .try_stream_rows(n, seed, condition)
+                .expect("resumed stream");
+            resumed.fast_forward(k);
+            let tail: Vec<Vec<daisy_data::Value>> = resumed.collect();
+            assert_eq!(tail.len(), n - k, "resume at {k} yields the remainder");
+            assert_eq!(tail, full[k..], "resume at {k} diverged");
+        }
+    }
+
+    #[test]
+    fn fast_forward_resumes_bit_identical_mlp() {
+        let fitted = tiny_fitted(false);
+        assert_resume_parity(&fitted, GENERATION_BATCH + 90, 11, None);
+
+        let conditional = tiny_fitted(true);
+        // Sampled labels consume per-row RNG draws the skip must mirror.
+        assert_resume_parity(&conditional, GENERATION_BATCH + 90, 11, None);
+        // Pinned labels consume none.
+        let category = conditional.condition_categories()[0].clone();
+        assert_resume_parity(&conditional, GENERATION_BATCH + 90, 11, Some(&category));
+    }
+
+    #[test]
+    fn fast_forward_resumes_bit_identical_lstm() {
+        // The LSTM generator draws from the stream RNG inside `forward`
+        // (random initial state); `skip_forward_rng` must mirror it.
+        let fitted = tiny_fitted_kind(NetworkKind::Lstm, false);
+        assert_resume_parity(&fitted, GENERATION_BATCH + 40, 5, None);
     }
 
     #[test]

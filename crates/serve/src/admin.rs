@@ -1,23 +1,31 @@
-//! The admin plane: a read-only introspection listener beside the
-//! serving listener.
+//! The admin plane: an introspection-and-operations listener beside
+//! the serving listener.
 //!
 //! When `DAISY_SERVE_ADMIN=<addr>` is set, [`crate::Server::bind`]
-//! opens a second TCP listener that answers plain-text HTTP `GET`s:
+//! opens a second TCP listener that answers plain-text HTTP:
 //!
-//! - `/healthz` — model fingerprint (CRC-64 of the sealed file),
-//!   uptime in logical terms (requests and rows served) and wall
-//!   terms, and active connections against the slot cap.
-//! - `/metrics` — Prometheus-style text exposition of the metrics
+//! - `GET /healthz` — the *active* model fingerprint (CRC-64 of the
+//!   sealed file), reload generation, drain state, uptime in logical
+//!   terms (requests and rows served) and wall terms, and active
+//!   connections against the slot cap.
+//! - `GET /metrics` — Prometheus-style text exposition of the metrics
 //!   registry plus the phase profiler
 //!   ([`daisy_telemetry::expose::render`]).
-//! - `/profile` — the hottest phases by self time, human-ordered.
+//! - `GET /profile` — the hottest phases by self time, human-ordered.
+//! - `POST /reload` — revalidate the model file and hot-swap it in
+//!   ([`crate::SharedModel::reload`]): in-flight streams finish on the
+//!   old model, new connections decode the new one. A corrupt
+//!   replacement is quarantined and answered with a 500 while the old
+//!   model keeps serving.
 //!
-//! The plane is deliberately inert: it never touches the model, takes
-//! no connection slot, and only *reads* atomics — so it stays
-//! responsive when every serving slot is busy, and it cannot perturb
-//! the reproducibility contract. It speaks just enough HTTP/1.0 for
-//! `curl` and `daisy top`: one request per connection, then close.
+//! Reads never touch the model and take no connection slot — `GET`s
+//! stay responsive when every serving slot is busy, and they cannot
+//! perturb the reproducibility contract. The one mutation, `/reload`,
+//! is atomic by construction (an `Arc` swap). The plane speaks just
+//! enough HTTP/1.0 for `curl` and `daisy top`: one request per
+//! connection, then close.
 
+use crate::server::{ServeState, SharedModel};
 use crate::ServeError;
 use daisy_telemetry::{expose, metrics, profile, Stopwatch};
 use std::io::{Read, Write};
@@ -30,42 +38,22 @@ const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// How many phases `/profile` lists.
 const PROFILE_TOP_N: usize = 20;
 
-/// Immutable facts about the serving process, captured at bind time
-/// for `/healthz`.
+/// The serving process's live state as the admin plane sees it: the
+/// hot-swappable model, the drain lifecycle, and the slot cap.
 #[derive(Debug)]
 pub struct AdminInfo {
-    /// CRC-64 of the sealed model file's bytes — the model identity a
-    /// fleet operator compares across replicas.
-    pub fingerprint: u64,
-    /// Trainable parameter count of the served model.
-    pub params: usize,
-    /// Parameter bytes of the served model.
-    pub bytes: usize,
-    /// Output columns of the served model.
-    pub columns: usize,
-    /// Whether the model accepts conditioned requests.
-    pub conditional: bool,
-    /// The connection-slot cap ([`crate::ServeConfig::max_conn`]).
-    pub max_conn: usize,
+    model: Arc<SharedModel>,
+    state: Arc<ServeState>,
+    max_conn: usize,
     started: Stopwatch,
 }
 
 impl AdminInfo {
-    /// Captures the facts, starting the uptime clock now.
-    pub fn new(
-        fingerprint: u64,
-        params: usize,
-        bytes: usize,
-        columns: usize,
-        conditional: bool,
-        max_conn: usize,
-    ) -> AdminInfo {
+    /// Captures the handles, starting the uptime clock now.
+    pub fn new(model: Arc<SharedModel>, state: Arc<ServeState>, max_conn: usize) -> AdminInfo {
         AdminInfo {
-            fingerprint,
-            params,
-            bytes,
-            columns,
-            conditional,
+            model,
+            state,
             max_conn,
             started: Stopwatch::start(),
         }
@@ -99,7 +87,7 @@ impl AdminServer {
     /// never pile up introspection threads.
     pub fn spawn(self) -> std::io::Result<SocketAddr> {
         let addr = self.local_addr()?;
-        // daisy-lint: allow(D003) -- admin listener thread; read-only introspection off the serving path
+        // daisy-lint: allow(D003) -- admin listener thread; introspection and reload off the serving path
         std::thread::spawn(move || {
             for stream in self.listener.incoming() {
                 match stream {
@@ -118,7 +106,7 @@ impl AdminServer {
 fn handle(mut stream: TcpStream, info: &AdminInfo) {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    let path = loop {
+    let request = loop {
         match stream.read(&mut chunk) {
             Ok(0) => break None,
             Ok(n) => {
@@ -130,21 +118,22 @@ fn handle(mut stream: TcpStream, info: &AdminInfo) {
                 // write half instead ends at Ok(0) and is parsed from
                 // whatever arrived.
                 if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.ends_with(b"\n\n") {
-                    break parse_request_path(&buf);
+                    break parse_request_line(&buf);
                 }
             }
             Err(_) => break None,
         }
     }
-    .or_else(|| parse_request_path(&buf));
-    let (status, body) = match path.as_deref() {
-        Some(path) => respond(path, info),
+    .or_else(|| parse_request_line(&buf));
+    let (status, body) = match request {
+        Some((method, path)) => respond(&method, &path, info),
         None => (400, "bad request\n".to_string()),
     };
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        500 => "Internal Server Error",
         _ => "Bad Request",
     };
     let _ = write!(
@@ -155,59 +144,80 @@ fn handle(mut stream: TcpStream, info: &AdminInfo) {
     let _ = stream.flush();
 }
 
-/// Extracts the request path from raw request bytes; `None` until a
-/// full request line is present or when the method is not `GET`.
-fn parse_request_path(buf: &[u8]) -> Option<String> {
+/// Extracts `(method, path)` from raw request bytes; `None` until a
+/// full request line is present.
+fn parse_request_line(buf: &[u8]) -> Option<(String, String)> {
     let text = std::str::from_utf8(buf).ok()?;
     let line = text.lines().next()?;
     let mut parts = line.split_whitespace();
-    if parts.next()? != "GET" {
-        return Some(String::new()); // answered as 405 below
-    }
+    let method = parts.next()?.to_string();
     let path = parts.next()?;
     // Strip any query string; the endpoints take no parameters.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    let path = path.split('?').next().unwrap_or(path).to_string();
+    Some((method, path))
 }
 
-/// Routes one admin path to its `(status, body)`. Pure except for
-/// reading live metrics/profiler atomics — the testable core of the
-/// endpoint.
-pub fn respond(path: &str, info: &AdminInfo) -> (u16, String) {
-    match path {
-        "/healthz" => (200, healthz_body(info)),
-        "/metrics" => (200, expose::render()),
-        "/profile" => (200, profile_body()),
-        "" => (405, "only GET is supported\n".to_string()),
-        _ => (
+/// Routes one admin request to its `(status, body)` — the testable
+/// core of the endpoint. Reads are pure except for live
+/// metrics/profiler atomics; `POST /reload` is the one mutation.
+pub fn respond(method: &str, path: &str, info: &AdminInfo) -> (u16, String) {
+    match (method, path) {
+        ("GET", "/healthz") => (200, healthz_body(info)),
+        ("GET", "/metrics") => (200, expose::render()),
+        ("GET", "/profile") => (200, profile_body()),
+        ("POST", "/reload") => reload_body(info),
+        ("GET", "/reload") => (405, "reload requires POST\n".to_string()),
+        ("GET", _) => (
             404,
             "not found; try /healthz, /metrics, or /profile\n".to_string(),
         ),
+        _ => (405, "only GET (and POST /reload) is supported\n".to_string()),
     }
 }
 
-/// The `/healthz` body: identity, uptime (logical and wall), and load.
+/// The `/healthz` body: identity (live — reflects reloads), lifecycle,
+/// uptime (logical and wall), and load.
 fn healthz_body(info: &AdminInfo) -> String {
+    let facts = info.model.facts();
     let requests = metrics::counter("serve.requests").get();
     let rows = metrics::counter("serve.rows").get();
     let active = metrics::gauge("serve.active_conns").get();
     format!(
         "ok\n\
          fingerprint 0x{:016x}\n\
+         generation {}\n\
+         draining {}\n\
          model params={} bytes={} columns={} conditional={}\n\
          uptime_ms {:.0}\n\
          logical requests={} rows={}\n\
          active_conns {:.0}/{}\n",
-        info.fingerprint,
-        info.params,
-        info.bytes,
-        info.columns,
-        info.conditional,
+        facts.fingerprint,
+        info.model.generation(),
+        info.state.draining(),
+        facts.params,
+        facts.bytes,
+        facts.columns,
+        facts.conditional,
         info.started.elapsed_ms(),
         requests,
         rows,
         active,
         info.max_conn,
     )
+}
+
+/// The `POST /reload` body: swap outcome plus the now-active identity.
+fn reload_body(info: &AdminInfo) -> (u16, String) {
+    match info.model.reload() {
+        Ok(report) => (
+            200,
+            format!(
+                "reloaded\nfingerprint 0x{:016x}\ngeneration {}\nparams {}\n",
+                report.fingerprint, report.generation, report.params
+            ),
+        ),
+        Err(e) => (500, format!("reload failed: {e}\nold model still serving\n")),
+    }
 }
 
 /// The `/profile` body: hottest phases by self time.
@@ -238,12 +248,16 @@ fn profile_body() -> String {
     out
 }
 
-/// Fetches one admin endpoint as `daisy top`, tests, and scripts do:
-/// connect, send a minimal `GET`, return the body of a 200 response.
-/// Non-200 statuses are [`ServeError::Rejected`] with the status line.
-pub fn fetch_admin(addr: impl ToSocketAddrs, path: &str) -> Result<String, ServeError> {
+/// Issues one admin request and returns the body of a 200 response.
+/// Non-200 statuses are [`ServeError::Rejected`] with the status line
+/// and body.
+fn admin_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+) -> Result<String, ServeError> {
     let mut stream = TcpStream::connect(addr)?;
-    write!(stream, "GET {path} HTTP/1.0\r\n\r\n")?;
+    write!(stream, "{method} {path} HTTP/1.0\r\n\r\n")?;
     stream.flush()?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
@@ -254,8 +268,21 @@ pub fn fetch_admin(addr: impl ToSocketAddrs, path: &str) -> Result<String, Serve
     let status_line = head.lines().next().unwrap_or("");
     if status_line.split_whitespace().nth(1) != Some("200") {
         return Err(ServeError::Rejected(format!(
-            "admin request {path} failed: {status_line}"
+            "admin request {path} failed: {status_line}: {}",
+            body.trim()
         )));
     }
     Ok(body.to_string())
+}
+
+/// Fetches one admin endpoint as `daisy top`, tests, and scripts do:
+/// connect, send a minimal `GET`, return the body of a 200 response.
+pub fn fetch_admin(addr: impl ToSocketAddrs, path: &str) -> Result<String, ServeError> {
+    admin_request(addr, "GET", path)
+}
+
+/// `POST`s one admin endpoint — how `daisy reload` triggers a hot
+/// model swap. Returns the body of a 200 response.
+pub fn post_admin(addr: impl ToSocketAddrs, path: &str) -> Result<String, ServeError> {
+    admin_request(addr, "POST", path)
 }

@@ -7,25 +7,37 @@
 //! generation batch per connection no matter how many rows a request
 //! asks for.
 //!
-//! Three contracts define the plane (see `docs/SERVING.md` for the
+//! Four contracts define the plane (see `docs/SERVING.md` for the
 //! full runbook):
 //!
-//! - **Reproducibility.** A request is `{seed, n_rows, condition?}`
-//!   and every response byte is a pure function of the request and the
-//!   model file: replaying a request — against the same server, a
-//!   restarted server, or a server under any `DAISY_THREADS` setting —
-//!   yields the identical byte stream. No timestamps, connection ids,
-//!   or negotiated parameters ever enter the response.
+//! - **Reproducibility.** A request is `{seed, n_rows, start_row,
+//!   condition?}` and every response byte is a pure function of the
+//!   request and the model file: replaying a request — against the
+//!   same server, a restarted server, or a server under any
+//!   `DAISY_THREADS` setting — yields the identical byte stream. No
+//!   timestamps, connection ids, or negotiated parameters ever enter
+//!   the response. `start_row` makes the contract *resumable*: the
+//!   concatenated row payloads of any split of a stream into resumed
+//!   fetches equal one uninterrupted fetch.
 //! - **Bounded memory.** The server never materializes a table. Each
 //!   connection holds one decoded model replica plus one
 //!   `GENERATION_BATCH`-row frame; concurrency is capped by
 //!   `DAISY_SERVE_MAX_CONN` slots acquired *before* `accept`, so
 //!   excess clients queue in the TCP backlog instead of growing the
-//!   heap.
+//!   heap (or, with `DAISY_SERVE_SHED=1`, are rejected with a typed
+//!   "overloaded" header).
 //! - **Typed failure.** A corrupt model file is quarantined
 //!   (`*.corrupt-N`) and reported as [`ServeError::CorruptModel`];
 //!   an invalid request is answered with an error header on the wire,
 //!   never a panic, and the connection stays usable.
+//! - **Graceful lifecycle.** Slow or stalled peers hit per-connection
+//!   deadlines (`DAISY_SERVE_TIMEOUT_MS`) instead of pinning slots,
+//!   SIGTERM drains in-flight streams (`DAISY_SERVE_DRAIN_MS`) and
+//!   seals stragglers with a typed "draining" end frame, and the model
+//!   can be hot-swapped via the admin plane ([`crate::admin`]) with
+//!   in-flight requests finishing on the old model. The [`fault`]
+//!   module injects the network's failure modes deterministically so
+//!   every one of those paths is testable.
 //!
 //! ```no_run
 //! use daisy_serve::{Request, Server, ServeConfig};
@@ -38,20 +50,32 @@
 //! # Ok::<(), daisy_serve::ServeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one audited exception is the
+// SIGTERM flag in `shutdown` (std exposes no signal API), which opts
+// back in locally — everywhere else unsafe stays a hard error.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admin;
 mod client;
+pub mod fault;
 mod proto;
 mod server;
+pub mod shutdown;
 
-pub use admin::fetch_admin;
-pub use client::{decode_response, fetch, fetch_raw, Response};
-pub use proto::{
-    read_frame, write_frame, ColumnSpec, Header, Request, MAX_REQUEST_FRAME, PROTOCOL_VERSION,
+pub use admin::{fetch_admin, post_admin};
+pub use client::{
+    decode_response, fetch, fetch_raw, fetch_resumable, fetch_with_retry, FetchReport, Progress,
+    RetryPolicy, StreamDecoder, StreamItem,
 };
-pub use server::{load_model, serve_connection, serve_stdio, ServeConfig, Server};
+pub use client::Response;
+pub use proto::{
+    read_frame, write_frame, ColumnSpec, EndFrame, Header, Request, END_FLAG_DRAINING,
+    MAX_REQUEST_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{
+    load_model, serve_connection, serve_stdio, ServeConfig, ServeState, Server, SharedModel,
+};
 
 /// Everything that can go wrong on the serving plane.
 #[derive(Debug)]
@@ -69,7 +93,11 @@ pub enum ServeError {
         quarantined: Option<std::path::PathBuf>,
     },
     /// The server rejected a well-formed request (row cap exceeded,
-    /// unknown condition, condition on a non-conditional model).
+    /// unknown condition, condition on a non-conditional model,
+    /// "overloaded" under shed mode, "draining" during shutdown).
+    /// Reasons prefixed `overloaded` or `draining` are transient — the
+    /// retrying client backs off and resends; everything else is
+    /// permanent.
     Rejected(String),
 }
 

@@ -8,13 +8,13 @@
 //!
 //! | magic  | frame | layout after the magic |
 //! |--------|-------|------------------------|
-//! | `DSRQ` | request | `version u8, seed u64, n_rows u64, has_condition u8, [condition str]` |
+//! | `DSRQ` | request | `version u8, seed u64, n_rows u64, start_row u64, has_condition u8, [condition str]` |
 //! | `DSRH` | response header | `version u8, ok u8` then the accepted/rejected layout below |
 //! | `DSRD` | response data | `first_row u64, n_rows u64, n_rows × row payload` |
-//! | `DSRE` | response end | `total_rows u64, payload_crc64 u64` |
+//! | `DSRE` | response end | `end_row u64, payload_crc64 u64, flags u8` |
 //!
-//! Accepted header (`ok = 1`): `seed u64, n_rows u64, has_condition
-//! u8, [condition str], n_columns u64`, then per column a
+//! Accepted header (`ok = 1`): `seed u64, n_rows u64, start_row u64,
+//! has_condition u8, [condition str], n_columns u64`, then per column a
 //! [`ColumnSpec`]: `kind u8` (0 numerical, 1 categorical), `name str`,
 //! and for categorical columns `n_categories u64` + that many `str`s.
 //! Rejected header (`ok = 0`): a single `str` with the reason.
@@ -24,12 +24,23 @@
 //! into the header's category list. `str` is the `daisy-wire`
 //! length-prefixed UTF-8 encoding.
 //!
+//! Row positions on the wire are **absolute**: a request with
+//! `start_row = k` resumes the logical `n_rows`-row stream at row `k`,
+//! data frames carry their absolute `first_row`, and the end frame's
+//! `end_row` is the absolute row reached. The end frame's
+//! `payload_crc64` seals the concatenated row payloads of *this
+//! response's* data frames, and its `flags` distinguish a complete
+//! stream (`0`) from one truncated by a server drain
+//! ([`END_FLAG_DRAINING`]) — the typed signal a resuming client acts
+//! on.
+//!
 //! The response layout is a *pure function of the request and the
-//! model*: data frames always carry `min(remaining, GENERATION_BATCH)`
-//! rows, and the end frame's `payload_crc64` seals the concatenated
-//! row payloads of every data frame. Replaying a request therefore
-//! reproduces the response byte for byte — the contract
-//! `tests/serve_stream.rs` enforces.
+//! model*: batch boundaries stay on the `GENERATION_BATCH` grid
+//! anchored at row 0 no matter where a resume starts, so the
+//! concatenated row payloads of any split of `[0, n)` into resumed
+//! fetches are byte-identical to one uninterrupted fetch — the
+//! contract `tests/serve_stream.rs` and `tests/serve_chaos.rs`
+//! enforce.
 
 use crate::ServeError;
 use daisy_core::synthesizer::GENERATION_BATCH;
@@ -38,8 +49,14 @@ use std::io::{Read, Write};
 
 /// Protocol version, first body byte after every magic. Bumped on any
 /// layout change so stale clients fail with a typed error instead of
-/// misparsing.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// misparsing. Version 2 added resumable offsets: `start_row` in the
+/// request and accepted header, and the end frame's `flags` byte.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// End-frame flag: the stream was truncated by a graceful drain before
+/// reaching `n_rows`; `end_row` is the first row the client still
+/// needs. Resume with a `start_row = end_row` request elsewhere.
+pub const END_FLAG_DRAINING: u8 = 1;
 
 /// Hard cap on request frame bodies: a request is a few dozen bytes,
 /// so anything larger is a protocol violation, not a big request.
@@ -119,8 +136,13 @@ fn io_as_truncation(e: std::io::Error) -> ServeError {
 pub struct Request {
     /// Seed of the request's private RNG stream.
     pub seed: u64,
-    /// Rows to stream back.
+    /// Total rows of the logical stream. A resume still names the full
+    /// total; `start_row` picks where in it this response begins.
     pub n_rows: u64,
+    /// First row of the logical stream to send (0 for a fresh fetch).
+    /// Rows `[start_row, n_rows)` are streamed; earlier rows are
+    /// fast-forwarded over without being encoded.
+    pub start_row: u64,
     /// Optional label category every row must be conditioned on
     /// (conditional models only).
     pub condition: Option<String>,
@@ -132,6 +154,7 @@ impl Request {
         Request {
             seed,
             n_rows,
+            start_row: 0,
             condition: None,
         }
     }
@@ -141,7 +164,17 @@ impl Request {
         Request {
             seed,
             n_rows,
+            start_row: 0,
             condition: Some(condition.to_string()),
+        }
+    }
+
+    /// The same logical request, resuming at `start_row` — what a
+    /// retrying client sends after validating `start_row` rows.
+    pub fn resuming_at(&self, start_row: u64) -> Request {
+        Request {
+            start_row,
+            ..self.clone()
         }
     }
 
@@ -152,6 +185,7 @@ impl Request {
         w.u8(PROTOCOL_VERSION);
         w.u64(self.seed);
         w.u64(self.n_rows);
+        w.u64(self.start_row);
         match &self.condition {
             Some(c) => {
                 w.bool(true);
@@ -176,6 +210,7 @@ impl Request {
         }
         let seed = r.u64().map_err(ServeError::Protocol)?;
         let n_rows = r.u64().map_err(ServeError::Protocol)?;
+        let start_row = r.u64().map_err(ServeError::Protocol)?;
         let condition = if r.bool().map_err(ServeError::Protocol)? {
             Some(r.str().map_err(ServeError::Protocol)?)
         } else {
@@ -189,7 +224,60 @@ impl Request {
         Ok(Request {
             seed,
             n_rows,
+            start_row,
             condition,
+        })
+    }
+}
+
+/// The decoded `DSRE` end frame sealing a response stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndFrame {
+    /// Absolute row the stream reached: `n_rows` for a complete
+    /// response, the first still-needed row for a drained one.
+    pub end_row: u64,
+    /// CRC-64 over the concatenated row payloads of this response's
+    /// data frames.
+    pub payload_crc: u64,
+    /// `0` for a complete stream, [`END_FLAG_DRAINING`] when the
+    /// server truncated it to drain.
+    pub flags: u8,
+}
+
+impl EndFrame {
+    /// True when the server truncated the stream to drain.
+    pub fn draining(&self) -> bool {
+        self.flags & END_FLAG_DRAINING != 0
+    }
+
+    /// Encodes the end frame body (`DSRE` layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.buf.extend_from_slice(MAGIC_END);
+        w.u64(self.end_row);
+        w.u64(self.payload_crc);
+        w.u8(self.flags);
+        w.buf
+    }
+
+    /// Decodes an end frame body.
+    pub fn decode(body: &[u8]) -> Result<EndFrame, ServeError> {
+        let mut r = Reader::new(body);
+        if r.take(4).map_err(ServeError::Protocol)? != MAGIC_END {
+            return Err(ServeError::Protocol("not an end frame".to_string()));
+        }
+        let end_row = r.u64().map_err(ServeError::Protocol)?;
+        let payload_crc = r.u64().map_err(ServeError::Protocol)?;
+        let flags = r.u8().map_err(ServeError::Protocol)?;
+        if !r.is_empty() {
+            return Err(ServeError::Protocol(
+                "trailing bytes after end frame".to_string(),
+            ));
+        }
+        Ok(EndFrame {
+            end_row,
+            payload_crc,
+            flags,
         })
     }
 }
@@ -239,6 +327,8 @@ pub enum Header {
         seed: u64,
         /// Echo of the requested row count.
         n_rows: u64,
+        /// Echo of the resume offset (0 for a fresh fetch).
+        start_row: u64,
         /// Echo of the request condition.
         condition: Option<String>,
         /// The column contract for every row payload.
@@ -265,12 +355,14 @@ impl Header {
             Header::Accepted {
                 seed,
                 n_rows,
+                start_row,
                 condition,
                 columns,
             } => {
                 w.bool(true);
                 w.u64(*seed);
                 w.u64(*n_rows);
+                w.u64(*start_row);
                 match condition {
                     Some(c) => {
                         w.bool(true);
@@ -318,6 +410,7 @@ impl Header {
         }
         let seed = r.u64().map_err(ServeError::Protocol)?;
         let n_rows = r.u64().map_err(ServeError::Protocol)?;
+        let start_row = r.u64().map_err(ServeError::Protocol)?;
         let condition = if r.bool().map_err(ServeError::Protocol)? {
             Some(r.str().map_err(ServeError::Protocol)?)
         } else {
@@ -353,6 +446,7 @@ impl Header {
         Ok(Header::Accepted {
             seed,
             n_rows,
+            start_row,
             condition,
             columns,
         })
@@ -369,9 +463,31 @@ mod tests {
             Request::new(42, 1000),
             Request::conditioned(7, 3, "yes"),
             Request::new(u64::MAX, 0),
+            Request::new(42, 1000).resuming_at(300),
+            Request::conditioned(7, 900, "yes").resuming_at(899),
         ] {
             let decoded = Request::decode(&req.encode()).expect("roundtrip");
             assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn end_frame_roundtrip() {
+        for end in [
+            EndFrame {
+                end_row: 1000,
+                payload_crc: 0xdead_beef,
+                flags: 0,
+            },
+            EndFrame {
+                end_row: 300,
+                payload_crc: 7,
+                flags: END_FLAG_DRAINING,
+            },
+        ] {
+            let decoded = EndFrame::decode(&end.encode()).expect("roundtrip");
+            assert_eq!(decoded, end);
+            assert_eq!(decoded.draining(), end.flags == END_FLAG_DRAINING);
         }
     }
 
@@ -380,6 +496,7 @@ mod tests {
         let header = Header::Accepted {
             seed: 9,
             n_rows: 512,
+            start_row: 256,
             condition: Some("a".to_string()),
             columns: vec![
                 ColumnSpec::Num {

@@ -1,20 +1,35 @@
-//! The server side: model loading with quarantine, the per-connection
-//! request loop, and the TCP accept loop with slot-based backpressure.
+//! The server side: model loading with quarantine, hot reload, the
+//! per-connection request loop, and the TCP accept loop with
+//! slot-based backpressure, per-connection deadlines, and graceful
+//! drain.
 
-use crate::proto::{
-    read_frame, write_frame, ColumnSpec, Header, Request, FRAME_ROWS, MAGIC_DATA, MAGIC_END,
-    MAX_REQUEST_FRAME,
-};
 use crate::admin::{AdminInfo, AdminServer};
+use crate::proto::{
+    read_frame, write_frame, ColumnSpec, EndFrame, Header, Request, END_FLAG_DRAINING, FRAME_ROWS,
+    MAGIC_DATA, MAX_REQUEST_FRAME,
+};
+use crate::shutdown;
 use crate::ServeError;
 use daisy_core::FittedSynthesizer;
 use daisy_data::Column;
-use daisy_telemetry::{emit_event, enabled, field, metrics, profile, schema, Event, Stopwatch};
+use daisy_telemetry::{
+    duration_ms, emit_event, enabled, field, metrics, profile, schema, sleep_ms, Event, Stopwatch,
+};
 use daisy_wire::{crc64, quarantine, Crc64, Writer};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Accept-loop poll interval: how often the nonblocking listener
+/// re-checks for connections, free slots, and the drain flag.
+const ACCEPT_POLL_MS: u64 = 5;
+
+/// After the drain window expires, how long the accept loop waits for
+/// connection threads to seal their streams with draining end frames
+/// before giving up on them.
+const DRAIN_STRAGGLER_GRACE_MS: f64 = 500.0;
 
 /// Serving knobs, all overridable from the environment (see
 /// `docs/SERVING.md`).
@@ -23,17 +38,37 @@ pub struct ServeConfig {
     /// Concurrent connection slots (`DAISY_SERVE_MAX_CONN`, default 4).
     /// Each slot costs one decoded model replica plus one generation
     /// batch of buffers; slots are acquired before `accept`, so excess
-    /// clients wait in the TCP backlog.
+    /// clients wait in the TCP backlog (or are shed, see
+    /// [`ServeConfig::shed`]).
     pub max_conn: usize,
     /// Per-request row cap (`DAISY_SERVE_MAX_ROWS`, default 100
     /// million). Requests above it are rejected with a typed error
     /// header; streaming keeps memory flat regardless, the cap only
     /// bounds how long one request can monopolize a slot.
     pub max_rows: u64,
+    /// Per-connection socket deadline in milliseconds
+    /// (`DAISY_SERVE_TIMEOUT_MS`, default 30 000; 0 disables). Applied
+    /// as both read and write timeout on every accepted connection: a
+    /// peer that makes no progress for this long — a slow-loris
+    /// request, a stalled reader — gets a timeout error, its slot
+    /// frees, and `serve.timeouts` counts the eviction.
+    pub timeout_ms: u64,
+    /// Graceful-drain window in milliseconds (`DAISY_SERVE_DRAIN_MS`,
+    /// default 5 000). On SIGTERM the accept loop stops and in-flight
+    /// requests get this long to finish; streams still running when it
+    /// expires are sealed with a typed draining end frame
+    /// ([`END_FLAG_DRAINING`]) telling the client exactly where to
+    /// resume.
+    pub drain_ms: u64,
+    /// Load-shedding mode (`DAISY_SERVE_SHED=1`, default off). When
+    /// every slot is busy, accept anyway and answer with a typed
+    /// `overloaded` rejection header instead of parking the client in
+    /// the TCP backlog; `serve.shed_requests` counts the rejections.
+    pub shed: bool,
     /// Address for the read-only admin listener (`DAISY_SERVE_ADMIN`,
     /// default none). When set, [`Server::bind`] opens a second
-    /// listener answering `/healthz`, `/metrics`, and `/profile` —
-    /// see [`crate::admin`].
+    /// listener answering `/healthz`, `/metrics`, `/profile`, and
+    /// `POST /reload` — see [`crate::admin`].
     pub admin_addr: Option<String>,
 }
 
@@ -42,6 +77,9 @@ impl Default for ServeConfig {
         ServeConfig {
             max_conn: 4,
             max_rows: 100_000_000,
+            timeout_ms: 30_000,
+            drain_ms: 5_000,
+            shed: false,
             admin_addr: None,
         }
     }
@@ -49,9 +87,12 @@ impl Default for ServeConfig {
 
 impl ServeConfig {
     /// The defaults overridden by `DAISY_SERVE_MAX_CONN` /
-    /// `DAISY_SERVE_MAX_ROWS` / `DAISY_SERVE_ADMIN`. Malformed or zero
-    /// numeric values warn on stderr and keep the default, matching
-    /// the `DAISY_THREADS` convention.
+    /// `DAISY_SERVE_MAX_ROWS` / `DAISY_SERVE_TIMEOUT_MS` /
+    /// `DAISY_SERVE_DRAIN_MS` / `DAISY_SERVE_SHED` /
+    /// `DAISY_SERVE_ADMIN`. Malformed numeric values warn on stderr
+    /// and keep the default, matching the `DAISY_THREADS` convention
+    /// (`DAISY_SERVE_TIMEOUT_MS=0` is legal: it disables the
+    /// deadline).
     pub fn from_env() -> ServeConfig {
         let mut cfg = ServeConfig::default();
         if let Some(v) = parse_env("DAISY_SERVE_MAX_CONN") {
@@ -59,6 +100,15 @@ impl ServeConfig {
         }
         if let Some(v) = parse_env("DAISY_SERVE_MAX_ROWS") {
             cfg.max_rows = v;
+        }
+        if let Some(v) = parse_env_allow_zero("DAISY_SERVE_TIMEOUT_MS") {
+            cfg.timeout_ms = v;
+        }
+        if let Some(v) = parse_env("DAISY_SERVE_DRAIN_MS") {
+            cfg.drain_ms = v;
+        }
+        if let Ok(v) = std::env::var("DAISY_SERVE_SHED") {
+            cfg.shed = v == "1";
         }
         if let Ok(addr) = std::env::var("DAISY_SERVE_ADMIN") {
             if !addr.is_empty() {
@@ -77,6 +127,19 @@ fn parse_env(name: &str) -> Option<u64> {
         Ok(v) if v > 0 => Some(v),
         _ => {
             eprintln!("warning: {name}={raw} is not a positive integer; using the default");
+            None
+        }
+    }
+}
+
+/// Parses a non-negative integer from the environment (0 is a legal
+/// "disabled" value); warns and returns `None` on anything else.
+fn parse_env_allow_zero(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: {name}={raw} is not an integer; using the default");
             None
         }
     }
@@ -103,6 +166,207 @@ pub fn load_model(path: &Path) -> Result<(Vec<u8>, FittedSynthesizer), ServeErro
     }
 }
 
+/// Cross-connection serving state: the drain lifecycle flags every
+/// request loop consults. One instance is shared by the accept loop,
+/// every connection thread, and the admin plane; transports without a
+/// lifecycle (stdio, in-memory tests) use an inert
+/// [`ServeState::default`].
+#[derive(Debug, Default)]
+pub struct ServeState {
+    draining: AtomicBool,
+    drain_expired: AtomicBool,
+}
+
+impl ServeState {
+    /// Enters the draining phase: the accept loop stops taking
+    /// connections and every *new* request is rejected with a typed
+    /// `draining` header, while requests already streaming continue.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// True once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Marks the drain window expired: in-flight streams seal
+    /// themselves with a draining end frame at the next batch
+    /// boundary.
+    pub fn expire_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.drain_expired.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the drain window has expired.
+    pub fn drain_expired(&self) -> bool {
+        self.drain_expired.load(Ordering::Relaxed)
+    }
+}
+
+/// Identity of the model a [`SharedModel`] currently serves.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelFacts {
+    /// CRC-64 of the sealed model file's bytes.
+    pub fingerprint: u64,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Parameter bytes (one decoded replica's weight cost).
+    pub bytes: usize,
+    /// Output columns.
+    pub columns: usize,
+    /// Whether the model honors conditioned requests.
+    pub conditional: bool,
+}
+
+fn model_facts(bytes: &[u8], model: &FittedSynthesizer) -> ModelFacts {
+    ModelFacts {
+        fingerprint: crc64(bytes),
+        params: model.param_count(),
+        bytes: model.param_bytes(),
+        columns: model.output_template().n_attrs(),
+        conditional: model.is_conditional(),
+    }
+}
+
+/// The `Arc`'d model bytes behind the accept loop, swappable at
+/// runtime: `POST /reload` on the admin plane (or
+/// [`SharedModel::reload`] directly) revalidates the model file and
+/// atomically replaces the bytes new connections decode. Connections
+/// already serving keep their clone of the old `Arc`, so in-flight
+/// streams finish on the model they started with — the response stays
+/// a pure function of (model, request) even across a reload.
+#[derive(Debug)]
+pub struct SharedModel {
+    path: PathBuf,
+    bytes: Mutex<Arc<Vec<u8>>>,
+    facts: Mutex<ModelFacts>,
+    generation: AtomicU64,
+    /// Armed by the fault plan: the next reload-failure quarantine
+    /// behaves as if the rename failed (disk full), exercising the
+    /// `quarantined: None` path without touching the filesystem.
+    quarantine_fault: AtomicBool,
+}
+
+/// What a successful [`SharedModel::reload`] swapped in.
+#[derive(Debug, Clone, Copy)]
+pub struct ReloadReport {
+    /// Fingerprint of the newly active model.
+    pub fingerprint: u64,
+    /// Reload generation after the swap (0 = the model served since
+    /// bind; each successful reload increments it).
+    pub generation: u64,
+    /// Parameter count of the newly active model.
+    pub params: usize,
+}
+
+impl SharedModel {
+    /// Loads and validates `path` (quarantining a corrupt file, see
+    /// [`load_model`]) into a swappable shared model.
+    pub fn load(path: &Path) -> Result<(Arc<SharedModel>, FittedSynthesizer), ServeError> {
+        let (bytes, model) = load_model(path)?;
+        let facts = model_facts(&bytes, &model);
+        Ok((
+            Arc::new(SharedModel {
+                path: path.to_path_buf(),
+                bytes: Mutex::new(Arc::new(bytes)),
+                facts: Mutex::new(facts),
+                generation: AtomicU64::new(0),
+                quarantine_fault: AtomicBool::new(false),
+            }),
+            model,
+        ))
+    }
+
+    /// The currently active model bytes. Connections clone this `Arc`
+    /// once at accept, pinning their replica across any later reload.
+    pub fn current(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.bytes.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Identity of the currently active model.
+    pub fn facts(&self) -> ModelFacts {
+        *self.facts.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Successful reloads since bind.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The model file path this shared model reloads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Arms the disk-full-on-quarantine fault: the next failed reload
+    /// reports `quarantined: None` instead of renaming the file.
+    pub fn arm_quarantine_failure(&self) {
+        self.quarantine_fault.store(true, Ordering::Relaxed);
+    }
+
+    /// Re-reads and revalidates the model file, atomically swapping it
+    /// in on success. On a corrupt replacement the file is quarantined
+    /// (`*.corrupt-N`) and the **old model keeps serving** — a bad
+    /// push can cost at most the reload attempt, never the fleet.
+    /// Either way the attempt is recorded (`serve.reloads` /
+    /// [`schema::SERVE_RELOAD`]).
+    pub fn reload(&self) -> Result<ReloadReport, ServeError> {
+        let outcome = std::fs::read(&self.path)
+            .map_err(ServeError::Io)
+            .and_then(|bytes| match FittedSynthesizer::from_bytes(&bytes) {
+                Ok(model) => Ok((bytes, model)),
+                Err(error) => Err(ServeError::CorruptModel {
+                    error,
+                    quarantined: if self.quarantine_fault.swap(false, Ordering::Relaxed) {
+                        None
+                    } else {
+                        quarantine(&self.path)
+                    },
+                }),
+            });
+        let report = match outcome {
+            Ok((bytes, model)) => {
+                let facts = model_facts(&bytes, &model);
+                *self.bytes.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(bytes);
+                *self.facts.lock().unwrap_or_else(|e| e.into_inner()) = facts;
+                let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+                metrics::counter("serve.reloads").add(1);
+                Ok(ReloadReport {
+                    fingerprint: facts.fingerprint,
+                    generation,
+                    params: facts.params,
+                })
+            }
+            Err(e) => Err(e),
+        };
+        if enabled() {
+            let facts = self.facts();
+            emit_event(
+                Event::new(
+                    schema::SERVE_RELOAD,
+                    vec![
+                        field("ok", report.is_ok()),
+                        field("generation", self.generation()),
+                        field("fingerprint", facts.fingerprint),
+                        field(
+                            "error",
+                            report
+                                .as_ref()
+                                .err()
+                                .map(|e| e.to_string())
+                                .unwrap_or_else(|| "-".to_string()),
+                        ),
+                    ],
+                )
+                .non_deterministic(),
+            );
+            daisy_telemetry::emit_metrics_snapshot();
+        }
+        report
+    }
+}
+
 /// The column contract of `model`'s output, in wire form.
 fn column_specs(model: &FittedSynthesizer) -> Vec<ColumnSpec> {
     let template = model.output_template();
@@ -124,17 +388,21 @@ fn column_specs(model: &FittedSynthesizer) -> Vec<ColumnSpec> {
 }
 
 /// Serves one connection: a loop of `request frame → response frames`
-/// until the peer closes its write half. Returns the total rows
-/// streamed over the connection's lifetime.
+/// until the peer closes its write half, a deadline fires, or a drain
+/// truncates the stream. Returns the total rows streamed over the
+/// connection's lifetime.
 ///
 /// This is the whole data path — the TCP accept loop, the stdio mode,
 /// and the in-memory tests all call it, so every transport shares one
 /// byte-exact implementation. `conn` only labels telemetry; nothing
-/// connection-specific enters the response bytes.
+/// connection-specific enters the response bytes. `state` carries the
+/// drain lifecycle (pass an inert default for transports without
+/// one).
 pub fn serve_connection(
     model: &FittedSynthesizer,
     conn: u64,
     cfg: &ServeConfig,
+    state: &ServeState,
     input: &mut impl Read,
     output: &mut impl Write,
 ) -> Result<u64, ServeError> {
@@ -153,6 +421,7 @@ pub fn serve_connection(
                         field("conn", conn),
                         field("seed", request.seed),
                         field("n_rows", request.n_rows),
+                        field("start_row", request.start_row),
                         field(
                             "condition",
                             request.condition.as_deref().unwrap_or("-").to_string(),
@@ -162,16 +431,16 @@ pub fn serve_connection(
                 .non_deterministic(),
             );
         }
-        let streamed = {
+        let answered = {
             daisy_telemetry::phase_scope!("serve_request");
-            answer_request(model, cfg, &request, output)
+            answer_request(model, cfg, state, &request, output)
         };
         metrics::counter("serve.requests").add(1);
         metrics::histogram("serve.request_us").observe((watch.elapsed_ms() * 1000.0) as u64);
-        if let Ok(rows) = &streamed {
-            metrics::counter("serve.rows").add(*rows);
-            metrics::histogram("serve.rows_per_request").observe(*rows);
-            total_rows += *rows;
+        if let Ok(answer) = &answered {
+            metrics::counter("serve.rows").add(answer.rows);
+            metrics::histogram("serve.rows_per_request").observe(answer.rows);
+            total_rows += answer.rows;
         }
         if enabled() {
             emit_event(
@@ -179,8 +448,8 @@ pub fn serve_connection(
                     schema::SERVE_REQUEST_END,
                     vec![
                         field("conn", conn),
-                        field("rows", *streamed.as_ref().unwrap_or(&0)),
-                        field("ok", streamed.is_ok()),
+                        field("rows", answered.as_ref().map(|a| a.rows).unwrap_or(0)),
+                        field("ok", answered.is_ok()),
                     ],
                 )
                 .non_deterministic()
@@ -194,8 +463,13 @@ pub fn serve_connection(
                 daisy_telemetry::emit_profile_snapshot();
             }
         }
-        streamed?;
+        let answer = answered?;
         output.flush()?;
+        if answer.truncated {
+            // The stream was sealed with a draining end frame; the
+            // connection is done — the client resumes elsewhere.
+            break;
+        }
     }
     Ok(total_rows)
 }
@@ -206,6 +480,11 @@ pub fn serve_connection(
 fn register_serve_metrics() {
     metrics::counter("serve.requests");
     metrics::counter("serve.rows");
+    metrics::counter("serve.timeouts");
+    metrics::counter("serve.drained");
+    metrics::counter("serve.reloads");
+    metrics::counter("serve.resumed_requests");
+    metrics::counter("serve.shed_requests");
     metrics::gauge("serve.active_conns");
     metrics::histogram("serve.rows_per_request");
     metrics::histogram("serve.request_us");
@@ -228,23 +507,57 @@ impl Drop for ConnTally {
     }
 }
 
+/// What [`answer_request`] did with one request.
+struct Answer {
+    /// Rows streamed (0 for rejections).
+    rows: u64,
+    /// The stream was sealed early with a draining end frame; the
+    /// connection should close.
+    truncated: bool,
+}
+
 /// Answers one decoded request: a rejection header, or an accepted
-/// header followed by data frames and the sealing end frame. Returns
-/// the rows streamed (0 for rejections).
+/// header followed by data frames and the sealing end frame.
 fn answer_request(
     model: &FittedSynthesizer,
     cfg: &ServeConfig,
+    state: &ServeState,
     request: &Request,
     output: &mut impl Write,
-) -> Result<u64, ServeError> {
-    if request.n_rows > cfg.max_rows {
-        let reason = format!(
-            "{} rows exceeds the per-request cap of {} (DAISY_SERVE_MAX_ROWS)",
-            request.n_rows, cfg.max_rows
-        );
+) -> Result<Answer, ServeError> {
+    fn reject(output: &mut impl Write, reason: String) -> Result<Answer, ServeError> {
         write_frame(output, &Header::Rejected { reason }.encode())?;
         output.flush()?;
-        return Ok(0);
+        Ok(Answer {
+            rows: 0,
+            truncated: false,
+        })
+    }
+    if state.draining() {
+        // Requests already streaming finish (they never re-enter
+        // here); new ones are told to go elsewhere, typed.
+        return reject(
+            output,
+            "draining: server is shutting down; resume against another replica".to_string(),
+        );
+    }
+    if request.n_rows > cfg.max_rows {
+        return reject(
+            output,
+            format!(
+                "{} rows exceeds the per-request cap of {} (DAISY_SERVE_MAX_ROWS)",
+                request.n_rows, cfg.max_rows
+            ),
+        );
+    }
+    if request.start_row > request.n_rows {
+        return reject(
+            output,
+            format!(
+                "start_row {} is past the end of the {}-row stream",
+                request.start_row, request.n_rows
+            ),
+        );
     }
     let mut stream = match model.try_stream_rows(
         request.n_rows as usize,
@@ -252,15 +565,16 @@ fn answer_request(
         request.condition.as_deref(),
     ) {
         Ok(stream) => stream,
-        Err(reason) => {
-            write_frame(output, &Header::Rejected { reason }.encode())?;
-            output.flush()?;
-            return Ok(0);
-        }
+        Err(reason) => return reject(output, reason),
     };
+    if request.start_row > 0 {
+        stream.fast_forward(request.start_row as usize);
+        metrics::counter("serve.resumed_requests").add(1);
+    }
     let header = Header::Accepted {
         seed: request.seed,
         n_rows: request.n_rows,
+        start_row: request.start_row,
         condition: request.condition.clone(),
         columns: column_specs(model),
     };
@@ -269,14 +583,36 @@ fn answer_request(
     // Data frames: one per generation batch, never a whole table. The
     // incremental CRC seals the concatenated row payloads so the
     // client can verify the stream end to end without buffering it.
+    // Row positions are absolute: a resumed stream picks up exactly
+    // where `start_row` says, on the same batch grid as a fresh one.
     let mut payload_crc = Crc64::new();
-    let mut first_row = 0u64;
-    while let Some(batch) = stream.next_batch() {
+    let mut next_row = request.start_row;
+    loop {
+        if state.drain_expired() {
+            // The drain window closed mid-stream: seal what was sent
+            // with a typed draining end frame so the client can verify
+            // every delivered frame and resume at `next_row`.
+            let end = EndFrame {
+                end_row: next_row,
+                payload_crc: payload_crc.finish(),
+                flags: END_FLAG_DRAINING,
+            };
+            write_frame(output, &end.encode())?;
+            output.flush()?;
+            metrics::counter("serve.drained").add(1);
+            return Ok(Answer {
+                rows: next_row - request.start_row,
+                truncated: true,
+            });
+        }
+        let Some(batch) = stream.next_batch() else {
+            break;
+        };
         let n = batch.n_rows();
         debug_assert!(n <= FRAME_ROWS);
         let mut w = Writer::default();
         w.buf.extend_from_slice(MAGIC_DATA);
-        w.u64(first_row);
+        w.u64(next_row);
         w.u64(n as u64);
         let payload_start = w.buf.len();
         for i in 0..n {
@@ -289,23 +625,29 @@ fn answer_request(
         }
         payload_crc.update(&w.buf[payload_start..]);
         write_frame(output, &w.buf)?;
-        first_row += n as u64;
+        next_row += n as u64;
     }
-    let mut end = Writer::default();
-    end.buf.extend_from_slice(MAGIC_END);
-    end.u64(first_row);
-    end.u64(payload_crc.finish());
-    write_frame(output, &end.buf)?;
+    let end = EndFrame {
+        end_row: next_row,
+        payload_crc: payload_crc.finish(),
+        flags: 0,
+    };
+    write_frame(output, &end.encode())?;
     output.flush()?;
-    Ok(first_row)
+    Ok(Answer {
+        rows: next_row - request.start_row,
+        truncated: false,
+    })
 }
 
 /// A long-lived TCP serving process over one sealed model file.
 pub struct Server {
     listener: TcpListener,
-    model_bytes: Arc<Vec<u8>>,
+    model: Arc<SharedModel>,
     cfg: ServeConfig,
     admin_addr: Option<SocketAddr>,
+    state: Arc<ServeState>,
+    slots: Arc<Mutex<usize>>,
 }
 
 impl Server {
@@ -322,19 +664,13 @@ impl Server {
         addr: impl ToSocketAddrs,
         cfg: ServeConfig,
     ) -> Result<Server, ServeError> {
-        let (bytes, model) = load_model(model_path.as_ref())?;
+        let (shared, model) = SharedModel::load(model_path.as_ref())?;
         let listener = TcpListener::bind(addr)?;
         register_serve_metrics();
+        let state = Arc::new(ServeState::default());
         let admin_addr = match &cfg.admin_addr {
             Some(admin) => {
-                let info = AdminInfo::new(
-                    crc64(&bytes),
-                    model.param_count(),
-                    model.param_bytes(),
-                    model.output_template().n_attrs(),
-                    model.is_conditional(),
-                    cfg.max_conn,
-                );
+                let info = AdminInfo::new(Arc::clone(&shared), Arc::clone(&state), cfg.max_conn);
                 // daisy-lint: allow(D003) -- admin listener thread; read-only introspection off the serving path
                 Some(AdminServer::bind(admin.as_str(), info)?.spawn()?)
             }
@@ -358,9 +694,11 @@ impl Server {
         }
         Ok(Server {
             listener,
-            model_bytes: Arc::new(bytes),
+            model: shared,
             cfg,
             admin_addr,
+            state,
+            slots: Arc::new(Mutex::new(0)),
         })
     }
 
@@ -375,40 +713,109 @@ impl Server {
         self.admin_addr
     }
 
-    /// Accepts and serves connections forever (until the process is
-    /// terminated or the listener fails).
+    /// The hot-swappable model behind the accept loop — reload it via
+    /// [`SharedModel::reload`] or the admin plane's `POST /reload`.
+    pub fn shared_model(&self) -> Arc<SharedModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The drain lifecycle shared with every connection.
+    /// [`ServeState::begin_drain`] triggers the same graceful sequence
+    /// SIGTERM does — how tests drive the drain in-process.
+    pub fn drain_handle(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Connections currently holding slots on *this* server (the
+    /// `serve.active_conns` gauge is process-global; this count is
+    /// per-instance, which is what leak tests want).
+    pub fn active_connections(&self) -> usize {
+        *self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Accepts and serves connections until the listener fails or a
+    /// drain is requested (SIGTERM via
+    /// [`shutdown::install_sigterm_handler`], or
+    /// [`ServeState::begin_drain`]).
     ///
-    /// Backpressure: a connection slot is acquired *before* `accept`,
-    /// so at most `max_conn` connections are ever live — each holding
+    /// Backpressure: `accept` waits for a free connection slot, so at
+    /// most `max_conn` connections are ever live — each holding
     /// one decoded model replica — and excess clients queue in the
-    /// kernel's TCP backlog at zero heap cost. A slot is released when
-    /// its connection thread finishes, including on client disconnect
-    /// or protocol error.
+    /// kernel's TCP backlog at zero heap cost (with
+    /// [`ServeConfig::shed`], they are instead answered with a typed
+    /// `overloaded` rejection). A slot is released when its connection
+    /// thread finishes, including on client disconnect, deadline
+    /// expiry, or protocol error.
+    ///
+    /// On drain: in-flight requests get [`ServeConfig::drain_ms`] to
+    /// finish, stragglers seal their streams with a draining end
+    /// frame, and `run` returns `Ok(())` — the CLI then exits with the
+    /// documented code (143).
     pub fn run(&self) -> Result<(), ServeError> {
-        let slots = Arc::new((Mutex::new(0usize), Condvar::new()));
+        self.listener.set_nonblocking(true)?;
         let mut conn_id = 0u64;
-        loop {
-            {
-                let (lock, cvar) = &*slots;
-                let mut held = lock.lock().unwrap_or_else(|e| e.into_inner());
-                while *held >= self.cfg.max_conn {
-                    held = cvar.wait(held).unwrap_or_else(|e| e.into_inner());
+        'accept: loop {
+            // Slot-gated mode parks excess clients in the TCP backlog:
+            // wait until a slot is free before accepting (the slot
+            // itself is acquired after accept — this loop is the sole
+            // acquirer, so the observed capacity cannot be stolen).
+            // Holding no slot while parked keeps `serve.active_conns`
+            // equal to live connections, not live + one idle acceptor.
+            // Shed mode accepts immediately and rejects when no slot
+            // frees instantly.
+            if !self.cfg.shed {
+                loop {
+                    if self.drain_requested() {
+                        break 'accept;
+                    }
+                    if self.active_connections() < self.cfg.max_conn {
+                        break;
+                    }
+                    sleep_ms(ACCEPT_POLL_MS);
                 }
-                *held += 1;
-                metrics::gauge("serve.active_conns").set(*held as f64);
             }
-            let guard = SlotGuard {
-                slots: Arc::clone(&slots),
-            };
-            let (stream, _peer) = match self.listener.accept() {
-                Ok(accepted) => accepted,
-                Err(e) => {
-                    drop(guard);
-                    return Err(ServeError::Io(e));
+            let stream = loop {
+                if self.drain_requested() {
+                    break 'accept;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => break stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        sleep_ms(ACCEPT_POLL_MS)
+                    }
+                    Err(e) => return Err(ServeError::Io(e)),
                 }
             };
-            let model_bytes = Arc::clone(&self.model_bytes);
+            // The listener is nonblocking; the accepted stream must not
+            // inherit that (reads would spin instead of block).
+            stream.set_nonblocking(false)?;
+            if self.cfg.timeout_ms > 0 {
+                let deadline = Some(duration_ms(self.cfg.timeout_ms));
+                stream.set_read_timeout(deadline)?;
+                stream.set_write_timeout(deadline)?;
+            }
+            let guard = match self.try_acquire_slot() {
+                Some(guard) => guard,
+                None if self.cfg.shed => {
+                    shed_connection(stream, &self.cfg);
+                    continue;
+                }
+                // Unreachable in practice — capacity was observed just
+                // above and this loop is the only acquirer — but if it
+                // ever happens, park like the backlog would have.
+                None => loop {
+                    if self.drain_requested() {
+                        break 'accept; // drops the accepted stream
+                    }
+                    match self.try_acquire_slot() {
+                        Some(guard) => break guard,
+                        None => sleep_ms(ACCEPT_POLL_MS),
+                    }
+                },
+            };
+            let model_bytes = self.model.current();
             let cfg = self.cfg.clone();
+            let state = Arc::clone(&self.state);
             let conn = conn_id;
             conn_id += 1;
             // The serving plane is explicitly off the deterministic
@@ -417,36 +824,132 @@ impl Server {
             // daisy-lint: allow(D003) -- connection threads; responses are reproducible by per-request seeding, not scheduling
             std::thread::spawn(move || {
                 let _guard = guard;
-                serve_tcp_connection(&model_bytes, conn, &cfg, stream);
+                serve_tcp_connection(&model_bytes, conn, &cfg, &state, stream);
             });
         }
+        self.drain();
+        Ok(())
     }
+
+    /// Lets in-flight connections finish inside the drain window, then
+    /// expires the window (streams seal themselves with draining end
+    /// frames) and gives stragglers a short grace to do so.
+    fn drain(&self) {
+        self.state.begin_drain();
+        let active = self.active_connections();
+        if enabled() {
+            emit_event(
+                Event::new(
+                    schema::SERVE_DRAIN,
+                    vec![
+                        field("active", active),
+                        field("drain_ms", self.cfg.drain_ms),
+                    ],
+                )
+                .non_deterministic(),
+            );
+        }
+        let watch = Stopwatch::start();
+        while self.active_connections() > 0 && watch.elapsed_ms() < self.cfg.drain_ms as f64 {
+            sleep_ms(ACCEPT_POLL_MS);
+        }
+        self.state.expire_drain();
+        let grace = Stopwatch::start();
+        while self.active_connections() > 0 && grace.elapsed_ms() < DRAIN_STRAGGLER_GRACE_MS {
+            sleep_ms(ACCEPT_POLL_MS);
+        }
+        if enabled() {
+            daisy_telemetry::emit_metrics_snapshot();
+        }
+    }
+
+    fn drain_requested(&self) -> bool {
+        if shutdown::sigterm_received() {
+            // Propagate the signal into the shared state so connection
+            // threads and the admin plane see it too.
+            self.state.begin_drain();
+        }
+        self.state.draining()
+    }
+
+    fn try_acquire_slot(&self) -> Option<SlotGuard> {
+        let mut held = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if *held >= self.cfg.max_conn {
+            return None;
+        }
+        *held += 1;
+        metrics::gauge("serve.active_conns").set(*held as f64);
+        Some(SlotGuard {
+            slots: Arc::clone(&self.slots),
+        })
+    }
+}
+
+/// Answers an accepted-but-unserveable connection in shed mode: a
+/// typed `overloaded` rejection header, counted, then close. The
+/// request frame (if any) is never read — the client learns to back
+/// off in one round trip.
+fn shed_connection(mut stream: TcpStream, cfg: &ServeConfig) {
+    metrics::counter("serve.shed_requests").add(1);
+    let reason = format!(
+        "overloaded: all {} connection slots are busy; retry with backoff",
+        cfg.max_conn
+    );
+    let _ = write_frame(&mut stream, &Header::Rejected { reason }.encode());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain whatever request bytes the client already sent before
+    // closing. Dropping the socket with unread data makes the kernel
+    // send RST, which can destroy the rejection header before the
+    // client reads it — the client would see "connection reset"
+    // instead of the typed "overloaded" answer. The read deadline set
+    // at accept bounds this drain against peers that never hang up.
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 /// Releases a connection slot (and updates the active-connections
 /// gauge) when the connection thread exits for any reason — normal
-/// completion, client disconnect, protocol error, or panic.
+/// completion, client disconnect, deadline expiry, protocol error, or
+/// panic.
 struct SlotGuard {
-    slots: Arc<(Mutex<usize>, Condvar)>,
+    slots: Arc<Mutex<usize>>,
 }
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
-        let (lock, cvar) = &*self.slots;
-        let mut held = lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut held = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         *held = held.saturating_sub(1);
         metrics::gauge("serve.active_conns").set(*held as f64);
-        cvar.notify_one();
     }
+}
+
+/// True when `e` is a socket-deadline expiry (the two kinds Unix read/
+/// write timeouts surface as).
+fn is_deadline(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
 }
 
 /// Decodes a thread-local model replica and runs the request loop on
 /// one TCP connection. Errors end the connection (the slot frees via
 /// the caller's guard), never the server.
-fn serve_tcp_connection(model_bytes: &[u8], conn: u64, cfg: &ServeConfig, stream: TcpStream) {
+fn serve_tcp_connection(
+    model_bytes: &[u8],
+    conn: u64,
+    cfg: &ServeConfig,
+    state: &ServeState,
+    stream: TcpStream,
+) {
     let model = match FittedSynthesizer::from_bytes(model_bytes) {
         Ok(model) => model,
-        // Unreachable in practice: the bytes were validated at bind.
+        // Unreachable in practice: the bytes were validated at bind or
+        // reload.
         Err(e) => {
             eprintln!("connection {conn}: model replica decode failed: {e}");
             return;
@@ -454,9 +957,17 @@ fn serve_tcp_connection(model_bytes: &[u8], conn: u64, cfg: &ServeConfig, stream
     };
     let mut reader = &stream;
     let mut writer = &stream;
-    if let Err(e) = serve_connection(&model, conn, cfg, &mut reader, &mut writer) {
-        // A vanished client is normal churn; anything else is logged.
-        if !matches!(&e, ServeError::Io(io) if io.kind() == std::io::ErrorKind::BrokenPipe) {
+    if let Err(e) = serve_connection(&model, conn, cfg, state, &mut reader, &mut writer) {
+        if is_deadline(&e) {
+            // A stalled peer hit the per-connection deadline: count the
+            // eviction — the slot frees right after this returns.
+            metrics::counter("serve.timeouts").add(1);
+            eprintln!(
+                "connection {conn}: deadline of {} ms expired; connection evicted",
+                cfg.timeout_ms
+            );
+        } else if !matches!(&e, ServeError::Io(io) if io.kind() == std::io::ErrorKind::BrokenPipe) {
+            // A vanished client is normal churn; anything else is logged.
             eprintln!("connection {conn}: {e}");
         }
     }
@@ -464,11 +975,13 @@ fn serve_tcp_connection(model_bytes: &[u8], conn: u64, cfg: &ServeConfig, stream
 
 /// Serves exactly one connection over stdin/stdout — the `daisy serve
 /// --stdio` mode for pipeline use (one process per client, no socket).
+/// No deadlines or drain lifecycle apply: the pipe's lifetime is the
+/// process's.
 pub fn serve_stdio(model_path: impl AsRef<Path>, cfg: &ServeConfig) -> Result<u64, ServeError> {
     let (_bytes, model) = load_model(model_path.as_ref())?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut input = stdin.lock();
     let mut output = stdout.lock();
-    serve_connection(&model, 0, cfg, &mut input, &mut output)
+    serve_connection(&model, 0, cfg, &ServeState::default(), &mut input, &mut output)
 }

@@ -246,6 +246,15 @@ pub fn sleep_ms(ms: u64) {
     std::thread::sleep(Duration::from_millis(ms));
 }
 
+/// Builds a [`Duration`] of `ms` milliseconds. The socket-deadline
+/// companion to [`sleep_ms`]: code outside this crate that needs a
+/// `Duration` for `set_read_timeout`-style APIs — the serving plane's
+/// per-connection deadlines, say — borrows it from the sanctioned
+/// wall-clock plane instead of naming `std::time` itself (lint D002).
+pub fn duration_ms(ms: u64) -> Duration {
+    Duration::from_millis(ms)
+}
+
 /// Emits the current state of every registered metric as one
 /// [`schema::METRICS`] event marked non-deterministic (metrics values
 /// depend on thread count and scheduling, so the deterministic view

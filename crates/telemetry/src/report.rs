@@ -276,9 +276,49 @@ impl RunReport {
                 ms
             ));
         }
+        // Lifecycle events: drains and hot reloads, in trace order.
+        let drains: Vec<&Json> = self.named(schema::SERVE_DRAIN).collect();
+        for e in &drains {
+            out.push_str(&format!(
+                "  drain       began with {} stream(s) in flight (window {} ms)\n",
+                fval(e, "active"),
+                fval(e, "drain_ms"),
+            ));
+        }
+        let reloads: Vec<&Json> = self.named(schema::SERVE_RELOAD).collect();
+        for e in &reloads {
+            if fval(e, "ok") == "true" {
+                out.push_str(&format!(
+                    "  reload      generation {} fingerprint {}\n",
+                    fval(e, "generation"),
+                    fval(e, "fingerprint"),
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  reload      FAILED ({}); old model kept serving\n",
+                    fval(e, "error"),
+                ));
+            }
+        }
         // Distributions from the last metrics snapshot. Percentiles
         // are linear-interpolation estimates inside pow2 buckets.
         if let Some(snapshot) = self.named(schema::METRICS).last() {
+            let resilience: Vec<String> = [
+                ("serve.timeouts", "timeouts"),
+                ("serve.drained", "drained"),
+                ("serve.shed_requests", "shed"),
+                ("serve.resumed_requests", "resumed"),
+                ("serve.reloads", "reloads"),
+            ]
+            .iter()
+            .filter_map(|(key, label)| {
+                let n = snapshot.get(key)?.as_u64()?;
+                (n > 0).then(|| format!("{label}={n}"))
+            })
+            .collect();
+            if !resilience.is_empty() {
+                out.push_str(&format!("  resilience  {}\n", resilience.join(" ")));
+            }
             if let Some((p50, p99)) = Self::snapshot_p50_p99(snapshot, "serve.rows_per_request") {
                 out.push_str(&format!(
                     "  rows/request  p50≈{p50:.0} p99≈{p99:.0} (pow2-bucket interpolation estimate)\n"

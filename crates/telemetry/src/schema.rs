@@ -106,6 +106,16 @@ pub const SERVE_REQUEST_START: &str = "serve_request_start";
 /// non-deterministic). Fields: `conn`, `rows`, `ok`; wall fields:
 /// `ms`.
 pub const SERVE_REQUEST_END: &str = "serve_request_end";
+/// The serving plane began a graceful drain: the accept loop stopped
+/// and in-flight requests got `DAISY_SERVE_DRAIN_MS` to finish (whole
+/// event is non-deterministic). Fields: `active` (connections in
+/// flight when the drain began), `drain_ms` (the configured window).
+pub const SERVE_DRAIN: &str = "serve_drain";
+/// An admin-triggered hot model reload completed or failed (whole
+/// event is non-deterministic). Fields: `ok`, `generation` (reload
+/// generation after the attempt), `fingerprint` (active model
+/// fingerprint after the attempt), `error` (`-` on success).
+pub const SERVE_RELOAD: &str = "serve_reload";
 
 /// A span opened. Fields: `span`, plus caller fields.
 pub const SPAN_START: &str = "span_start";

@@ -45,6 +45,7 @@ pub use daisy_nn as nn;
 pub use daisy_serve as serve;
 pub use daisy_telemetry as telemetry;
 pub use daisy_tensor as tensor;
+pub use daisy_wire as wire;
 
 /// The most commonly used types, in one import.
 pub mod prelude {

@@ -27,8 +27,11 @@ USAGE:
     daisy evaluate <REAL.csv> <SYNTH.csv> [--label COL]
     daisy describe <TABLE.csv> [--label COL]
     daisy ingest <INPUT.csv> --out <DIR> [OPTIONS]
-    daisy serve <MODEL.daisy> [--addr HOST:PORT] [--stdio]
+    daisy serve <MODEL.daisy> [--addr HOST:PORT] [--stdio] [--shed]
+                [--timeout-ms N] [--drain-ms N]
     daisy rows <ADDR> --rows N [--seed N] [--condition CAT] [--out FILE]
+                [--retries N] [--start-row N] [--resume]
+    daisy reload <ADMIN_ADDR>
     daisy top <ADMIN_ADDR> [--interval SECS] [--once]
     daisy top --trace <TRACE.jsonl>
     daisy report <TRACE.jsonl> [--validate]
@@ -69,10 +72,24 @@ SERVE OPTIONS:
     --stdio              serve exactly one connection over stdin/stdout
                          instead of TCP (for pipelines; one process per
                          client)
+    --timeout-ms N       per-connection read/write deadline (default
+                         30000; 0 disables) — stalled peers are evicted
+                         and their slots freed
+    --drain-ms N         graceful-drain window on SIGTERM (default
+                         5000): stop accepting, let in-flight streams
+                         finish, seal stragglers with a typed draining
+                         end frame, exit 143
+    --shed               when all slots are busy, reject new clients
+                         with a typed \"overloaded\" header instead of
+                         queueing them in the TCP backlog
     The server streams rows with bounded memory and answers any request
-    {seed, rows, condition?} with byte-identical output on replay.
-    DAISY_SERVE_MAX_CONN caps concurrent connections (default 4);
-    DAISY_SERVE_MAX_ROWS caps rows per request (default 100000000).
+    {seed, rows, start_row, condition?} with byte-identical output on
+    replay. DAISY_SERVE_MAX_CONN caps concurrent connections (default
+    4); DAISY_SERVE_MAX_ROWS caps rows per request (default 100000000);
+    DAISY_SERVE_TIMEOUT_MS / DAISY_SERVE_DRAIN_MS / DAISY_SERVE_SHED=1
+    are the environment forms of the flags above. With
+    DAISY_SERVE_ADMIN=HOST:PORT set, `daisy reload <ADMIN_ADDR>`
+    hot-swaps the (revalidated) model file without dropping streams.
     See docs/SERVING.md for the protocol and runbook.
 
 TOP OPTIONS (live viewer for a running `daisy serve`):
@@ -90,7 +107,25 @@ ROWS OPTIONS (scripted client for a running `daisy serve`):
     --rows N             rows to request (required)
     --seed N             request seed (default: 7); same seed, same rows
     --condition CAT      condition every row on this label category
-    --out FILE           write CSV there instead of stdout
+    --out FILE           write CSV there instead of stdout (streamed
+                         and flushed batch by batch)
+    --retries N          retry transient failures (torn streams,
+                         resets, \"overloaded\", \"draining\") up to N
+                         times with deterministic backoff, resuming at
+                         the last validated row (default: 5; 0 fails
+                         on the first interruption)
+    --start-row N        resume the logical stream at row N (the rows
+                         before N are skipped server-side; output is
+                         byte-identical to the tail of a full fetch)
+    --resume             with --out: count the complete rows already in
+                         the file, truncate any torn final line, and
+                         continue from there
+
+RELOAD (hot model swap on a running `daisy serve`):
+    daisy reload <ADMIN_ADDR> revalidates the server's model file and
+    atomically swaps it in: in-flight streams finish on the old model,
+    new connections use the new one. A corrupt replacement is
+    quarantined (*.corrupt-N) and the old model keeps serving.
 
 REPORT OPTIONS:
     --validate           only validate the trace; print the summary line
@@ -164,6 +199,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ingest" => ingest(args),
         "serve" => serve(args),
         "rows" => rows(args),
+        "reload" => reload(args),
         "top" => top::top(args),
         "report" => report(args),
         other => Err(format!("unknown command {other:?}")),
@@ -338,8 +374,18 @@ fn serve(mut args: Vec<String>) -> Result<(), String> {
     } else {
         false
     };
+    let mut cfg = ServeConfig::from_env();
+    if let Some(v) = take_flag(&mut args, "--timeout-ms")? {
+        cfg.timeout_ms = parse_usize(&v, "--timeout-ms")? as u64;
+    }
+    if let Some(v) = take_flag(&mut args, "--drain-ms")? {
+        cfg.drain_ms = parse_usize(&v, "--drain-ms")? as u64;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--shed") {
+        args.remove(pos);
+        cfg.shed = true;
+    }
     let model_path = args.first().ok_or("serve requires a model path")?;
-    let cfg = ServeConfig::from_env();
     if stdio {
         let rows = daisy::serve::serve_stdio(model_path, &cfg).map_err(|e| e.to_string())?;
         eprintln!("served {rows} rows over stdio");
@@ -355,12 +401,39 @@ fn serve(mut args: Vec<String>) -> Result<(), String> {
     if let Some(admin) = server.admin_addr() {
         println!("admin endpoint on {admin} (healthz, metrics, profile — `daisy top {admin}`)");
     }
-    server.run().map_err(|e| e.to_string())
+    daisy::serve::shutdown::install_sigterm_handler();
+    server.run().map_err(|e| e.to_string())?;
+    // `run` only returns Ok after a graceful drain (SIGTERM). Exit with
+    // the conventional SIGTERM code so supervisors and the CI smoke see
+    // the termination they asked for, not a clean 0.
+    eprintln!("drained; exiting");
+    std::process::exit(143);
 }
 
-/// Scripted client: requests one reproducible row stream from a
-/// running `daisy serve` and writes it as CSV.
+/// Renders one CSV cell against the stream's column contract:
+/// numerical cells as their shortest roundtrip form, categorical cells
+/// as their category name.
+fn render_stream_cell(columns: &[daisy::serve::ColumnSpec], col: usize, value: &daisy::data::Value) -> String {
+    use daisy::data::Value;
+    use daisy::serve::ColumnSpec;
+    match (value, &columns[col]) {
+        (Value::Num(x), _) => format!("{x}"),
+        (Value::Cat(code), ColumnSpec::Cat { categories, .. }) => categories
+            .get(*code as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("<code {code}>")),
+        (Value::Cat(code), ColumnSpec::Num { .. }) => format!("<code {code}>"),
+    }
+}
+
+/// Scripted client: streams one reproducible row stream from a running
+/// `daisy serve` into CSV, batch by batch, surviving interruptions —
+/// transient failures are retried with deterministic backoff and the
+/// stream resumes at the last validated row, so the finished file is
+/// byte-identical to an uninterrupted fetch.
 fn rows(mut args: Vec<String>) -> Result<(), String> {
+    use std::io::Write;
+
     let n = take_flag(&mut args, "--rows")?.ok_or("rows requires --rows")?;
     let n = parse_usize(&n, "--rows")? as u64;
     let seed = match take_flag(&mut args, "--seed")? {
@@ -369,32 +442,128 @@ fn rows(mut args: Vec<String>) -> Result<(), String> {
     };
     let condition = take_flag(&mut args, "--condition")?;
     let out = take_flag(&mut args, "--out")?;
-    let addr = args.first().ok_or("rows requires a server address")?;
-    let request = match &condition {
+    let retries = match take_flag(&mut args, "--retries")? {
+        Some(v) => parse_usize(&v, "--retries")? as u32,
+        None => 5,
+    };
+    let mut start_row = match take_flag(&mut args, "--start-row")? {
+        Some(v) => parse_usize(&v, "--start-row")? as u64,
+        None => 0,
+    };
+    let resume = if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let addr = args.first().ok_or("rows requires a server address")?.clone();
+
+    // --resume: whatever complete CSV rows already sit in --out are
+    // kept; a torn final line (a mid-write kill) is truncated away and
+    // the stream picks up at the first missing row.
+    let mut header_done = false;
+    if resume {
+        let path = out.as_deref().ok_or("--resume requires --out")?;
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            let keep = existing.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let complete_lines = existing[..keep].lines().count();
+            if complete_lines > 0 {
+                header_done = true;
+                start_row = (complete_lines - 1) as u64;
+            }
+            if keep < existing.len() {
+                eprintln!(
+                    "truncating torn final line ({} bytes) before resuming",
+                    existing.len() - keep
+                );
+            }
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| format!("cannot reopen {path}: {e}"))?;
+            file.set_len(keep as u64)
+                .map_err(|e| format!("cannot truncate {path}: {e}"))?;
+            eprintln!("resuming at row {start_row} ({complete_lines} complete lines kept)");
+        }
+    }
+
+    let mut request = match &condition {
         Some(c) => Request::conditioned(seed, n, c),
         None => Request::new(seed, n),
     };
-    let response = daisy::serve::fetch(addr.as_str(), &request).map_err(|e| e.to_string())?;
-    let mut csv = String::new();
-    let names: Vec<&str> = response.columns.iter().map(|c| c.name()).collect();
-    csv.push_str(&names.join(","));
-    csv.push('\n');
-    for row in &response.rows {
-        let cells: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(j, v)| response.render_cell(j, v))
-            .collect();
-        csv.push_str(&cells.join(","));
-        csv.push('\n');
+    if start_row > 0 {
+        request = request.resuming_at(start_row);
     }
-    match out {
+    let policy = daisy::serve::RetryPolicy {
+        max_attempts: retries + 1,
+        ..daisy::serve::RetryPolicy::default()
+    };
+
+    let mut writer: Box<dyn Write> = match &out {
         Some(path) => {
-            std::fs::write(&path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("wrote {} rows from {addr} to {path}", response.rows.len());
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .append(resume)
+                .truncate(!resume)
+                .open(path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            Box::new(std::io::BufWriter::new(file))
         }
-        None => print!("{csv}"),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut written = 0u64;
+    let mut io_err: Option<String> = None;
+    let attempts = daisy::serve::fetch_with_retry(addr.as_str(), &request, &policy, |p| {
+        if io_err.is_some() {
+            return;
+        }
+        let mut chunk = String::new();
+        if !header_done {
+            let names: Vec<&str> = p.columns.iter().map(|c| c.name()).collect();
+            chunk.push_str(&names.join(","));
+            chunk.push('\n');
+            header_done = true;
+        }
+        for row in p.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(j, v)| render_stream_cell(p.columns, j, v))
+                .collect();
+            chunk.push_str(&cells.join(","));
+            chunk.push('\n');
+        }
+        written += p.rows.len() as u64;
+        // Write and flush per validated batch so a killed client
+        // leaves at most one torn line for --resume to truncate.
+        if let Err(e) = writer.write_all(chunk.as_bytes()).and_then(|()| writer.flush()) {
+            io_err = Some(format!("write failed: {e}"));
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(e) = io_err {
+        return Err(e);
     }
+    writer.flush().map_err(|e| format!("flush failed: {e}"))?;
+    if let Some(path) = &out {
+        eprintln!(
+            "wrote rows {start_row}..{n} from {addr} to {path} ({attempts} attempt{})",
+            if attempts == 1 { "" } else { "s" }
+        );
+    }
+    let _ = written;
+    Ok(())
+}
+
+/// Triggers a hot model reload on a running `daisy serve` through its
+/// admin endpoint (`POST /reload`).
+fn reload(args: Vec<String>) -> Result<(), String> {
+    let addr = args
+        .first()
+        .ok_or("reload requires the server's admin address (DAISY_SERVE_ADMIN)")?;
+    let body = daisy::serve::post_admin(addr.as_str(), "/reload").map_err(|e| e.to_string())?;
+    print!("{body}");
     Ok(())
 }
 

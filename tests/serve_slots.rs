@@ -1,0 +1,172 @@
+//! Slot-accounting regression tests: every way a connection can end —
+//! clean, vanished, garbage, stalled past its deadline, or shed — must
+//! return its slot, and the `serve.active_conns` gauge must read zero
+//! once the dust settles. A single leaked slot is a slow death for a
+//! `max_conn`-bounded server, so this file throws every failure shape
+//! at once and then proves the server still serves.
+//!
+//! Lives in its own test binary: the gauge is process-global, and this
+//! file wants to assert its final value without other serve tests
+//! racing it.
+
+use daisy::prelude::*;
+use daisy::serve::{fetch, write_frame};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes the two tests: both servers write the same process-global
+/// `serve.active_conns` gauge, so they must not overlap.
+fn gauge_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn model_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let spec = daisy::datasets::by_name("Adult").unwrap();
+        let table = spec.generate(500, 3);
+        let mut tc = TrainConfig::ctrain(60);
+        tc.batch_size = 32;
+        tc.epochs = 1;
+        let mut cfg = SynthesizerConfig::new(NetworkKind::Mlp, tc);
+        cfg.g_hidden = vec![16];
+        cfg.d_hidden = vec![16];
+        let fitted = Synthesizer::fit(&table, &cfg);
+        let path = std::env::temp_dir().join("daisy-serve-slots-model.bin");
+        fitted.save(&path).expect("test model saves");
+        path
+    })
+}
+
+fn spawn_server(cfg: ServeConfig) -> (Arc<Server>, std::net::SocketAddr) {
+    let server = Arc::new(Server::bind(model_path(), "127.0.0.1:0", cfg).expect("server binds"));
+    let addr = server.local_addr().expect("server has an address");
+    let handle = Arc::clone(&server);
+    // daisy-lint: allow(D003) -- test server thread; responses are seed-reproducible
+    std::thread::spawn(move || {
+        let _ = handle.run();
+    });
+    (server, addr)
+}
+
+/// Polls until the server's live-connection count reaches `want` (or
+/// panics after ~5s — a leak would otherwise hang the whole test).
+fn wait_for_active(server: &Server, want: usize) {
+    for _ in 0..1000 {
+        if server.active_connections() == want {
+            return;
+        }
+        daisy_telemetry::sleep_ms(5);
+    }
+    panic!(
+        "active connections stuck at {} (wanted {want}) — a slot leaked",
+        server.active_connections()
+    );
+}
+
+#[test]
+fn every_failed_connection_shape_returns_its_slot() {
+    let _serial = gauge_lock();
+    let cfg = ServeConfig {
+        max_conn: 2,
+        timeout_ms: 300,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = spawn_server(cfg);
+
+    // Shape 1: connect and vanish without sending a byte.
+    for _ in 0..3 {
+        let stream = TcpStream::connect(addr).expect("connects");
+        drop(stream);
+    }
+
+    // Shape 2: a frame that is not a request at all.
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(&mut stream, b"certainly not a request").expect("garbage sends");
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink); // server closes on protocol error
+    }
+
+    // Shape 3: a torn request — four bytes of a length prefix, then
+    // silence with the socket held open. Only the read deadline can
+    // reclaim this slot.
+    let mut stalled = TcpStream::connect(addr).expect("connects");
+    stalled.write_all(&[1, 2, 3, 4]).expect("partial prefix sends");
+    let timeouts_before = daisy::telemetry::metrics::counter("serve.timeouts").get();
+    daisy_telemetry::sleep_ms(600); // past the 300ms deadline
+    drop(stalled);
+
+    // Shape 4: a rejected request (over the row cap) on an otherwise
+    // healthy connection that then hangs up.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(&mut stream, &Request::new(1, u64::MAX).encode()).expect("request sends");
+        let mut first = [0u8; 16];
+        let _ = stream.read_exact(&mut first); // rejection header arrives
+    }
+
+    // All four shapes reclaimed: counter at zero, gauge at zero, and a
+    // real request still gets a slot immediately.
+    wait_for_active(&server, 0);
+    assert!(
+        daisy::telemetry::metrics::counter("serve.timeouts").get() > timeouts_before,
+        "the stalled connection must be evicted by the deadline, not by luck"
+    );
+    assert_eq!(
+        daisy::telemetry::metrics::gauge("serve.active_conns").get(),
+        0.0,
+        "the exported gauge must agree that every slot came back"
+    );
+    let response = fetch(addr, &Request::new(7, 25)).expect("slots were all released");
+    assert_eq!(response.rows.len(), 25);
+    assert_eq!(
+        daisy::telemetry::metrics::gauge("serve.active_conns").get(),
+        0.0,
+        "the clean fetch returned its slot too"
+    );
+}
+
+#[test]
+fn shed_mode_rejects_excess_clients_with_a_typed_overloaded_header() {
+    let _serial = gauge_lock();
+    let cfg = ServeConfig {
+        max_conn: 1,
+        shed: true,
+        timeout_ms: 5_000,
+        ..ServeConfig::default()
+    };
+    let (server, addr) = spawn_server(cfg);
+
+    // Occupy the only slot: connect and send nothing; the connection
+    // thread parks in its request read until we hang up.
+    let holder = TcpStream::connect(addr).expect("holder connects");
+    wait_for_active(&server, 1);
+
+    // The next client is answered immediately — typed rejection, not a
+    // queue — and the shed is counted.
+    let shed_before = daisy::telemetry::metrics::counter("serve.shed_requests").get();
+    let Err(ServeError::Rejected(reason)) = fetch(addr, &Request::new(3, 10)) else {
+        panic!("an over-capacity client under shed mode must be rejected");
+    };
+    assert!(
+        reason.starts_with("overloaded"),
+        "the rejection names the condition: {reason}"
+    );
+    assert!(
+        reason.contains("retry"),
+        "the rejection tells the client what to do: {reason}"
+    );
+    assert!(daisy::telemetry::metrics::counter("serve.shed_requests").get() > shed_before);
+
+    // Rejected clients never held a slot, so the holder's slot is the
+    // only one live; release it and the very next fetch is served.
+    drop(holder);
+    wait_for_active(&server, 0);
+    let response = fetch(addr, &Request::new(3, 10)).expect("capacity is back");
+    assert_eq!(response.rows.len(), 10);
+}

@@ -9,7 +9,7 @@
 use daisy::prelude::*;
 use daisy::serve::{
     decode_response, fetch, fetch_raw, load_model, read_frame, serve_connection, write_frame,
-    Header, MAX_REQUEST_FRAME,
+    Header, ServeState, MAX_REQUEST_FRAME,
 };
 use daisy::tensor::pool;
 use std::io::Read;
@@ -50,7 +50,8 @@ fn serve_in_memory(input: &[u8], cfg: &ServeConfig) -> Vec<u8> {
     let (_bytes, model) = load_model(model_path()).expect("test model loads");
     let mut input = input;
     let mut output = Vec::new();
-    serve_connection(&model, 0, cfg, &mut input, &mut output).expect("connection serves cleanly");
+    serve_connection(&model, 0, cfg, &ServeState::default(), &mut input, &mut output)
+        .expect("connection serves cleanly");
     output
 }
 
