@@ -338,7 +338,7 @@ fn main() {
     bench_transform();
     bench_telemetry_overhead();
     pool::set_threads(1);
-    if let Ok(path) = std::env::var("DAISY_BENCH_JSON") {
+    if let Some(path) = daisy_telemetry::knobs::raw("DAISY_BENCH_JSON") {
         let path = if path == "1" || path.is_empty() {
             "BENCH_kernels.json".to_string()
         } else {

@@ -256,7 +256,7 @@ fn main() {
     );
     *DEADLINE_OVERHEAD.lock().unwrap() = Some(overhead);
     std::fs::remove_file(&model_path).ok();
-    if let Ok(path) = std::env::var("DAISY_BENCH_JSON") {
+    if let Some(path) = daisy_telemetry::knobs::raw("DAISY_BENCH_JSON") {
         let path = if path == "1" || path.is_empty() {
             "BENCH_serve.json".to_string()
         } else {

@@ -55,11 +55,11 @@ pub fn scale() -> Scale {
 }
 
 fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.parse().ok()
+    daisy_telemetry::knobs::raw(name)?.parse().ok()
 }
 
 fn base_scale() -> Scale {
-    if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+    if daisy_telemetry::knobs::flag("DAISY_FULL") {
         Scale {
             rows: 12_000,
             iterations: 2_000,
@@ -460,7 +460,7 @@ pub fn default_gan_for(train: &Table, seed: u64) -> SynthesizerConfig {
 /// on long LSTM unrolls. Learning-rate diversity — the axis that drives
 /// the robustness findings — is untouched. No-op under `DAISY_FULL=1`.
 pub fn clamp_for_quick(cfg: &mut SynthesizerConfig) {
-    if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+    if daisy_telemetry::knobs::flag("DAISY_FULL") {
         return;
     }
     let s = scale();
@@ -496,7 +496,7 @@ pub fn banner(title: &str, detail: &str) {
         "(scale: {} rows, {} iterations{}; set DAISY_FULL=1 for larger runs)",
         s.rows,
         s.iterations,
-        if std::env::var("DAISY_FULL").is_ok_and(|v| v == "1") {
+        if daisy_telemetry::knobs::flag("DAISY_FULL") {
             ", FULL"
         } else {
             ", quick"

@@ -37,7 +37,7 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"DAISYCK1";
+use daisy_wire::magic::CHECKPOINT as MAGIC;
 
 /// Why a checkpoint operation failed. All variants are recoverable:
 /// training continues without the failed save, and a corrupt load falls
@@ -84,8 +84,7 @@ pub fn config_fingerprint(cfg: &SynthesizerConfig) -> u64 {
 }
 
 fn every_from_env() -> usize {
-    std::env::var("DAISY_CKPT_EVERY")
-        .ok()
+    daisy_telemetry::knobs::raw("DAISY_CKPT_EVERY")
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&v| v >= 1)
         .unwrap_or(1)

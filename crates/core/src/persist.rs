@@ -30,8 +30,7 @@ use daisy_nn::restore;
 use daisy_tensor::{Rng, Tensor};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DAISYSY1";
-const FOOTER_MAGIC: &[u8; 8] = b"DAISYCRC";
+use daisy_wire::magic::{SYNTH as MAGIC, SYNTH_FOOTER as FOOTER_MAGIC};
 
 /// Serialization errors.
 pub type PersistError = String;

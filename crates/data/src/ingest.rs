@@ -38,8 +38,8 @@ use daisy_wire::{atomic_write, crc64, quarantine, sync_parent_dir, Reader, Write
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
 
-/// Journal file magic, version 1.
-pub const JOURNAL_MAGIC: &[u8; 8] = b"DAISYIJ1";
+/// Journal file magic, version 1 (defined once in [`daisy_wire::magic`]).
+pub use daisy_wire::magic::INGEST_JOURNAL as JOURNAL_MAGIC;
 
 /// Journal file name inside a store directory.
 pub const JOURNAL_FILE: &str = "journal.dij";

@@ -22,8 +22,8 @@ use crate::table::Column;
 use crate::value::{AttrType, Attribute};
 use daisy_wire::{Reader, WireError, Writer};
 
-/// Chunk file magic, version 1.
-pub const CHUNK_MAGIC: &[u8; 8] = b"DAISYCH1";
+/// Chunk file magic, version 1 (defined once in [`daisy_wire::magic`]).
+pub use daisy_wire::magic::CHUNK as CHUNK_MAGIC;
 
 /// File name of chunk `k` inside a store directory.
 pub fn chunk_file_name(k: usize) -> String {

@@ -43,8 +43,8 @@ use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Manifest file magic, version 1.
-pub const MANIFEST_MAGIC: &[u8; 8] = b"DAISYMF1";
+/// Manifest file magic, version 1 (defined once in [`daisy_wire::magic`]).
+pub use daisy_wire::magic::MANIFEST as MANIFEST_MAGIC;
 
 /// Manifest file name inside a store directory.
 pub const MANIFEST_FILE: &str = "manifest.dmf";
@@ -56,12 +56,12 @@ pub const DEFAULT_MEM_BUDGET: usize = 256 * 1024 * 1024;
 /// Resident-chunk memory budget in bytes: `DAISY_MEM_BUDGET` when set
 /// to a positive integer, [`DEFAULT_MEM_BUDGET`] otherwise.
 pub fn mem_budget() -> usize {
-    match std::env::var("DAISY_MEM_BUDGET") {
-        Ok(v) => match v.trim().parse::<usize>() {
+    match daisy_telemetry::knobs::raw("DAISY_MEM_BUDGET") {
+        Some(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
             _ => DEFAULT_MEM_BUDGET,
         },
-        Err(_) => DEFAULT_MEM_BUDGET,
+        None => DEFAULT_MEM_BUDGET,
     }
 }
 

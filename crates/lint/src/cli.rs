@@ -1,20 +1,22 @@
 //! The command-line front end shared by the `daisy-lint` binary and
 //! the `daisy lint` subcommand.
 
-use crate::findings::{render_human, render_json, RULES};
+use crate::findings::{render_human, render_json, render_sarif, RULES};
 use std::path::PathBuf;
 
 const HELP: &str = "\
 daisy-lint — determinism & invariant linter for the daisy workspace
 
 USAGE:
-    daisy-lint [--root DIR] [--json] [--list-rules]
-    daisy lint [--root DIR] [--json] [--list-rules]
+    daisy-lint [--root DIR] [--format human|json|sarif] [--list-rules]
+    daisy lint [--root DIR] [--format human|json|sarif] [--list-rules]
 
 OPTIONS:
     --root DIR     workspace root (default: walk up from the current
                    directory to the nearest [workspace] Cargo.toml)
-    --json         machine-readable findings on stdout
+    --format FMT   output format: human (default), json, or sarif
+                   (SARIF 2.1.0, for CI code-scanning upload)
+    --json         shorthand for --format json
     --list-rules   print the rule catalogue and exit
 
 EXIT CODE:
@@ -28,15 +30,37 @@ above) the offending line:
 See docs/LINTS.md for the rule catalogue.
 ";
 
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 /// Runs the linter CLI. Prints to stdout/stderr; returns the process
-/// exit code (0 clean, 1 findings, 2 usage or I/O error).
+/// exit code (0 clean, 1 findings, 2 usage or I/O error). Findings
+/// exit 1 in every format — SARIF output still gates CI.
 pub fn cli(args: &[String]) -> i32 {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match iter.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    eprintln!("error: unknown format {other:?} (human, json, sarif)");
+                    return 2;
+                }
+                None => {
+                    eprintln!("error: --format requires a format name (human, json, sarif)");
+                    return 2;
+                }
+            },
             "--root" => match iter.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -94,10 +118,10 @@ pub fn cli(args: &[String]) -> i32 {
             return 2;
         }
     };
-    if json {
-        println!("{}", render_json(&report.findings, report.files_scanned));
-    } else {
-        print!("{}", render_human(&report.findings, report.files_scanned));
+    match format {
+        Format::Json => println!("{}", render_json(&report.findings, report.files_scanned)),
+        Format::Sarif => println!("{}", render_sarif(&report.findings, report.files_scanned)),
+        Format::Human => print!("{}", render_human(&report.findings, report.files_scanned)),
     }
     // Both severities gate: a warning is still a finding.
     if report.is_clean() {
@@ -121,6 +145,8 @@ mod tests {
     fn unknown_flag_is_usage_error() {
         assert_eq!(cli(&["--frobnicate".into()]), 2);
         assert_eq!(cli(&["--root".into()]), 2);
+        assert_eq!(cli(&["--format".into()]), 2);
+        assert_eq!(cli(&["--format".into(), "xml".into()]), 2);
     }
 
     #[test]

@@ -118,6 +118,27 @@ pub const RULES: &[RuleInfo] = &[
         summary: "tensor kernel assertions must carry dimension-bearing panic messages",
         file_scoped: false,
     },
+    RuleInfo {
+        id: "M001",
+        severity: Severity::Error,
+        summary: "metrics must be registered in telemetry::schema::METRICS with a fixed kind, \
+                  emitted somewhere, and documented in docs/OBSERVABILITY.md",
+        file_scoped: false,
+    },
+    RuleInfo {
+        id: "K001",
+        severity: Severity::Error,
+        summary: "DAISY_* environment reads must go through telemetry::knobs; every mentioned \
+                  knob must be registered and documented in docs/OBSERVABILITY.md",
+        file_scoped: false,
+    },
+    RuleInfo {
+        id: "W001",
+        severity: Severity::Error,
+        summary: "wire magics are declared exactly once, in daisy_wire::magic; no duplicate or \
+                  inlined magic values elsewhere",
+        file_scoped: false,
+    },
 ];
 
 /// Looks a rule up by id.
@@ -222,6 +243,52 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
         ));
     }
     out.push_str("]}");
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log with one run, so CI can
+/// upload the output for inline code-scanning annotations. The shape
+/// is minimal but valid: `runs[0].tool.driver` names the tool and
+/// carries the full rule catalogue; each result holds `ruleId`,
+/// `level`, `message.text`, and one physical location
+/// (`artifactLocation.uri` + `region.startLine`). Deterministic for
+/// the same reasons as [`render_json`].
+pub fn render_sarif(findings: &[Finding], _files_scanned: usize) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"daisy-lint\",\"informationUri\":\"docs/LINTS.md\",\"rules\":[",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            r.id,
+            json_escape(r.summary)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            f.rule,
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line.max(1)
+        ));
+    }
+    out.push_str("]}]}");
     out
 }
 

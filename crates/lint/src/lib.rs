@@ -7,8 +7,9 @@
 //!
 //! The linter lexes every workspace `.rs` file with a small hand-rolled
 //! comment/string-aware lexer (no `syn`, no `regex` — consistent with
-//! the repo's no-external-deps discipline) and checks three rule
-//! families:
+//! the repo's no-external-deps discipline), builds a workspace-wide
+//! symbol table (pass 1, [`symbols`]), then checks four rule families
+//! against the token streams and the table (pass 2):
 //!
 //! * **D-series (determinism)**: no hash-ordered iteration, wall-clock
 //!   reads, rogue thread spawns, or entropy-seeded RNG construction in
@@ -20,12 +21,19 @@
 //! * **H-series (hygiene)**: crate-root `#![forbid(unsafe_code)]` +
 //!   `#![warn(missing_docs)]`, per-crate unwrap/expect budgets, and
 //!   dimension-carrying kernel panic messages.
+//! * **Registry rules (M001/K001/W001)**: the whole tree checked
+//!   against the invariant registries — the metric registry
+//!   (`telemetry::schema::METRICS`), the environment-knob registry
+//!   (`telemetry::knobs`, dumped by `daisy knobs`), and the wire-magic
+//!   registry (`daisy_wire::magic`) — each kept in three-way sync
+//!   between code, registry, and `docs/OBSERVABILITY.md`.
 //!
-//! Run it as `cargo run -p daisy-lint` or `daisy lint`; add `--json`
-//! for machine-readable findings. Suppress an intentional violation
-//! with a `// daisy-lint: allow(<RULE>)` comment on (or directly
-//! above) the offending line. The full catalogue lives in
-//! `docs/LINTS.md`.
+//! Run it as `cargo run -p daisy-lint` or `daisy lint`; add
+//! `--format json` for machine-readable findings or `--format sarif`
+//! for a SARIF 2.1.0 log CI uploads to code scanning. Suppress an
+//! intentional violation with a `// daisy-lint: allow(<RULE>)` comment
+//! on (or directly above) the offending line. The full catalogue
+//! lives in `docs/LINTS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,10 +43,11 @@ pub mod findings;
 pub mod lexer;
 pub mod rules;
 pub mod schema;
+pub mod symbols;
 pub mod workspace;
 
-pub use findings::{render_human, render_json, Finding, RuleInfo, Severity, RULES};
-pub use rules::{lint_files, LintReport};
+pub use findings::{render_human, render_json, render_sarif, Finding, RuleInfo, Severity, RULES};
+pub use rules::{lint_files, LintContext, LintReport};
 
 use std::io;
 use std::path::Path;
@@ -47,15 +56,23 @@ use std::path::Path;
 pub const SCHEMA_REL: &str = "crates/telemetry/src/schema.rs";
 
 /// Lints the workspace rooted at `root`: collects every covered `.rs`
-/// file, parses the telemetry event vocabulary, and runs all rules.
+/// file, parses the invariant registries (event vocabulary, metric
+/// registry, knob registry) plus `docs/OBSERVABILITY.md`, and runs all
+/// rules.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let files = workspace::collect(root)?;
-    let event_schema = files
+    let schema_src = files.iter().find(|f| f.rel == SCHEMA_REL).map(|f| f.src.as_str());
+    let knobs_src = files
         .iter()
-        .find(|f| f.rel == SCHEMA_REL)
-        .map(|f| schema::parse(&f.src))
-        .unwrap_or_default();
-    Ok(rules::lint_files(&files, &event_schema))
+        .find(|f| f.rel == symbols::KNOBS_REL)
+        .map(|f| f.src.as_str());
+    let ctx = LintContext {
+        events: schema_src.map(schema::parse).unwrap_or_default(),
+        metrics: schema_src.map(schema::parse_metrics).unwrap_or_default(),
+        knobs: knobs_src.map(schema::parse_knobs).unwrap_or_default(),
+        docs: std::fs::read_to_string(root.join("docs/OBSERVABILITY.md")).unwrap_or_default(),
+    };
+    Ok(rules::lint_files(&files, &ctx))
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 
 use crate::findings::{rule, Finding};
 use crate::lexer::{self, Lexed, Tok, TokKind};
-use crate::schema::EventSchema;
+use crate::schema::{EventSchema, KnobRegistry, MetricRegistry};
+use crate::symbols::{self, SymbolTable};
 use crate::workspace::{FileKind, SourceFile, Suppressions};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -94,10 +95,32 @@ impl LintReport {
     }
 }
 
-/// Lints a set of in-memory source files against a parsed event
-/// schema. This is the engine behind [`crate::lint_workspace`]; tests
-/// call it directly with fixture files.
-pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
+/// Everything pass 2 checks the tree against: the parsed invariant
+/// registries plus the documentation text their entries must appear
+/// in. [`crate::lint_workspace`] assembles this from the live
+/// workspace; fixture tests construct it directly.
+#[derive(Debug, Default)]
+pub struct LintContext {
+    /// The telemetry event vocabulary (S001–S004).
+    pub events: EventSchema,
+    /// The metric registry (M001).
+    pub metrics: MetricRegistry,
+    /// The environment-knob registry (K001).
+    pub knobs: KnobRegistry,
+    /// `docs/OBSERVABILITY.md` text; M001/K001 require every
+    /// registered metric and knob name to appear in it.
+    pub docs: String,
+}
+
+/// Lints a set of in-memory source files against the workspace
+/// registries. This is the engine behind [`crate::lint_workspace`];
+/// tests call it directly with fixture files.
+///
+/// Two passes: pass 1 lexes every file and builds the workspace
+/// [`SymbolTable`]; pass 2 runs the per-file rules (with cross-crate
+/// name resolution through the table) and then the workspace-level
+/// registry rules M001 / K001 / W001.
+pub fn lint_files(files: &[SourceFile], ctx: &LintContext) -> LintReport {
     let mut all: Vec<Finding> = Vec::new();
     let mut lexed_files: Vec<(usize, Lexed, Suppressions, u32)> = Vec::new();
     for (idx, file) in files.iter().enumerate() {
@@ -107,6 +130,14 @@ pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
         lexed_files.push((idx, lexed, suppressions, cut));
     }
 
+    // Pass 1: the workspace symbol table.
+    let views: Vec<(&SourceFile, &[Tok], u32)> = lexed_files
+        .iter()
+        .map(|(idx, lexed, _, cut)| (&files[*idx], lexed.toks.as_slice(), *cut))
+        .collect();
+    let table = symbols::build(&views);
+
+    // Pass 2: per-file rules.
     for (idx, lexed, _, cut) in &lexed_files {
         let file = &files[*idx];
         check_d001_hash_iteration(file, lexed, &mut all);
@@ -114,8 +145,8 @@ pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
         check_d003_thread_spawn(file, lexed, &mut all);
         check_d004_rng_construction(file, lexed, &mut all);
         if file.kind == FileKind::Src && !file.rel.starts_with(TIME_EXEMPT_PREFIX) {
-            check_s001_s003_event_calls(file, lexed, *cut, schema, &mut all);
-            check_s004_phase_literals(file, lexed, *cut, schema, &mut all);
+            check_s001_s003_event_calls(file, lexed, *cut, &ctx.events, &table, &mut all);
+            check_s004_phase_literals(file, lexed, *cut, &ctx.events, &table, &mut all);
         }
         if file.rel == "crates/telemetry/src/schema.rs" {
             check_s002_schema_docs(file, &mut all);
@@ -129,6 +160,11 @@ pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
     }
 
     check_h003_unwrap_budget(files, &lexed_files, &mut all);
+
+    // Pass 2, workspace-level: the registry rules.
+    check_m001_metric_registry(ctx, &table, &mut all);
+    check_k001_knob_registry(ctx, &table, &mut all);
+    check_w001_wire_magics(&table, &mut all);
 
     // Apply suppressions, dedupe (several patterns can fire on one
     // line, e.g. `use std::time::Instant`), and sort.
@@ -157,7 +193,7 @@ pub fn lint_files(files: &[SourceFile], schema: &EventSchema) -> LintReport {
 /// file has none. By workspace convention test modules close out a
 /// file, so "every line at or after the first `#[cfg(test)]`" is the
 /// test region for the rules that exempt tests (S001, H003).
-fn test_cut_line(toks: &[Tok]) -> u32 {
+pub(crate) fn test_cut_line(toks: &[Tok]) -> u32 {
     for w in toks.windows(7) {
         if w[0].is_punct('#')
             && w[1].is_punct('[')
@@ -353,11 +389,21 @@ fn check_d004_rng_construction(file: &SourceFile, lexed: &Lexed, out: &mut Vec<F
 /// checks the event-name argument against the vocabulary (S001) and
 /// field-name literals against the wall-clock blocklist (S003). Both
 /// rules skip the file's test region.
+///
+/// The name argument resolves in three steps: a string literal checks
+/// directly; a `schema::IDENT` path checks the vocabulary's constant
+/// names; any other SCREAMING_CASE identifier (bare or path-final,
+/// e.g. `tschema::INGEST_START` in another crate) resolves through
+/// the vocabulary first and then the workspace symbol table — the
+/// cross-crate upgrade. An identifier bound to more than one value
+/// across the workspace is ambiguous and skipped (documented blind
+/// spot).
 fn check_s001_s003_event_calls(
     file: &SourceFile,
     lexed: &Lexed,
     test_cut: u32,
     schema: &EventSchema,
+    table: &SymbolTable,
     out: &mut Vec<Finding>,
 ) {
     let toks = &lexed.toks;
@@ -408,6 +454,25 @@ fn check_s001_s003_event_calls(
                     name_arg.first().map(|t| t.line).unwrap_or(toks[i].line),
                     format!("`schema::{ident}` does not exist in crates/telemetry/src/schema.rs"),
                 ));
+            }
+        } else if let Some((ident, line)) = final_screaming_ident(name_arg) {
+            // Cross-crate: a constant declared anywhere in the
+            // workspace, reached bare or through a non-`schema` path.
+            if !schema.has_const(&ident) {
+                if let Some(value) = table.resolve_str_const(&ident) {
+                    if !schema.has_name(value) {
+                        out.push(Finding::new(
+                            "S001",
+                            &file.rel,
+                            line,
+                            format!(
+                                "`{ident}` resolves to \"{value}\", which is not in \
+                                 telemetry::schema; add the event to \
+                                 crates/telemetry/src/schema.rs or use an existing constant"
+                            ),
+                        ));
+                    }
+                }
             }
         }
         // --- S003: wall-clock field names anywhere in the call ---
@@ -463,6 +528,23 @@ fn top_level_comma(toks: &[Tok]) -> Option<usize> {
     None
 }
 
+/// Extracts the final SCREAMING_CASE identifier from a bare-ident or
+/// path argument (`EPOCH`, `tschema :: INGEST_START`), for cross-crate
+/// constant resolution. Returns `None` for anything more complex than
+/// a path (calls, concatenations) or for non-constant-style idents.
+fn final_screaming_ident(arg: &[Tok]) -> Option<(String, u32)> {
+    let last = arg.last()?;
+    if last.kind != TokKind::Ident
+        || !arg.iter().all(|t| t.kind == TokKind::Ident || t.is_punct(':'))
+    {
+        return None;
+    }
+    let name = &last.text;
+    let screaming = name.chars().any(|c| c.is_ascii_uppercase())
+        && !name.chars().any(|c| c.is_ascii_lowercase());
+    screaming.then(|| (name.clone(), last.line))
+}
+
 /// Extracts `IDENT` from a `[path ::] schema :: IDENT` argument.
 fn schema_const_ref(arg: &[Tok]) -> Option<String> {
     for k in 0..arg.len().saturating_sub(3) {
@@ -479,18 +561,32 @@ fn schema_const_ref(arg: &[Tok]) -> Option<String> {
 
 // ----- S004: profiler phase names -----
 
-/// Finds `phase_scope!("...")` and `profile::scope("...")` call sites
-/// and checks the literal against the `PHASES` vocabulary, so traces,
-/// `/metrics` labels, and `daisy top` never drift apart. Skips the
-/// file's test region (tests profile synthetic phase trees).
+/// Finds `phase_scope!("...")` and `profile::scope(...)` call sites
+/// and checks the phase name against the `PHASES` vocabulary, so
+/// traces, `/metrics` labels, and `daisy top` never drift apart. A
+/// `profile::scope(IDENT)` argument resolves cross-crate through the
+/// workspace symbol table when the constant binds unambiguously.
+/// Skips the file's test region (tests profile synthetic phase trees).
 fn check_s004_phase_literals(
     file: &SourceFile,
     lexed: &Lexed,
     test_cut: u32,
     schema: &EventSchema,
+    table: &SymbolTable,
     out: &mut Vec<Finding>,
 ) {
     let toks = &lexed.toks;
+    let flag = |name: &str, line: u32, out: &mut Vec<Finding>| {
+        out.push(Finding::new(
+            "S004",
+            &file.rel,
+            line,
+            format!(
+                "phase \"{name}\" is not in telemetry::schema::PHASES; add it there so the \
+                 profile event schema, /metrics labels, and `daisy top` stay in sync"
+            ),
+        ));
+    };
     for i in 0..toks.len() {
         if toks[i].line >= test_cut {
             break;
@@ -513,16 +609,24 @@ fn check_s004_phase_literals(
             .then(|| &toks[i + 5]);
         if let Some(lit) = macro_lit.or(fn_lit) {
             if !schema.has_phase(&lit.text) {
-                out.push(Finding::new(
-                    "S004",
-                    &file.rel,
-                    lit.line,
-                    format!(
-                        "phase \"{}\" is not in telemetry::schema::PHASES; add it there so the \
-                         profile event schema, /metrics labels, and `daisy top` stay in sync",
-                        lit.text
-                    ),
-                ));
+                flag(&lit.text, lit.line, out);
+            }
+            continue;
+        }
+        // profile :: scope ( IDENT ) — cross-crate constant.
+        if toks[i].is_ident("profile")
+            && i + 6 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("scope")
+            && toks[i + 4].is_punct('(')
+            && toks[i + 5].kind == TokKind::Ident
+            && toks[i + 6].is_punct(')')
+        {
+            if let Some(value) = table.resolve_str_const(&toks[i + 5].text) {
+                if !schema.has_phase(value) {
+                    flag(value, toks[i + 5].line, out);
+                }
             }
         }
     }
@@ -675,6 +779,181 @@ fn check_h004_kernel_panics(
                     "kernel `{}!` without a dimension-carrying message; panic text must \
                      interpolate the offending shapes (e.g. \"matmul {{m}}x{{k}} · {{k2}}x{{n}}\")",
                     toks[i].text
+                ),
+            ));
+        }
+    }
+}
+
+// ----- M001: metric registry -----
+
+/// Every metric the workspace emits must be declared — with its kind —
+/// in `telemetry::schema::METRICS`, every registered metric must
+/// actually be emitted somewhere, and every registered name must be
+/// documented in `docs/OBSERVABILITY.md`. The emitted-name universe is
+/// every string literal in non-test code, which also covers call sites
+/// that pass the name through a variable (e.g. the kernel work
+/// histograms routed through a helper).
+fn check_m001_metric_registry(ctx: &LintContext, table: &SymbolTable, out: &mut Vec<Finding>) {
+    for call in &table.metric_calls {
+        match ctx.metrics.kind(&call.name) {
+            None => out.push(Finding::new(
+                "M001",
+                &call.file,
+                call.line,
+                format!(
+                    "metric \"{}\" is not registered in telemetry::schema::METRICS; declare it \
+                     there with its kind so /metrics output, `daisy top`, and the docs stay in \
+                     sync",
+                    call.name
+                ),
+            )),
+            Some(kind) if kind != call.func => out.push(Finding::new(
+                "M001",
+                &call.file,
+                call.line,
+                format!(
+                    "metric \"{}\" is registered as a {} but constructed here with `{}(`; fix \
+                     the call or the registry entry — one metric, one kind",
+                    call.name, kind, call.func
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in ctx.metrics.kinds.keys() {
+        let line = ctx.metrics.lines.get(name).copied().unwrap_or(1);
+        if !table.emitted_names.contains(name) {
+            out.push(Finding::new(
+                "M001",
+                crate::SCHEMA_REL,
+                line,
+                format!(
+                    "metric \"{name}\" is registered but never emitted anywhere in the \
+                     workspace; delete the registry entry or wire up the emitter"
+                ),
+            ));
+        }
+        if !ctx.docs.contains(name.as_str()) {
+            out.push(Finding::new(
+                "M001",
+                crate::SCHEMA_REL,
+                line,
+                format!(
+                    "metric \"{name}\" is registered but not documented in \
+                     docs/OBSERVABILITY.md; add it to the metric vocabulary section"
+                ),
+            ));
+        }
+    }
+}
+
+// ----- K001: environment-knob registry -----
+
+/// All `DAISY_*` environment configuration flows through
+/// `telemetry::knobs`: direct `env::var("DAISY_…")` reads outside the
+/// registry module are findings, any string that mentions an
+/// unregistered knob name is a finding (help text and warnings cannot
+/// advertise knobs that do not exist), and every registered knob must
+/// be documented in `docs/OBSERVABILITY.md`.
+fn check_k001_knob_registry(ctx: &LintContext, table: &SymbolTable, out: &mut Vec<Finding>) {
+    for read in &table.env_reads {
+        out.push(Finding::new(
+            "K001",
+            &read.file,
+            read.line,
+            format!(
+                "direct env::var(\"{}\") bypasses the knob registry; read it through \
+                 telemetry::knobs::raw/flag so `daisy knobs` and the docs see it",
+                read.name
+            ),
+        ));
+    }
+    for mention in &table.knob_mentions {
+        if !ctx.knobs.has(&mention.name) {
+            out.push(Finding::new(
+                "K001",
+                &mention.file,
+                mention.line,
+                format!(
+                    "\"{}\" is not a registered knob; register it in telemetry::knobs::KNOBS \
+                     or fix the name (help text and messages must not advertise knobs that do \
+                     not exist)",
+                    mention.name
+                ),
+            ));
+        }
+    }
+    for (name, line) in &ctx.knobs.lines {
+        if !ctx.docs.contains(name.as_str()) {
+            out.push(Finding::new(
+                "K001",
+                symbols::KNOBS_REL,
+                *line,
+                format!(
+                    "knob \"{name}\" is registered but not documented in \
+                     docs/OBSERVABILITY.md; add it to the knob table"
+                ),
+            ));
+        }
+    }
+}
+
+// ----- W001: wire-magic registry -----
+
+/// Every 4/8-byte wire magic lives in `daisy_wire::magic`, exactly
+/// once. Byte-string magic constants declared outside `crates/wire/src/`
+/// are findings, two constants binding the same magic value are
+/// findings (at every site after the first), and inlining a declared
+/// magic's value as a string literal elsewhere is a finding.
+fn check_w001_wire_magics(table: &SymbolTable, out: &mut Vec<Finding>) {
+    const WIRE_SRC: &str = "crates/wire/src/";
+    let mut first_site: BTreeMap<&str, &symbols::MagicDef> = BTreeMap::new();
+    for def in &table.magic_defs {
+        if !def.file.starts_with(WIRE_SRC) {
+            out.push(Finding::new(
+                "W001",
+                &def.file,
+                def.line,
+                format!(
+                    "wire magic `{}` (= {:?}) is declared outside daisy-wire; move it to \
+                     crates/wire/src/magic.rs and re-export, so every on-disk and on-socket \
+                     format shares one magic table",
+                    def.ident, def.value
+                ),
+            ));
+        }
+        match first_site.get(def.value.as_str()) {
+            None => {
+                first_site.insert(&def.value, def);
+            }
+            Some(first) => out.push(Finding::new(
+                "W001",
+                &def.file,
+                def.line,
+                format!(
+                    "magic value {:?} is already declared as `{}` at {}:{}; re-use that \
+                     constant instead of declaring it twice",
+                    def.value, first.ident, first.file, first.line
+                ),
+            )),
+        }
+    }
+    let wire_values: BTreeSet<&str> = table
+        .magic_defs
+        .iter()
+        .filter(|d| d.file.starts_with(WIRE_SRC))
+        .map(|d| d.value.as_str())
+        .collect();
+    for (file, line, text) in &table.str_literals {
+        if wire_values.contains(text.as_str()) {
+            out.push(Finding::new(
+                "W001",
+                file,
+                *line,
+                format!(
+                    "string literal {text:?} inlines a declared wire magic; use the \
+                     daisy_wire::magic constant so format changes stay one-line"
                 ),
             ));
         }

@@ -1,6 +1,9 @@
-//! Parses the telemetry event vocabulary out of
-//! `crates/telemetry/src/schema.rs` — the source of truth the S-series
-//! rules check emitters against.
+//! Parses the workspace's invariant registries out of their source
+//! modules: the telemetry event vocabulary and metric registry
+//! (`crates/telemetry/src/schema.rs`) and the environment-knob
+//! registry (`crates/telemetry/src/knobs.rs`). These are the sources
+//! of truth the S-series and registry rules (M001, K001) check the
+//! rest of the tree against.
 
 use crate::lexer::{self, TokKind};
 use std::collections::BTreeMap;
@@ -98,6 +101,94 @@ pub fn parse(src: &str) -> EventSchema {
     schema
 }
 
+/// The parsed metric registry (`telemetry::schema::METRICS`): metric
+/// name → declared kind, plus declaration lines for anchoring
+/// findings.
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    /// Metric name → `counter` / `gauge` / `histogram`.
+    pub kinds: BTreeMap<String, String>,
+    /// Metric name → 1-based declaration line in the schema module.
+    pub lines: BTreeMap<String, u32>,
+}
+
+impl MetricRegistry {
+    /// The declared kind of `name`, if registered.
+    pub fn kind(&self, name: &str) -> Option<&str> {
+        self.kinds.get(name).map(String::as_str)
+    }
+}
+
+/// Parses `("name", MetricKind::Kind)` entries out of the
+/// `pub const METRICS: &[(&str, MetricKind)]` table in the telemetry
+/// schema module's source text.
+pub fn parse_metrics(src: &str) -> MetricRegistry {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut reg = MetricRegistry::default();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("const") && i + 1 < toks.len() && toks[i + 1].is_ident("METRICS") {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                // ( "name" , MetricKind :: Kind )
+                if toks[j].kind == TokKind::Str
+                    && j + 5 < toks.len()
+                    && toks[j + 1].is_punct(',')
+                    && toks[j + 2].is_ident("MetricKind")
+                    && toks[j + 3].is_punct(':')
+                    && toks[j + 4].is_punct(':')
+                    && toks[j + 5].kind == TokKind::Ident
+                {
+                    let name = toks[j].text.clone();
+                    reg.kinds.insert(name.clone(), toks[j + 5].text.to_lowercase());
+                    reg.lines.insert(name, toks[j].line);
+                    j += 6;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    reg
+}
+
+/// The parsed knob registry (`telemetry::knobs::KNOBS`): registered
+/// `DAISY_*` names and their declaration lines.
+#[derive(Debug, Default)]
+pub struct KnobRegistry {
+    /// Knob name → 1-based declaration line in the knobs module.
+    pub lines: BTreeMap<String, u32>,
+}
+
+impl KnobRegistry {
+    /// True when `name` is a registered knob.
+    pub fn has(&self, name: &str) -> bool {
+        self.lines.contains_key(name)
+    }
+}
+
+/// Parses `name: "DAISY_…"` struct fields out of the knob registry
+/// module's source text.
+pub fn parse_knobs(src: &str) -> KnobRegistry {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut reg = KnobRegistry::default();
+    for w in toks.windows(3) {
+        if w[0].is_ident("name")
+            && w[1].is_punct(':')
+            && w[2].kind == TokKind::Str
+            && w[2].text.starts_with("DAISY_")
+        {
+            reg.lines.insert(w[2].text.clone(), w[2].line);
+        }
+    }
+    reg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +232,55 @@ pub const PHASES: &[&str] = &[\"fit\", \"epoch\"];
             "live schema should define the phase vocabulary: {:?}",
             s.phases
         );
+    }
+
+    #[test]
+    fn parses_metric_registry_entries() {
+        let src = r#"
+pub enum MetricKind { Counter, Gauge, Histogram }
+pub const METRICS: &[(&str, MetricKind)] = &[
+    ("pool.jobs", MetricKind::Counter),
+    ("train.grad_norm_g", MetricKind::Gauge),
+    ("kernel.matmul.work", MetricKind::Histogram),
+];
+"#;
+        let m = parse_metrics(src);
+        assert_eq!(m.kind("pool.jobs"), Some("counter"));
+        assert_eq!(m.kind("train.grad_norm_g"), Some("gauge"));
+        assert_eq!(m.kind("kernel.matmul.work"), Some("histogram"));
+        assert_eq!(m.kind("nope"), None);
+        assert_eq!(m.lines["pool.jobs"], 4);
+    }
+
+    #[test]
+    fn parses_knob_registry_entries() {
+        let src = r#"
+pub const KNOBS: &[Knob] = &[
+    Knob { name: "DAISY_TRACE", default: "-", owner: "telemetry", doc: "x" },
+    Knob { name: "DAISY_FULL", default: "0", owner: "bench", doc: "y" },
+];
+"#;
+        let k = parse_knobs(src);
+        assert!(k.has("DAISY_TRACE"));
+        assert!(k.has("DAISY_FULL"));
+        assert!(!k.has("DAISY_NOPE"));
+    }
+
+    #[test]
+    fn parses_the_live_registries() {
+        let root = crate::workspace::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root");
+        let schema_src = std::fs::read_to_string(root.join("crates/telemetry/src/schema.rs"))
+            .expect("schema module readable");
+        let m = parse_metrics(&schema_src);
+        assert!(m.kinds.len() >= 20, "metric registry shrank? {:?}", m.kinds);
+        assert_eq!(m.kind("pool.jobs"), Some("counter"));
+        assert_eq!(m.kind("serve.request_us"), Some("histogram"));
+        let knobs_src = std::fs::read_to_string(root.join(crate::symbols::KNOBS_REL))
+            .expect("knobs module readable");
+        let k = parse_knobs(&knobs_src);
+        assert!(k.lines.len() >= 15, "knob registry shrank? {:?}", k.lines);
+        assert!(k.has("DAISY_TRACE"));
+        assert!(k.has("DAISY_FULL"));
     }
 }

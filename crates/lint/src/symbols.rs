@@ -1,0 +1,372 @@
+//! Pass 1 of the two-pass analyzer: the workspace symbol table.
+//!
+//! Where the per-file rules see one token stream at a time, the
+//! registry rules (M001, K001, W001) and the cross-crate upgrades of
+//! S001/S004 need facts *about the whole workspace*: which string
+//! constants exist anywhere, where metrics are registered, where
+//! `DAISY_*` environment variables are read, and where wire magics are
+//! declared. [`build`] collects those facts in one deterministic sweep
+//! over the already-lexed files; pass 2 (the rules) then queries the
+//! table instead of re-walking the tree.
+//!
+//! Everything here honours the same test-region convention as the
+//! per-file rules: tokens at or after a file's first `#[cfg(test)]`
+//! line are invisible to the table, and files under `tests/` are
+//! skipped entirely.
+
+use crate::lexer::{Tok, TokKind};
+use crate::workspace::{FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `counter("…")` / `gauge("…")` / `histogram("…")` registration
+/// call site with a literal name argument.
+#[derive(Debug, Clone)]
+pub struct MetricCall {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the name literal.
+    pub line: u32,
+    /// The constructor called: `counter`, `gauge`, or `histogram`.
+    pub func: String,
+    /// The metric name literal.
+    pub name: String,
+}
+
+/// One 4- or 8-byte byte-string constant declaration
+/// (`const IDENT: &[u8; N] = b"…";`) — the shape every wire magic in
+/// the workspace uses.
+#[derive(Debug, Clone)]
+pub struct MagicDef {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// The constant's identifier.
+    pub ident: String,
+    /// The magic's character content (byte-ness is lexical only).
+    pub value: String,
+}
+
+/// One direct `env::var("DAISY_…")` / `env::var_os("DAISY_…")` call
+/// site with a literal name.
+#[derive(Debug, Clone)]
+pub struct EnvRead {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// The environment variable named by the literal.
+    pub name: String,
+}
+
+/// One `DAISY_*` word appearing inside any string literal — knob names
+/// in `knobs::raw("…")` calls, help text, warning messages. K001 holds
+/// all of them to the registry so docs and messages cannot mention a
+/// knob that does not exist.
+#[derive(Debug, Clone)]
+pub struct KnobMention {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the literal.
+    pub line: u32,
+    /// The extracted `DAISY_[A-Z0-9_]+` word.
+    pub name: String,
+}
+
+/// The workspace symbol table pass 2 queries.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `&str` constants declared anywhere in non-test `src/` code:
+    /// identifier → the set of distinct values bound to it across the
+    /// workspace. S001/S004 resolve a bare `IDENT` argument through
+    /// this map, but only when the binding is unambiguous (one value).
+    pub str_consts: BTreeMap<String, BTreeSet<String>>,
+    /// Metric registration call sites with literal names.
+    pub metric_calls: Vec<MetricCall>,
+    /// Every string literal in non-test src/bench/example code outside
+    /// the telemetry schema module — the "does anything emit this
+    /// name?" universe for M001's never-emitted check.
+    pub emitted_names: BTreeSet<String>,
+    /// Byte-string magic constant declarations.
+    pub magic_defs: Vec<MagicDef>,
+    /// Direct `DAISY_*` environment reads outside the knob registry.
+    pub env_reads: Vec<EnvRead>,
+    /// `DAISY_*` words inside string literals (registry module
+    /// excluded — that is where the names are *declared*).
+    pub knob_mentions: Vec<KnobMention>,
+    /// String literals outside `crates/wire/src/` that could inline a
+    /// wire magic: (file, line, text). W001 checks these against the
+    /// declared magic values.
+    pub str_literals: Vec<(String, u32, String)>,
+}
+
+impl SymbolTable {
+    /// Resolves a constant identifier to its string value, but only
+    /// when the workspace binds it unambiguously (exactly one distinct
+    /// value). Two crates declaring the same identifier with different
+    /// values is ambiguous; callers skip rather than guess.
+    pub fn resolve_str_const(&self, ident: &str) -> Option<&str> {
+        let values = self.str_consts.get(ident)?;
+        if values.len() == 1 {
+            values.iter().next().map(String::as_str)
+        } else {
+            None
+        }
+    }
+}
+
+/// The knob-registry module: the one sanctioned `env::var` site, and
+/// the place `DAISY_*` names are declared rather than mentioned.
+pub const KNOBS_REL: &str = "crates/telemetry/src/knobs.rs";
+
+const METRIC_FUNCS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Builds the symbol table from pre-lexed files. `views` pairs each
+/// file with its token stream and test-cut line (see
+/// `rules::test_cut_line`); order follows the deterministic workspace
+/// collection order, so the table is reproducible byte for byte.
+pub fn build(views: &[(&SourceFile, &[Tok], u32)]) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    for (file, toks, cut) in views {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        scan_file(file, toks, *cut, &mut table);
+    }
+    table
+}
+
+fn scan_file(file: &SourceFile, toks: &[Tok], cut: u32, table: &mut SymbolTable) {
+    let in_schema = file.rel == crate::SCHEMA_REL;
+    let in_knobs = file.rel == KNOBS_REL;
+    let in_wire = file.rel.starts_with("crates/wire/src/");
+    for i in 0..toks.len() {
+        if toks[i].line >= cut {
+            break;
+        }
+        // --- string-constant bindings (Src only) ---
+        if file.kind == FileKind::Src {
+            if let Some((ident, value)) = str_const_at(toks, i) {
+                table
+                    .str_consts
+                    .entry(ident)
+                    .or_default()
+                    .insert(value);
+            }
+            if let Some(def) = magic_def_at(file, toks, i) {
+                table.magic_defs.push(def);
+            }
+        }
+        // --- metric registration calls ---
+        if toks[i].kind == TokKind::Ident
+            && METRIC_FUNCS.contains(&toks[i].text.as_str())
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].kind == TokKind::Str
+        {
+            table.metric_calls.push(MetricCall {
+                file: file.rel.clone(),
+                line: toks[i + 2].line,
+                func: toks[i].text.clone(),
+                name: toks[i + 2].text.clone(),
+            });
+        }
+        // --- direct DAISY_* environment reads ---
+        if !in_knobs
+            && toks[i].kind == TokKind::Ident
+            && (toks[i].text == "var" || toks[i].text == "var_os")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].kind == TokKind::Str
+            && toks[i + 2].text.starts_with("DAISY_")
+        {
+            table.env_reads.push(EnvRead {
+                file: file.rel.clone(),
+                line: toks[i + 2].line,
+                name: toks[i + 2].text.clone(),
+            });
+        }
+        // --- string-literal facts ---
+        if toks[i].kind == TokKind::Str {
+            if !in_schema {
+                table.emitted_names.insert(toks[i].text.clone());
+            }
+            if !in_wire {
+                table
+                    .str_literals
+                    .push((file.rel.clone(), toks[i].line, toks[i].text.clone()));
+            }
+            if !in_knobs {
+                for word in daisy_words(&toks[i].text) {
+                    table.knob_mentions.push(KnobMention {
+                        file: file.rel.clone(),
+                        line: toks[i].line,
+                        name: word,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Matches `[pub] const IDENT : & ['static] str = "value" ;` at `i`
+/// (with `i` on `const`).
+fn str_const_at(toks: &[Tok], i: usize) -> Option<(String, String)> {
+    if !toks[i].is_ident("const") {
+        return None;
+    }
+    let mut j = i + 1;
+    if toks.get(j)?.kind != TokKind::Ident {
+        return None;
+    }
+    let ident = toks[j].text.clone();
+    j += 1;
+    if !toks.get(j)?.is_punct(':') {
+        return None;
+    }
+    j += 1;
+    if !toks.get(j)?.is_punct('&') {
+        return None;
+    }
+    j += 1;
+    if toks.get(j)?.kind == TokKind::Lifetime {
+        j += 1;
+    }
+    if !toks.get(j)?.is_ident("str") {
+        return None;
+    }
+    j += 1;
+    if !toks.get(j)?.is_punct('=') {
+        return None;
+    }
+    j += 1;
+    if toks.get(j)?.kind != TokKind::Str {
+        return None;
+    }
+    Some((ident, toks[j].text.clone()))
+}
+
+/// Matches `const IDENT : & [ u8 ; 4|8 ] = b"…" ;` at `i` (with `i` on
+/// `const`). This is the declaration shape of every wire magic; the
+/// lexer strips the `b` prefix, so the pattern keys on the
+/// `&[u8; N]` type annotation rather than the literal's byte-ness.
+fn magic_def_at(file: &SourceFile, toks: &[Tok], i: usize) -> Option<MagicDef> {
+    if !toks[i].is_ident("const") {
+        return None;
+    }
+    let t = |k: usize| toks.get(i + k);
+    if t(1)?.kind != TokKind::Ident
+        || !t(2)?.is_punct(':')
+        || !t(3)?.is_punct('&')
+        || !t(4)?.is_punct('[')
+        || !t(5)?.is_ident("u8")
+        || !t(6)?.is_punct(';')
+        || t(7)?.kind != TokKind::Num
+        || !(t(7)?.text == "4" || t(7)?.text == "8")
+        || !t(8)?.is_punct(']')
+        || !t(9)?.is_punct('=')
+        || t(10)?.kind != TokKind::Str
+    {
+        return None;
+    }
+    Some(MagicDef {
+        file: file.rel.clone(),
+        line: toks[i].line,
+        ident: toks[i + 1].text.clone(),
+        value: toks[i + 10].text.clone(),
+    })
+}
+
+/// Extracts every `DAISY_[A-Z0-9_]+` word from a string literal.
+fn daisy_words(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut words = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = text[start..].find("DAISY_") {
+        let begin = start + pos;
+        // Reject a match glued to a preceding word character
+        // ("XDAISY_FOO" is not a knob name).
+        if begin > 0 {
+            let prev = bytes[begin - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                start = begin + "DAISY_".len();
+                continue;
+            }
+        }
+        let mut end = begin + "DAISY_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase() || bytes[end].is_ascii_digit() || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let word = &text[begin..end];
+        // A full name, not a prefix mention like "DAISY_SERVE_*".
+        if end > begin + "DAISY_".len() && !word.ends_with('_') {
+            words.push(word.to_string());
+        }
+        start = end;
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use std::path::PathBuf;
+
+    fn file(rel: &str, kind: FileKind, src: &str) -> SourceFile {
+        SourceFile {
+            path: PathBuf::new(),
+            rel: rel.to_string(),
+            crate_key: "x".into(),
+            kind,
+            src: src.to_string(),
+        }
+    }
+
+    #[test]
+    fn collects_consts_metrics_env_and_magics() {
+        let src = r#"
+pub const NAME: &str = "the_event";
+const MAGIC: &[u8; 8] = b"DAISYZZ9";
+fn f() {
+    metrics::counter("pool.jobs").add(1);
+    let v = std::env::var("DAISY_THREADS");
+    eprintln!("set DAISY_FULL=1 for larger runs");
+}
+#[cfg(test)]
+mod tests {
+    fn g() { let _ = std::env::var("DAISY_SECRET"); }
+}
+"#;
+        let f = file("crates/x/src/lib.rs", FileKind::Src, src);
+        let lexed = lexer::lex(&f.src);
+        let cut = crate::rules::test_cut_line(&lexed.toks);
+        let table = build(&[(&f, lexed.toks.as_slice(), cut)]);
+        assert!(table.str_consts["NAME"].contains("the_event"));
+        assert_eq!(table.magic_defs.len(), 1);
+        assert_eq!(table.magic_defs[0].value, "DAISYZZ9");
+        assert_eq!(table.metric_calls.len(), 1);
+        assert_eq!(table.metric_calls[0].func, "counter");
+        assert_eq!(table.metric_calls[0].name, "pool.jobs");
+        // The test region's env read is invisible.
+        assert_eq!(table.env_reads.len(), 1);
+        assert_eq!(table.env_reads[0].name, "DAISY_THREADS");
+        let words: Vec<&str> = table.knob_mentions.iter().map(|m| m.name.as_str()).collect();
+        assert!(words.contains(&"DAISY_THREADS"));
+        assert!(words.contains(&"DAISY_FULL"));
+        assert!(!words.contains(&"DAISY_SECRET"));
+    }
+
+    #[test]
+    fn daisy_word_extraction_handles_punctuation() {
+        assert_eq!(daisy_words("set DAISY_FULL=1"), vec!["DAISY_FULL"]);
+        assert_eq!(
+            daisy_words("DAISY_ROWS and DAISY_ITERS."),
+            vec!["DAISY_ROWS", "DAISY_ITERS"]
+        );
+        assert!(daisy_words("XDAISY_NOT a knob").is_empty());
+        assert!(daisy_words("DAISY_ alone").is_empty());
+    }
+}

@@ -4,7 +4,7 @@
 //! widens or narrows a pattern shows up here first.
 
 use daisy_lint::workspace::{FileKind, SourceFile};
-use daisy_lint::{lint_files, schema, Finding};
+use daisy_lint::{lint_files, schema, Finding, LintContext};
 use std::path::PathBuf;
 
 /// The event vocabulary the fixtures lint against: one documented
@@ -36,9 +36,19 @@ fn file(rel: &str, kind: FileKind, src: &str) -> SourceFile {
     }
 }
 
+/// The context every fixture lints against: the event vocabulary above
+/// plus empty metric/knob registries and empty docs (the registry
+/// rules are exercised by their own fixtures with explicit contexts).
+fn fixture_ctx() -> LintContext {
+    LintContext {
+        events: schema::parse(SCHEMA_FIXTURE),
+        ..LintContext::default()
+    }
+}
+
 /// Lints a single fixture file and returns its findings.
 fn lint_one(rel: &str, kind: FileKind, src: &str) -> Vec<Finding> {
-    lint_files(&[file(rel, kind, src)], &schema::parse(SCHEMA_FIXTURE)).findings
+    lint_files(&[file(rel, kind, src)], &fixture_ctx()).findings
 }
 
 fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
@@ -409,7 +419,7 @@ fn findings_are_sorted_and_deduped_across_files() {
         FileKind::Src,
         "fn f() { std::thread::spawn(|| {}); }\n",
     );
-    let report = lint_files(&[a, b], &schema::parse(SCHEMA_FIXTURE));
+    let report = lint_files(&[a, b], &fixture_ctx());
     let got: Vec<(&str, &str)> = report
         .findings
         .iter()
@@ -424,4 +434,310 @@ fn findings_are_sorted_and_deduped_across_files() {
         "sorted by file, one finding per (file, line, rule)"
     );
     assert_eq!(report.files_scanned, 2);
+}
+
+// ----- M001: metric registry -----
+
+/// A metric registry fixture with one metric of each kind.
+const METRICS_FIXTURE: &str = r#"
+pub enum MetricKind { Counter, Gauge, Histogram }
+pub const METRICS: &[(&str, MetricKind)] = &[
+    ("pool.jobs", MetricKind::Counter),
+    ("train.norm", MetricKind::Gauge),
+];
+"#;
+
+fn metrics_ctx(docs: &str) -> LintContext {
+    LintContext {
+        events: schema::parse(SCHEMA_FIXTURE),
+        metrics: schema::parse_metrics(METRICS_FIXTURE),
+        docs: docs.to_string(),
+        ..LintContext::default()
+    }
+}
+
+#[test]
+fn m001_flags_unregistered_and_kind_mismatched_metrics() {
+    let bad = r#"
+fn f() {
+    metrics::counter("pool.jobs").add(1);
+    metrics::counter("pool.surprise").add(1);
+    metrics::gauge("pool.jobs").set(2);
+}
+"#;
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, bad)],
+        &metrics_ctx("`pool.jobs` and `train.norm` are documented; train.norm too"),
+    )
+    .findings;
+    // "train.norm" is registered but never emitted by the fixture file,
+    // so that finding rides along at the registry's location.
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert!(got.contains(&("M001", 4)), "unregistered name: {findings:?}");
+    assert!(got.contains(&("M001", 5)), "kind mismatch: {findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("never emitted")),
+        "train.norm is unemitted: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.rule == "M001"));
+    assert!(findings[0].message.contains("pool.surprise") || findings.len() == 3);
+}
+
+#[test]
+fn m001_accepts_registered_emitted_documented_metrics() {
+    let good = r#"
+fn f() {
+    metrics::counter("pool.jobs").add(1);
+    metrics::gauge("train.norm").set(0.5);
+}
+"#;
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, good)],
+        &metrics_ctx("Counters: `pool.jobs`. Gauges: `train.norm`."),
+    )
+    .findings;
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn m001_flags_undocumented_registry_entries() {
+    let good_calls = r#"
+fn f() {
+    metrics::counter("pool.jobs").add(1);
+    metrics::gauge("train.norm").set(0.5);
+}
+"#;
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, good_calls)],
+        &metrics_ctx("only `pool.jobs` is documented"),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["M001"]);
+    assert!(findings[0].message.contains("train.norm"));
+    assert!(findings[0].message.contains("not documented"));
+    assert_eq!(findings[0].file, "crates/telemetry/src/schema.rs");
+}
+
+// ----- K001: environment-knob registry -----
+
+const KNOBS_FIXTURE: &str = r#"
+pub const KNOBS: &[Knob] = &[
+    Knob { name: "DAISY_TRACE", default: "-", owner: "telemetry", doc: "sink" },
+];
+"#;
+
+fn knobs_ctx(docs: &str) -> LintContext {
+    LintContext {
+        events: schema::parse(SCHEMA_FIXTURE),
+        knobs: schema::parse_knobs(KNOBS_FIXTURE),
+        docs: docs.to_string(),
+        ..LintContext::default()
+    }
+}
+
+#[test]
+fn k001_flags_direct_env_reads_and_unregistered_mentions() {
+    let bad = r#"
+fn f() {
+    let _ = std::env::var("DAISY_TRACE");
+    eprintln!("try DAISY_TURBO=1 for speed");
+}
+"#;
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, bad)],
+        &knobs_ctx("`DAISY_TRACE` is documented"),
+    )
+    .findings;
+    let got: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert!(got.contains(&("K001", 3)), "direct env read: {findings:?}");
+    assert!(got.contains(&("K001", 4)), "unregistered mention: {findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("bypasses the knob registry")));
+    assert!(findings.iter().any(|f| f.message.contains("DAISY_TURBO")));
+}
+
+#[test]
+fn k001_accepts_registry_reads_and_skips_tests() {
+    let good = r#"
+fn f() {
+    let _ = telemetry::knobs::raw("DAISY_TRACE");
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = std::env::var("DAISY_TRACE"); }
+}
+"#;
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, good)],
+        &knobs_ctx("`DAISY_TRACE` is documented"),
+    )
+    .findings;
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn k001_flags_undocumented_registered_knobs() {
+    let findings = lint_files(
+        &[file("crates/core/src/x.rs", FileKind::Src, "pub fn f() {}\n")],
+        &knobs_ctx("no knobs documented here"),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["K001"]);
+    assert!(findings[0].message.contains("DAISY_TRACE"));
+    assert_eq!(findings[0].file, "crates/telemetry/src/knobs.rs");
+}
+
+// ----- W001: wire-magic registry -----
+
+#[test]
+fn w001_flags_magics_declared_outside_wire_and_duplicates() {
+    let wire = r#"
+pub const CHUNK: &[u8; 8] = b"DAISYCH1";
+const CHUNK_AGAIN: &[u8; 8] = b"DAISYCH1";
+"#;
+    let rogue = r#"
+const MY_MAGIC: &[u8; 8] = b"DAISYXX1";
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/wire/src/magic.rs", FileKind::Src, wire),
+            file("crates/data/src/x.rs", FileKind::Src, rogue),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["W001", "W001"]);
+    let outside = findings
+        .iter()
+        .find(|f| f.message.contains("declared outside daisy-wire"))
+        .expect("outside-wire finding");
+    assert_eq!((outside.file.as_str(), outside.line), ("crates/data/src/x.rs", 2));
+    let dup = findings
+        .iter()
+        .find(|f| f.message.contains("already declared as `CHUNK`"))
+        .expect("duplicate finding");
+    assert_eq!((dup.file.as_str(), dup.line), ("crates/wire/src/magic.rs", 3));
+}
+
+#[test]
+fn w001_flags_inlined_magic_values() {
+    let wire = r#"
+pub const CHUNK: &[u8; 8] = b"DAISYCH1";
+"#;
+    let inline_use = r#"
+fn f(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(b"DAISYCH1");
+}
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/wire/src/magic.rs", FileKind::Src, wire),
+            file("crates/data/src/x.rs", FileKind::Src, inline_use),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["W001"]);
+    assert!(findings[0].message.contains("inlines a declared wire magic"));
+    assert_eq!(findings[0].file, "crates/data/src/x.rs");
+    assert_eq!(findings[0].line, 3);
+}
+
+#[test]
+fn w001_accepts_reexports_and_test_region_inlines() {
+    let wire = r#"
+pub const CHUNK: &[u8; 8] = b"DAISYCH1";
+"#;
+    let good = r#"
+pub use daisy_wire::magic::CHUNK as CHUNK_MAGIC;
+fn f(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(CHUNK_MAGIC);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { assert_eq!(&b"DAISYCH1"[..], &super::CHUNK_MAGIC[..]); }
+}
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/wire/src/magic.rs", FileKind::Src, wire),
+            file("crates/data/src/x.rs", FileKind::Src, good),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ----- Cross-crate resolution (two-pass upgrades of S001/S004) -----
+
+#[test]
+fn s001_resolves_constants_across_crates() {
+    let decl = r#"
+pub const ROGUE_EVENT: &str = "not_in_schema";
+pub const GOOD_EVENT: &str = "train_start";
+"#;
+    let caller = r#"
+fn f(rec: &Recorder) {
+    rec.record(Event::new(other_crate::ROGUE_EVENT, vec![]));
+    rec.record(Event::new(other_crate::GOOD_EVENT, vec![]));
+}
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/data/src/consts.rs", FileKind::Src, decl),
+            file("crates/core/src/x.rs", FileKind::Src, caller),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["S001"]);
+    assert_eq!(findings[0].file, "crates/core/src/x.rs");
+    assert!(findings[0].message.contains("not_in_schema"), "{findings:?}");
+}
+
+#[test]
+fn s004_resolves_phase_constants_across_crates() {
+    let decl = r#"
+pub const ROGUE_PHASE: &str = "warp_drive";
+pub const GOOD_PHASE: &str = "fit";
+"#;
+    let caller = r#"
+fn f() {
+    let _a = profile::scope(ROGUE_PHASE);
+    let _b = profile::scope(GOOD_PHASE);
+}
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/data/src/consts.rs", FileKind::Src, decl),
+            file("crates/core/src/x.rs", FileKind::Src, caller),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert_eq!(rules_of(&findings), ["S004"]);
+    assert!(findings[0].message.contains("warp_drive"), "{findings:?}");
+}
+
+#[test]
+fn ambiguous_cross_crate_constants_are_not_resolved() {
+    // Two crates bind the same ident to different strings: resolution
+    // must refuse to guess, so neither call site is flagged.
+    let a = r#"pub const EV: &str = "not_in_schema";"#;
+    let b = r#"pub const EV: &str = "train_start";"#;
+    let caller = r#"
+fn f(rec: &Recorder) {
+    rec.record(Event::new(EV, vec![]));
+}
+"#;
+    let findings = lint_files(
+        &[
+            file("crates/data/src/a.rs", FileKind::Src, a),
+            file("crates/serve/src/b.rs", FileKind::Src, b),
+            file("crates/core/src/x.rs", FileKind::Src, caller),
+        ],
+        &fixture_ctx(),
+    )
+    .findings;
+    assert!(findings.is_empty(), "{findings:?}");
 }

@@ -134,3 +134,95 @@ fn binary_is_clean_on_the_repo_workspace() {
     assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
     assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
 }
+
+/// The SARIF rendering's minimal shape, pinned for the CI upload step:
+/// one run, the daisy-lint driver with the rule catalogue, and results
+/// carrying ruleId / level / message / physical location.
+#[test]
+fn sarif_rendering_matches_the_minimal_shape() {
+    use daisy_lint::{render_sarif, Finding};
+    let findings = vec![
+        Finding::new("M001", "crates/core/src/x.rs", 12, "unregistered \"metric\"".to_string()),
+        Finding::new("H003", "src/lib.rs", 1, "over budget".to_string()),
+    ];
+    let sarif = render_sarif(&findings, 7);
+    assert!(sarif.starts_with("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+    assert!(sarif.contains("\"version\":\"2.1.0\""));
+    assert!(sarif.contains("\"name\":\"daisy-lint\""));
+    // The driver advertises every catalogue rule exactly once.
+    for r in daisy_lint::RULES {
+        assert_eq!(sarif.matches(&format!("{{\"id\":\"{}\"", r.id)).count(), 1, "{}", r.id);
+    }
+    assert!(sarif.contains(
+        "{\"ruleId\":\"M001\",\"level\":\"error\",\
+         \"message\":{\"text\":\"unregistered \\\"metric\\\"\"},\
+         \"locations\":[{\"physicalLocation\":{\
+         \"artifactLocation\":{\"uri\":\"crates/core/src/x.rs\"},\
+         \"region\":{\"startLine\":12}}}]}"
+    ), "{sarif}");
+    assert!(sarif.contains("\"ruleId\":\"H003\",\"level\":\"warning\""));
+    assert!(sarif.trim_end().ends_with("}]}"), "one top-level object: {sarif}");
+    // A clean report still produces a structurally complete log.
+    let clean = render_sarif(&[], 7);
+    assert!(clean.contains("\"results\":[]"), "{clean}");
+}
+
+/// A seeded registry violation in a scratch workspace: an unregistered
+/// metric call plus a direct env read, caught by the workspace-level
+/// rules through the real binary in SARIF mode (exit 1).
+#[test]
+fn seeded_registry_violations_fail_the_binary_in_sarif_mode() {
+    let dir = std::env::temp_dir().join(format!("daisy-lint-sarif-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/telemetry/src")).unwrap();
+    fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = [\"crates/core\"]\n").unwrap();
+    // A schema with a metric registry, so M001 has a vocabulary to
+    // check against; a knobs module, so K001 is armed.
+    fs::write(
+        dir.join("crates/telemetry/src/schema.rs"),
+        "//! Fixture schema.\n\
+         /// Kinds.\n\
+         pub enum MetricKind { Counter }\n\
+         /// Registry.\n\
+         pub const METRICS: &[(&str, MetricKind)] = &[(\"pool.jobs\", MetricKind::Counter)];\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("crates/telemetry/src/knobs.rs"),
+        "//! Fixture knob registry (empty).\npub const KNOBS: &[()] = &[];\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        "//! Seeded registry violations.\n\
+         #![forbid(unsafe_code)]\n\
+         #![warn(missing_docs)]\n\
+         /// Emits an unregistered metric and reads an unregistered knob.\n\
+         pub fn f() {\n\
+             metrics::counter(\"pool.surprise\").add(1);\n\
+             let _ = std::env::var(\"DAISY_ROGUE\");\n\
+         }\n\
+         /// Emits the registered metric so it counts as emitted.\n\
+         pub fn g() {\n\
+             metrics::counter(\"pool.jobs\").add(1);\n\
+         }\n",
+    )
+    .unwrap();
+    // Document the registered metric so only the seeded violations fire.
+    fs::create_dir_all(dir.join("docs")).unwrap();
+    fs::write(dir.join("docs/OBSERVABILITY.md"), "`pool.jobs` is documented.\n").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy-lint"))
+        .args(["--root", dir.to_str().unwrap(), "--format", "sarif"])
+        .output()
+        .expect("daisy-lint binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(out.status.code(), Some(1), "findings exit 1 in sarif mode:\n{stdout}");
+    assert!(stdout.contains("\"ruleId\":\"M001\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\":\"K001\""), "{stdout}");
+    assert!(stdout.contains("pool.surprise"), "{stdout}");
+    assert!(stdout.contains("DAISY_ROGUE"), "{stdout}");
+
+    fs::remove_dir_all(&dir).ok();
+}

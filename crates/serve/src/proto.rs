@@ -67,10 +67,10 @@ pub const MAX_REQUEST_FRAME: usize = 1 << 16;
 /// columns; 64 MiB is comfortably past any legal frame.
 pub const MAX_RESPONSE_FRAME: usize = 1 << 26;
 
-pub(crate) const MAGIC_REQUEST: &[u8; 4] = b"DSRQ";
-pub(crate) const MAGIC_HEADER: &[u8; 4] = b"DSRH";
-pub(crate) const MAGIC_DATA: &[u8; 4] = b"DSRD";
-pub(crate) const MAGIC_END: &[u8; 4] = b"DSRE";
+pub(crate) use daisy_wire::magic::{
+    SERVE_DATA as MAGIC_DATA, SERVE_END as MAGIC_END, SERVE_HEADER as MAGIC_HEADER,
+    SERVE_REQUEST as MAGIC_REQUEST,
+};
 
 /// Rows per response data frame (re-exported constant of the core
 /// generation loop, so the frame layout is pinned to the batch size

@@ -13,7 +13,8 @@ use crate::ServeError;
 use daisy_core::FittedSynthesizer;
 use daisy_data::Column;
 use daisy_telemetry::{
-    duration_ms, emit_event, enabled, field, metrics, profile, schema, sleep_ms, Event, Stopwatch,
+    duration_ms, emit_event, enabled, field, knobs, metrics, profile, schema, sleep_ms, Event,
+    Stopwatch,
 };
 use daisy_wire::{crc64, quarantine, Crc64, Writer};
 use std::io::{Read, Write};
@@ -107,10 +108,10 @@ impl ServeConfig {
         if let Some(v) = parse_env("DAISY_SERVE_DRAIN_MS") {
             cfg.drain_ms = v;
         }
-        if let Ok(v) = std::env::var("DAISY_SERVE_SHED") {
+        if let Some(v) = knobs::raw("DAISY_SERVE_SHED") {
             cfg.shed = v == "1";
         }
-        if let Ok(addr) = std::env::var("DAISY_SERVE_ADMIN") {
+        if let Some(addr) = knobs::raw("DAISY_SERVE_ADMIN") {
             if !addr.is_empty() {
                 cfg.admin_addr = Some(addr);
             }
@@ -122,7 +123,7 @@ impl ServeConfig {
 /// Parses a positive integer from the environment; warns and returns
 /// `None` on anything else.
 fn parse_env(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
+    let raw = knobs::raw(name)?;
     match raw.parse::<u64>() {
         Ok(v) if v > 0 => Some(v),
         _ => {
@@ -135,7 +136,7 @@ fn parse_env(name: &str) -> Option<u64> {
 /// Parses a non-negative integer from the environment (0 is a legal
 /// "disabled" value); warns and returns `None` on anything else.
 fn parse_env_allow_zero(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
+    let raw = knobs::raw(name)?;
     match raw.parse::<u64>() {
         Ok(v) => Some(v),
         Err(_) => {

@@ -50,6 +50,7 @@
 pub mod event;
 pub mod expose;
 pub mod json;
+pub mod knobs;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
@@ -89,7 +90,7 @@ thread_local! {
 fn global() -> Option<&'static Arc<JsonlSink>> {
     GLOBAL
         .get_or_init(|| {
-            let path = std::env::var_os("DAISY_TRACE")?;
+            let path = knobs::raw_os("DAISY_TRACE")?;
             if path.is_empty() {
                 return None;
             }
@@ -256,14 +257,14 @@ pub fn duration_ms(ms: u64) -> Duration {
 }
 
 /// Emits the current state of every registered metric as one
-/// [`schema::METRICS`] event marked non-deterministic (metrics values
+/// [`schema::METRICS_SNAPSHOT`] event marked non-deterministic (metrics values
 /// depend on thread count and scheduling, so the deterministic view
 /// drops the snapshot wholesale).
 pub fn emit_metrics_snapshot() {
     if !enabled() {
         return;
     }
-    emit_event(Event::new(schema::METRICS, metrics::snapshot_fields()).non_deterministic());
+    emit_event(Event::new(schema::METRICS_SNAPSHOT, metrics::snapshot_fields()).non_deterministic());
 }
 
 /// Emits the phase-profiler registry as one [`schema::PROFILE`] event

@@ -89,8 +89,8 @@ pub fn profiling_enabled() -> bool {
 /// or the empty string; returns whether profiling is now on. Binaries
 /// call this once at startup next to [`crate::init_from_env`].
 pub fn init_from_env() -> bool {
-    match std::env::var("DAISY_PROFILE") {
-        Ok(v) if !v.is_empty() && v != "0" => set_enabled(true),
+    match crate::knobs::raw("DAISY_PROFILE") {
+        Some(v) if !v.is_empty() && v != "0" => set_enabled(true),
         _ => {}
     }
     profiling_enabled()

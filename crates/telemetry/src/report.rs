@@ -302,7 +302,7 @@ impl RunReport {
         }
         // Distributions from the last metrics snapshot. Percentiles
         // are linear-interpolation estimates inside pow2 buckets.
-        if let Some(snapshot) = self.named(schema::METRICS).last() {
+        if let Some(snapshot) = self.named(schema::METRICS_SNAPSHOT).last() {
             let resilience: Vec<String> = [
                 ("serve.timeouts", "timeouts"),
                 ("serve.drained", "drained"),
@@ -380,7 +380,7 @@ impl RunReport {
 
     fn render_metrics(&self, out: &mut String) {
         // The last metrics snapshot is the end-of-run aggregate state.
-        let Some(snapshot) = self.named(schema::METRICS).last() else {
+        let Some(snapshot) = self.named(schema::METRICS_SNAPSHOT).last() else {
             return;
         };
         let Some(members) = snapshot.as_obj() else {
@@ -464,7 +464,7 @@ mod tests {
                 ],
             )
             .to_json_line(3),
-            Event::new(schema::METRICS, vec![field("pool.jobs", 12u64)])
+            Event::new(schema::METRICS_SNAPSHOT, vec![field("pool.jobs", 12u64)])
                 .non_deterministic()
                 .to_json_line(4),
         ];
@@ -606,7 +606,7 @@ mod tests {
             .with_wall(vec![field("ms", 80.0f64)])
             .to_json_line(2),
             Event::new(
-                schema::METRICS,
+                schema::METRICS_SNAPSHOT,
                 vec![
                     field("serve.rows_per_request.count", 2u64),
                     field("serve.rows_per_request.sum", 2000u64),
@@ -653,7 +653,7 @@ mod tests {
             .with_wall(vec![field("ms", 4.0f64)])
             .to_json_line(0),
             Event::new(
-                schema::METRICS,
+                schema::METRICS_SNAPSHOT,
                 vec![
                     field("serve.request_us.count", 4u64),
                     field("serve.request_us.sum", 16000u64),

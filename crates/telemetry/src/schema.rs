@@ -127,7 +127,7 @@ pub const SPAN_END: &str = "span_end";
 /// Metrics-registry snapshot (whole event is non-deterministic).
 /// Fields: one per registered metric, see
 /// [`crate::metrics::snapshot_fields`].
-pub const METRICS: &str = "metrics";
+pub const METRICS_SNAPSHOT: &str = "metrics";
 
 /// Phase-profiler snapshot (whole event is non-deterministic: the
 /// profiler measures wall time). Fields: `<path>.calls`,
@@ -153,4 +153,55 @@ pub const PHASES: &[&str] = &[
     "matmul_nt",
     "conv2d",
     "optim",
+];
+
+/// The shape of a registered metric: which [`crate::metrics`]
+/// constructor its name may be passed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing count ([`crate::metrics::counter`]).
+    Counter,
+    /// A last-value-wins level ([`crate::metrics::gauge`]).
+    Gauge,
+    /// A fixed-bucket distribution ([`crate::metrics::histogram`]).
+    Histogram,
+}
+
+/// The closed registry of metric names: every name passed to
+/// [`crate::metrics::counter`] / [`crate::metrics::gauge`] /
+/// [`crate::metrics::histogram`] anywhere in the workspace must be
+/// declared here with its kind. The workspace lint (rule M001) checks
+/// each registration call site against this table — an unregistered
+/// name, a kind mismatch, or a registered name no source file emits is
+/// a finding — and requires every entry to appear in
+/// `docs/OBSERVABILITY.md`, so the metric vocabulary, the code, and the
+/// runbook cannot drift apart.
+pub const METRICS: &[(&str, MetricKind)] = &[
+    // compute pool (crates/tensor/src/pool.rs)
+    ("pool.jobs", MetricKind::Counter),
+    ("pool.serial_jobs", MetricKind::Counter),
+    ("pool.blocks", MetricKind::Counter),
+    ("pool.helper_blocks", MetricKind::Counter),
+    ("pool.reclaimed_tickets", MetricKind::Counter),
+    // kernel dispatch sizes (crates/tensor/src/linalg.rs, conv.rs)
+    ("kernel.matmul.work", MetricKind::Histogram),
+    ("kernel.matmul_tn.work", MetricKind::Histogram),
+    ("kernel.matmul_nt.work", MetricKind::Histogram),
+    ("kernel.conv2d.work", MetricKind::Histogram),
+    // training plane (crates/core/src/train.rs)
+    ("train.grad_norm_g", MetricKind::Gauge),
+    ("train.grad_norm_d", MetricKind::Gauge),
+    ("checkpoint.save_failures", MetricKind::Counter),
+    // serving plane (crates/serve/src/server.rs)
+    ("serve.requests", MetricKind::Counter),
+    ("serve.rows", MetricKind::Counter),
+    ("serve.timeouts", MetricKind::Counter),
+    ("serve.drained", MetricKind::Counter),
+    ("serve.reloads", MetricKind::Counter),
+    ("serve.resumed_requests", MetricKind::Counter),
+    ("serve.shed_requests", MetricKind::Counter),
+    ("serve.active_conns", MetricKind::Gauge),
+    ("serve.rows_per_request", MetricKind::Histogram),
+    ("serve.request_us", MetricKind::Histogram),
+    ("serve.requests_per_conn", MetricKind::Histogram),
 ];

@@ -107,7 +107,7 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 fn default_threads() -> usize {
     // Runs once (inside the pool's `OnceLock` init), so a bad value
     // warns exactly once instead of being silently ignored.
-    if let Ok(v) = std::env::var("DAISY_THREADS") {
+    if let Some(v) = daisy_telemetry::knobs::raw("DAISY_THREADS") {
         match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
             _ => eprintln!(

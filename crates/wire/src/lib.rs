@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod magic;
+
 use daisy_tensor::Tensor;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};

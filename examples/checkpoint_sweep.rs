@@ -22,8 +22,7 @@ use daisy_bench::journal::SweepJournal;
 use std::path::PathBuf;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
+    daisy::telemetry::knobs::raw(name)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
@@ -39,7 +38,7 @@ fn cell(network: NetworkKind, tc: TrainConfig, label: &str) -> (String, Synthesi
 
 fn main() {
     let dir = PathBuf::from(
-        std::env::var("DAISY_SWEEP_DIR").unwrap_or_else(|_| "daisy-sweep".to_string()),
+        daisy::telemetry::knobs::raw("DAISY_SWEEP_DIR").unwrap_or_else(|| "daisy-sweep".to_string()),
     );
     let iters = env_usize("DAISY_SWEEP_ITERS", 1500);
 
@@ -80,7 +79,7 @@ fn main() {
     }
 
     let mut plan = CheckpointPlan::at(dir.join("cell"));
-    if let Ok(step) = std::env::var("DAISY_SWEEP_KILL_AT") {
+    if let Some(step) = daisy::telemetry::knobs::raw("DAISY_SWEEP_KILL_AT") {
         plan = plan.kill_at(step.parse().expect("DAISY_SWEEP_KILL_AT must be a step"));
     }
 

@@ -35,7 +35,8 @@ USAGE:
     daisy top <ADMIN_ADDR> [--interval SECS] [--once]
     daisy top --trace <TRACE.jsonl>
     daisy report <TRACE.jsonl> [--validate]
-    daisy lint [--json] [--root DIR] [--list-rules]
+    daisy lint [--format human|json|sarif] [--root DIR] [--list-rules]
+    daisy knobs
 
 SYNTH OPTIONS:
     --label COL          label column name (enables conditional training)
@@ -132,8 +133,15 @@ REPORT OPTIONS:
 
 LINT:
     Statically checks the workspace's own sources against the
-    determinism/schema/hygiene rule catalogue (docs/LINTS.md). Exit 0
-    when clean, 1 on findings, 2 on usage or I/O errors.
+    determinism/schema/hygiene/registry rule catalogue (docs/LINTS.md).
+    Exit 0 when clean, 1 on findings, 2 on usage or I/O errors.
+    --format sarif emits SARIF 2.1.0 for CI code-scanning upload.
+
+KNOBS:
+    Prints the registry of every DAISY_* environment variable the
+    workspace reads — one per line, tab-separated:
+    name, default, owner, description. The same registry the code
+    reads through (telemetry::knobs) and the lint checks against.
 
 OBSERVABILITY:
     Set DAISY_TRACE=<path> to record a JSONL event trace of any command
@@ -202,6 +210,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "reload" => reload(args),
         "top" => top::top(args),
         "report" => report(args),
+        "knobs" => {
+            print!("{}", daisy::telemetry::knobs::render());
+            Ok(())
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -812,6 +824,11 @@ mod tests {
     #[test]
     fn help_is_ok() {
         assert!(run(&["--help".into()]).is_ok());
+    }
+
+    #[test]
+    fn knobs_is_ok() {
+        assert!(run(&["knobs".into()]).is_ok());
     }
 
     #[test]

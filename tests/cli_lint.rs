@@ -40,3 +40,163 @@ fn daisy_lint_usage_errors_exit_2_without_the_synth_help() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(!stderr.contains("SYNTH OPTIONS"), "lint must not print the synthesis help");
 }
+
+#[test]
+fn daisy_lint_sarif_emits_a_minimal_valid_log() {
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .args(["lint", "--format", "sarif"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("daisy binary runs");
+    // Exit-code contract holds in every format: clean tree exits 0.
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"version\":\"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"daisy-lint\""), "{stdout}");
+    assert!(stdout.contains("\"results\":[]"), "clean tree has no results: {stdout}");
+    // The driver ships the whole rule catalogue, including the
+    // registry rules.
+    for id in ["D001", "S001", "H001", "M001", "K001", "W001"] {
+        assert!(stdout.contains(&format!("\"id\":\"{id}\"")), "{id} missing: {stdout}");
+    }
+}
+
+#[test]
+fn daisy_lint_format_errors_exit_2() {
+    // An unknown format and a missing format value are usage errors
+    // (exit 2), distinct from findings (exit 1).
+    for args in [&["lint", "--format", "xml"][..], &["lint", "--format"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+            .args(args)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("daisy binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    // An unreadable root is an I/O error: exit 2 in sarif format too.
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .args(["lint", "--format", "sarif", "--root", "/nonexistent/daisy"])
+        .output()
+        .expect("daisy binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn daisy_knobs_lists_every_daisy_var_in_the_tree() {
+    use std::collections::BTreeSet;
+
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .arg("knobs")
+        .output()
+        .expect("daisy binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    // The output is the stable machine-parseable table: four
+    // tab-separated fields per line, name first.
+    let mut registered = BTreeSet::new();
+    for line in stdout.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 4, "name<TAB>default<TAB>owner<TAB>doc: {line:?}");
+        assert!(fields[0].starts_with("DAISY_"), "{line:?}");
+        assert!(!fields[1].is_empty() && !fields[2].is_empty() && !fields[3].is_empty());
+        registered.insert(fields[0].to_string());
+    }
+    assert!(registered.len() >= 15, "registry shrank? {registered:?}");
+
+    // Round trip: every DAISY_* name appearing anywhere in the tree's
+    // Rust sources or docs must be a registered knob, so the dump is
+    // the complete configuration surface. Test code is exempt (the
+    // lint fixtures deliberately mention bogus knobs), following the
+    // same convention as rule K001: `tests/` directories are skipped
+    // and a source file stops counting at its first `#[cfg(test)]`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut mentioned = BTreeSet::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().unwrap_or_default().to_string_lossy().to_string();
+            if path.is_dir() {
+                if !matches!(name.as_str(), "target" | ".git" | ".github" | "tests") {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") || name.ends_with(".md") {
+                let mut text = std::fs::read_to_string(&path).expect("readable file");
+                if name.ends_with(".rs") {
+                    if let Some(cut) = text.find("#[cfg(test)]") {
+                        text.truncate(cut);
+                    }
+                }
+                let bytes = text.as_bytes();
+                let mut start = 0;
+                while let Some(pos) = text[start..].find("DAISY_") {
+                    let begin = start + pos;
+                    let glued = begin > 0
+                        && (bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+                    let mut end = begin + "DAISY_".len();
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_uppercase()
+                            || bytes[end].is_ascii_digit()
+                            || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let word = &text[begin..end];
+                    if !glued && end > begin + "DAISY_".len() && !word.ends_with('_') {
+                        mentioned.insert(word.to_string());
+                    }
+                    start = end;
+                }
+            }
+        }
+    }
+    let unregistered: Vec<&String> = mentioned.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "DAISY_* names mentioned in the tree but absent from `daisy knobs`: {unregistered:?}"
+    );
+}
+
+#[test]
+fn daisy_knobs_defaults_match_the_code() {
+    // Spot-check that registered defaults are the values the code
+    // actually falls back to, so the dump cannot quietly drift.
+    let out = Command::new(env!("CARGO_BIN_EXE_daisy"))
+        .arg("knobs")
+        .output()
+        .expect("daisy binary runs");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let default_of = |name: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.split('\t').next() == Some(name))
+            .unwrap_or_else(|| panic!("{name} missing from `daisy knobs`"))
+            .split('\t')
+            .nth(1)
+            .expect("default field")
+            .to_string()
+    };
+    assert_eq!(default_of("DAISY_CKPT_EVERY"), "1");
+    assert_eq!(
+        default_of("DAISY_MEM_BUDGET").parse::<usize>().expect("numeric"),
+        daisy::data::store::DEFAULT_MEM_BUDGET
+    );
+    let serve_defaults = daisy::serve::ServeConfig::default();
+    assert_eq!(
+        default_of("DAISY_SERVE_MAX_CONN").parse::<usize>().expect("numeric"),
+        serve_defaults.max_conn
+    );
+    assert_eq!(
+        default_of("DAISY_SERVE_MAX_ROWS").parse::<u64>().expect("numeric"),
+        serve_defaults.max_rows
+    );
+    assert_eq!(
+        default_of("DAISY_SERVE_TIMEOUT_MS").parse::<u64>().expect("numeric"),
+        serve_defaults.timeout_ms
+    );
+    assert_eq!(
+        default_of("DAISY_SERVE_DRAIN_MS").parse::<u64>().expect("numeric"),
+        serve_defaults.drain_ms
+    );
+}
